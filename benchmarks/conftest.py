@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper table/figure has one benchmark module that regenerates its
+rows (run ``pytest benchmarks/ --benchmark-only -s`` to see them).
+Heavy simulations run a single round via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a callable exactly once (for expensive simulations)."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+def show(result) -> None:
+    """Print an ExperimentResult's rendered rows (visible with -s)."""
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Regenerates Appendix A.3: the closed-form power-of-two NURand PMF."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_appendix_closed_form(benchmark):
+    result = benchmark(run_experiment, "appendix_a3", "quick")
+    show(result)
+    assert result.headline["TV distance"] < 1e-12
+    assert result.headline["periodic"] == 1.0

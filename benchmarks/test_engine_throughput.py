@@ -1,0 +1,48 @@
+"""Micro-benchmark: executable TPC-C transactions on the storage engine.
+
+Not a paper artifact — measures this implementation's engine, and
+cross-checks that its measured buffer behaviour has the Figure 8 shape.
+"""
+
+from conftest import show
+
+from repro.experiments.report import render_table
+from repro.tpcc import TpccConfig, TpccExecutor, load_tpcc
+from repro.tpcc.executor import buffer_miss_rates
+
+
+def test_engine_transaction_rate(benchmark):
+    config = TpccConfig(
+        warehouses=2,
+        customers_per_district=90,
+        items=500,
+        buffer_pages=500,
+        seed=51,
+    )
+    db = load_tpcc(config)
+    executor = TpccExecutor(db, config, seed=7)
+
+    benchmark.pedantic(executor.run_mix, args=(200,), rounds=3, iterations=1)
+
+    rates = buffer_miss_rates(db)
+    print()
+    print(
+        render_table(
+            [{"relation": name, "miss rate": round(rate, 4)} for name, rate in sorted(rates.items())],
+            title="engine-measured buffer miss rates",
+        )
+    )
+    assert rates["warehouse"] < 0.05
+    assert rates["customer"] >= rates["item"]
+
+
+def test_engine_nurand_sampling_rate(benchmark):
+    """Vectorized NURand draw throughput (trace-generation substrate)."""
+    import numpy as np
+
+    from repro.core.nurand import NURand
+
+    sampler = NURand(8191, 1, 100_000)
+    rng = np.random.default_rng(0)
+    result = benchmark(sampler.sample_array, rng, 100_000)
+    assert result.size == 100_000

@@ -1,0 +1,28 @@
+"""Micro-benchmark: exact NURand PMF via the subset-sum fast path.
+
+The paper estimated this PMF from 10^9 Monte-Carlo samples; the
+closed-form computation used here is exact and runs in milliseconds.
+"""
+
+import numpy as np
+
+from repro.core.nurand import _exact_counts_power_of_two
+
+
+def test_exact_pmf_fast_path(benchmark):
+    counts = benchmark(_exact_counts_power_of_two, 8191, 1, 100_000, 0)
+    assert counts.sum() == 8192 * 100_000
+
+
+def test_monte_carlo_reference_point(benchmark):
+    """One million Monte-Carlo samples, for scale."""
+    from repro.core.nurand import monte_carlo_pmf
+
+    dist = benchmark.pedantic(
+        monte_carlo_pmf,
+        args=(8191, 1, 100_000, 1_000_000),
+        kwargs={"rng": np.random.default_rng(1)},
+        rounds=1,
+        iterations=1,
+    )
+    assert abs(float(dist.pmf.sum()) - 1.0) < 1e-9

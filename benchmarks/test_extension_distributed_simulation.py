@@ -1,0 +1,47 @@
+"""Extension bench: simulate an N-node cluster's buffers for real.
+
+Validates by simulation the two analytic shortcuts the paper takes:
+Appendix A's remote-call expectations (including Theorem 1's
+unique-site formula) and the reuse of single-node miss rates per node.
+"""
+
+from conftest import show
+
+from repro.distributed.simulation import (
+    DistributedBufferSimulation,
+    DistributedSimConfig,
+)
+from repro.experiments.report import render_table
+from repro.workload.trace import TraceConfig
+
+
+def run_cluster():
+    config = DistributedSimConfig(
+        nodes=4,
+        trace=TraceConfig(
+            warehouses=2,
+            items=600,
+            customers_per_district=90,
+            prime_orders=25,
+            prime_pending=8,
+            seed=5,
+        ),
+        buffer_mb=0.8,
+        transactions_per_node=1_500,
+        warmup_transactions_per_node=300,
+        seed=3,
+    )
+    return DistributedBufferSimulation(config).run()
+
+
+def test_extension_distributed_simulation(run_once):
+    report = run_once(run_cluster)
+    print()
+    print(render_table(report.as_rows(), title="simulated vs analytic (Appendix A)"))
+    rows = [
+        {"node": node, **{k: round(v, 4) for k, v in rates.items() if k in ("stock", "customer", "item")}}
+        for node, rates in enumerate(report.per_node_miss)
+    ]
+    print(render_table(rows, title="per-node miss rates"))
+    assert report.remote.l_stock > 0.9  # the benchmark's 1% keeps things local
+    assert report.max_node_spread("stock") < 0.15

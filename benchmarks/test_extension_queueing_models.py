@@ -1,0 +1,38 @@
+"""Extension bench: queueing views of the throughput model.
+
+Not a paper artifact.  The paper reports maximum throughput at an 80%
+CPU cap; these benches add (a) the closed-system MVA curve answering
+how many terminals reach that point, and (b) the open-model response
+times on the way there.
+"""
+
+from conftest import show
+
+from repro.experiments.report import render_table
+from repro.throughput.mva import ClosedSystemModel
+from repro.throughput.params import MissRateInputs
+from repro.throughput.response import ResponseTimeModel
+
+MISS = MissRateInputs(customer=0.6, item=0.05, stock=0.35, order=0.02, order_line=0.01)
+
+
+def test_extension_closed_model_mva(benchmark):
+    model = ClosedSystemModel(miss_rates=MISS, disk_arms=4, think_time_seconds=1.0)
+    curve = benchmark(model.curve, 200)
+    rows = [curve[n - 1].as_row() for n in (1, 10, 50, 100, 200)]
+    print()
+    print(render_table(rows, title="closed-system MVA curve"))
+    assert curve[-1].throughput_tps <= model.asymptotic_throughput_tps() + 1e-9
+
+
+def test_extension_open_model_response(benchmark):
+    model = ResponseTimeModel(miss_rates=MISS, disk_arms=4)
+    curve = benchmark(model.response_curve, [0.2, 0.5, 0.8, 0.9])
+    print()
+    print(
+        render_table(
+            [point.as_rows()[-1] | {"cpu util": point.cpu_utilization} for point in curve],
+            title="open-model mean response vs CPU utilization",
+        )
+    )
+    assert curve[0].mean < curve[-1].mean

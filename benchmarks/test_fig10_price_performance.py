@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 10: price/performance vs buffer size."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_price_performance(run_once):
+    result = run_once(run_experiment, "fig10", "quick")
+    show(result)
+    assert result.headline["opt. packing gain, no storage floor %"] > 0
+    assert (
+        result.headline["opt. packing gain, with storage %"]
+        < result.headline["opt. packing gain, no storage floor %"]
+    )

@@ -1,0 +1,14 @@
+"""Regenerates Section 5.2's disk-capacity sensitivity (prose claims:
+8% gain at 3 GB disks, 20% at 6 GB, 30% at 12 GB)."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_disk_size(run_once):
+    result = run_once(run_experiment, "fig10_disk_size", "quick")
+    show(result)
+    h = result.headline
+    assert h["gain % at 3 GB"] < h["gain % at 6 GB"]
+    assert h["gain % at 6 GB"] <= h["gain % at 12 GB"] + 1e-9

@@ -1,0 +1,12 @@
+"""Regenerates paper Figure 11: distributed scale-up."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_scaleup(run_once):
+    result = run_once(run_experiment, "fig11", "quick")
+    show(result)
+    assert result.headline["replicated efficiency @30"] > 0.94
+    assert 5 < result.headline["replication gain % @30"] < 50

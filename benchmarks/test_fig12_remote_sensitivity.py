@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 12: sensitivity to percent remote stock."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_remote_sensitivity(run_once):
+    result = run_once(run_experiment, "fig12", "quick")
+    show(result)
+    assert 25 < result.headline["scale-up drop % at p=1.0 (N=30)"] < 60

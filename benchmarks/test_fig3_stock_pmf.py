@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 3: the stock-relation PMF."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_stock_pmf(benchmark):
+    result = benchmark(run_experiment, "fig3", "quick")
+    show(result)
+    assert result.headline["cycles"] == 12

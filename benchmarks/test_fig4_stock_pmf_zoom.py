@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 4: the stock PMF over tuples 1..10000."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_stock_pmf_zoom(benchmark):
+    result = benchmark(run_experiment, "fig4", "quick")
+    show(result)
+    assert result.headline["cycle-to-cycle correlation"] > 0.98

@@ -1,0 +1,12 @@
+"""Regenerates paper Figure 5: stock cumulative access vs data."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_stock_cdf(benchmark):
+    result = benchmark(run_experiment, "fig5", "quick")
+    show(result)
+    assert abs(result.headline["tuple: hottest 20%"] - 0.84) < 0.01
+    assert abs(result.headline["4K page: hottest 20%"] - 0.75) < 0.01

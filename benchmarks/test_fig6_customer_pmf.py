@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 6: the customer-relation PMF."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_customer_pmf(benchmark):
+    result = benchmark(run_experiment, "fig6", "quick")
+    show(result)
+    assert result.headline["by-id mixture weight"] == 0.4186

@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 7: customer cumulative access vs data."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_customer_cdf(benchmark):
+    result = benchmark(run_experiment, "fig7", "quick")
+    show(result)
+    assert result.headline["customer gini"] < result.headline["stock gini"]

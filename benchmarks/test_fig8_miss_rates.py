@@ -1,0 +1,17 @@
+"""Regenerates paper Figure 8: miss rates vs buffer size (LRU).
+
+Uses the quick preset (scaled-down database, reduced batch budget) so
+the full benchmark suite stays CI-friendly; pass the standard/paper
+presets via repro.experiments.run_experiment for full-scale runs.
+"""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_miss_rates(run_once):
+    result = run_once(run_experiment, "fig8", "quick")
+    show(result)
+    assert result.headline["stock miss gap averaged (abs)"] > 0
+    assert result.headline["ordering customer>stock>item at mid"] == 1.0

@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 9: maximum throughput vs buffer size."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_throughput(run_once):
+    result = run_once(run_experiment, "fig9", "quick")
+    show(result)
+    assert 0 < result.headline["max improvement %"] < 6

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 1: the logical database summary."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_table1_schema(benchmark):
+    result = benchmark(run_experiment, "table1", "quick")
+    show(result)
+    rows = {row["relation"]: row for row in result.rows}
+    assert rows["stock"]["tuples per 4K page"] == 13
+    assert rows["customer"]["tuples per 4K page"] == 6
+    assert rows["order"]["cardinality"] == "grows"

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 2: transaction mix and SQL-call census."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_table2_mix(benchmark):
+    result = benchmark(run_experiment, "table2", "quick")
+    show(result)
+    rows = {row["transaction"]: row for row in result.rows}
+    assert rows["new_order"]["selects"] == 23
+    assert rows["delivery"]["updates"] == 120
+    assert rows["stock_level"]["joins"] == 1

@@ -1,0 +1,12 @@
+"""Regenerates paper Table 3: per-relation access counts."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_table3_accesses(benchmark):
+    result = benchmark(run_experiment, "table3", "quick")
+    show(result)
+    assert result.headline["warehouse avg"] == 0.87
+    assert abs(result.headline["stock avg"] - 12.4) < 0.15

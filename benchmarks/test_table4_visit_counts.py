@@ -1,0 +1,12 @@
+"""Regenerates paper Table 4: single-node visit counts."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_table4_visit_counts(benchmark):
+    result = benchmark(run_experiment, "table4", "quick")
+    show(result)
+    operations = {row["operation"] for row in result.rows}
+    assert {"select", "update", "insert", "commit", "diskIO"} <= operations

@@ -1,0 +1,12 @@
+"""Regenerates paper Tables 6 and 7: distributed visit-count deltas."""
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def test_tables6_7_distributed_visits(benchmark):
+    result = benchmark(run_experiment, "tables6_7", "quick")
+    show(result)
+    assert result.headline["L_stock"] < 1.0
+    assert result.headline["U_stock"] > 0.0

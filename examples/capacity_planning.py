@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Capacity planning: how much memory should a TPC-C node have?
+
+Reproduces the paper's Figure 10 workflow with your own price book:
+sweep buffer sizes, size the disk subsystem for both bandwidth and
+capacity, and report the configuration minimizing $/tpm, for both
+sequential and optimized tuple packing.
+
+Usage::
+
+    python examples/capacity_planning.py
+    python examples/capacity_planning.py --disk-price 800 --disk-gb 500 \
+        --memory-price 2 --cpu-price 4000 --max-mb 512
+"""
+
+import argparse
+
+from repro import AnalyticMissRateProvider, price_performance_sweep
+from repro.experiments.report import render_table
+from repro.throughput.pricing import PriceBook, optimal_point
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--disk-price", type=float, default=5000.0, help="price per disk ($)"
+    )
+    parser.add_argument(
+        "--disk-gb", type=float, default=3.0, help="capacity per disk (GB)"
+    )
+    parser.add_argument(
+        "--cpu-price", type=float, default=10_000.0, help="processor price ($)"
+    )
+    parser.add_argument(
+        "--memory-price", type=float, default=100.0, help="memory price ($/MB)"
+    )
+    parser.add_argument(
+        "--max-mb", type=int, default=256, help="largest buffer size to consider"
+    )
+    parser.add_argument(
+        "--step-mb", type=int, default=8, help="buffer-size sweep step"
+    )
+    parser.add_argument(
+        "--no-growth",
+        action="store_true",
+        help="exclude the 180-day Order/Order-Line/History growth from storage",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    prices = PriceBook(
+        disk_price=args.disk_price,
+        disk_capacity_gb=args.disk_gb,
+        cpu_price=args.cpu_price,
+        memory_price_per_mb=args.memory_price,
+    )
+    sizes = [float(mb) for mb in range(args.step_mb, args.max_mb + 1, args.step_mb)]
+
+    best = {}
+    for packing in ("sequential", "optimized"):
+        provider = AnalyticMissRateProvider(packing=packing)
+        points = price_performance_sweep(
+            sizes,
+            provider,
+            prices=prices,
+            include_growth=not args.no_growth,
+        )
+        best[packing] = optimal_point(points)
+        rows = [point.as_row() for point in points[:: max(1, len(points) // 12)]]
+        print(render_table(rows, title=f"--- {packing} packing ---"))
+        print()
+
+    print("== Recommended configurations ==")
+    for packing, point in best.items():
+        print(
+            f"{packing:>10}: {point.buffer_mb:.0f} MB buffer, {point.disks} disks, "
+            f"{point.throughput.new_order_tpm:.0f} tpm, "
+            f"${point.cost_per_tpm:.2f}/tpm (total ${point.total_cost:,.0f})"
+        )
+    gain = 1 - best["optimized"].cost_per_tpm / best["sequential"].cost_per_tpm
+    print(f"\noptimized packing improves price/performance by {gain:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Cluster sizing: how does TPC-C scale across database nodes?
+
+Reproduces the paper's Figures 11 and 12 workflow: evaluate system
+throughput versus node count with and without replication of the
+read-only Item relation, and test sensitivity to the fraction of order
+lines stocked by remote warehouses.
+
+Usage::
+
+    python examples/distributed_scaleup.py
+    python examples/distributed_scaleup.py --nodes 2 4 8 16 32 --buffer-mb 64
+"""
+
+import argparse
+
+from repro import AnalyticMissRateProvider, scaleup_curve
+from repro.distributed.scaleup import remote_probability_sensitivity
+from repro.experiments.report import render_table
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[1, 2, 5, 10, 20, 30],
+        help="node counts to evaluate",
+    )
+    parser.add_argument(
+        "--buffer-mb",
+        type=float,
+        default=102.0,
+        help="per-node buffer size (the paper uses 102 MB)",
+    )
+    parser.add_argument(
+        "--remote-probabilities",
+        type=float,
+        nargs="+",
+        default=[0.01, 0.1, 0.5, 1.0],
+        help="remote-stock probabilities for the sensitivity study",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    miss = AnalyticMissRateProvider(packing="optimized")(args.buffer_mb)
+
+    points = scaleup_curve(args.nodes, miss)
+    print(render_table([p.as_row() for p in points], title="== Figure 11: scale-up =="))
+    final = points[-1]
+    print(
+        f"\nat {final.nodes} nodes: replicated Item reaches "
+        f"{final.replicated_efficiency:.1%} of linear; replication beats "
+        f"partitioning by {final.replication_gain:.1%}\n"
+    )
+
+    curves = remote_probability_sensitivity(
+        args.nodes, args.remote_probabilities, miss
+    )
+    rows = []
+    for index, nodes in enumerate(args.nodes):
+        row = {"nodes": nodes}
+        for probability in args.remote_probabilities:
+            row[f"p={probability}"] = round(curves[probability][index][1], 1)
+        rows.append(row)
+    print(
+        render_table(
+            rows, title="== Figure 12: system tpm vs remote-stock probability =="
+        )
+    )
+    base = curves[args.remote_probabilities[0]][-1][1]
+    worst = curves[args.remote_probabilities[-1]][-1][1]
+    print(
+        f"\nraising the remote-stock probability from "
+        f"{args.remote_probabilities[0]} to {args.remote_probabilities[-1]} "
+        f"costs {1 - worst / base:.1%} of system throughput at "
+        f"{args.nodes[-1]} nodes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's three models in thirty lines each.
+
+Runs the skew analysis (Section 3), a small LRU buffer simulation
+(Section 4), and the throughput model (Section 5), printing the
+headline numbers the paper reports.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BufferSimulation,
+    MissRateInputs,
+    SimulationConfig,
+    SkewSummary,
+    ThroughputModel,
+    TraceConfig,
+    item_id_distribution,
+)
+
+
+def skew_analysis() -> None:
+    """Section 3: how skewed are the TPC-C stock accesses?"""
+    stock = item_id_distribution()  # exact PMF of NU(8191, 1, 100000)
+    summary = SkewSummary.of(stock)
+    print("== Skew analysis (paper Section 3) ==")
+    print(f"hottest 20% of stock tuples get {summary.hottest_20pct:.0%} of accesses")
+    print(f"hottest 10% get {summary.hottest_10pct:.0%}")
+    print(f"hottest  2% get {summary.hottest_2pct:.0%}")
+    print(f"gini coefficient: {summary.gini:.3f}")
+    print()
+
+
+def buffer_simulation() -> "MissRateInputs":
+    """Section 4: per-relation LRU miss rates from a trace simulation."""
+    config = SimulationConfig(
+        trace=TraceConfig(warehouses=4, packing="optimized", seed=1),
+        buffer_mb=16,
+        batches=5,
+        batch_size=20_000,
+    )
+    report = BufferSimulation(config).run()
+    print("== Buffer simulation (paper Section 4) ==")
+    print(f"{config.trace.warehouses} warehouses, {config.buffer_mb} MB LRU buffer")
+    for relation in ("customer", "stock", "item", "order_line"):
+        print(f"  {relation:<12} miss rate {report.miss_rate(relation):.3f}")
+    print()
+    return MissRateInputs.from_report(report)
+
+
+def throughput_model(miss: "MissRateInputs") -> None:
+    """Section 5: feed the miss rates into the analytic throughput model."""
+    result = ThroughputModel(miss_rates=miss).solve()
+    print("== Throughput model (paper Section 5) ==")
+    print(f"CPU demand per transaction: {result.cpu_demand_k_per_tx:.0f}K instructions")
+    print(f"max throughput at 80% CPU: {result.throughput_tps:.2f} tx/s")
+    print(f"  = {result.new_order_tpm:.0f} New-Order transactions/minute")
+    print(f"disk reads per transaction: {result.disk_reads_per_tx:.2f}")
+    print(f"disk arms needed (50% cap): {result.disk_arms_for_bandwidth}")
+
+
+def main() -> None:
+    skew_analysis()
+    miss = buffer_simulation()
+    throughput_model(miss)
+
+
+if __name__ == "__main__":
+    main()

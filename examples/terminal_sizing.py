@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Terminal sizing: an extension the paper explicitly left out.
+
+"We do not consider terminal emulation" (paper Section 1).  TPC-C is a
+closed system — each of the warehouse's terminals thinks, submits a
+transaction, and waits — so the natural companion to the paper's
+maximum-throughput model is a closed queueing network: exact Mean Value
+Analysis over the CPU, the disk farm and a think-time delay station,
+plus an open-model response-time curve.
+
+The script answers: how many concurrent terminals drive the CPU to the
+paper's 80% operating point, and what response times do users see on
+the way there?
+
+Usage::
+
+    python examples/terminal_sizing.py
+    python examples/terminal_sizing.py --buffer-mb 104 --think-time 2.0
+"""
+
+import argparse
+
+from repro.experiments.report import render_table
+from repro.throughput.mva import ClosedSystemModel
+from repro.throughput.pricing import AnalyticMissRateProvider
+from repro.throughput.response import ResponseTimeModel
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--buffer-mb", type=float, default=52.0)
+    parser.add_argument(
+        "--packing", choices=["sequential", "optimized"], default="optimized"
+    )
+    parser.add_argument(
+        "--think-time", type=float, default=1.0, help="terminal think time (s)"
+    )
+    parser.add_argument("--disk-arms", type=int, default=None)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    miss = AnalyticMissRateProvider(packing=args.packing)(args.buffer_mb)
+
+    closed = ClosedSystemModel(
+        miss_rates=miss,
+        disk_arms=args.disk_arms,
+        think_time_seconds=args.think_time,
+    )
+    print(
+        f"configuration: {args.buffer_mb} MB buffer ({args.packing}), "
+        f"{closed.disk_arms} disk arms, think time {args.think_time}s"
+    )
+    print(f"bottleneck resource: {closed.bottleneck()}")
+    print(
+        f"throughput ceiling: {closed.asymptotic_throughput_tps():.2f} tx/s\n"
+    )
+
+    # MVA curve at selected populations.
+    curve = closed.curve(400)
+    milestones = [1, 2, 5, 10, 20, 40, 80, 160, 320]
+    rows = [curve[n - 1].as_row() for n in milestones if n <= len(curve)]
+    print(render_table(rows, title="== closed model (exact MVA) =="))
+
+    target = closed.population_for_utilization(0.80)
+    if target is not None:
+        print(
+            f"\nthe paper's 80% CPU operating point needs ~{target.population} "
+            f"terminals ({target.throughput_tps:.2f} tx/s, "
+            f"{target.response_seconds * 1000:.0f} ms mean response)\n"
+        )
+    else:
+        print("\n80% CPU is unreachable: the disks saturate first\n")
+
+    # Open-model response times by transaction type at that point.
+    open_model = ResponseTimeModel(miss_rates=miss, disk_arms=closed.disk_arms)
+    utilization_points = [0.2, 0.5, 0.8, 0.9]
+    rows = []
+    for point in open_model.response_curve(utilization_points):
+        row = {"cpu util": point.cpu_utilization}
+        for name, seconds in point.by_transaction.items():
+            row[name + " (ms)"] = round(seconds * 1000, 1)
+        rows.append(row)
+    print(render_table(rows, title="== open model: response time by type =="))
+
+
+if __name__ == "__main__":
+    main()

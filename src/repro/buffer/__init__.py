@@ -1,0 +1,46 @@
+"""Database buffer-pool modeling (paper Section 4).
+
+Provides page-replacement policies (LRU as the paper assumes, plus
+FIFO/CLOCK/LFU/2Q extensions), a simulated buffer pool with per-relation
+hit statistics, the trace-driven miss-rate simulation with batch-means
+confidence intervals, and an analytic LRU approximation for
+cross-checking.
+"""
+
+from repro.buffer.analytic import che_characteristic_time, che_miss_rates
+from repro.buffer.policy import (
+    ClockPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruKPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.buffer.pool import PoolStatistics, SimulatedBufferPool
+from repro.buffer.simulator import (
+    BufferSimulation,
+    MissRateReport,
+    RelationMissRate,
+    SimulationConfig,
+)
+
+__all__ = [
+    "BufferSimulation",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruKPolicy",
+    "LruPolicy",
+    "MissRateReport",
+    "PoolStatistics",
+    "RelationMissRate",
+    "ReplacementPolicy",
+    "SimulatedBufferPool",
+    "SimulationConfig",
+    "TwoQPolicy",
+    "che_characteristic_time",
+    "che_miss_rates",
+    "make_policy",
+]

@@ -1,0 +1,96 @@
+"""Simulated buffer pool with per-relation hit statistics.
+
+The pool tracks which pages are resident (delegated to a replacement
+policy) and counts hits and misses per relation — the quantities the
+paper's Figure 8 plots.  No page contents are stored; this is a
+performance model, not storage (the executable engine in
+:mod:`repro.engine` has a real buffer manager).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffer.policy import ReplacementPolicy
+
+
+@dataclass
+class PoolStatistics:
+    """Hit/miss counters, per relation index and overall."""
+
+    hits: dict[int, int] = field(default_factory=dict)
+    misses: dict[int, int] = field(default_factory=dict)
+
+    def record(self, relation: int, hit: bool) -> None:
+        table = self.hits if hit else self.misses
+        table[relation] = table.get(relation, 0) + 1
+
+    def accesses(self, relation: int | None = None) -> int:
+        """References seen, for one relation or in total."""
+        if relation is None:
+            return sum(self.hits.values()) + sum(self.misses.values())
+        return self.hits.get(relation, 0) + self.misses.get(relation, 0)
+
+    def miss_rate(self, relation: int | None = None) -> float:
+        """Miss fraction for one relation (or overall); 0.0 if unobserved."""
+        total = self.accesses(relation)
+        if total == 0:
+            return 0.0
+        if relation is None:
+            return sum(self.misses.values()) / total
+        return self.misses.get(relation, 0) / total
+
+    def reset(self) -> None:
+        self.hits.clear()
+        self.misses.clear()
+
+
+class SimulatedBufferPool:
+    """A buffer pool over abstract page keys.
+
+    ``access`` is the single hot-path operation: it consults the policy,
+    updates recency/eviction state and the statistics, and reports
+    whether the reference hit.
+    """
+
+    def __init__(self, policy: ReplacementPolicy):
+        self._policy = policy
+        self._stats = PoolStatistics()
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        return self._policy
+
+    @property
+    def stats(self) -> PoolStatistics:
+        return self._stats
+
+    @property
+    def capacity(self) -> int:
+        """Capacity in pages."""
+        return self._policy.capacity
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._policy)
+
+    def access(self, relation: int, page: int, write: bool = False) -> bool:
+        """Reference one page; returns True on a buffer hit.
+
+        ``write`` is accepted for interface parity with the engine's
+        buffer manager; it does not affect hit accounting under any of
+        the provided policies.
+        """
+        key = (relation, page)
+        policy = self._policy
+        if policy.contains(key):
+            policy.touch(key)  # a 2Q promotion may displace a page; fine here
+            self._stats.record(relation, hit=True)
+            return True
+        policy.admit(key)
+        self._stats.record(relation, hit=False)
+        return False
+
+    def reset_stats(self) -> None:
+        """Clear counters without disturbing residency (used after warmup)."""
+        self._stats.reset()

@@ -1,0 +1,284 @@
+"""Trace-driven buffer-pool simulation (paper Section 4, Figure 8).
+
+Drives the TPC-C page-reference trace through a simulated buffer pool
+and estimates per-relation miss rates with batch-means confidence
+intervals.  The paper's setup — LRU, 30 batches of 100 000 references,
+90% confidence, 20 warehouses, 4K pages — is the default; tests and
+quick benches scale the trace down via the config.
+
+Besides the overall per-relation miss rates, the simulator records the
+miss rates of each (transaction type, relation) pair: the throughput
+model needs the Order-Status / Delivery / Stock-Level access streams
+"in isolation" because their temporal-locality (P-type) accesses behave
+very differently from the NURand-driven ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffer.policy import make_policy
+from repro.buffer.pool import SimulatedBufferPool
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.stats.batch_means import BatchMeans, BatchMeansSummary
+from repro.workload.mix import TransactionType
+from repro.workload.trace import RELATION_NAMES, TraceConfig, TraceGenerator
+
+
+def pages_for_megabytes(megabytes: float, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Buffer capacity in pages for a memory size in MB."""
+    if megabytes <= 0:
+        raise ValueError(f"megabytes must be positive, got {megabytes}")
+    pages = int(megabytes * 1024 * 1024 // page_size)
+    return max(1, pages)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one buffer-simulation run.
+
+    ``buffer_mb`` is converted to pages using the trace's page size.
+    ``warmup_references`` defaults to enough references to fill and
+    churn the buffer (four times its capacity, at least one batch).
+    """
+
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    buffer_mb: float = 52.0
+    policy: str = "lru"
+    batches: int = 30
+    batch_size: int = 100_000
+    warmup_references: int | None = None
+    confidence: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.batches < 2:
+            raise ValueError(f"need at least 2 batches, got {self.batches}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+
+    @property
+    def buffer_pages(self) -> int:
+        return pages_for_megabytes(self.buffer_mb, self.trace.page_size)
+
+    @property
+    def effective_warmup(self) -> int:
+        if self.warmup_references is not None:
+            return self.warmup_references
+        return max(self.batch_size, 4 * self.buffer_pages)
+
+
+@dataclass(frozen=True)
+class RelationMissRate:
+    """Miss-rate estimate for one relation."""
+
+    relation: str
+    accesses: int
+    misses: int
+    summary: BatchMeansSummary | None
+
+    @property
+    def miss_rate(self) -> float:
+        """Point estimate over all measured references."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+
+@dataclass(frozen=True)
+class MissRateReport:
+    """Results of one simulation run."""
+
+    config: SimulationConfig
+    relations: dict[str, RelationMissRate]
+    by_transaction: dict[tuple[str, str], float]
+    total_references: int
+    total_transactions: int = 0
+
+    def misses_per_transaction(self, relation: str) -> float:
+        """Physical reads per transaction for one relation.
+
+        Unlike the miss *ratio*, this quantity is directly comparable
+        across systems that count accesses differently (e.g. the
+        executable engine, which touches a page once per call rather
+        than once per tuple).
+        """
+        entry = self.relations.get(relation)
+        if entry is None or self.total_transactions == 0:
+            return 0.0
+        return entry.misses / self.total_transactions
+
+    def miss_rate(self, relation: str) -> float:
+        """Overall miss rate of a relation (0.0 if never referenced)."""
+        entry = self.relations.get(relation)
+        return entry.miss_rate if entry is not None else 0.0
+
+    def transaction_miss_rate(self, tx: TransactionType, relation: str) -> float:
+        """Miss rate of one relation within one transaction type's stream."""
+        return self.by_transaction.get((tx.value, relation), 0.0)
+
+    def overall_miss_rate(self) -> float:
+        accesses = sum(entry.accesses for entry in self.relations.values())
+        misses = sum(entry.misses for entry in self.relations.values())
+        return misses / accesses if accesses else 0.0
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Flat rows for report tables (one per relation)."""
+        rows = []
+        for name, entry in sorted(self.relations.items()):
+            half_width = entry.summary.half_width if entry.summary else float("nan")
+            rows.append(
+                {
+                    "relation": name,
+                    "accesses": entry.accesses,
+                    "miss rate": round(entry.miss_rate, 5),
+                    "ci half-width": round(half_width, 5),
+                }
+            )
+        return rows
+
+
+class BufferSimulation:
+    """Runs a :class:`SimulationConfig` to a :class:`MissRateReport`."""
+
+    def __init__(self, config: SimulationConfig):
+        self._config = config
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    def run_until_precise(
+        self,
+        relative_half_width: float = 0.05,
+        relations: tuple[str, ...] = ("customer", "stock", "item"),
+        max_batches: int = 120,
+    ) -> MissRateReport:
+        """Run batches until the paper's precision criterion is met.
+
+        The paper requires every reported miss rate to have a relative
+        confidence-interval half-width of at most 5% at 90% confidence.
+        Batches are added (beyond the configured count) until the named
+        relations meet the target or ``max_batches`` is reached.
+        """
+        if not 0 < relative_half_width < 1:
+            raise ValueError(
+                f"relative_half_width must be in (0, 1), got {relative_half_width}"
+            )
+        batches = self._config.batches
+        while True:
+            from dataclasses import replace
+
+            report = BufferSimulation(replace(self._config, batches=batches)).run()
+            imprecise = [
+                relation
+                for relation in relations
+                if relation in report.relations
+                and report.relations[relation].summary is not None
+                and not report.relations[relation].summary.meets_precision(
+                    relative_half_width
+                )
+            ]
+            if not imprecise or batches >= max_batches:
+                return report
+            batches = min(max_batches, batches * 2)
+
+    def run(self) -> MissRateReport:
+        """Warm up, then measure ``batches`` batches of references."""
+        config = self._config
+        trace = TraceGenerator(config.trace)
+        pool = SimulatedBufferPool(make_policy(config.policy, config.buffer_pages))
+
+        self._warm_up(trace, pool, config.effective_warmup)
+
+        n_relations = len(RELATION_NAMES)
+        total_accesses = [0] * n_relations
+        total_misses = [0] * n_relations
+        tx_accesses: dict[tuple[str, int], int] = {}
+        tx_misses: dict[tuple[str, int], int] = {}
+        batch_stats = [BatchMeans(config.confidence) for _ in range(n_relations)]
+
+        total_references = 0
+        total_transactions = 0
+        for _ in range(config.batches):
+            batch_accesses = [0] * n_relations
+            batch_misses = [0] * n_relations
+            references = 0
+            while references < config.batch_size:
+                tx_type, refs = trace.transaction()
+                total_transactions += 1
+                tx_name = tx_type.value
+                for relation, page, write in refs:
+                    hit = pool.access(relation, page, write)
+                    batch_accesses[relation] += 1
+                    key = (tx_name, relation)
+                    tx_accesses[key] = tx_accesses.get(key, 0) + 1
+                    if not hit:
+                        batch_misses[relation] += 1
+                        tx_misses[key] = tx_misses.get(key, 0) + 1
+                references += len(refs)
+            total_references += references
+            for relation in range(n_relations):
+                accesses = batch_accesses[relation]
+                if accesses:
+                    batch_stats[relation].add_batch(batch_misses[relation] / accesses)
+                total_accesses[relation] += accesses
+                total_misses[relation] += batch_misses[relation]
+
+        relations = {}
+        for index, name in enumerate(RELATION_NAMES):
+            if total_accesses[index] == 0:
+                continue
+            stats = batch_stats[index]
+            summary = stats.summary() if stats.batches >= 2 else None
+            relations[name] = RelationMissRate(
+                relation=name,
+                accesses=total_accesses[index],
+                misses=total_misses[index],
+                summary=summary,
+            )
+
+        by_transaction = {
+            (tx_name, RELATION_NAMES[relation]): tx_misses.get((tx_name, relation), 0)
+            / accesses
+            for (tx_name, relation), accesses in tx_accesses.items()
+            if accesses
+        }
+        return MissRateReport(
+            config=config,
+            relations=relations,
+            by_transaction=by_transaction,
+            total_references=total_references,
+            total_transactions=total_transactions,
+        )
+
+    @staticmethod
+    def _warm_up(trace: TraceGenerator, pool: SimulatedBufferPool, target: int) -> None:
+        """Run references through the pool until the warmup budget is spent."""
+        seen = 0
+        while seen < target:
+            _, refs = trace.transaction()
+            for relation, page, write in refs:
+                pool.access(relation, page, write)
+            seen += len(refs)
+        pool.reset_stats()
+
+
+def sweep_buffer_sizes(
+    base: SimulationConfig, buffer_sizes_mb: list[float]
+) -> dict[float, MissRateReport]:
+    """Run the same simulation at several buffer sizes (Figure 8 x-axis).
+
+    Each size gets an independent trace (same seed), so curves differ
+    only in buffer capacity.
+    """
+    from dataclasses import replace
+
+    reports = {}
+    for megabytes in buffer_sizes_mb:
+        config = replace(base, buffer_mb=megabytes)
+        reports[megabytes] = BufferSimulation(config).run()
+    return reports

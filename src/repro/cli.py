@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                       # all experiment ids
+    python -m repro run fig5                   # regenerate an artifact
+    python -m repro run fig8 --preset standard # paper-scale simulation
+    python -m repro skew                       # Section 3 headline numbers
+    python -m repro throughput --buffer-mb 52  # Section 5 at one point
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Leutenegger & Dias, 'A Modeling Study of the "
+            "TPC-C Benchmark' (SIGMOD 1993)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list every table/figure experiment id")
+
+    run = commands.add_parser("run", help="regenerate one table or figure")
+    run.add_argument("experiment", help="experiment id, e.g. table1 or fig8")
+    run.add_argument(
+        "--preset",
+        choices=["quick", "standard", "paper"],
+        default="quick",
+        help="simulation effort (default: quick)",
+    )
+    run.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the data rows as CSV for external plotting",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="check trace output against the exact PMFs"
+    )
+    validate.add_argument("--warehouses", type=int, default=2)
+    validate.add_argument("--items", type=int, default=600)
+    validate.add_argument("--customers", type=int, default=90)
+    validate.add_argument("--transactions", type=int, default=5000)
+    validate.add_argument(
+        "--packing", choices=["sequential", "optimized"], default="sequential"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="record a page-reference trace to an .npz file"
+    )
+    trace.add_argument("path", help="output file (e.g. tpcc-trace.npz)")
+    trace.add_argument("--warehouses", type=int, default=2)
+    trace.add_argument("--transactions", type=int, default=5000)
+    trace.add_argument(
+        "--packing", choices=["sequential", "optimized", "random"],
+        default="sequential",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+
+    skew = commands.add_parser("skew", help="Section 3 skew summary")
+    skew.add_argument(
+        "--relation",
+        choices=["stock", "customer"],
+        default="stock",
+        help="which relation's access distribution to summarize",
+    )
+
+    throughput = commands.add_parser(
+        "throughput", help="Section 5 throughput model at one buffer size"
+    )
+    throughput.add_argument("--buffer-mb", type=float, default=52.0)
+    throughput.add_argument(
+        "--packing", choices=["sequential", "optimized"], default="sequential"
+    )
+    throughput.add_argument("--mips", type=float, default=10.0)
+    return parser
+
+
+def _command_list() -> int:
+    from repro.experiments.runner import EXPERIMENTS, list_experiments
+
+    for experiment_id in list_experiments():
+        function = EXPERIMENTS[experiment_id]
+        summary = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:<12} {summary}")
+    return 0
+
+
+def _command_run(experiment: str, preset: str, csv_path: str | None) -> int:
+    from repro.experiments import run_experiment
+
+    try:
+        result = run_experiment(experiment, preset)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(result.render())
+    if csv_path:
+        result.to_csv(csv_path)
+        print(f"\nrows written to {csv_path}")
+    return 0
+
+
+def _command_validate(
+    warehouses: int, items: int, customers: int, transactions: int, packing: str
+) -> int:
+    from repro.experiments.report import render_table
+    from repro.workload.trace import TraceConfig
+    from repro.workload.validation import validate_trace
+
+    config = TraceConfig(
+        warehouses=warehouses,
+        items=items,
+        customers_per_district=customers,
+        prime_orders=min(30, customers),
+        prime_pending=min(10, customers),
+        packing=packing,
+    )
+    checks = validate_trace(config, transactions)
+    print(
+        render_table(
+            [check.as_row() for check in checks.values()],
+            title="trace vs exact PMFs (NU-driven accesses)",
+        )
+    )
+    consistent = all(check.consistent() for check in checks.values())
+    print("\nconsistent" if consistent else "\nINCONSISTENT")
+    return 0 if consistent else 1
+
+
+def _command_trace(
+    path: str, warehouses: int, transactions: int, packing: str, seed: int
+) -> int:
+    from repro.workload.trace import TraceConfig
+    from repro.workload.tracefile import SavedTrace
+
+    config = TraceConfig(warehouses=warehouses, packing=packing, seed=seed)
+    saved = SavedTrace.record(config, transactions)
+    written = saved.save(path)
+    print(
+        f"recorded {saved.reference_count} references over "
+        f"{saved.transaction_count} transactions to {written}"
+    )
+    return 0
+
+
+def _command_skew(relation: str) -> int:
+    from repro.core.nurand import customer_mixture_distribution, item_id_distribution
+    from repro.core.skew import SkewSummary
+    from repro.experiments.report import render_table
+
+    distribution = (
+        item_id_distribution() if relation == "stock" else customer_mixture_distribution()
+    )
+    summary = SkewSummary.of(distribution)
+    rows = [{"metric": name, "value": value} for name, value in summary.as_row().items()]
+    print(render_table(rows, title=f"{relation} relation access skew (tuple level)"))
+    return 0
+
+
+def _command_throughput(buffer_mb: float, packing: str, mips: float) -> int:
+    from repro.experiments.report import render_table
+    from repro.throughput.model import ThroughputModel
+    from repro.throughput.params import CostParameters
+    from repro.throughput.pricing import AnalyticMissRateProvider
+
+    miss = AnalyticMissRateProvider(packing=packing)(buffer_mb)
+    result = ThroughputModel(
+        params=CostParameters(mips=mips), miss_rates=miss
+    ).solve()
+    rows = [
+        {"metric": "buffer MB", "value": buffer_mb},
+        {"metric": "packing", "value": packing},
+        {"metric": "customer miss rate", "value": round(miss.customer, 4)},
+        {"metric": "stock miss rate", "value": round(miss.stock, 4)},
+        {"metric": "item miss rate", "value": round(miss.item, 4)},
+        {"metric": "throughput (tx/s)", "value": round(result.throughput_tps, 2)},
+        {"metric": "new-order tpm", "value": round(result.new_order_tpm, 1)},
+        {"metric": "disk reads per tx", "value": round(result.disk_reads_per_tx, 2)},
+        {"metric": "disk arms", "value": result.disk_arms_for_bandwidth},
+    ]
+    print(render_table(rows, title="throughput model (80% CPU utilization)"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.preset, args.csv)
+    if args.command == "validate":
+        return _command_validate(
+            args.warehouses, args.items, args.customers, args.transactions,
+            args.packing,
+        )
+    if args.command == "trace":
+        return _command_trace(
+            args.path, args.warehouses, args.transactions, args.packing, args.seed
+        )
+    if args.command == "skew":
+        return _command_skew(args.relation)
+    return _command_throughput(args.buffer_mb, args.packing, args.mips)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

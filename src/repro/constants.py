@@ -1,0 +1,156 @@
+"""TPC-C constants used throughout the reproduction.
+
+Values follow the TPC-C specification as summarized in Section 2 of
+Leutenegger & Dias, "A Modeling Study of the TPC-C Benchmark" (SIGMOD
+1993).  Everything here is a plain module-level constant so the numbers
+the models rely on are visible in one place.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Database geometry (paper Table 1).
+# --------------------------------------------------------------------------
+
+#: Default page size assumed by the paper for most experiments.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Alternative page size examined for the Figure 5 packing study.
+LARGE_PAGE_SIZE = 8192
+
+#: Districts per warehouse.
+DISTRICTS_PER_WAREHOUSE = 10
+
+#: Customers per district.
+CUSTOMERS_PER_DISTRICT = 3_000
+
+#: Customers per warehouse (30K in the paper's notation).
+CUSTOMERS_PER_WAREHOUSE = DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
+
+#: Stock rows per warehouse; also the cardinality of the Item relation.
+ITEMS = 100_000
+STOCK_PER_WAREHOUSE = ITEMS
+
+#: Unique last names per district; the remaining 2000 customers reuse them.
+UNIQUE_CUSTOMER_NAMES = 1_000
+
+#: Fixed tuple lengths in bytes (paper Table 1).
+TUPLE_BYTES = {
+    "warehouse": 89,
+    "district": 95,
+    "customer": 655,
+    "stock": 306,
+    "item": 82,
+    "order": 24,
+    "new_order": 8,
+    "order_line": 54,
+    "history": 46,
+}
+
+#: Relations whose cardinality scales with the number of warehouses.
+WAREHOUSE_SCALED_RELATIONS = ("warehouse", "district", "customer", "stock")
+
+#: Relations that grow without bound as transactions are processed.
+GROWING_RELATIONS = ("order", "new_order", "order_line", "history")
+
+# --------------------------------------------------------------------------
+# NURand parameters (paper Section 3).
+# --------------------------------------------------------------------------
+
+#: ``A`` constant for item and stock tuple ids: NU(8191, 1, 100000).
+NURAND_A_ITEM = 8191
+
+#: ``A`` constant for customer ids: NU(1023, 1, 3000).
+NURAND_A_CUSTOMER = 1023
+
+#: ``A`` constant for customer last names: NU(255, lbound, ubound).
+NURAND_A_NAME = 255
+
+#: The paper fixes the run-time constant ``C`` of the NURand function to 0.
+NURAND_C = 0
+
+# --------------------------------------------------------------------------
+# Transaction mix (paper Table 2).
+# --------------------------------------------------------------------------
+
+#: The workload mix assumed throughout the paper, in percent.
+ASSUMED_MIX_PERCENT = {
+    "new_order": 43.0,
+    "payment": 44.0,
+    "order_status": 4.0,
+    "delivery": 5.0,
+    "stock_level": 4.0,
+}
+
+#: Minimum percentages required by the benchmark (New Order has none; it is
+#: the measured transaction).
+MINIMUM_MIX_PERCENT = {
+    "payment": 43.0,
+    "order_status": 4.0,
+    "delivery": 4.0,
+    "stock_level": 4.0,
+}
+
+# --------------------------------------------------------------------------
+# Transaction behaviour.
+# --------------------------------------------------------------------------
+
+#: The paper fixes every New-Order transaction at 10 items (the benchmark
+#: draws uniform(5, 15); the fixed value does not change mean results).
+ITEMS_PER_ORDER = 10
+
+#: Probability that an ordered item is supplied by a remote warehouse.
+REMOTE_STOCK_PROBABILITY = 0.01
+
+#: Probability that a Payment is made through a remote warehouse.
+REMOTE_PAYMENT_PROBABILITY = 0.15
+
+#: Probability that Payment / Order-Status select the customer by last name
+#: rather than by customer id.
+SELECT_BY_NAME_PROBABILITY = 0.60
+
+#: A select-by-name touches three customer tuples on average.
+TUPLES_PER_NAME_SELECT = 3
+
+#: Expected customer tuples touched by Payment / Order-Status:
+#: 0.4 * 1 + 0.6 * 3.
+EXPECTED_CUSTOMER_TUPLES = (
+    (1 - SELECT_BY_NAME_PROBABILITY)
+    + SELECT_BY_NAME_PROBABILITY * TUPLES_PER_NAME_SELECT
+)
+
+#: Orders examined by the Stock-Level transaction.
+STOCK_LEVEL_ORDERS = 20
+
+#: Deliveries (one per district) batched into a single Delivery transaction.
+DELIVERIES_PER_TRANSACTION = DISTRICTS_PER_WAREHOUSE
+
+# --------------------------------------------------------------------------
+# Throughput-model anchors (paper Section 5).
+# --------------------------------------------------------------------------
+
+#: Warehouses assumed per node: "about 20 Warehouses could be supported by a
+#: 10 MIPS processor" (paper Section 4).
+WAREHOUSES_PER_NODE = 20
+
+#: Processor speed assumed by the throughput model, in MIPS.
+DEFAULT_MIPS = 10.0
+
+#: CPU utilization at which maximum throughput is quoted.
+CPU_UTILIZATION_CAP = 0.80
+
+#: Disk-arm utilization cap used when sizing the disk subsystem.
+DISK_UTILIZATION_CAP = 0.50
+
+#: Average disk service time, in milliseconds.
+DISK_SERVICE_MS = 25.0
+
+#: Hardware price book used for Figure 10 (paper Section 5.2).
+DISK_PRICE_DOLLARS = 5_000.0
+DISK_CAPACITY_GB = 3.0
+CPU_PRICE_DOLLARS = 10_000.0
+MEMORY_PRICE_PER_MB = 100.0
+
+#: The benchmark requires storage for 180 eight-hour days of growth.
+GROWTH_DAYS = 180
+GROWTH_HOURS_PER_DAY = 8

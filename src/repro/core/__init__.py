@@ -1,0 +1,47 @@
+"""Core contribution of the paper: the TPC-C access-skew analysis.
+
+This package implements the NURand non-uniform random number function
+(exactly and by Monte Carlo), the tuple- and page-level skew analysis of
+Section 3, and the tuple-to-page packing strategies (sequential vs.
+"optimized" hottest-first clustering) whose effect the paper quantifies.
+"""
+
+from repro.core.mapping import page_access_distribution
+from repro.core.nurand import (
+    NURand,
+    closed_form_pmf,
+    customer_id_distribution,
+    customer_mixture_distribution,
+    exact_pmf,
+    item_id_distribution,
+    monte_carlo_pmf,
+    nurand,
+    period_count,
+)
+from repro.core.packing import (
+    HottestFirstPacking,
+    PackingStrategy,
+    RandomPacking,
+    SequentialPacking,
+)
+from repro.core.skew import SkewSummary, access_share_of_hottest, lorenz_curve
+
+__all__ = [
+    "HottestFirstPacking",
+    "NURand",
+    "PackingStrategy",
+    "RandomPacking",
+    "SequentialPacking",
+    "SkewSummary",
+    "access_share_of_hottest",
+    "closed_form_pmf",
+    "customer_id_distribution",
+    "customer_mixture_distribution",
+    "exact_pmf",
+    "item_id_distribution",
+    "lorenz_curve",
+    "monte_carlo_pmf",
+    "nurand",
+    "page_access_distribution",
+    "period_count",
+]

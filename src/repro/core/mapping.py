@@ -1,0 +1,113 @@
+"""Lifting tuple-level skew to the page level (paper Section 3).
+
+Two pieces live here:
+
+* :func:`page_access_distribution` — given a tuple access PMF and a
+  packing strategy, the induced PMF over pages (used for the page-level
+  curves of Figures 5 and 7);
+* :class:`RelationLayout` — the physical layout of a relation that is
+  partitioned into per-warehouse (or per-district) blocks, mapping
+  ``(block, local tuple id)`` to a global page number.  The buffer
+  simulation addresses pages through these layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packing import PackingStrategy
+from repro.stats.distribution import DiscreteDistribution
+
+
+def page_access_distribution(
+    tuple_distribution: DiscreteDistribution, packing: PackingStrategy
+) -> DiscreteDistribution:
+    """PMF over pages induced by a tuple PMF and a packing strategy.
+
+    The probability of touching a page is the sum of the access
+    probabilities of the tuples stored in it.  Pages are numbered from
+    0, so the result's support is ``[0 .. n_pages - 1]``.
+    """
+    if tuple_distribution.size != packing.n_tuples:
+        raise ValueError(
+            f"distribution covers {tuple_distribution.size} tuples but packing "
+            f"holds {packing.n_tuples}"
+        )
+    ids = np.arange(
+        tuple_distribution.lower,
+        tuple_distribution.lower + tuple_distribution.size,
+        dtype=np.int64,
+    )
+    # Local ids for the packing are 1-based regardless of the
+    # distribution's id range.
+    pages = packing.page_of(ids - tuple_distribution.lower + 1)
+    page_pmf = np.bincount(pages, weights=tuple_distribution.pmf, minlength=packing.n_pages)
+    return DiscreteDistribution(page_pmf, lower=0)
+
+
+class RelationLayout:
+    """Physical layout of one relation, split into identical blocks.
+
+    TPC-C partitions the scaled relations naturally: the Stock relation
+    has one block of 100 000 tuples per warehouse, the Customer relation
+    one block of 3 000 tuples per district, and so on.  Every block uses
+    the same packing strategy (the access distribution is identical in
+    each), and blocks occupy disjoint, consecutive page ranges.
+    """
+
+    def __init__(self, name: str, packing: PackingStrategy, n_blocks: int):
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        self._name = name
+        self._packing = packing
+        self._n_blocks = n_blocks
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def packing(self) -> PackingStrategy:
+        return self._packing
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def pages_per_block(self) -> int:
+        return self._packing.n_pages
+
+    @property
+    def n_pages(self) -> int:
+        """Total pages across all blocks."""
+        return self._packing.n_pages * self._n_blocks
+
+    @property
+    def n_tuples(self) -> int:
+        """Total tuples across all blocks."""
+        return self._packing.n_tuples * self._n_blocks
+
+    def page_of(self, block: np.ndarray | int, local_id: np.ndarray | int):
+        """Global page number(s) for tuples addressed by block and local id.
+
+        ``block`` is 0-based; ``local_id`` is 1-based within the block.
+        Accepts scalars or broadcastable arrays.
+        """
+        blocks = np.asarray(block, dtype=np.int64)
+        if blocks.size and (blocks.min() < 0 or blocks.max() >= self._n_blocks):
+            raise ValueError(
+                f"block indexes must lie in [0, {self._n_blocks - 1}]; got range "
+                f"[{blocks.min()}, {blocks.max()}]"
+            )
+        local_pages = self._packing.page_of(local_id)
+        pages = blocks * self.pages_per_block + local_pages
+        if np.isscalar(block) and np.isscalar(local_id):
+            return int(pages)
+        return pages
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationLayout(name={self._name!r}, packing={self._packing!r}, "
+            f"n_blocks={self._n_blocks})"
+        )

@@ -1,0 +1,113 @@
+"""Quantifying access skew (paper Section 3, Figures 5 and 7).
+
+Given an access PMF over tuples (or pages), the paper orders items by
+increasing hotness and plots the cumulative probability of access
+against the cumulative fraction of the data — a Lorenz curve.  The
+statements "84% of the accesses go to about 20% of the tuples" are read
+off that curve; :func:`access_share_of_hottest` computes them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.distribution import DiscreteDistribution
+
+
+def lorenz_curve(
+    distribution: DiscreteDistribution,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative access probability vs. cumulative data fraction.
+
+    Items are ordered by *increasing* hotness, matching the paper's
+    Figure 5 axes: the returned ``data_fraction[i]`` is the coldest
+    ``i + 1`` items' share of the relation and ``access_fraction[i]``
+    their share of the accesses.  Both arrays are ascending and end at
+    1.0; a uniform distribution yields the diagonal.
+    """
+    ascending = distribution.sorted_pmf()
+    n = ascending.size
+    data_fraction = np.arange(1, n + 1, dtype=np.float64) / n
+    access_fraction = np.cumsum(ascending)
+    access_fraction[-1] = 1.0  # exact endpoint despite rounding
+    return data_fraction, access_fraction
+
+
+def access_share_of_hottest(
+    distribution: DiscreteDistribution, data_fraction: float
+) -> float:
+    """Fraction of accesses captured by the hottest ``data_fraction`` items.
+
+    ``access_share_of_hottest(stock_pmf, 0.20)`` answers "what share of
+    accesses go to the hottest 20% of the tuples?" — approximately 0.84
+    for the TPC-C stock distribution at the tuple level.
+    """
+    if not 0 <= data_fraction <= 1:
+        raise ValueError(f"data_fraction must be in [0, 1], got {data_fraction}")
+    descending = distribution.sorted_pmf(descending=True)
+    count = int(round(data_fraction * descending.size))
+    return float(descending[:count].sum())
+
+
+def data_share_for_accesses(
+    distribution: DiscreteDistribution, access_fraction: float
+) -> float:
+    """Smallest fraction of (hottest) data that captures ``access_fraction``.
+
+    The inverse reading of the curve: "what fraction of the relation do
+    80% of the accesses touch?"
+    """
+    if not 0 <= access_fraction <= 1:
+        raise ValueError(f"access_fraction must be in [0, 1], got {access_fraction}")
+    descending = distribution.sorted_pmf(descending=True)
+    cumulative = np.cumsum(descending)
+    count = int(np.searchsorted(cumulative, access_fraction, side="left")) + 1
+    count = min(count, descending.size)
+    return count / descending.size
+
+
+def gini_coefficient(distribution: DiscreteDistribution) -> float:
+    """Gini coefficient of the access distribution (0 = uniform).
+
+    A single-number skew summary used by tests and reports to compare
+    packing strategies and page sizes.
+    """
+    data_fraction, access_fraction = lorenz_curve(distribution)
+    # Area under the Lorenz curve by trapezoid rule; Gini = 1 - 2 * area.
+    area = float(np.trapezoid(access_fraction, data_fraction))
+    return max(0.0, 1.0 - 2.0 * area)
+
+
+@dataclass(frozen=True)
+class SkewSummary:
+    """The skew quantiles the paper quotes, for one distribution.
+
+    ``hottest_2pct`` etc. are fractions of accesses going to the hottest
+    2%, 10% and 20% of the items; ``gini`` summarizes the whole curve.
+    """
+
+    hottest_2pct: float
+    hottest_10pct: float
+    hottest_20pct: float
+    gini: float
+
+    @classmethod
+    def of(cls, distribution: DiscreteDistribution) -> "SkewSummary":
+        """Compute the summary for a distribution."""
+        return cls(
+            hottest_2pct=access_share_of_hottest(distribution, 0.02),
+            hottest_10pct=access_share_of_hottest(distribution, 0.10),
+            hottest_20pct=access_share_of_hottest(distribution, 0.20),
+            gini=gini_coefficient(distribution),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict form for report tables."""
+        return {
+            "hottest 2%": self.hottest_2pct,
+            "hottest 10%": self.hottest_10pct,
+            "hottest 20%": self.hottest_20pct,
+            "gini": self.gini,
+        }

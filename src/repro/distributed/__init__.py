@@ -1,0 +1,36 @@
+"""Distributed/clustered database model (paper Section 5.3, Appendix A).
+
+``remote`` derives the expected remote-call counts and unique-site
+counts of Appendix A; ``model`` applies them to the visit tables
+(Tables 6 and 7) and evaluates per-node/system throughput; ``scaleup``
+produces the Figure 11 scale-up curves and the Figure 12 sensitivity to
+the remote-stock probability.
+"""
+
+from repro.distributed.model import (
+    DistributedThroughputModel,
+    distributed_visit_table,
+)
+from repro.distributed.remote import RemoteCallExpectations
+from repro.distributed.simulation import (
+    DistributedBufferSimulation,
+    DistributedSimConfig,
+    DistributedSimReport,
+)
+from repro.distributed.scaleup import (
+    ScaleupPoint,
+    remote_probability_sensitivity,
+    scaleup_curve,
+)
+
+__all__ = [
+    "DistributedBufferSimulation",
+    "DistributedSimConfig",
+    "DistributedSimReport",
+    "DistributedThroughputModel",
+    "RemoteCallExpectations",
+    "ScaleupPoint",
+    "distributed_visit_table",
+    "remote_probability_sensitivity",
+    "scaleup_curve",
+]

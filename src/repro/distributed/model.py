@@ -1,0 +1,135 @@
+"""Distributed throughput model (paper Section 5.3, Tables 6 and 7).
+
+Starting from the single-node visit table, only four operations change,
+and only for New-Order and Payment (the other transactions are purely
+local by benchmark construction): commit, initIO, send/receive and
+prepCommit gain terms in the Appendix-A expectations.  By the paper's
+symmetry argument, overhead incurred at remote nodes on behalf of a
+transaction is charged to the originating (modeled) node.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.distributed.remote import RemoteCallExpectations
+from repro.throughput.model import ThroughputModel, ThroughputResult
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.visits import Operation, VisitTable, single_node_visits
+from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
+
+
+def distributed_visit_table(
+    miss: MissRateInputs,
+    expectations: RemoteCallExpectations,
+    item_replicated: bool,
+) -> VisitTable:
+    """Visit table for a multi-node system (Table 6 or Table 7).
+
+    With the Item relation replicated (Table 6) all item accesses are
+    local and only stock (New-Order) and customer (Payment) tuples cross
+    nodes; a two-phase commit touches the ``U_stock`` / ``U_cust``
+    involved sites.  Without replication (Table 7), New-Order's ten
+    item reads are remote with probability (N-1)/N; item-only sites
+    need a one-phase commit.
+    """
+    table = copy.deepcopy(
+        single_node_visits(miss, items_per_order=expectations.items_per_order)
+    )
+    e = expectations
+
+    new_order = table[TransactionType.NEW_ORDER]
+    payment = table[TransactionType.PAYMENT]
+
+    # Payment (identical in both tables — it never touches Item).
+    payment[Operation.COMMIT] = 1.0 + e.u_cust
+    payment[Operation.INIT_IO] += e.u_cust
+    payment[Operation.SEND_RECEIVE] = 2.0 * e.rc_cust + 4.0 * e.u_cust
+    payment[Operation.PREP_COMMIT] = e.u_cust
+
+    if item_replicated:
+        new_order[Operation.COMMIT] = 1.0 + e.u_stock
+        new_order[Operation.INIT_IO] += e.u_stock
+        new_order[Operation.SEND_RECEIVE] = 4.0 * e.u_stock + 2.0 * e.rc_stock
+        new_order[Operation.PREP_COMMIT] = e.u_stock + 1.0 - e.l_stock
+    else:
+        new_order[Operation.COMMIT] = 1.0 + e.u_stock_item
+        new_order[Operation.INIT_IO] += e.u_stock
+        new_order[Operation.SEND_RECEIVE] = (
+            2.0 * e.rc_stock + 2.0 * e.rc_item + 4.0 * e.u_stock + 2.0 * e.u_item_only
+        )
+        new_order[Operation.PREP_COMMIT] = e.u_stock + 1.0 - e.l_stock
+    return table
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """System-wide solution for an N-node configuration."""
+
+    nodes: int
+    per_node: ThroughputResult
+    item_replicated: bool
+
+    @property
+    def system_new_order_tpm(self) -> float:
+        return self.nodes * self.per_node.new_order_tpm
+
+    @property
+    def system_tps(self) -> float:
+        return self.nodes * self.per_node.throughput_tps
+
+
+class DistributedThroughputModel:
+    """Evaluates an N-node system (each node: 20 warehouses, own data).
+
+    ``remote_stock_probability`` generalizes the benchmark's 1% remote
+    order lines for the Figure 12 sensitivity study.
+    """
+
+    def __init__(
+        self,
+        nodes: int,
+        miss_rates: MissRateInputs,
+        item_replicated: bool = True,
+        params: CostParameters | None = None,
+        mix: TransactionMix | None = None,
+        remote_stock_probability: float | None = None,
+    ):
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        self._nodes = nodes
+        self._item_replicated = item_replicated
+        kwargs = {}
+        if remote_stock_probability is not None:
+            kwargs["remote_stock_probability"] = remote_stock_probability
+        self._expectations = RemoteCallExpectations(nodes=nodes, **kwargs)
+        visit_table = distributed_visit_table(
+            miss_rates, self._expectations, item_replicated
+        )
+        self._node_model = ThroughputModel(
+            params=params,
+            mix=mix if mix is not None else DEFAULT_MIX,
+            miss_rates=miss_rates,
+            visit_table=visit_table,
+        )
+
+    @property
+    def nodes(self) -> int:
+        return self._nodes
+
+    @property
+    def expectations(self) -> RemoteCallExpectations:
+        return self._expectations
+
+    @property
+    def node_model(self) -> ThroughputModel:
+        return self._node_model
+
+    def solve(self) -> DistributedResult:
+        """Per-node and system throughput at the CPU cap."""
+        return DistributedResult(
+            nodes=self._nodes,
+            per_node=self._node_model.solve(),
+            item_replicated=self._item_replicated,
+        )

@@ -1,0 +1,228 @@
+"""Remote-call expectations for the distributed model (paper Appendix A).
+
+For an ``N``-node system where each node holds 20 warehouses, the
+New-Order transaction's 10 stock accesses each go to a remote warehouse
+with probability 0.01 (the benchmark value; Figure 12 varies it) and a
+remote warehouse lives on a remote node with probability (N-1)/N.
+Payments are remote with probability 0.15.  When the Item relation is
+not replicated, each item access is remote with probability (N-1)/N.
+
+The expectations implemented here, in the paper's notation:
+
+* ``RC_stock``  — expected remote calls to read and update stock tuples,
+* ``L_stock``   — probability all stock tuples are local,
+* ``U_stock``   — expected unique remote sites supplying stock tuples,
+* ``RC_cust`` / ``U_cust`` — same for Payment's customer tuples,
+* ``RC_item`` / ``U_item`` — same for item tuples (no replication),
+* ``U_stock_item`` — unique remote sites supplying stock *or* item tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.constants import (
+    ITEMS_PER_ORDER,
+    REMOTE_PAYMENT_PROBABILITY,
+    REMOTE_STOCK_PROBABILITY,
+    SELECT_BY_NAME_PROBABILITY,
+    TUPLES_PER_NAME_SELECT,
+)
+
+
+def _binomial_pmf(n: int, p: float) -> np.ndarray:
+    """P[X = j] for X ~ Binomial(n, p), computed explicitly.
+
+    Explicit ``math.comb`` arithmetic is exact for the tiny ``n`` here
+    and, unlike scipy's beta-function route, well behaved for denormal
+    probabilities.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    pmf = np.zeros(n + 1)
+    for j in range(n + 1):
+        pmf[j] = math.comb(n, j) * (p**j) * ((1.0 - p) ** (n - j))
+    return pmf
+
+
+def _unique_sites(remote_count_pmf: np.ndarray, nodes: int) -> float:
+    """E[unique remote sites] given the PMF of the remote-request count.
+
+    Theorem 1 of the paper: with j requests spread uniformly over the
+    N-1 remote nodes, the expected number of distinct nodes hit is
+    (N-1) * (1 - ((N-2)/(N-1))^j).
+    """
+    if nodes <= 1:
+        return 0.0
+    j = np.arange(remote_count_pmf.size)
+    ratio = (nodes - 2) / (nodes - 1)
+    return float((remote_count_pmf * (nodes - 1) * (1.0 - ratio**j)).sum())
+
+
+@dataclass(frozen=True)
+class RemoteCallExpectations:
+    """All Appendix-A expectations for one system size.
+
+    ``remote_stock_probability`` is the per-order-line probability that
+    the supplying *warehouse* is remote (0.01 in the benchmark); the
+    per-line probability that the supplying *node* is remote is
+    ``remote_stock_probability * (N-1)/N``.
+    """
+
+    nodes: int
+    remote_stock_probability: float = REMOTE_STOCK_PROBABILITY
+    remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY
+    items_per_order: int = ITEMS_PER_ORDER
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 0 <= self.remote_stock_probability <= 1:
+            raise ValueError(
+                "remote_stock_probability must be in [0, 1], got "
+                f"{self.remote_stock_probability}"
+            )
+        if not 0 <= self.remote_payment_probability <= 1:
+            raise ValueError(
+                "remote_payment_probability must be in [0, 1], got "
+                f"{self.remote_payment_probability}"
+            )
+
+    # -- node-level probabilities -------------------------------------------
+
+    @property
+    def remote_node_fraction(self) -> float:
+        """(N-1)/N — probability a uniformly placed datum is remote."""
+        return (self.nodes - 1) / self.nodes
+
+    @property
+    def p_stock_remote(self) -> float:
+        """P_S: one order line's stock tuple lives on a remote node."""
+        return self.remote_stock_probability * self.remote_node_fraction
+
+    @property
+    def p_item_remote(self) -> float:
+        """P_I: one item tuple lives on a remote node (no replication)."""
+        return self.remote_node_fraction
+
+    # -- stock (New-Order) -----------------------------------------------------
+
+    @cached_property
+    def _stock_count_pmf(self) -> np.ndarray:
+        """P[S_j]: j of the order lines hit remote stock, Binomial(10, P_S)."""
+        return _binomial_pmf(self.items_per_order, self.p_stock_remote)
+
+    @property
+    def expected_remote_stock(self) -> float:
+        """E[R_s]: expected remote stock tuples per New-Order."""
+        return self.items_per_order * self.p_stock_remote
+
+    @property
+    def rc_stock(self) -> float:
+        """RC_stock: remote calls to read *and* update stock tuples."""
+        return 2.0 * self.expected_remote_stock
+
+    @property
+    def l_stock(self) -> float:
+        """L_stock: probability every stock tuple is local."""
+        return (1.0 - self.p_stock_remote) ** self.items_per_order
+
+    @cached_property
+    def u_stock(self) -> float:
+        """U_stock: expected unique remote sites supplying stock tuples."""
+        return _unique_sites(self._stock_count_pmf, self.nodes)
+
+    # -- customer (Payment) ------------------------------------------------------
+
+    @property
+    def rc_cust(self) -> float:
+        """RC_cust: remote calls to obtain and update customer tuples.
+
+        Appendix A: 0.15 * (N-1)/N * [0.4*1 + 0.6*3 + 1], the +1 being
+        the write-back of the update.
+        """
+        expected_reads = (
+            (1 - SELECT_BY_NAME_PROBABILITY) * 1
+            + SELECT_BY_NAME_PROBABILITY * TUPLES_PER_NAME_SELECT
+        )
+        return (
+            self.remote_payment_probability
+            * self.remote_node_fraction
+            * (expected_reads + 1)
+        )
+
+    @property
+    def u_cust(self) -> float:
+        """U_cust: expected unique remote sites for Payment (at most one)."""
+        return self.remote_payment_probability * self.remote_node_fraction
+
+    # -- item (no replication) -----------------------------------------------------
+
+    @cached_property
+    def _item_count_pmf(self) -> np.ndarray:
+        """P[I_j]: j of the item reads are remote, Binomial(10, P_I)."""
+        return _binomial_pmf(self.items_per_order, self.p_item_remote)
+
+    @property
+    def expected_remote_items(self) -> float:
+        """E[R_I]: expected remote item tuples per New-Order."""
+        return self.items_per_order * self.p_item_remote
+
+    @property
+    def rc_item(self) -> float:
+        """RC_item: remote calls for item tuples (read-only, no write-back)."""
+        return self.expected_remote_items
+
+    @cached_property
+    def u_item(self) -> float:
+        """U_item: expected unique remote sites supplying item tuples."""
+        return _unique_sites(self._item_count_pmf, self.nodes)
+
+    @cached_property
+    def u_stock_item(self) -> float:
+        """U_stock+item: unique remote sites supplying stock or item tuples.
+
+        Equation (13): condition on j remote stock and k remote item
+        requests; the j + k requests are i.i.d. uniform over the N-1
+        remote nodes.
+        """
+        if self.nodes <= 1:
+            return 0.0
+        stock_pmf = self._stock_count_pmf
+        item_pmf = self._item_count_pmf
+        ratio = (self.nodes - 2) / (self.nodes - 1)
+        total = 0.0
+        for j, p_j in enumerate(stock_pmf):
+            for k, p_k in enumerate(item_pmf):
+                total += p_j * p_k * (self.nodes - 1) * (1.0 - ratio ** (j + k))
+        return total
+
+    @property
+    def u_item_only(self) -> float:
+        """Expected sites needing a one-phase commit (item but no stock).
+
+        The paper's text: nodes supplying an item tuple but no stock
+        tuple participate only in a one-phase commit; their expected
+        count is U_stock+item - U_stock.
+        """
+        return max(0.0, self.u_stock_item - self.u_stock)
+
+    # -- presentation ----------------------------------------------------------------
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict of all expectations (for tables and tests)."""
+        return {
+            "nodes": self.nodes,
+            "RC_stock": self.rc_stock,
+            "L_stock": self.l_stock,
+            "U_stock": self.u_stock,
+            "RC_cust": self.rc_cust,
+            "U_cust": self.u_cust,
+            "RC_item": self.rc_item,
+            "U_item": self.u_item,
+            "U_stock+item": self.u_stock_item,
+        }

@@ -1,0 +1,293 @@
+"""Multi-node buffer simulation (validation of two paper assumptions).
+
+The paper's distributed model leans on two things it never simulates:
+
+1. **Appendix A's expectations** — the expected remote-call counts
+   (RC_stock, RC_cust), all-local probability (L_stock) and unique-site
+   counts (U_stock, Theorem 1) are derived analytically;
+2. **miss-rate reuse** — each node's buffer is assumed to behave like a
+   single-node buffer, so the Figure 8 miss rates feed the distributed
+   throughput model unchanged.
+
+This module simulates an N-node cluster for real: each node runs its
+own TPC-C trace against its own buffer pool, and the benchmark's remote
+behaviour is injected — each New-Order stock access is redirected to a
+uniformly chosen remote node with probability ``p*(N-1)/N``, and each
+Payment's customer accesses with probability ``0.15*(N-1)/N``.  The
+run measures per-node miss rates *and* the empirical remote-call
+statistics, so both assumptions can be checked against the formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.buffer.policy import make_policy
+from repro.buffer.pool import SimulatedBufferPool
+from repro.buffer.simulator import pages_for_megabytes
+from repro.constants import REMOTE_PAYMENT_PROBABILITY
+from repro.distributed.remote import RemoteCallExpectations
+from repro.workload.mix import TransactionType
+from repro.workload.trace import (
+    RELATION_INDEX,
+    RELATION_NAMES,
+    PageReference,
+    TraceConfig,
+    TraceGenerator,
+)
+
+_STOCK = RELATION_INDEX["stock"]
+_CUSTOMER = RELATION_INDEX["customer"]
+
+
+@dataclass(frozen=True)
+class DistributedSimConfig:
+    """Configuration of one multi-node buffer simulation."""
+
+    nodes: int = 4
+    trace: TraceConfig = field(default_factory=lambda: TraceConfig(warehouses=2))
+    buffer_mb: float = 4.0
+    policy: str = "lru"
+    transactions_per_node: int = 2_000
+    warmup_transactions_per_node: int = 400
+    item_replicated: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.transactions_per_node <= 0:
+            raise ValueError("transactions_per_node must be positive")
+        if self.trace.remote_stock_probability < 0:
+            raise ValueError("remote probability must be non-negative")
+
+
+@dataclass(frozen=True)
+class RemoteStatistics:
+    """Empirical Appendix-A quantities measured during the run."""
+
+    new_orders: int
+    remote_stock_calls: int
+    all_local_new_orders: int
+    unique_site_sum: int
+    payments: int
+    remote_payments: int
+
+    @property
+    def rc_stock(self) -> float:
+        """Empirical RC_stock (2 calls per remote tuple: read + write)."""
+        if self.new_orders == 0:
+            return 0.0
+        return 2.0 * self.remote_stock_calls / self.new_orders
+
+    @property
+    def l_stock(self) -> float:
+        """Empirical probability that every stock tuple is local."""
+        if self.new_orders == 0:
+            return 1.0
+        return self.all_local_new_orders / self.new_orders
+
+    @property
+    def u_stock(self) -> float:
+        """Empirical expected unique remote sites per New-Order."""
+        if self.new_orders == 0:
+            return 0.0
+        return self.unique_site_sum / self.new_orders
+
+    @property
+    def u_cust(self) -> float:
+        """Empirical expected unique remote sites per Payment."""
+        if self.payments == 0:
+            return 0.0
+        return self.remote_payments / self.payments
+
+
+@dataclass(frozen=True)
+class DistributedSimReport:
+    """Results of one multi-node run."""
+
+    config: DistributedSimConfig
+    per_node_miss: list[dict[str, float]]
+    remote: RemoteStatistics
+    expectations: RemoteCallExpectations
+
+    def mean_miss_rate(self, relation: str) -> float:
+        rates = [node.get(relation, 0.0) for node in self.per_node_miss]
+        return float(np.mean(rates))
+
+    def max_node_spread(self, relation: str) -> float:
+        """Largest miss-rate difference between any two nodes."""
+        rates = [node.get(relation, 0.0) for node in self.per_node_miss]
+        return float(max(rates) - min(rates))
+
+    def as_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for name, empirical, analytic in (
+            ("RC_stock", self.remote.rc_stock, self.expectations.rc_stock),
+            ("L_stock", self.remote.l_stock, self.expectations.l_stock),
+            ("U_stock", self.remote.u_stock, self.expectations.u_stock),
+            ("U_cust", self.remote.u_cust, self.expectations.u_cust),
+        ):
+            rows.append(
+                {
+                    "quantity": name,
+                    "simulated": round(float(empirical), 5),
+                    "Appendix A": round(float(analytic), 5),
+                }
+            )
+        return rows
+
+
+class DistributedBufferSimulation:
+    """Simulates N nodes, each with a private buffer pool.
+
+    Every node runs an independent (differently seeded) copy of the
+    TPC-C trace over its local warehouses; the simulation interleaves
+    nodes round-robin and reroutes the benchmark-specified fraction of
+    stock and customer accesses to uniformly chosen remote nodes.  A
+    rerouted stock access lands on an equivalently distributed tuple of
+    the remote node (fresh NURand item id, uniform remote warehouse),
+    which is statistically faithful because all nodes are identical.
+    """
+
+    def __init__(self, config: DistributedSimConfig):
+        self._config = config
+        node_trace = replace(config.trace, remote_stock_probability=0.0)
+        self._traces = [
+            TraceGenerator(replace(node_trace, seed=config.trace.seed + 1000 * node))
+            for node in range(config.nodes)
+        ]
+        capacity = pages_for_megabytes(config.buffer_mb, config.trace.page_size)
+        self._pools = [
+            SimulatedBufferPool(make_policy(config.policy, capacity))
+            for _ in range(config.nodes)
+        ]
+        self._rng = np.random.default_rng(config.seed + 7)
+        # Per-line probability that the *node* is remote.
+        n = config.nodes
+        self._p_stock_remote = config.trace.remote_stock_probability * (n - 1) / n
+        self._p_payment_remote = REMOTE_PAYMENT_PROBABILITY * (n - 1) / n
+
+    @property
+    def config(self) -> DistributedSimConfig:
+        return self._config
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _remote_node(self, home: int) -> int:
+        other = int(self._rng.integers(0, self._config.nodes - 1))
+        return other if other < home else other + 1
+
+    def _remote_stock_page(self, node: int) -> int:
+        """A statistically equivalent stock page at a remote node."""
+        trace = self._traces[node]
+        item = trace._generator.item_id()
+        warehouse = trace._generator.uniform_warehouse()
+        return trace._stock_page(warehouse, item)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> DistributedSimReport:
+        config = self._config
+        self._advance(config.warmup_transactions_per_node, measure=False)
+        remote = self._advance(config.transactions_per_node, measure=True)
+
+        per_node = []
+        for node in range(config.nodes):
+            stats = self._pools[node].stats
+            per_node.append(
+                {
+                    name: stats.miss_rate(index)
+                    for index, name in enumerate(RELATION_NAMES)
+                    if stats.accesses(index)
+                }
+            )
+        return DistributedSimReport(
+            config=config,
+            per_node_miss=per_node,
+            remote=remote,
+            expectations=RemoteCallExpectations(
+                nodes=config.nodes,
+                remote_stock_probability=config.trace.remote_stock_probability,
+            ),
+        )
+
+    def _advance(self, transactions_per_node: int, measure: bool) -> RemoteStatistics:
+        if measure:
+            for pool in self._pools:
+                pool.reset_stats()
+        new_orders = 0
+        remote_stock_calls = 0
+        all_local = 0
+        unique_site_sum = 0
+        payments = 0
+        remote_payments = 0
+
+        for _ in range(transactions_per_node):
+            for node in range(self._config.nodes):
+                tx_type, refs = self._traces[node].transaction()
+                if tx_type is TransactionType.NEW_ORDER:
+                    sites = self._run_new_order(node, refs)
+                    if measure:
+                        new_orders += 1
+                        remote_stock_calls += sum(
+                            count for _, count in sites.items()
+                        )
+                        unique_site_sum += len(sites)
+                        all_local += not sites
+                elif tx_type is TransactionType.PAYMENT:
+                    was_remote = self._run_payment(node, refs)
+                    if measure:
+                        payments += 1
+                        remote_payments += was_remote
+                else:
+                    self._apply(node, refs)
+        return RemoteStatistics(
+            new_orders=new_orders,
+            remote_stock_calls=remote_stock_calls,
+            all_local_new_orders=all_local,
+            unique_site_sum=unique_site_sum,
+            payments=payments,
+            remote_payments=remote_payments,
+        )
+
+    def _apply(self, node: int, refs: list[PageReference]) -> None:
+        pool = self._pools[node]
+        for relation, page, write in refs:
+            pool.access(relation, page, write)
+
+    def _run_new_order(self, node: int, refs: list[PageReference]) -> dict[int, int]:
+        """Apply a New-Order, rerouting remote stock lines; returns the
+        map of remote node -> tuples supplied by it."""
+        sites: dict[int, int] = {}
+        pool = self._pools[node]
+        for relation, page, write in refs:
+            if (
+                relation == _STOCK
+                and self._config.nodes > 1
+                and self._rng.random() < self._p_stock_remote
+            ):
+                target = self._remote_node(node)
+                remote_page = self._remote_stock_page(target)
+                self._pools[target].access(relation, remote_page, write)
+                sites[target] = sites.get(target, 0) + 1
+            else:
+                pool.access(relation, page, write)
+        return sites
+
+    def _run_payment(self, node: int, refs: list[PageReference]) -> bool:
+        """Apply a Payment, rerouting the customer block when remote."""
+        remote = (
+            self._config.nodes > 1 and self._rng.random() < self._p_payment_remote
+        )
+        target = self._remote_node(node) if remote else node
+        pool = self._pools[node]
+        target_pool = self._pools[target]
+        for relation, page, write in refs:
+            if relation == _CUSTOMER:
+                target_pool.access(relation, page, write)
+            else:
+                pool.access(relation, page, write)
+        return remote

@@ -1,0 +1,89 @@
+"""An executable page-based storage engine.
+
+The paper models a hypothetical DBMS; this package provides a real —
+if deliberately small — one, so the workload can be *run*, not only
+modeled: slotted pages over a paged store, heap files, B+-tree and hash
+indexes, a buffer manager with pluggable replacement and per-table hit
+statistics, a lock manager, a write-ahead log with undo/redo recovery,
+and a catalog/table layer tying them together.
+
+:mod:`repro.tpcc` loads the TPC-C schema into this engine and executes
+the five transactions against it; tests cross-validate the engine's
+measured buffer behaviour against the trace-driven model of
+:mod:`repro.buffer`.
+"""
+
+from repro.engine.bufferpool import BufferManager
+from repro.engine.btree import BPlusTree
+from repro.engine.catalog import Column, ColumnType, TableSchema
+from repro.engine.database import Database, Transaction
+from repro.engine.errors import (
+    DuplicateKeyError,
+    EngineError,
+    LockConflictError,
+    PageFullError,
+    RecordNotFoundError,
+    TableNotFoundError,
+    TransactionStateError,
+)
+from repro.engine.hashindex import HashIndex
+from repro.engine.heap import HeapFile, RecordId
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.page import Page, PageId, PageStore
+from repro.engine.query import (
+    Aggregate,
+    Distinct,
+    Filter,
+    IndexLookup,
+    IndexNestedLoopJoin,
+    IndexScan,
+    Limit,
+    Operator,
+    Project,
+    SeqScan,
+    Sort,
+    execute,
+    stock_level_plan,
+)
+from repro.engine.table import Table
+from repro.engine.wal import WriteAheadLog
+
+__all__ = [
+    "Aggregate",
+    "BPlusTree",
+    "BufferManager",
+    "Column",
+    "ColumnType",
+    "Database",
+    "Distinct",
+    "DuplicateKeyError",
+    "EngineError",
+    "Filter",
+    "HashIndex",
+    "HeapFile",
+    "IndexLookup",
+    "IndexNestedLoopJoin",
+    "IndexScan",
+    "Limit",
+    "LockConflictError",
+    "LockManager",
+    "LockMode",
+    "Operator",
+    "Page",
+    "PageFullError",
+    "PageId",
+    "PageStore",
+    "RecordId",
+    "Project",
+    "RecordNotFoundError",
+    "SeqScan",
+    "Sort",
+    "Table",
+    "TableNotFoundError",
+    "TableSchema",
+    "Transaction",
+    "TransactionStateError",
+    "WriteAheadLog",
+    "execute",
+    "stock_level_plan",
+]

@@ -1,0 +1,145 @@
+"""The engine's buffer manager.
+
+Caches deserialized :class:`~repro.engine.page.Page` objects over a
+:class:`~repro.engine.page.PageStore`, evicting according to a
+pluggable replacement policy (reusing :mod:`repro.buffer.policy`).
+Dirty pages are written back on eviction and on :meth:`flush_all`.
+
+Per-file hit/miss statistics are kept so the executable TPC-C run can
+be compared directly against the trace-driven buffer model.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.policy import ReplacementPolicy, make_policy
+from repro.buffer.pool import PoolStatistics
+from repro.engine.page import Page, PageId, PageStore
+
+
+class BufferManager:
+    """A write-back page cache with replacement and statistics.
+
+    The engine is single-threaded, so pages are not pinned: a frame can
+    be evicted between operations but never during one.
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        capacity_pages: int,
+        policy: str | ReplacementPolicy = "lru",
+    ):
+        if capacity_pages <= 0:
+            raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
+        self._store = store
+        if isinstance(policy, str):
+            policy = make_policy(policy, capacity_pages)
+        self._policy = policy
+        self._frames: dict[PageId, Page] = {}
+        self._dirty: set[PageId] = set()
+        self._stats = PoolStatistics()
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def store(self) -> PageStore:
+        return self._store
+
+    @property
+    def capacity(self) -> int:
+        return self._policy.capacity
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def stats(self) -> PoolStatistics:
+        """Hit/miss counters keyed by file id."""
+        return self._stats
+
+    def is_resident(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def is_dirty(self, page_id: PageId) -> bool:
+        return page_id in self._dirty
+
+    # -- page access ----------------------------------------------------------------
+
+    def get_page(self, page_id: PageId, for_write: bool = False) -> Page:
+        """Return the cached page, faulting it in from the store if needed."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            victim = self._policy.touch(page_id)
+            if victim is not None:
+                self._write_back(victim)
+                del self._frames[victim]
+            self._stats.record(page_id.file_id, hit=True)
+        else:
+            page = self._store.read(page_id)
+            self._install(page_id, page)
+            self._stats.record(page_id.file_id, hit=False)
+        if for_write:
+            self._dirty.add(page_id)
+        return page
+
+    def new_page(self, page_id: PageId, page: Page) -> Page:
+        """Register a freshly allocated page as resident and dirty.
+
+        The allocation itself is not counted as a miss: no read I/O
+        happens for a brand-new page.
+        """
+        if page_id in self._frames or page_id in self._store:
+            raise ValueError(f"page {page_id} already exists")
+        self._store.allocate(page_id, page)
+        self._install(page_id, page)
+        self._dirty.add(page_id)
+        return page
+
+    def mark_dirty(self, page_id: PageId) -> None:
+        """Flag a resident page as modified."""
+        if page_id not in self._frames:
+            raise ValueError(f"page {page_id} is not resident")
+        self._dirty.add(page_id)
+
+    # -- write-back -------------------------------------------------------------------
+
+    def flush_page(self, page_id: PageId) -> None:
+        """Write one dirty resident page back to the store."""
+        if page_id in self._dirty:
+            self._store.write(page_id, self._frames[page_id])
+            self._dirty.discard(page_id)
+
+    def flush_all(self) -> None:
+        """Write back every dirty page (checkpoint)."""
+        for page_id in sorted(self._dirty):
+            self._store.write(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    def drop_all(self) -> None:
+        """Flush and empty the cache (used by recovery tests)."""
+        self.flush_all()
+        for page_id in list(self._frames):
+            self._evict(page_id)
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    # -- internal --------------------------------------------------------------------------
+
+    def _install(self, page_id: PageId, page: Page) -> None:
+        victim = self._policy.admit(page_id)
+        if victim is not None:
+            self._write_back(victim)
+            del self._frames[victim]
+        self._frames[page_id] = page
+
+    def _evict(self, page_id: PageId) -> None:
+        self._write_back(page_id)
+        self._policy.remove(page_id)
+        del self._frames[page_id]
+
+    def _write_back(self, page_id: PageId) -> None:
+        if page_id in self._dirty:
+            self._store.write(page_id, self._frames[page_id])
+            self._dirty.discard(page_id)

@@ -1,0 +1,178 @@
+"""Schemas and row serialization.
+
+A :class:`TableSchema` describes fixed-length rows of INT / FLOAT /
+CHAR(n) columns and packs them to bytes with :mod:`struct`.  Fixed
+lengths keep the page geometry identical to the paper's Table 1 — the
+TPC-C schemas in :mod:`repro.tpcc.rows` are sized so their packed rows
+match the paper's tuple lengths byte for byte.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (all fixed length)."""
+
+    INT = "int"        # 8-byte signed
+    INT4 = "int4"      # 4-byte signed
+    INT2 = "int2"      # 2-byte signed
+    FLOAT = "float"    # 8-byte double
+    CHAR = "char"      # fixed-length string
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a type, and a length for CHAR columns."""
+
+    name: str
+    type: ColumnType
+    length: int = 0  # only for CHAR
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.type is ColumnType.CHAR:
+            if self.length <= 0:
+                raise ValueError(f"CHAR column {self.name!r} needs a positive length")
+        elif self.length:
+            raise ValueError(f"{self.type} column {self.name!r} must not set length")
+
+    @property
+    def struct_format(self) -> str:
+        formats = {
+            ColumnType.INT: "q",
+            ColumnType.INT4: "i",
+            ColumnType.INT2: "h",
+            ColumnType.FLOAT: "d",
+        }
+        if self.type is ColumnType.CHAR:
+            return f"{self.length}s"
+        return formats[self.type]
+
+    @property
+    def byte_size(self) -> int:
+        sizes = {
+            ColumnType.INT: 8,
+            ColumnType.INT4: 4,
+            ColumnType.INT2: 2,
+            ColumnType.FLOAT: 8,
+        }
+        if self.type is ColumnType.CHAR:
+            return self.length
+        return sizes[self.type]
+
+
+def integer(name: str) -> Column:
+    """Shorthand for an 8-byte INT column."""
+    return Column(name, ColumnType.INT)
+
+
+def int4(name: str) -> Column:
+    """Shorthand for a 4-byte INT column."""
+    return Column(name, ColumnType.INT4)
+
+
+def int2(name: str) -> Column:
+    """Shorthand for a 2-byte INT column."""
+    return Column(name, ColumnType.INT2)
+
+
+def floating(name: str) -> Column:
+    """Shorthand for a FLOAT column."""
+    return Column(name, ColumnType.FLOAT)
+
+
+def char(name: str, length: int) -> Column:
+    """Shorthand for a CHAR(length) column."""
+    return Column(name, ColumnType.CHAR, length)
+
+
+class TableSchema:
+    """A named, ordered set of columns with a primary key.
+
+    ``primary_key`` lists column names whose tuple of values uniquely
+    identifies a row; composite keys (the TPC-C norm) are supported.
+    """
+
+    def __init__(self, name: str, columns: list[Column], primary_key: tuple[str, ...]):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {name}: {names}")
+        missing = [key for key in primary_key if key not in names]
+        if missing:
+            raise ValueError(f"primary key columns {missing} not in table {name}")
+        if not primary_key:
+            raise ValueError(f"table {name} needs a primary key")
+        self._name = name
+        self._columns = tuple(columns)
+        self._primary_key = tuple(primary_key)
+        self._index_of = {column.name: i for i, column in enumerate(columns)}
+        self._struct = struct.Struct(
+            "<" + "".join(column.struct_format for column in columns)
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self._columns)
+
+    @property
+    def primary_key(self) -> tuple[str, ...]:
+        return self._primary_key
+
+    @property
+    def record_size(self) -> int:
+        """Packed row size in bytes (the paper's tuple length)."""
+        return self._struct.size
+
+    def key_of(self, row: dict) -> tuple:
+        """The primary-key tuple of a row dict."""
+        return tuple(row[name] for name in self._primary_key)
+
+    # -- serialization ---------------------------------------------------------------
+
+    def pack(self, row: dict) -> bytes:
+        """Serialize a row dict to fixed-length bytes.
+
+        CHAR values are encoded UTF-8 and padded/truncated to length;
+        missing columns raise ``KeyError``.
+        """
+        values = []
+        for column in self._columns:
+            value = row[column.name]
+            if column.type is ColumnType.CHAR:
+                encoded = str(value).encode("utf-8")[: column.length]
+                values.append(encoded)
+            elif column.type is ColumnType.FLOAT:
+                values.append(float(value))
+            else:
+                values.append(int(value))
+        return self._struct.pack(*values)
+
+    def unpack(self, record: bytes) -> dict:
+        """Deserialize bytes back to a row dict (CHAR values stripped)."""
+        values = self._struct.unpack(record)
+        row = {}
+        for column, value in zip(self._columns, values):
+            if column.type is ColumnType.CHAR:
+                row[column.name] = value.rstrip(b"\x00").decode("utf-8")
+            else:
+                row[column.name] = value
+        return row

@@ -1,0 +1,451 @@
+"""The database facade: transactions over tables with locks and a WAL.
+
+:class:`Database` owns the page store, buffer manager, lock manager,
+write-ahead log and catalog.  :class:`Transaction` provides the
+SQL-call-shaped operations the TPC-C executor uses — select, non-unique
+select, ordered min/max select, update, insert, delete — taking tuple
+locks and logging before/after images so abort and crash recovery work.
+
+Per-transaction call counters mirror the census of paper Table 2, so
+the executable engine can *measure* what the model assumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.engine.bufferpool import BufferManager
+from repro.engine.catalog import TableSchema
+from repro.engine.errors import TableNotFoundError, TransactionStateError
+from repro.engine.heap import HeapFile, RecordId
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.page import PageStore
+from repro.engine.table import IndexSpec, Table
+from repro.engine.wal import LogRecordType, WriteAheadLog
+
+
+@dataclass
+class CallCounts:
+    """SQL-call census of one transaction (paper Table 2 columns)."""
+
+    selects: int = 0
+    updates: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    non_unique_selects: int = 0
+    joins: int = 0
+
+    def merge(self, other: "CallCounts") -> None:
+        self.selects += other.selects
+        self.updates += other.updates
+        self.inserts += other.inserts
+        self.deletes += other.deletes
+        self.non_unique_selects += other.non_unique_selects
+        self.joins += other.joins
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "selects": self.selects,
+            "updates": self.updates,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "non_unique_selects": self.non_unique_selects,
+            "joins": self.joins,
+        }
+
+
+class _TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work; obtain via :meth:`Database.begin`."""
+
+    def __init__(self, db: "Database", txn_id: int, label: str = "all"):
+        self._db = db
+        self._id = txn_id
+        self._label = label
+        self._state = _TxnState.ACTIVE
+        self.calls = CallCounts()
+        db.wal.log_begin(txn_id)
+
+    @property
+    def label(self) -> str:
+        """Census label (e.g. the transaction type name)."""
+        return self._label
+
+    @property
+    def txn_id(self) -> int:
+        return self._id
+
+    @property
+    def is_active(self) -> bool:
+        return self._state is _TxnState.ACTIVE
+
+    # -- reads ---------------------------------------------------------------------
+
+    def select(self, table: str, key: tuple) -> dict:
+        """Fetch one row by primary key under an S lock."""
+        self._check_active()
+        target = self._db.table(table)
+        self._db.locks.acquire(self._id, (table, key), LockMode.SHARED)
+        self.calls.selects += 1
+        return target.get(key)
+
+    def select_by_index(self, table: str, index: str, key: tuple) -> list[dict]:
+        """Equality lookup on a secondary index (S locks each row).
+
+        Counted as a non-unique select plus one select per row
+        returned, the paper's costing of the customer-name lookup.
+        """
+        self._check_active()
+        target = self._db.table(table)
+        rows = []
+        for rid in target.lookup(index, key):
+            row = target.read(rid)
+            self._db.locks.acquire(
+                self._id, (table, target.schema.key_of(row)), LockMode.SHARED
+            )
+            rows.append(row)
+        self.calls.non_unique_selects += 1
+        self.calls.selects += len(rows)
+        return rows
+
+    def select_min(self, table: str, index: str, prefix: tuple) -> dict | None:
+        """Smallest row under an ordered-index prefix (Delivery's Min)."""
+        return self._select_extreme(table, index, prefix, smallest=True)
+
+    def select_max(self, table: str, index: str, prefix: tuple) -> dict | None:
+        """Largest row under an ordered-index prefix (Order-Status's Max)."""
+        return self._select_extreme(table, index, prefix, smallest=False)
+
+    def _select_extreme(
+        self, table: str, index: str, prefix: tuple, smallest: bool
+    ) -> dict | None:
+        self._check_active()
+        target = self._db.table(table)
+        entry = (
+            target.btree_min(index, prefix) if smallest else target.btree_max(index, prefix)
+        )
+        self.calls.selects += 1
+        if entry is None:
+            return None
+        _, rid = entry
+        row = target.read(rid)
+        self._db.locks.acquire(
+            self._id, (table, target.schema.key_of(row)), LockMode.SHARED
+        )
+        return row
+
+    def range_select(
+        self, table: str, index: str, low: tuple, high: tuple
+    ) -> Iterator[dict]:
+        """Ordered range scan, one select counted per row returned."""
+        self._check_active()
+        target = self._db.table(table)
+        for _, rid in target.btree_range(index, low, high):
+            row = target.read(rid)
+            self._db.locks.acquire(
+                self._id, (table, target.schema.key_of(row)), LockMode.SHARED
+            )
+            self.calls.selects += 1
+            yield row
+
+    # -- writes ---------------------------------------------------------------------
+
+    def insert(self, table: str, row: dict) -> RecordId:
+        """Insert a row under an X lock, logging the after-image."""
+        self._check_active()
+        target = self._db.table(table)
+        key = target.schema.key_of(row)
+        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+        rid = target.insert(row)
+        self._db.wal.log_change(
+            self._id,
+            LogRecordType.INSERT,
+            table,
+            rid,
+            before=None,
+            after=target.schema.pack(row),
+        )
+        self.calls.inserts += 1
+        return rid
+
+    def update(
+        self, table: str, key: tuple, changes: dict | Callable[[dict], dict]
+    ) -> dict:
+        """Update one row by primary key; returns the new row.
+
+        ``changes`` is either a dict of column overrides or a callable
+        mapping the old row to the new one.
+        """
+        self._check_active()
+        target = self._db.table(table)
+        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+        rid = target.rid_of(key)
+        old_row = target.read(rid)
+        if callable(changes):
+            new_row = changes(dict(old_row))
+        else:
+            new_row = {**old_row, **changes}
+        target.update(rid, new_row)
+        self._db.wal.log_change(
+            self._id,
+            LogRecordType.UPDATE,
+            table,
+            rid,
+            before=target.schema.pack(old_row),
+            after=target.schema.pack(new_row),
+        )
+        self.calls.updates += 1
+        return new_row
+
+    def delete(self, table: str, key: tuple) -> dict:
+        """Delete one row by primary key; returns it."""
+        self._check_active()
+        target = self._db.table(table)
+        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+        rid = target.rid_of(key)
+        row = target.delete(rid)
+        self._db.wal.log_change(
+            self._id,
+            LogRecordType.DELETE,
+            table,
+            rid,
+            before=target.schema.pack(row),
+            after=None,
+        )
+        self.calls.deletes += 1
+        return row
+
+    def count_join(self) -> None:
+        """Record that the transaction performed a join (census only)."""
+        self.calls.joins += 1
+
+    # -- termination -------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make the transaction durable and release its locks."""
+        self._check_active()
+        self._db.wal.log_commit(self._id)
+        self._db.locks.release_all(self._id)
+        self._state = _TxnState.COMMITTED
+        self._db.record_finished(self)
+
+    def abort(self) -> None:
+        """Undo all changes (via before-images) and release locks.
+
+        Each undo action is also logged as a *compensation* change
+        record, so a full-history replay of the log (crash recovery)
+        reproduces the abort — without compensations, recovery could
+        not distinguish an aborted insert's slot from a later committed
+        reuse of the same slot.
+        """
+        self._check_active()
+        wal = self._db.wal
+        for record in list(wal.undo_records(self._id)):
+            target = self._db.table(record.table)
+            rid = record.location
+            if record.type is LogRecordType.INSERT:
+                target.delete(rid)
+                wal.log_change(
+                    self._id,
+                    LogRecordType.DELETE,
+                    record.table,
+                    rid,
+                    before=record.after,
+                    after=None,
+                )
+            elif record.type is LogRecordType.DELETE:
+                row = target.schema.unpack(record.before)
+                target.restore(rid, row)  # back into its original slot
+                wal.log_change(
+                    self._id,
+                    LogRecordType.INSERT,
+                    record.table,
+                    rid,
+                    before=None,
+                    after=record.before,
+                )
+            else:
+                old_row = target.schema.unpack(record.before)
+                target.update(rid, old_row)
+                wal.log_change(
+                    self._id,
+                    LogRecordType.UPDATE,
+                    record.table,
+                    rid,
+                    before=record.after,
+                    after=record.before,
+                )
+        wal.log_abort(self._id)
+        self._db.locks.release_all(self._id)
+        self._state = _TxnState.ABORTED
+
+    def _check_active(self) -> None:
+        if self._state is not _TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self._id} is {self._state.value}"
+            )
+
+
+class Database:
+    """An embedded single-node database instance."""
+
+    def __init__(
+        self,
+        buffer_pages: int = 1024,
+        policy: str = "lru",
+        page_size: int = 4096,
+    ):
+        self.store = PageStore(page_size)
+        self.buffers = BufferManager(self.store, buffer_pages, policy)
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self._tables: dict[str, Table] = {}
+        self._file_ids: dict[str, int] = {}
+        self._next_file_id = 0
+        self._next_txn_id = 1
+        self._census: dict[str, CallCounts] = {}
+        self._finished: dict[str, int] = {}
+
+    # -- catalog --------------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, indexes: list[IndexSpec] | None = None
+    ) -> Table:
+        """Register a table and allocate its heap file."""
+        if schema.name in self._tables:
+            raise ValueError(f"table {schema.name!r} already exists")
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        heap = HeapFile(self.buffers, file_id, schema.record_size)
+        table = Table(schema, heap, indexes)
+        self._tables[schema.name] = table
+        self._file_ids[schema.name] = file_id
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no table named {name!r}") from None
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def file_id_of(self, table: str) -> int:
+        return self._file_ids[table]
+
+    def table_of_file(self, file_id: int) -> str:
+        for name, fid in self._file_ids.items():
+            if fid == file_id:
+                return name
+        raise TableNotFoundError(f"no table with file id {file_id}")
+
+    # -- transactions -----------------------------------------------------------------
+
+    def begin(self, label: str = "all") -> Transaction:
+        """Start a new transaction, optionally labeled for the census."""
+        txn = Transaction(self, self._next_txn_id, label)
+        self._next_txn_id += 1
+        return txn
+
+    def run(self, work: Callable[[Transaction], Any], label: str = "all") -> Any:
+        """Run ``work`` in a transaction: commit on return, abort on raise."""
+        txn = self.begin(label)
+        try:
+            result = work(txn)
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        txn.commit()
+        return result
+
+    def record_finished(self, txn: Transaction) -> None:
+        """Aggregate a committed transaction's call census under its label."""
+        self._census.setdefault(txn.label, CallCounts()).merge(txn.calls)
+        self._finished.setdefault(txn.label, 0)
+        self._finished[txn.label] += 1
+
+    def finished_count(self, label: str = "all") -> int:
+        """Committed transactions recorded under a label."""
+        return self._finished.get(label, 0)
+
+    def census(self, label: str = "all") -> CallCounts:
+        """Aggregated call counts (used to validate Table 2)."""
+        return self._census.get(label, CallCounts())
+
+    # -- durability ----------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush all dirty pages to the store."""
+        self.buffers.flush_all()
+
+    def simulate_crash(self) -> None:
+        """Discard all buffered (possibly dirty) pages without writing.
+
+        Models losing volatile memory; call :meth:`recover` afterwards.
+        The lock table is volatile too, so all locks vanish; in-flight
+        transactions are rolled back (with logged compensations) by
+        :meth:`recover`.
+        """
+        self.buffers = BufferManager(self.store, self.buffers.capacity, "lru")
+        for table in self._tables.values():
+            table.heap.rebind(self.buffers)
+        self.locks = LockManager()
+
+    def recover(self) -> None:
+        """Replay the log history, roll back in-flight work, rebuild indexes.
+
+        Redo is a *full history* replay in LSN order: committed changes
+        land, and aborted transactions' changes are neutralized by the
+        compensation records their aborts logged.  Slot reuse is then
+        safe — an aborted insert followed by a committed reuse of the
+        same slot replays in the order it happened.  Transactions that
+        were still active at the crash are rolled back newest-first,
+        logging compensations plus an ABORT so a second crash replays
+        identically.
+        """
+        for record in self.wal.change_records():
+            heap = self.table(record.table).heap
+            if record.after is None:
+                heap.apply_clear(record.location)
+            else:
+                heap.apply_put(record.location, record.after)
+
+        # Roll back transactions that never reached COMMIT or ABORT.
+        history = self.wal.records()  # snapshot before appending CLRs
+        for record in reversed(history):
+            if record.type not in (
+                LogRecordType.INSERT,
+                LogRecordType.UPDATE,
+                LogRecordType.DELETE,
+            ):
+                continue
+            if not self.wal.is_active(record.txn_id):
+                continue
+            heap = self.table(record.table).heap
+            if record.type is LogRecordType.INSERT:
+                heap.apply_clear(record.location)
+                compensation = (LogRecordType.DELETE, record.after, None)
+            elif record.type is LogRecordType.DELETE:
+                heap.apply_put(record.location, record.before)
+                compensation = (LogRecordType.INSERT, None, record.before)
+            else:
+                heap.apply_put(record.location, record.before)
+                compensation = (LogRecordType.UPDATE, record.after, record.before)
+            kind, before, after = compensation
+            self.wal.log_change(
+                record.txn_id, kind, record.table, record.location, before, after
+            )
+        self.wal.abort_all_active()
+
+        for table in self._tables.values():
+            table.rebuild_indexes()
+        self.checkpoint()

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the storage engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class PageFullError(EngineError):
+    """A page had no free slot for an insert."""
+
+
+class RecordNotFoundError(EngineError):
+    """A record id or key did not resolve to a live record."""
+
+
+class DuplicateKeyError(EngineError):
+    """A unique-index insert collided with an existing key."""
+
+
+class TableNotFoundError(EngineError):
+    """The catalog has no table with the requested name."""
+
+
+class LockConflictError(EngineError):
+    """A lock request conflicts with a lock held by another transaction."""
+
+
+class TransactionStateError(EngineError):
+    """An operation was attempted in an invalid transaction state."""
+
+
+class WalError(EngineError):
+    """The write-ahead log was malformed or used out of protocol."""

@@ -1,0 +1,104 @@
+"""A strict two-phase lock manager.
+
+The throughput model charges 1K instructions per lock release and the
+distributed discussion hinges on which concurrency-control protocol is
+assumed; the executable engine therefore takes real tuple locks.  The
+engine runs transactions one at a time, so conflicts cannot deadlock —
+a conflicting request from a different transaction fails fast with
+:class:`~repro.engine.errors.LockConflictError` (no-wait policy), which
+is also the easiest policy to test.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Hashable
+
+from repro.engine.errors import LockConflictError
+
+Resource = Hashable
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Tracks S/X locks per resource for multiple transaction ids.
+
+    Counters ``acquisitions`` and ``releases`` feed the cost model's
+    lock-overhead accounting.
+    """
+
+    def __init__(self) -> None:
+        self._shared: dict[Resource, set[int]] = defaultdict(set)
+        self._exclusive: dict[Resource, int] = {}
+        self._held: dict[int, set[Resource]] = defaultdict(set)
+        self.acquisitions = 0
+        self.releases = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def holders(self, resource: Resource) -> tuple[set[int], int | None]:
+        """(shared holders, exclusive holder) of a resource."""
+        return set(self._shared.get(resource, ())), self._exclusive.get(resource)
+
+    def locks_held(self, txn_id: int) -> int:
+        """Number of resources a transaction currently locks."""
+        return len(self._held.get(txn_id, ()))
+
+    def mode_held(self, txn_id: int, resource: Resource) -> LockMode | None:
+        """The strongest mode a transaction holds on a resource."""
+        if self._exclusive.get(resource) == txn_id:
+            return LockMode.EXCLUSIVE
+        if txn_id in self._shared.get(resource, ()):
+            return LockMode.SHARED
+        return None
+
+    # -- acquisition -----------------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> None:
+        """Take (or upgrade to) a lock; raises LockConflictError on conflict."""
+        current = self.mode_held(txn_id, resource)
+        if current is LockMode.EXCLUSIVE:
+            return  # already as strong as possible
+        if current is LockMode.SHARED and mode is LockMode.SHARED:
+            return
+
+        exclusive_holder = self._exclusive.get(resource)
+        if exclusive_holder is not None and exclusive_holder != txn_id:
+            raise LockConflictError(
+                f"txn {txn_id} blocked on {resource!r}: X-held by {exclusive_holder}"
+            )
+        if mode is LockMode.EXCLUSIVE:
+            others = self._shared.get(resource, set()) - {txn_id}
+            if others:
+                raise LockConflictError(
+                    f"txn {txn_id} blocked on {resource!r}: S-held by {sorted(others)}"
+                )
+            self._shared.get(resource, set()).discard(txn_id)
+            self._exclusive[resource] = txn_id
+        else:
+            self._shared[resource].add(txn_id)
+        self._held[txn_id].add(resource)
+        self.acquisitions += 1
+
+    # -- release ------------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> int:
+        """Drop every lock of a transaction (commit/abort); returns count."""
+        resources = self._held.pop(txn_id, set())
+        for resource in resources:
+            if self._exclusive.get(resource) == txn_id:
+                del self._exclusive[resource]
+            holders = self._shared.get(resource)
+            if holders is not None:
+                holders.discard(txn_id)
+                if not holders:
+                    del self._shared[resource]
+        self.releases += len(resources)
+        return len(resources)

@@ -1,0 +1,322 @@
+"""Tables: schema + heap file + index maintenance.
+
+A :class:`Table` is the unlogged, unlocked primitive layer; transaction
+semantics (locks, WAL, undo) live in :class:`repro.engine.database.
+Database`.  Every table has a unique hash index on its primary key;
+secondary indexes (ordered B+ tree or hash, unique or not) are declared
+with :class:`IndexSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.engine.btree import BPlusTree
+from repro.engine.catalog import TableSchema
+from repro.engine.errors import DuplicateKeyError, RecordNotFoundError
+from repro.engine.hashindex import HashIndex, MultiHashIndex
+from repro.engine.heap import HeapFile, RecordId
+
+#: Name of the implicit primary-key index.
+PRIMARY = "primary"
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Declaration of a secondary index."""
+
+    name: str
+    columns: tuple[str, ...]
+    kind: str = "hash"  # "hash" or "btree"
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("hash", "btree"):
+            raise ValueError(f"index kind must be 'hash' or 'btree', got {self.kind!r}")
+        if not self.columns:
+            raise ValueError(f"index {self.name!r} needs at least one column")
+        if self.name == PRIMARY:
+            raise ValueError(f"index name {PRIMARY!r} is reserved")
+
+
+class Table:
+    """One relation stored in a heap file with hash/B+-tree indexes."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        heap: HeapFile,
+        indexes: list[IndexSpec] | None = None,
+    ):
+        if heap.record_size != schema.record_size:
+            raise ValueError(
+                f"heap record size {heap.record_size} != schema row size "
+                f"{schema.record_size}"
+            )
+        self._schema = schema
+        self._heap = heap
+        self._specs: dict[str, IndexSpec] = {}
+        self._indexes: dict[str, Any] = {PRIMARY: HashIndex()}
+        for spec in indexes or []:
+            self.add_index(spec)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def heap(self) -> HeapFile:
+        return self._heap
+
+    @property
+    def row_count(self) -> int:
+        return len(self._heap)
+
+    def index_names(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def add_index(self, spec: IndexSpec) -> None:
+        """Declare (and, if rows exist, backfill) a secondary index."""
+        if spec.name in self._indexes:
+            raise ValueError(f"index {spec.name!r} already exists on {self.name}")
+        missing = [c for c in spec.columns if c not in self._schema.column_names]
+        if missing:
+            raise ValueError(f"index {spec.name!r} references unknown columns {missing}")
+        index = self._make_index(spec)
+        self._specs[spec.name] = spec
+        self._indexes[spec.name] = index
+        for rid, record in self._heap.scan():
+            self._index_insert_one(spec, index, self._schema.unpack(record), rid)
+
+    @staticmethod
+    def _make_index(spec: IndexSpec):
+        if spec.kind == "btree":
+            return BPlusTree()
+        return HashIndex() if spec.unique else MultiHashIndex()
+
+    # -- key helpers ----------------------------------------------------------------
+
+    def _secondary_key(self, spec: IndexSpec, row: dict) -> tuple:
+        return tuple(row[column] for column in spec.columns)
+
+    def _btree_key(self, spec: IndexSpec, row: dict, rid: RecordId) -> tuple:
+        """B+-tree key, uniquified with the rid for non-unique indexes."""
+        key = self._secondary_key(spec, row)
+        if spec.unique:
+            return key
+        return key + (rid.page_no, rid.slot)
+
+    # -- row operations ---------------------------------------------------------------
+
+    def insert(self, row: dict) -> RecordId:
+        """Insert a row, maintaining all indexes; returns its rid."""
+        key = self._schema.key_of(row)
+        primary: HashIndex = self._indexes[PRIMARY]
+        if key in primary:
+            raise DuplicateKeyError(f"{self.name}: duplicate primary key {key!r}")
+        # Check unique secondary indexes before mutating anything.
+        for spec in self._specs.values():
+            if spec.unique:
+                index = self._indexes[spec.name]
+                secondary = self._secondary_key(spec, row)
+                if secondary in index:
+                    raise DuplicateKeyError(
+                        f"{self.name}: duplicate key {secondary!r} in {spec.name}"
+                    )
+        rid = self._heap.insert(self._schema.pack(row))
+        primary.insert(key, rid)
+        for spec in self._specs.values():
+            self._index_insert_one(spec, self._indexes[spec.name], row, rid)
+        return rid
+
+    def _index_insert_one(self, spec: IndexSpec, index, row: dict, rid: RecordId) -> None:
+        if spec.kind == "btree":
+            index.insert(self._btree_key(spec, row, rid), rid)
+        elif spec.unique:
+            index.insert(self._secondary_key(spec, row), rid)
+        else:
+            index.insert(self._secondary_key(spec, row), rid)
+
+    def read(self, rid: RecordId) -> dict:
+        """Fetch a row by rid."""
+        return self._schema.unpack(self._heap.read(rid))
+
+    def rid_of(self, key: tuple) -> RecordId:
+        """Primary-key lookup; raises if absent."""
+        return self._indexes[PRIMARY].search(key)
+
+    def get(self, key: tuple) -> dict:
+        """Fetch a row by primary key."""
+        return self.read(self.rid_of(key))
+
+    def update(self, rid: RecordId, new_row: dict) -> dict:
+        """Overwrite a row in place; returns the old row.
+
+        The primary key must not change (TPC-C never does); secondary
+        index entries are moved when their key columns change.
+        """
+        old_row = self.read(rid)
+        if self._schema.key_of(new_row) != self._schema.key_of(old_row):
+            raise ValueError(f"{self.name}: primary key is immutable")
+        for spec in self._specs.values():
+            old_key = self._secondary_key(spec, old_row)
+            new_key = self._secondary_key(spec, new_row)
+            if old_key == new_key:
+                continue
+            index = self._indexes[spec.name]
+            if spec.kind == "btree":
+                index.delete(self._btree_key(spec, old_row, rid))
+                index.insert(self._btree_key(spec, new_row, rid), rid)
+            elif spec.unique:
+                index.delete(old_key)
+                index.insert(new_key, rid)
+            else:
+                index.delete(old_key, rid)
+                index.insert(new_key, rid)
+        self._heap.update(rid, self._schema.pack(new_row))
+        return old_row
+
+    def restore(self, rid: RecordId, row: dict) -> None:
+        """Re-insert a deleted row at its original rid (transaction undo).
+
+        Equivalent to :meth:`insert` except the physical location is
+        dictated, keeping rids stable across delete/undo so log records
+        addressing the slot stay valid.
+        """
+        key = self._schema.key_of(row)
+        primary: HashIndex = self._indexes[PRIMARY]
+        if key in primary:
+            raise DuplicateKeyError(f"{self.name}: duplicate primary key {key!r}")
+        self._heap.insert_at(rid, self._schema.pack(row))
+        primary.insert(key, rid)
+        for spec in self._specs.values():
+            self._index_insert_one(spec, self._indexes[spec.name], row, rid)
+
+    def delete(self, rid: RecordId) -> dict:
+        """Remove a row; returns it."""
+        row = self.read(rid)
+        self._indexes[PRIMARY].delete(self._schema.key_of(row))
+        for spec in self._specs.values():
+            index = self._indexes[spec.name]
+            if spec.kind == "btree":
+                index.delete(self._btree_key(spec, row, rid))
+            elif spec.unique:
+                index.delete(self._secondary_key(spec, row))
+            else:
+                index.delete(self._secondary_key(spec, row), rid)
+        self._heap.delete(rid)
+        return row
+
+    # -- index access --------------------------------------------------------------------
+
+    def lookup(self, index_name: str, key: tuple) -> tuple[RecordId, ...]:
+        """All rids under an equality key in a named index.
+
+        Works for unique and non-unique hash indexes and for B+-tree
+        indexes (prefix match on the declared columns).
+        """
+        if index_name == PRIMARY:
+            try:
+                return (self._indexes[PRIMARY].search(key),)
+            except RecordNotFoundError:
+                return ()
+        spec = self._require_spec(index_name)
+        index = self._indexes[index_name]
+        if spec.kind == "hash":
+            if spec.unique:
+                rid = index.get(key)
+                return (rid,) if rid is not None else ()
+            return index.get(key)
+        if spec.unique:
+            rid = index.get(key)
+            return (rid,) if rid is not None else ()
+        return tuple(rid for _, rid in self.btree_prefix_scan(index_name, key))
+
+    def btree_range(
+        self, index_name: str, low: tuple | None, high: tuple | None
+    ) -> Iterator[tuple[tuple, RecordId]]:
+        """Ordered (key, rid) pairs with ``low <= key <= high``."""
+        spec = self._require_spec(index_name)
+        if spec.kind != "btree":
+            raise ValueError(f"index {index_name!r} is not ordered")
+        return self._indexes[index_name].range_scan(low, high)
+
+    def btree_prefix_scan(
+        self, index_name: str, prefix: tuple
+    ) -> Iterator[tuple[tuple, RecordId]]:
+        """Ordered (key, rid) pairs whose key starts with ``prefix``."""
+        spec = self._require_spec(index_name)
+        if spec.kind != "btree":
+            raise ValueError(f"index {index_name!r} is not ordered")
+        low = prefix
+        high = prefix + (_Infinity(),)
+        for key, rid in self._indexes[index_name].range_scan(low, high):
+            yield key, rid
+
+    def btree_min(self, index_name: str, prefix: tuple) -> tuple[tuple, RecordId] | None:
+        """Smallest index entry under a key prefix (Delivery's Min select)."""
+        for pair in self.btree_prefix_scan(index_name, prefix):
+            return pair
+        return None
+
+    def btree_max(self, index_name: str, prefix: tuple) -> tuple[tuple, RecordId] | None:
+        """Largest index entry under a key prefix (Order-Status's Max select)."""
+        spec = self._require_spec(index_name)
+        if spec.kind != "btree":
+            raise ValueError(f"index {index_name!r} is not ordered")
+        index: BPlusTree = self._indexes[index_name]
+        return index.max_in_range(prefix, prefix + (_Infinity(),))
+
+    def scan(self) -> Iterator[tuple[RecordId, dict]]:
+        """Full scan in heap order."""
+        for rid, record in self._heap.scan():
+            yield rid, self._schema.unpack(record)
+
+    def rebuild_indexes(self) -> None:
+        """Recreate every index from the heap (after WAL recovery)."""
+        self._heap.rebuild_metadata()
+        self._indexes[PRIMARY] = HashIndex()
+        for name, spec in self._specs.items():
+            self._indexes[name] = self._make_index(spec)
+        for rid, record in self._heap.scan():
+            row = self._schema.unpack(record)
+            self._indexes[PRIMARY].insert(self._schema.key_of(row), rid)
+            for name, spec in self._specs.items():
+                self._index_insert_one(spec, self._indexes[name], row, rid)
+
+    def _require_spec(self, index_name: str) -> IndexSpec:
+        spec = self._specs.get(index_name)
+        if spec is None:
+            raise RecordNotFoundError(
+                f"table {self.name} has no index {index_name!r}"
+            )
+        return spec
+
+
+class _Infinity:
+    """Compares greater than everything; closes prefix-scan upper bounds."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, _Infinity)
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:
+        return hash("_Infinity")

@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The paper's tables and figure series are reproduced as aligned text
+tables — the format the benchmark harness prints and EXPERIMENTS.md
+embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(rows: Iterable[dict[str, object]], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    Columns come from the union of keys in first-seen order; missing
+    cells render empty.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def render_comparison(
+    pairs: dict[str, tuple[object, object]], title: str | None = None
+) -> str:
+    """Render {metric: (paper value, measured value)} pairs."""
+    rows = [
+        {"metric": name, "paper": paper, "measured": measured}
+        for name, (paper, measured) in pairs.items()
+    ]
+    return render_table(rows, title=title)

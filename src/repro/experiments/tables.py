@@ -1,0 +1,171 @@
+"""Reproduction of the paper's tables (1, 2, 3, 4, 6, 7)."""
+
+from __future__ import annotations
+
+from repro.constants import WAREHOUSES_PER_NODE
+from repro.distributed.model import distributed_visit_table
+from repro.distributed.remote import RemoteCallExpectations
+from repro.experiments.runner import ExperimentResult, Preset, register
+from repro.throughput.params import MissRateInputs
+from repro.throughput.visits import single_node_visits, visit_table_rows
+from repro.workload.access import relation_access_table, transaction_mix_table
+from repro.workload.schema import schema_table
+
+#: Representative miss rates used when a table needs symbolic inputs
+#: evaluated (roughly the simulated 52 MB sequential-packing point).
+_REFERENCE_MISS = MissRateInputs(
+    customer=0.50, item=0.05, stock=0.35, order=0.02, order_line=0.01
+)
+
+
+@register("table1")
+def table1(preset: Preset = Preset.QUICK) -> ExperimentResult:
+    """Table 1: the logical database (cardinality, tuple size, geometry)."""
+    rows = schema_table(warehouses=WAREHOUSES_PER_NODE)
+    return ExperimentResult(
+        experiment="table1",
+        title="Summary of Logical Database (W = 20)",
+        rows=rows,
+        headline={
+            "customer tuples/page": float(
+                next(r for r in rows if r["relation"] == "customer")[
+                    "tuples per 4K page"
+                ]
+            ),
+            "stock tuples/page": float(
+                next(r for r in rows if r["relation"] == "stock")["tuples per 4K page"]
+            ),
+        },
+        paper_reference={"customer tuples/page": 6, "stock tuples/page": 13},
+        notes="Tuple lengths and page geometry match paper Table 1 exactly.",
+    )
+
+
+@register("table2")
+def table2(preset: Preset = Preset.QUICK) -> ExperimentResult:
+    """Table 2: transaction mix and SQL-call census."""
+    rows = transaction_mix_table()
+    new_order = next(r for r in rows if r["transaction"] == "new_order")
+    return ExperimentResult(
+        experiment="table2",
+        title="Summary of Transactions",
+        rows=rows,
+        headline={
+            "new-order selects": float(new_order["selects"]),
+            "new-order updates": float(new_order["updates"]),
+            "new-order inserts": float(new_order["inserts"]),
+        },
+        paper_reference={
+            "new-order selects": 23,
+            "new-order updates": 11,
+            "new-order inserts": 12,
+        },
+        notes=(
+            "Order-Status selects are reported as 13.2 (counting the "
+            "three tuples of a by-name lookup, as the paper's Table 4 "
+            "does); the paper's Table 2 prints 11.4."
+        ),
+    )
+
+
+@register("table3")
+def table3(preset: Preset = Preset.QUICK) -> ExperimentResult:
+    """Table 3: per-relation tuple accesses and weighted averages."""
+    rows = relation_access_table()
+    by_name = {row["relation"]: row for row in rows}
+    return ExperimentResult(
+        experiment="table3",
+        title="Summary of Relation Accesses",
+        rows=rows,
+        headline={
+            "warehouse avg": float(by_name["warehouse"]["average"]),
+            "stock avg": float(by_name["stock"]["average"]),
+            "item avg": float(by_name["item"]["average"]),
+            "order avg (no appends)": float(by_name["order"]["average (no appends)"]),
+            "order-line avg (no appends)": float(
+                by_name["order_line"]["average (no appends)"]
+            ),
+        },
+        paper_reference={
+            "warehouse avg": 0.87,
+            "stock avg": 12.4,
+            "item avg": 4.4,
+            "order avg (no appends)": 0.53,
+            "order-line avg (no appends)": 13.3,
+        },
+        notes=(
+            "The paper's 'Average' column excludes appends for the "
+            "growing Order/New-Order/Order-Line relations; both "
+            "conventions are shown."
+        ),
+    )
+
+
+@register("table4")
+def table4(preset: Preset = Preset.QUICK) -> ExperimentResult:
+    """Table 4: single-node visit counts, evaluated at reference miss rates."""
+    table = single_node_visits(_REFERENCE_MISS)
+    rows = visit_table_rows(table)
+    return ExperimentResult(
+        experiment="table4",
+        title="Throughput Model Summary: Single Node "
+        "(miss-rate-dependent rows evaluated at mc=0.50, mi=0.05, ms=0.35)",
+        rows=rows,
+        notes=(
+            "Structural counts (selects/updates/inserts/deletes) are "
+            "exactly the paper's; initIO and diskIO rows are functions "
+            "of the buffer miss rates as in the paper."
+        ),
+    )
+
+
+@register("tables6_7")
+def tables6_7(preset: Preset = Preset.QUICK) -> ExperimentResult:
+    """Tables 6 and 7: distributed visit-count deltas at N = 10 nodes."""
+    nodes = 10
+    expectations = RemoteCallExpectations(nodes=nodes)
+    replicated = distributed_visit_table(_REFERENCE_MISS, expectations, True)
+    non_replicated = distributed_visit_table(_REFERENCE_MISS, expectations, False)
+
+    from repro.throughput.visits import Operation
+    from repro.workload.mix import TransactionType
+
+    rows = []
+    for operation in (
+        Operation.COMMIT,
+        Operation.INIT_IO,
+        Operation.SEND_RECEIVE,
+        Operation.PREP_COMMIT,
+    ):
+        rows.append(
+            {
+                "operation": operation.value,
+                "NewOrder (replicated)": round(
+                    replicated[TransactionType.NEW_ORDER][operation], 4
+                ),
+                "NewOrder (no repl.)": round(
+                    non_replicated[TransactionType.NEW_ORDER][operation], 4
+                ),
+                "Payment (both)": round(
+                    replicated[TransactionType.PAYMENT][operation], 4
+                ),
+            }
+        )
+    e = expectations.as_row()
+    rows.append({"operation": "--- Appendix A terms ---"})
+    for name, value in e.items():
+        rows.append({"operation": name, "NewOrder (replicated)": round(float(value), 5)})
+    return ExperimentResult(
+        experiment="tables6_7",
+        title=f"Throughput Model Summary: Multi Node, N = {nodes}",
+        rows=rows,
+        headline={
+            "U_stock": float(expectations.u_stock),
+            "L_stock": float(expectations.l_stock),
+            "RC_cust": float(expectations.rc_cust),
+        },
+        notes=(
+            "Payment rows are identical with and without replication "
+            "(it never touches Item), as the paper notes."
+        ),
+    )

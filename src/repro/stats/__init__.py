@@ -1,0 +1,12 @@
+"""Statistical utilities: discrete distributions and batch-means output
+analysis.
+
+These are the numerical substrates shared by the skew analysis
+(:mod:`repro.core`), the buffer simulation (:mod:`repro.buffer`) and the
+experiment harness.
+"""
+
+from repro.stats.batch_means import BatchMeans, BatchMeansSummary
+from repro.stats.distribution import DiscreteDistribution
+
+__all__ = ["BatchMeans", "BatchMeansSummary", "DiscreteDistribution"]

@@ -1,0 +1,198 @@
+"""Discrete probability distributions over integer ids.
+
+The paper's skew analysis (Section 3) works entirely with probability
+mass functions over tuple ids.  :class:`DiscreteDistribution` wraps a
+numpy PMF over the closed interval ``[lower .. lower + n - 1]`` and
+provides the operations the analysis needs: normalization, mixing,
+sampling, cumulative curves and summary statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class DiscreteDistribution:
+    """A probability mass function over consecutive integer ids.
+
+    Parameters
+    ----------
+    pmf:
+        Non-negative weights, one per id.  They are normalized to sum
+        to one.
+    lower:
+        The id of the first element (ids are consecutive).
+    """
+
+    def __init__(self, pmf: Sequence[float] | np.ndarray, lower: int = 1):
+        weights = np.asarray(pmf, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError(f"pmf must be one-dimensional, got shape {weights.shape}")
+        if weights.size == 0:
+            raise ValueError("pmf must be non-empty")
+        if np.any(weights < 0):
+            raise ValueError("pmf weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("pmf weights must not all be zero")
+        self._pmf = weights / total
+        self._lower = int(lower)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """The normalized probability of each id, as a read-only view."""
+        view = self._pmf.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def lower(self) -> int:
+        """Smallest id in the support."""
+        return self._lower
+
+    @property
+    def upper(self) -> int:
+        """Largest id in the support."""
+        return self._lower + self._pmf.size - 1
+
+    @property
+    def size(self) -> int:
+        """Number of ids in the support."""
+        return self._pmf.size
+
+    def __len__(self) -> int:
+        return self._pmf.size
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscreteDistribution(lower={self._lower}, upper={self.upper}, "
+            f"size={self.size})"
+        )
+
+    def probability(self, id_: int) -> float:
+        """Probability of a single id (0.0 outside the support)."""
+        index = id_ - self._lower
+        if 0 <= index < self._pmf.size:
+            return float(self._pmf[index])
+        return 0.0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, lower: int, upper: int) -> "DiscreteDistribution":
+        """Uniform distribution over ``[lower .. upper]``."""
+        if upper < lower:
+            raise ValueError(f"upper ({upper}) must be >= lower ({lower})")
+        return cls(np.ones(upper - lower + 1), lower=lower)
+
+    @classmethod
+    def from_counts(
+        cls, counts: Sequence[int] | np.ndarray, lower: int = 1
+    ) -> "DiscreteDistribution":
+        """Build a distribution from observed sample counts."""
+        return cls(np.asarray(counts, dtype=np.float64), lower=lower)
+
+    @classmethod
+    def mixture(
+        cls,
+        components: Sequence["DiscreteDistribution"],
+        weights: Sequence[float],
+    ) -> "DiscreteDistribution":
+        """Weighted mixture of distributions with possibly different supports.
+
+        The result's support spans the union of the component supports.
+        This is how the paper composes the Customer relation's access
+        distribution from the by-id and three by-name NURand components.
+        """
+        if len(components) != len(weights):
+            raise ValueError(
+                f"got {len(components)} components but {len(weights)} weights"
+            )
+        if not components:
+            raise ValueError("mixture requires at least one component")
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if np.any(weight_array < 0) or weight_array.sum() <= 0:
+            raise ValueError("mixture weights must be non-negative, not all zero")
+        weight_array = weight_array / weight_array.sum()
+
+        lower = min(component.lower for component in components)
+        upper = max(component.upper for component in components)
+        combined = np.zeros(upper - lower + 1)
+        for component, weight in zip(components, weight_array):
+            start = component.lower - lower
+            combined[start : start + component.size] += weight * component._pmf
+        return cls(combined, lower=lower)
+
+    # -- derived quantities --------------------------------------------------
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over ids in ascending id order."""
+        return np.cumsum(self._pmf)
+
+    def sorted_pmf(self, descending: bool = False) -> np.ndarray:
+        """The PMF sorted by probability (ascending unless ``descending``)."""
+        ordered = np.sort(self._pmf)
+        if descending:
+            return ordered[::-1]
+        return ordered
+
+    def hotness_ranks(self) -> np.ndarray:
+        """Ids ordered from hottest to coldest.
+
+        Ties are broken by id so the ordering is deterministic; the result
+        is used to implement the paper's "optimized packing" of tuples.
+        """
+        # argsort on (-p, id) via stable sort of -pmf.
+        order = np.argsort(-self._pmf, kind="stable")
+        return order + self._lower
+
+    def entropy(self) -> float:
+        """Shannon entropy in bits; a scalar summary of access uniformity."""
+        positive = self._pmf[self._pmf > 0]
+        return float(-(positive * np.log2(positive)).sum())
+
+    def expected_value(self) -> float:
+        """Mean id under the distribution."""
+        ids = np.arange(self._lower, self._lower + self._pmf.size)
+        return float((ids * self._pmf).sum())
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw ids from the distribution.
+
+        Returns a scalar when ``size`` is None, otherwise an int64 array.
+        Sampling uses inverse-CDF lookup over a precomputed cumulative
+        table, which is vectorized and cheap for repeated draws.
+        """
+        cumulative = getattr(self, "_cumulative", None)
+        if cumulative is None:
+            cumulative = np.cumsum(self._pmf)
+            cumulative[-1] = 1.0  # guard against floating-point shortfall
+            self._cumulative = cumulative
+        draws = rng.random(size if size is not None else 1)
+        indices = np.searchsorted(cumulative, draws, side="right")
+        ids = indices + self._lower
+        if size is None:
+            return int(ids[0])
+        return ids.astype(np.int64)
+
+    # -- comparison ------------------------------------------------------------
+
+    def total_variation_distance(self, other: "DiscreteDistribution") -> float:
+        """Total variation distance to another distribution.
+
+        Supports may differ; probabilities outside a support count as zero.
+        Used by tests to check Monte-Carlo estimates against exact PMFs.
+        """
+        lower = min(self._lower, other._lower)
+        upper = max(self.upper, other.upper)
+        mine = np.zeros(upper - lower + 1)
+        theirs = np.zeros(upper - lower + 1)
+        mine[self._lower - lower : self._lower - lower + self.size] = self._pmf
+        theirs[other._lower - lower : other._lower - lower + other.size] = other._pmf
+        return float(0.5 * np.abs(mine - theirs).sum())

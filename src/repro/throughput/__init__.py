@@ -1,0 +1,50 @@
+"""The analytic throughput and price/performance models (paper Section 5).
+
+``params`` holds the CPU/disk cost parameters (Table 4's overhead
+column) and the miss-rate inputs produced by the buffer model;
+``visits`` builds the per-transaction visit-count matrices (Tables 4, 6
+and 7); ``model`` turns them into utilizations and maximum throughput
+(Figure 9); ``pricing`` adds the hardware price book and storage sizing
+to produce $/tpm curves (Figure 10).
+"""
+
+from repro.throughput.capacity import (
+    growth_bytes,
+    growth_bytes_per_transaction,
+    static_storage_bytes,
+)
+from repro.throughput.model import ThroughputModel, ThroughputResult
+from repro.throughput.mva import ClosedSystemModel, MvaPoint
+from repro.throughput.response import ResponseTimeModel, ResponseTimes
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.pricing import (
+    AnalyticMissRateProvider,
+    InterpolatingMissRateProvider,
+    PricePerformancePoint,
+    PriceBook,
+    optimal_point,
+    price_performance_sweep,
+)
+from repro.throughput.visits import Operation, single_node_visits
+
+__all__ = [
+    "AnalyticMissRateProvider",
+    "ClosedSystemModel",
+    "CostParameters",
+    "InterpolatingMissRateProvider",
+    "MvaPoint",
+    "ResponseTimeModel",
+    "ResponseTimes",
+    "optimal_point",
+    "MissRateInputs",
+    "Operation",
+    "PriceBook",
+    "PricePerformancePoint",
+    "ThroughputModel",
+    "ThroughputResult",
+    "growth_bytes",
+    "growth_bytes_per_transaction",
+    "price_performance_sweep",
+    "single_node_visits",
+    "static_storage_bytes",
+]

@@ -1,0 +1,65 @@
+"""Storage-capacity sizing (paper Section 5.2).
+
+Figure 10's upper curves include the disk capacity needed to hold the
+static relations plus 180 eight-hour days of growth of the Order,
+Order-Line and History relations; this module computes both parts.
+"""
+
+from __future__ import annotations
+
+from repro.constants import (
+    DEFAULT_PAGE_SIZE,
+    GROWTH_DAYS,
+    GROWTH_HOURS_PER_DAY,
+    ITEMS_PER_ORDER,
+    TUPLE_BYTES,
+)
+from repro.workload.mix import DEFAULT_MIX, TransactionMix
+from repro.workload.schema import RELATIONS
+
+
+def static_storage_bytes(
+    warehouses: int, page_size: int = DEFAULT_PAGE_SIZE
+) -> int:
+    """Disk bytes for the non-growing relations, in whole pages.
+
+    The paper quotes ~1.1 GB for 20 warehouses (Warehouse, District,
+    Customer, Stock and Item).
+    """
+    total_pages = 0
+    for spec in RELATIONS.values():
+        pages = spec.pages(warehouses, page_size)
+        if pages is not None:
+            total_pages += pages
+    return total_pages * page_size
+
+
+def growth_bytes_per_transaction(
+    mix: TransactionMix = DEFAULT_MIX, items_per_order: int = ITEMS_PER_ORDER
+) -> float:
+    """Average bytes appended per transaction.
+
+    Each New-Order inserts one Order tuple and ``items_per_order``
+    Order-Line tuples; each Payment inserts one History tuple.
+    """
+    new_order_bytes = TUPLE_BYTES["order"] + items_per_order * TUPLE_BYTES["order_line"]
+    new_order_bytes += TUPLE_BYTES["new_order"]  # transiently occupied
+    return mix.new_order * new_order_bytes + mix.payment * TUPLE_BYTES["history"]
+
+
+def growth_bytes(
+    throughput_tpm: float,
+    mix: TransactionMix = DEFAULT_MIX,
+    days: int = GROWTH_DAYS,
+    hours_per_day: int = GROWTH_HOURS_PER_DAY,
+    items_per_order: int = ITEMS_PER_ORDER,
+) -> float:
+    """Bytes appended over the benchmark's required retention period.
+
+    ``throughput_tpm`` is the total transaction rate per minute.  The
+    paper computes ~11 GB per node at its 20-warehouse operating point.
+    """
+    if throughput_tpm < 0:
+        raise ValueError(f"throughput must be non-negative, got {throughput_tpm}")
+    minutes = days * hours_per_day * 60
+    return throughput_tpm * minutes * growth_bytes_per_transaction(mix, items_per_order)

@@ -1,0 +1,170 @@
+"""CPU/disk throughput model (paper Section 5.1, Figure 9).
+
+The model sums each transaction type's CPU demand (visit counts times
+per-operation overheads), weights by the mix, and solves for the
+throughput that drives the CPU to its utilization cap (80% by default).
+The disk subsystem is then sized so that data-disk utilization stays
+below its cap (50%), assuming a dedicated log disk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.visits import (
+    VisitTable,
+    cpu_k_per_transaction,
+    disk_visits,
+    single_node_visits,
+)
+from repro.workload.mix import DEFAULT_MIX, TransactionMix
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Model outputs for one configuration."""
+
+    throughput_tps: float
+    new_order_tpm: float
+    cpu_demand_k_per_tx: float
+    disk_reads_per_tx: float
+    disk_arms_for_bandwidth: int
+    cpu_utilization: float
+    per_transaction_cpu_k: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_tpm(self) -> float:
+        return self.throughput_tps * 60.0
+
+
+class ThroughputModel:
+    """Evaluates the analytic model for a visit table.
+
+    By default the visit table is the single-node Table 4 built from
+    the miss-rate inputs; the distributed models pass their modified
+    tables explicitly.
+    """
+
+    def __init__(
+        self,
+        params: CostParameters | None = None,
+        mix: TransactionMix | None = None,
+        miss_rates: MissRateInputs | None = None,
+        visit_table: VisitTable | None = None,
+    ):
+        self._params = params if params is not None else CostParameters()
+        self._mix = mix if mix is not None else DEFAULT_MIX
+        if visit_table is None:
+            if miss_rates is None:
+                raise ValueError("provide either miss_rates or a visit_table")
+            visit_table = single_node_visits(miss_rates)
+        self._visits = visit_table
+
+    @property
+    def params(self) -> CostParameters:
+        return self._params
+
+    @property
+    def mix(self) -> TransactionMix:
+        return self._mix
+
+    @property
+    def visit_table(self) -> VisitTable:
+        return self._visits
+
+    # -- demands ---------------------------------------------------------------
+
+    def cpu_demand_k(self) -> float:
+        """Mix-weighted CPU demand per transaction, K instructions."""
+        return sum(
+            self._mix.share(tx) * cpu_k_per_transaction(self._params, counts)
+            for tx, counts in self._visits.items()
+        )
+
+    def per_transaction_cpu_k(self) -> dict[str, float]:
+        """CPU demand of each transaction type, K instructions."""
+        return {
+            tx.value: cpu_k_per_transaction(self._params, counts)
+            for tx, counts in self._visits.items()
+        }
+
+    def disk_reads_per_transaction(self) -> float:
+        """Mix-weighted synchronous data-disk reads per transaction."""
+        return sum(
+            self._mix.share(tx) * disk_visits(counts)
+            for tx, counts in self._visits.items()
+        )
+
+    # -- solutions ---------------------------------------------------------------
+
+    def cpu_utilization(self, throughput_tps: float) -> float:
+        """CPU utilization at a given transaction rate."""
+        if throughput_tps < 0:
+            raise ValueError(f"throughput must be non-negative, got {throughput_tps}")
+        return throughput_tps * self.cpu_demand_k() / self._params.k_instructions_per_second
+
+    def disk_utilization(self, throughput_tps: float, disk_arms: int) -> float:
+        """Data-disk utilization at a given rate and arm count."""
+        if disk_arms <= 0:
+            raise ValueError(f"disk_arms must be positive, got {disk_arms}")
+        busy_seconds = (
+            throughput_tps
+            * self.disk_reads_per_transaction()
+            * self._params.disk_service_ms
+            / 1000.0
+        )
+        return busy_seconds / disk_arms
+
+    def max_throughput_tps(self) -> float:
+        """Throughput (tx/s) at the CPU utilization cap."""
+        demand = self.cpu_demand_k()
+        if demand <= 0:
+            raise ValueError("CPU demand per transaction must be positive")
+        return (
+            self._params.cpu_utilization_cap
+            * self._params.k_instructions_per_second
+            / demand
+        )
+
+    def disk_arms_needed(self, throughput_tps: float) -> int:
+        """Fewest data-disk arms keeping utilization under the cap."""
+        busy_seconds = (
+            throughput_tps
+            * self.disk_reads_per_transaction()
+            * self._params.disk_service_ms
+            / 1000.0
+        )
+        return max(1, math.ceil(busy_seconds / self._params.disk_utilization_cap))
+
+    def solve(self) -> ThroughputResult:
+        """Maximum-throughput solution (the paper's headline metric)."""
+        tps = self.max_throughput_tps()
+        return ThroughputResult(
+            throughput_tps=tps,
+            new_order_tpm=tps * 60.0 * self._mix.new_order,
+            cpu_demand_k_per_tx=self.cpu_demand_k(),
+            disk_reads_per_tx=self.disk_reads_per_transaction(),
+            disk_arms_for_bandwidth=self.disk_arms_needed(tps),
+            cpu_utilization=self._params.cpu_utilization_cap,
+            per_transaction_cpu_k=self.per_transaction_cpu_k(),
+        )
+
+    def new_order_tpm(self) -> float:
+        """Maximum New-Order transactions per minute (paper's metric)."""
+        return self.solve().new_order_tpm
+
+
+def warehouses_supported(
+    result: ThroughputResult, tpm_per_warehouse: float = 10.0
+) -> float:
+    """Rough warehouse count a node sustains, for sanity checks.
+
+    The paper anchors its buffer runs at "about 20 warehouses per
+    10-MIPS processor"; dividing New-Order tpm by a nominal per-warehouse
+    demand recovers that anchor.
+    """
+    if tpm_per_warehouse <= 0:
+        raise ValueError(f"tpm_per_warehouse must be positive, got {tpm_per_warehouse}")
+    return result.new_order_tpm / tpm_per_warehouse

@@ -1,0 +1,170 @@
+"""Closed queueing model via exact Mean Value Analysis (extension).
+
+The paper's throughput model is open-loop: it fixes a CPU-utilization
+cap and reads off the throughput.  TPC-C systems are actually *closed*
+— a fixed number of terminals cycle through think time and a
+transaction — so the classic companion model is a closed queueing
+network solved with exact MVA (Reiser & Lavenberg):
+
+* one queueing station for the CPU (service demand = mix-weighted
+  instructions / MIPS),
+* one queueing station per data-disk arm group (demand = mix-weighted
+  synchronous reads x 25 ms / arms, modeled as a single station whose
+  demand is divided by the arm count — the standard approximation for
+  a balanced disk farm),
+* one delay station for terminal think time.
+
+MVA recurrences, for population n = 1..N::
+
+    R_k(n) = D_k * (1 + Q_k(n-1))        (queueing stations)
+    R_k(n) = D_k                          (delay station)
+    X(n)   = n / sum_k R_k(n)
+    Q_k(n) = X(n) * R_k(n)
+
+The model answers the question the paper's 80%-cap convention sidesteps:
+how many concurrent terminals does a node need to reach that operating
+point, and what response times do they see there?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.throughput.model import ThroughputModel
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.visits import VisitTable
+from repro.workload.mix import TransactionMix
+
+
+@dataclass(frozen=True)
+class MvaPoint:
+    """Solution of the closed model at one population size."""
+
+    population: int
+    throughput_tps: float
+    response_seconds: float
+    cpu_utilization: float
+    disk_utilization: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "terminals": self.population,
+            "throughput tx/s": round(self.throughput_tps, 3),
+            "response s": round(self.response_seconds, 4),
+            "cpu util": round(self.cpu_utilization, 3),
+            "disk util": round(self.disk_utilization, 3),
+        }
+
+
+class ClosedSystemModel:
+    """Exact MVA over CPU + disk + think-time stations."""
+
+    def __init__(
+        self,
+        miss_rates: MissRateInputs | None = None,
+        params: CostParameters | None = None,
+        mix: TransactionMix | None = None,
+        disk_arms: int | None = None,
+        think_time_seconds: float = 1.0,
+        visit_table: VisitTable | None = None,
+    ):
+        if think_time_seconds < 0:
+            raise ValueError(
+                f"think_time_seconds must be non-negative, got {think_time_seconds}"
+            )
+        self._model = ThroughputModel(
+            params=params, mix=mix, miss_rates=miss_rates, visit_table=visit_table
+        )
+        self._params = self._model.params
+        if disk_arms is None:
+            disk_arms = self._model.disk_arms_needed(self._model.max_throughput_tps())
+        if disk_arms < 1:
+            raise ValueError(f"disk_arms must be >= 1, got {disk_arms}")
+        self._disk_arms = disk_arms
+        self._think = think_time_seconds
+
+        # Mix-weighted service demands (seconds per transaction).
+        self._cpu_demand = (
+            self._model.cpu_demand_k() / self._params.k_instructions_per_second
+        )
+        self._disk_demand = (
+            self._model.disk_reads_per_transaction()
+            * self._params.disk_service_ms
+            / 1000.0
+            / disk_arms
+        )
+
+    @property
+    def model(self) -> ThroughputModel:
+        return self._model
+
+    @property
+    def disk_arms(self) -> int:
+        return self._disk_arms
+
+    @property
+    def think_time_seconds(self) -> float:
+        return self._think
+
+    @property
+    def cpu_demand_seconds(self) -> float:
+        return self._cpu_demand
+
+    @property
+    def disk_demand_seconds(self) -> float:
+        """Per-transaction disk demand, already divided over the arms."""
+        return self._disk_demand
+
+    def solve(self, population: int) -> MvaPoint:
+        """Exact MVA at one terminal population."""
+        return self.curve(population)[-1]
+
+    def curve(self, max_population: int) -> list[MvaPoint]:
+        """Exact MVA for populations 1..max_population."""
+        if max_population < 1:
+            raise ValueError(f"population must be >= 1, got {max_population}")
+        cpu_queue = 0.0
+        disk_queue = 0.0
+        points = []
+        for n in range(1, max_population + 1):
+            cpu_response = self._cpu_demand * (1.0 + cpu_queue)
+            disk_response = self._disk_demand * (1.0 + disk_queue)
+            cycle = cpu_response + disk_response + self._think
+            throughput = n / cycle
+            cpu_queue = throughput * cpu_response
+            disk_queue = throughput * disk_response
+            points.append(
+                MvaPoint(
+                    population=n,
+                    throughput_tps=throughput,
+                    response_seconds=cpu_response + disk_response,
+                    cpu_utilization=throughput * self._cpu_demand,
+                    disk_utilization=throughput * self._disk_demand,
+                )
+            )
+        return points
+
+    def population_for_utilization(
+        self, cpu_utilization: float, max_population: int = 10_000
+    ) -> MvaPoint | None:
+        """Smallest population driving the CPU to a target utilization.
+
+        Returns None when even ``max_population`` terminals cannot reach
+        it (e.g. the disks bottleneck first).
+        """
+        if not 0 < cpu_utilization < 1:
+            raise ValueError(
+                f"cpu_utilization must be in (0, 1), got {cpu_utilization}"
+            )
+        for point in self.curve(max_population):
+            if point.cpu_utilization >= cpu_utilization:
+                return point
+        return None
+
+    def bottleneck(self) -> str:
+        """Which resource saturates first as the population grows."""
+        return "cpu" if self._cpu_demand >= self._disk_demand else "disk"
+
+    def asymptotic_throughput_tps(self) -> float:
+        """The closed model's throughput ceiling: 1 / max demand."""
+        return 1.0 / max(self._cpu_demand, self._disk_demand)

@@ -1,0 +1,191 @@
+"""Cost parameters and miss-rate inputs for the throughput model.
+
+The per-operation CPU overheads follow paper Table 4.  The scanned copy
+of Table 4 is partially corrupted, so where its "overhead" column is
+unreadable we reconstruct values from the unambiguous sources:
+
+* the distributed Tables 6/7 print commit = 30K, initIO = 5K and
+  prepCommit = 15K instructions; the send/receive overhead prints
+  inconsistently (15K in Table 4, 10K in Tables 6/7), so it is
+  calibrated to 20K against the paper's quoted replication gains
+  (10/30/39% at 2/10/30 nodes — we obtain 9.8/27.9/35.2%);
+* the prose fixes 1K instructions per lock release, a 2040K-instruction
+  join (200-tuple range scan at 5K/tuple + 200 indexed selects at
+  5K/tuple + a 40K final sort), and a non-unique select that behaves
+  like three selects plus a small sort;
+* Table 4 legibly prints 20K for the basic select/update/insert calls.
+
+All values are explicit fields with these defaults, so sensitivity
+studies can override any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.constants import (
+    CPU_UTILIZATION_CAP,
+    DEFAULT_MIPS,
+    DISK_SERVICE_MS,
+    DISK_UTILIZATION_CAP,
+)
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """CPU and disk cost parameters (paper Table 4).
+
+    Instruction overheads are in units of 1000 instructions ("K").
+    ``application`` is charged once per database call plus once per
+    transaction, modeling "application code between SQL calls".
+    """
+
+    select_k: float = 20.0
+    update_k: float = 20.0
+    insert_k: float = 20.0
+    delete_k: float = 20.0
+    commit_k: float = 30.0
+    init_io_k: float = 5.0
+    application_k: float = 5.0
+    send_receive_k: float = 20.0
+    prep_commit_k: float = 15.0
+    init_transaction_k: float = 40.0
+    release_lock_k: float = 1.0
+    non_unique_select_k: float = 10.0
+    join_k: float = 2040.0
+
+    disk_service_ms: float = DISK_SERVICE_MS
+    mips: float = DEFAULT_MIPS
+    cpu_utilization_cap: float = CPU_UTILIZATION_CAP
+    disk_utilization_cap: float = DISK_UTILIZATION_CAP
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ValueError(f"mips must be positive, got {self.mips}")
+        if not 0 < self.cpu_utilization_cap <= 1:
+            raise ValueError(
+                f"cpu_utilization_cap must be in (0, 1], got {self.cpu_utilization_cap}"
+            )
+        if not 0 < self.disk_utilization_cap <= 1:
+            raise ValueError(
+                f"disk_utilization_cap must be in (0, 1], got {self.disk_utilization_cap}"
+            )
+        if self.disk_service_ms <= 0:
+            raise ValueError(
+                f"disk_service_ms must be positive, got {self.disk_service_ms}"
+            )
+
+    @property
+    def k_instructions_per_second(self) -> float:
+        """CPU capacity in K-instructions per second (MIPS * 1000)."""
+        return self.mips * 1000.0
+
+    def with_mips(self, mips: float) -> "CostParameters":
+        """A copy with a different processor speed."""
+        return replace(self, mips=mips)
+
+
+@dataclass(frozen=True)
+class MissRateInputs:
+    """Buffer miss rates feeding the throughput model.
+
+    The paper's symbols: ``customer`` = mc, ``item`` = mi, ``stock`` =
+    ms, ``order`` = mo, ``order_line`` = ml.  The first three apply to
+    the NURand-driven accesses; the temporally local (P-type) access
+    streams of Delivery and Stock-Level see different hit behaviour, so
+    they may be overridden separately (they default to the base values).
+    Warehouse, District and New-Order miss rates are negligible in all
+    simulations (paper Section 5.1) and are fixed at zero.
+    """
+
+    customer: float
+    item: float
+    stock: float
+    order: float = 0.0
+    order_line: float = 0.0
+    delivery_customer: float | None = None
+    stock_level_stock: float | None = None
+    stock_level_order_line: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("customer", "item", "stock", "order", "order_line"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} miss rate must be in [0, 1], got {value}")
+        for name in (
+            "delivery_customer",
+            "stock_level_stock",
+            "stock_level_order_line",
+        ):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} miss rate must be in [0, 1], got {value}")
+
+    @property
+    def effective_delivery_customer(self) -> float:
+        value = self.delivery_customer
+        return self.customer if value is None else value
+
+    @property
+    def effective_stock_level_stock(self) -> float:
+        value = self.stock_level_stock
+        return self.stock if value is None else value
+
+    @property
+    def effective_stock_level_order_line(self) -> float:
+        value = self.stock_level_order_line
+        return self.order_line if value is None else value
+
+    @classmethod
+    def zero(cls) -> "MissRateInputs":
+        """All-hit inputs (infinite buffer)."""
+        return cls(customer=0.0, item=0.0, stock=0.0)
+
+    @classmethod
+    def from_report(cls, report) -> "MissRateInputs":
+        """Build inputs from a :class:`repro.buffer.simulator.MissRateReport`.
+
+        NU-driven rates are taken from the New-Order / Payment /
+        Order-Status streams; the P-type streams of Delivery and
+        Stock-Level are taken in isolation, exactly as the paper feeds
+        its throughput model.
+        """
+        from repro.workload.mix import TransactionType as T
+
+        def tx_rate(tx: T, relation: str) -> float:
+            return report.transaction_miss_rate(tx, relation)
+
+        return cls(
+            customer=_weighted(
+                (tx_rate(T.NEW_ORDER, "customer"), report.config.trace.mix.new_order),
+                (tx_rate(T.PAYMENT, "customer"), report.config.trace.mix.payment),
+                (
+                    tx_rate(T.ORDER_STATUS, "customer"),
+                    report.config.trace.mix.order_status,
+                ),
+            ),
+            item=tx_rate(T.NEW_ORDER, "item"),
+            stock=tx_rate(T.NEW_ORDER, "stock"),
+            order=_weighted(
+                (tx_rate(T.ORDER_STATUS, "order"), report.config.trace.mix.order_status),
+                (tx_rate(T.DELIVERY, "order"), report.config.trace.mix.delivery),
+            ),
+            order_line=_weighted(
+                (
+                    tx_rate(T.ORDER_STATUS, "order_line"),
+                    report.config.trace.mix.order_status,
+                ),
+                (tx_rate(T.DELIVERY, "order_line"), report.config.trace.mix.delivery),
+            ),
+            delivery_customer=tx_rate(T.DELIVERY, "customer"),
+            stock_level_stock=tx_rate(T.STOCK_LEVEL, "stock"),
+            stock_level_order_line=tx_rate(T.STOCK_LEVEL, "order_line"),
+        )
+
+
+def _weighted(*pairs: tuple[float, float]) -> float:
+    """Weighted average of (value, weight) pairs; 0.0 if weights are 0."""
+    total_weight = sum(weight for _, weight in pairs)
+    if total_weight == 0:
+        return 0.0
+    return sum(value * weight for value, weight in pairs) / total_weight

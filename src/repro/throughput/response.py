@@ -1,0 +1,177 @@
+"""Open queueing model for transaction response times (extension).
+
+The paper reports only *maximum throughput* at a CPU-utilization cap.
+A natural companion question — what response times do users see as the
+system approaches that point? — is answered here with a classic open
+queueing network of the same resources:
+
+* the CPU is an M/M/1 queue (equivalently processor sharing, which has
+  the same mean response time and is insensitive to the service
+  distribution) serving each transaction's instruction demand;
+* each data-disk arm is an M/M/1 queue serving 25 ms page reads, with
+  the I/O load split evenly over the arms;
+* the log disk is modeled as one more M/M/1 arm serving one synchronous
+  commit write per transaction.
+
+Per-type response time = CPU demand inflated by CPU contention + reads
+inflated by disk contention (reads are sequential within a
+transaction, as in the paper's synchronous-miss model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.throughput.model import ThroughputModel
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.visits import VisitTable, cpu_k_per_transaction, disk_visits
+from repro.workload.mix import DEFAULT_MIX, TransactionMix
+
+
+@dataclass(frozen=True)
+class ResponseTimes:
+    """Mean response times (seconds) at one operating point."""
+
+    throughput_tps: float
+    cpu_utilization: float
+    disk_utilization: float
+    by_transaction: dict[str, float]
+    mean: float
+
+    def as_rows(self) -> list[dict[str, object]]:
+        rows = [
+            {"transaction": name, "response s": round(seconds, 4)}
+            for name, seconds in self.by_transaction.items()
+        ]
+        rows.append({"transaction": "mix average", "response s": round(self.mean, 4)})
+        return rows
+
+
+class ResponseTimeModel:
+    """Mean response times for the TPC-C mix under an open arrival stream.
+
+    Wraps a :class:`~repro.throughput.model.ThroughputModel` for the
+    demands; ``disk_arms`` defaults to the arm count the throughput
+    model would buy at its maximum throughput.
+    """
+
+    def __init__(
+        self,
+        miss_rates: MissRateInputs | None = None,
+        params: CostParameters | None = None,
+        mix: TransactionMix | None = None,
+        disk_arms: int | None = None,
+        visit_table: VisitTable | None = None,
+        log_disk: bool = True,
+    ):
+        self._mix = mix if mix is not None else DEFAULT_MIX
+        self._model = ThroughputModel(
+            params=params, mix=self._mix, miss_rates=miss_rates, visit_table=visit_table
+        )
+        self._params = self._model.params
+        if disk_arms is None:
+            disk_arms = self._model.disk_arms_needed(self._model.max_throughput_tps())
+        if disk_arms < 1:
+            raise ValueError(f"disk_arms must be >= 1, got {disk_arms}")
+        self._disk_arms = disk_arms
+        self._log_disk = log_disk
+
+    @property
+    def model(self) -> ThroughputModel:
+        return self._model
+
+    @property
+    def disk_arms(self) -> int:
+        return self._disk_arms
+
+    # -- capacity ----------------------------------------------------------------
+
+    def saturation_tps(self) -> float:
+        """The arrival rate at which some resource reaches 100%."""
+        cpu_cap = (
+            self._params.k_instructions_per_second / self._model.cpu_demand_k()
+        )
+        reads = self._model.disk_reads_per_transaction()
+        if reads > 0:
+            disk_cap = self._disk_arms / (
+                reads * self._params.disk_service_ms / 1000.0
+            )
+        else:
+            disk_cap = math.inf
+        log_cap = math.inf
+        if self._log_disk:
+            log_cap = 1.0 / (self._params.disk_service_ms / 1000.0)
+        return min(cpu_cap, disk_cap, log_cap)
+
+    # -- response times --------------------------------------------------------------
+
+    def utilizations(self, throughput_tps: float) -> tuple[float, float]:
+        """(CPU, per-arm disk) utilizations at an arrival rate."""
+        cpu = self._model.cpu_utilization(throughput_tps)
+        disk = self._model.disk_utilization(throughput_tps, self._disk_arms)
+        return cpu, disk
+
+    def evaluate(self, throughput_tps: float) -> ResponseTimes:
+        """Mean response time per transaction type at an arrival rate.
+
+        Raises ``ValueError`` when any resource would saturate.
+        """
+        if throughput_tps < 0:
+            raise ValueError(f"throughput must be non-negative, got {throughput_tps}")
+        cpu_util, disk_util = self.utilizations(throughput_tps)
+        log_util = (
+            throughput_tps * self._params.disk_service_ms / 1000.0
+            if self._log_disk
+            else 0.0
+        )
+        if cpu_util >= 1.0 or disk_util >= 1.0 or log_util >= 1.0:
+            raise ValueError(
+                f"open model saturates at {throughput_tps:.3f} tx/s "
+                f"(cpu {cpu_util:.2f}, disk {disk_util:.2f}, log {log_util:.2f})"
+            )
+
+        cpu_stretch = 1.0 / (1.0 - cpu_util)
+        disk_stretch = 1.0 / (1.0 - disk_util)
+        log_stretch = 1.0 / (1.0 - log_util) if self._log_disk else 0.0
+        read_seconds = self._params.disk_service_ms / 1000.0
+
+        by_transaction = {}
+        for tx, counts in self._model.visit_table.items():
+            cpu_seconds = (
+                cpu_k_per_transaction(self._params, counts)
+                / self._params.k_instructions_per_second
+            )
+            reads = disk_visits(counts)
+            response = cpu_seconds * cpu_stretch + reads * read_seconds * disk_stretch
+            if self._log_disk:
+                response += read_seconds * log_stretch  # commit's log force
+            by_transaction[tx.value] = response
+
+        mean = sum(
+            self._mix.as_dict()[name] * seconds
+            for name, seconds in by_transaction.items()
+        )
+        return ResponseTimes(
+            throughput_tps=throughput_tps,
+            cpu_utilization=cpu_util,
+            disk_utilization=disk_util,
+            by_transaction=by_transaction,
+            mean=mean,
+        )
+
+    def response_curve(
+        self, utilization_points: list[float]
+    ) -> list[ResponseTimes]:
+        """Evaluate along CPU-utilization points (e.g. 0.1 .. 0.9)."""
+        capacity = (
+            self._params.k_instructions_per_second / self._model.cpu_demand_k()
+        )
+        curve = []
+        for utilization in utilization_points:
+            if not 0 < utilization < 1:
+                raise ValueError(
+                    f"utilization points must be in (0, 1), got {utilization}"
+                )
+            curve.append(self.evaluate(utilization * capacity))
+        return curve

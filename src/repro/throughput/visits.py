@@ -1,0 +1,202 @@
+"""Per-transaction visit counts (paper Table 4).
+
+A *visit count* is the number of times a transaction performs an
+operation.  Counts that depend on buffer behaviour are functions of the
+miss-rate inputs; everything else comes from the access patterns of
+Section 2.2.
+
+The modeling conventions (documented deviations in DESIGN.md):
+
+* ``APPLICATION`` is visited once per database call plus once per
+  transaction.
+* ``RELEASE_LOCKS`` is visited once per lock; locks are counted as one
+  per select / update / insert / delete call (at 1K instructions each,
+  per the prose).
+* ``INIT_IO`` is visited once per transaction (the commit's log write)
+  plus once per synchronous page read, i.e. per buffer miss.
+* ``DISK_IO`` counts data-disk reads (buffer misses); the log has its
+  own disk and dirty-page writes are assumed asynchronous, following
+  the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.constants import (
+    DELIVERIES_PER_TRANSACTION,
+    EXPECTED_CUSTOMER_TUPLES,
+    ITEMS_PER_ORDER,
+    SELECT_BY_NAME_PROBABILITY,
+    STOCK_LEVEL_ORDERS,
+)
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.workload.mix import TransactionType
+
+
+class Operation(enum.Enum):
+    """Operations charged by the throughput model (Table 4 rows)."""
+
+    SELECT = "select"
+    UPDATE = "update"
+    INSERT = "insert"
+    DELETE = "delete"
+    COMMIT = "commit"
+    INIT_IO = "initIO"
+    APPLICATION = "application"
+    SEND_RECEIVE = "send/receive"
+    PREP_COMMIT = "prepCommit"
+    INIT_TRANSACTION = "initTransaction"
+    RELEASE_LOCKS = "releaseLocks"
+    NON_UNIQUE_SELECT = "non-unique-select"
+    JOIN = "join"
+    DISK_IO = "diskIO"
+
+
+#: CPU cost (K instructions) of each operation under given parameters.
+def operation_cost_k(params: CostParameters, operation: Operation) -> float:
+    """Instruction cost in K for one visit to an operation."""
+    costs = {
+        Operation.SELECT: params.select_k,
+        Operation.UPDATE: params.update_k,
+        Operation.INSERT: params.insert_k,
+        Operation.DELETE: params.delete_k,
+        Operation.COMMIT: params.commit_k,
+        Operation.INIT_IO: params.init_io_k,
+        Operation.APPLICATION: params.application_k,
+        Operation.SEND_RECEIVE: params.send_receive_k,
+        Operation.PREP_COMMIT: params.prep_commit_k,
+        Operation.INIT_TRANSACTION: params.init_transaction_k,
+        Operation.RELEASE_LOCKS: params.release_lock_k,
+        Operation.NON_UNIQUE_SELECT: params.non_unique_select_k,
+        Operation.JOIN: params.join_k,
+        Operation.DISK_IO: 0.0,  # disk visits cost time, not instructions
+    }
+    return costs[operation]
+
+
+VisitCounts = dict[Operation, float]
+VisitTable = dict[TransactionType, VisitCounts]
+
+
+def _base_counts(
+    selects: float,
+    updates: float,
+    inserts: float,
+    deletes: float,
+    non_unique: float,
+    joins: float,
+    data_reads: float,
+) -> VisitCounts:
+    """Assemble one transaction's visit counts from its call census."""
+    calls = selects + updates + inserts + deletes + non_unique + joins
+    return {
+        Operation.SELECT: selects,
+        Operation.UPDATE: updates,
+        Operation.INSERT: inserts,
+        Operation.DELETE: deletes,
+        Operation.COMMIT: 1.0,
+        Operation.INIT_IO: 1.0 + data_reads,
+        Operation.APPLICATION: calls + 1.0,
+        Operation.SEND_RECEIVE: 0.0,
+        Operation.PREP_COMMIT: 0.0,
+        Operation.INIT_TRANSACTION: 1.0,
+        Operation.RELEASE_LOCKS: selects + updates + inserts + deletes,
+        Operation.NON_UNIQUE_SELECT: non_unique,
+        Operation.JOIN: joins,
+        Operation.DISK_IO: data_reads,
+    }
+
+
+def single_node_visits(
+    miss: MissRateInputs,
+    items_per_order: int = ITEMS_PER_ORDER,
+) -> VisitTable:
+    """Visit counts per transaction for a single-node system (Table 4)."""
+    n = items_per_order
+    cust = EXPECTED_CUSTOMER_TUPLES  # 2.2 customer tuples per lookup
+    name_share = SELECT_BY_NAME_PROBABILITY
+    deliveries = DELIVERIES_PER_TRANSACTION
+    scan_tuples = STOCK_LEVEL_ORDERS * n  # 200-tuple range scan + join
+
+    new_order_reads = miss.customer + n * (miss.item + miss.stock)
+    payment_reads = cust * miss.customer
+    status_reads = cust * miss.customer + miss.order + n * miss.order_line
+    delivery_reads = deliveries * (
+        miss.order + miss.effective_delivery_customer + n * miss.order_line
+    )
+    stock_level_reads = scan_tuples * (
+        miss.effective_stock_level_order_line + miss.effective_stock_level_stock
+    )
+
+    return {
+        TransactionType.NEW_ORDER: _base_counts(
+            selects=3 + 2 * n,
+            updates=1 + n,
+            inserts=2 + n,
+            deletes=0,
+            non_unique=0,
+            joins=0,
+            data_reads=new_order_reads,
+        ),
+        TransactionType.PAYMENT: _base_counts(
+            selects=2 + (1 - name_share) + 3 * name_share,
+            updates=3,
+            inserts=1,
+            deletes=0,
+            non_unique=name_share,
+            joins=0,
+            data_reads=payment_reads,
+        ),
+        TransactionType.ORDER_STATUS: _base_counts(
+            selects=cust + 1 + n,
+            updates=0,
+            inserts=0,
+            deletes=0,
+            non_unique=name_share,
+            joins=0,
+            data_reads=status_reads,
+        ),
+        TransactionType.DELIVERY: _base_counts(
+            selects=deliveries * (3 + n),
+            updates=deliveries * (2 + n),
+            inserts=0,
+            deletes=deliveries,
+            non_unique=0,
+            joins=0,
+            data_reads=delivery_reads,
+        ),
+        TransactionType.STOCK_LEVEL: _base_counts(
+            selects=1,
+            updates=0,
+            inserts=0,
+            deletes=0,
+            non_unique=0,
+            joins=1,
+            data_reads=stock_level_reads,
+        ),
+    }
+
+
+def cpu_k_per_transaction(params: CostParameters, counts: VisitCounts) -> float:
+    """Total CPU demand of one transaction, in K instructions."""
+    return sum(
+        visits * operation_cost_k(params, operation)
+        for operation, visits in counts.items()
+    )
+
+
+def disk_visits(counts: VisitCounts) -> float:
+    """Data-disk reads of one transaction."""
+    return counts.get(Operation.DISK_IO, 0.0)
+
+
+def visit_table_rows(table: VisitTable) -> list[dict[str, object]]:
+    """Flatten a visit table for report rendering (one row per operation)."""
+    rows = []
+    for operation in Operation:
+        row: dict[str, object] = {"operation": operation.value}
+        for tx_type, counts in table.items():
+            row[tx_type.value] = round(counts.get(operation, 0.0), 4)
+        rows.append(row)
+    return rows

@@ -1,0 +1,21 @@
+"""Executable TPC-C on the storage engine.
+
+:mod:`repro.tpcc.rows` declares the nine relations with packed row
+sizes matching paper Table 1 byte for byte; :mod:`repro.tpcc.loader`
+populates a (possibly scaled-down) database; and
+:mod:`repro.tpcc.executor` runs the five transactions with the access
+patterns of Section 2.2, producing measured SQL-call censuses and
+buffer statistics that cross-validate the analytic models.
+"""
+
+from repro.tpcc.executor import TpccExecutor
+from repro.tpcc.loader import TpccConfig, load_tpcc
+from repro.tpcc.rows import TPCC_SCHEMAS, tpcc_index_specs
+
+__all__ = [
+    "TPCC_SCHEMAS",
+    "TpccConfig",
+    "TpccExecutor",
+    "load_tpcc",
+    "tpcc_index_specs",
+]

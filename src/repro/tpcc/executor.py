@@ -1,0 +1,398 @@
+"""The five TPC-C transactions, executed against the storage engine.
+
+Each method follows the call sequence of paper Section 2.2 exactly, so
+the engine's measured SQL-call census reproduces Table 2 and its
+buffer-manager statistics can be compared with the trace-driven model.
+
+By-name customer selection differs deliberately from the trace model's
+simplification: the executor picks a real last name and resolves it
+through the ``by_name`` index (three matching customers per district by
+construction), selecting the middle row by first name as the
+specification requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    NURAND_A_NAME,
+    REMOTE_PAYMENT_PROBABILITY,
+    REMOTE_STOCK_PROBABILITY,
+    SELECT_BY_NAME_PROBABILITY,
+    STOCK_LEVEL_ORDERS,
+    UNIQUE_CUSTOMER_NAMES,
+)
+from repro.engine.database import Database, Transaction
+from repro.workload.generator import InputGenerator, scaled_nurand_a
+from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
+from repro.core.nurand import NURand
+from repro.tpcc.loader import TpccConfig, last_name
+
+
+@dataclass
+class ExecutionSummary:
+    """Counts of executed transactions and notable outcomes."""
+
+    executed: dict[str, int] = field(default_factory=dict)
+    rolled_back: int = 0
+    skipped_deliveries: int = 0
+
+    def record(self, tx_name: str) -> None:
+        self.executed[tx_name] = self.executed.get(tx_name, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.executed.values())
+
+
+class TpccExecutor:
+    """Drives the five transactions against a loaded database."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: TpccConfig,
+        seed: int = 0,
+        remote_stock_probability: float = REMOTE_STOCK_PROBABILITY,
+        remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY,
+        rollback_probability: float = 0.0,
+    ):
+        self._db = db
+        self._config = config
+        self._rng = np.random.default_rng(seed)
+        self._inputs = InputGenerator(
+            config.warehouses,
+            rng=self._rng,
+            items_per_order=config.items_per_order,
+            remote_stock_probability=remote_stock_probability,
+            remote_payment_probability=remote_payment_probability,
+            items=config.items,
+            customers_per_district=config.customers_per_district,
+        )
+        a_name = scaled_nurand_a(
+            config.unique_names, UNIQUE_CUSTOMER_NAMES, NURAND_A_NAME
+        )
+        self._name_sampler = NURand(a_name, 0, config.unique_names - 1)
+        self._rollback_probability = rollback_probability
+        self._history_seq = db.table("history").row_count
+        self.summary = ExecutionSummary()
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    # -- transaction implementations ------------------------------------------
+
+    def new_order(self) -> dict | None:
+        """Place an order; returns {o_id, warehouse, district, customer}.
+
+        Returns None when the transaction was rolled back (the
+        benchmark's 1% simulated entry errors, off by default).
+        """
+        params = self._inputs.new_order()
+        txn = self._db.begin("new_order")
+        try:
+            txn.select("warehouse", (params.warehouse,))
+            district = txn.select("district", (params.warehouse, params.district))
+            order_id = district["d_next_o_id"]
+            txn.update(
+                "district",
+                (params.warehouse, params.district),
+                {"d_next_o_id": order_id + 1},
+            )
+            txn.select(
+                "customer", (params.warehouse, params.district, params.customer)
+            )
+            txn.insert(
+                "order",
+                {
+                    "o_w_id": params.warehouse,
+                    "o_d_id": params.district,
+                    "o_id": order_id,
+                    "o_c_id": params.customer,
+                    "o_carrier_id": 0,
+                    "o_ol_cnt": len(params.lines),
+                    "o_entry_d": 0,
+                },
+            )
+            txn.insert(
+                "new_order",
+                {
+                    "no_w_id": params.warehouse,
+                    "no_d_id": params.district,
+                    "no_o_id": order_id,
+                },
+            )
+            for number, line in enumerate(params.lines, start=1):
+                item = txn.select("item", (line.item_id,))
+                stock = txn.select("stock", (line.supply_warehouse, line.item_id))
+                quantity = stock["s_quantity"]
+                new_quantity = (
+                    quantity - line.quantity
+                    if quantity - line.quantity >= 10
+                    else quantity - line.quantity + 91
+                )
+                txn.update(
+                    "stock",
+                    (line.supply_warehouse, line.item_id),
+                    {
+                        "s_quantity": new_quantity,
+                        "s_ytd": stock["s_ytd"] + line.quantity,
+                        "s_order_cnt": stock["s_order_cnt"] + 1,
+                        "s_remote_cnt": stock["s_remote_cnt"]
+                        + (line.supply_warehouse != params.warehouse),
+                    },
+                )
+                txn.insert(
+                    "order_line",
+                    {
+                        "ol_w_id": params.warehouse,
+                        "ol_d_id": params.district,
+                        "ol_o_id": order_id,
+                        "ol_number": number,
+                        "ol_i_id": line.item_id,
+                        "ol_supply_w_id": line.supply_warehouse,
+                        "ol_quantity": line.quantity,
+                        "ol_delivery_d": 0,
+                        "ol_amount": float(item["i_price"]) * line.quantity,
+                        "ol_dist_info": f"dist-{params.district:02d}",
+                    },
+                )
+            if self._rng.random() < self._rollback_probability:
+                txn.abort()
+                self.summary.rolled_back += 1
+                return None
+            txn.commit()
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        self.summary.record("new_order")
+        return {
+            "o_id": order_id,
+            "warehouse": params.warehouse,
+            "district": params.district,
+            "customer": params.customer,
+        }
+
+    def payment(self) -> dict:
+        """Process a payment; returns {customer, amount}."""
+        params = self._inputs.payment()
+        amount = float(self._rng.uniform(1.0, 5000.0))
+        txn = self._db.begin("payment")
+        try:
+            warehouse = txn.select("warehouse", (params.warehouse,))
+            district = txn.select("district", (params.warehouse, params.district))
+            customer = self._locate_customer(
+                txn, params.customer_warehouse, params.customer_district
+            )
+            txn.update(
+                "warehouse",
+                (params.warehouse,),
+                {"w_ytd": warehouse["w_ytd"] + amount},
+            )
+            txn.update(
+                "district",
+                (params.warehouse, params.district),
+                {"d_ytd": district["d_ytd"] + amount},
+            )
+            txn.update(
+                "customer",
+                (customer["c_w_id"], customer["c_d_id"], customer["c_id"]),
+                lambda row: {
+                    **row,
+                    "c_balance": row["c_balance"] - amount,
+                    "c_ytd_payment": row["c_ytd_payment"] + amount,
+                    "c_payment_cnt": row["c_payment_cnt"] + 1,
+                },
+            )
+            self._history_seq += 1
+            txn.insert(
+                "history",
+                {
+                    "h_id": self._history_seq,
+                    "h_c_id": customer["c_id"],
+                    "h_c_d_id": customer["c_d_id"],
+                    "h_c_w_id": customer["c_w_id"],
+                    "h_d_id": params.district,
+                    "h_w_id": params.warehouse,
+                    "h_date": 0,
+                    "h_amount": amount,
+                    "h_data": "payment",
+                },
+            )
+            txn.commit()
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        self.summary.record("payment")
+        return {"customer": customer["c_id"], "amount": amount}
+
+    def order_status(self) -> dict | None:
+        """Report a customer's last order; returns its line count or None."""
+        warehouse = self._inputs.uniform_warehouse()
+        district = self._inputs.uniform_district()
+        txn = self._db.begin("order_status")
+        try:
+            customer = self._locate_customer(txn, warehouse, district)
+            order = txn.select_max(
+                "order", "by_customer", (warehouse, district, customer["c_id"])
+            )
+            lines = []
+            if order is not None:
+                lines = list(
+                    txn.range_select(
+                        "order_line",
+                        "by_order",
+                        (warehouse, district, order["o_id"]),
+                        (warehouse, district, order["o_id"], 32_767),
+                    )
+                )
+            txn.commit()
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        self.summary.record("order_status")
+        if order is None:
+            return None
+        return {"o_id": order["o_id"], "lines": len(lines)}
+
+    def delivery(self) -> dict:
+        """Deliver the oldest pending order of each district."""
+        warehouse = self._inputs.uniform_warehouse()
+        delivered = 0
+        txn = self._db.begin("delivery")
+        try:
+            for district in range(1, self._config.districts + 1):
+                pending = txn.select_min(
+                    "new_order", "by_district", (warehouse, district)
+                )
+                if pending is None:
+                    self.summary.skipped_deliveries += 1
+                    continue
+                order_id = pending["no_o_id"]
+                txn.delete("new_order", (warehouse, district, order_id))
+                order = txn.select("order", (warehouse, district, order_id))
+                txn.update(
+                    "order",
+                    (warehouse, district, order_id),
+                    {"o_carrier_id": int(self._rng.integers(1, 11))},
+                )
+                total = 0.0
+                lines = list(
+                    txn.range_select(
+                        "order_line",
+                        "by_order",
+                        (warehouse, district, order_id),
+                        (warehouse, district, order_id, 32_767),
+                    )
+                )
+                for line in lines:
+                    total += line["ol_amount"]
+                    txn.update(
+                        "order_line",
+                        (warehouse, district, order_id, line["ol_number"]),
+                        {"ol_delivery_d": 1},
+                    )
+                txn.select("customer", (warehouse, district, order["o_c_id"]))
+                txn.update(
+                    "customer",
+                    (warehouse, district, order["o_c_id"]),
+                    lambda row, total=total: {
+                        **row,
+                        "c_balance": row["c_balance"] + total,
+                        "c_delivery_cnt": row["c_delivery_cnt"] + 1,
+                    },
+                )
+                delivered += 1
+            txn.commit()
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        self.summary.record("delivery")
+        return {"warehouse": warehouse, "delivered": delivered}
+
+    def stock_level(self) -> dict:
+        """Count low-stock items among the district's last 20 orders."""
+        warehouse = self._inputs.uniform_warehouse()
+        district = self._inputs.uniform_district()
+        threshold = int(self._rng.integers(10, 21))
+        txn = self._db.begin("stock_level")
+        try:
+            district_row = txn.select("district", (warehouse, district))
+            next_order = district_row["d_next_o_id"]
+            low = (warehouse, district, max(1, next_order - STOCK_LEVEL_ORDERS))
+            high = (warehouse, district, next_order - 1, 32_767)
+            txn.count_join()
+            seen: set[int] = set()
+            low_stock: set[int] = set()
+            for line in txn.range_select("order_line", "by_order", low, high):
+                item_id = line["ol_i_id"]
+                if item_id in seen:
+                    continue
+                seen.add(item_id)
+                stock = txn.select("stock", (warehouse, item_id))
+                if stock["s_quantity"] < threshold:
+                    low_stock.add(item_id)
+            txn.commit()
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+        self.summary.record("stock_level")
+        return {"low_stock": len(low_stock), "threshold": threshold}
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run_mix(
+        self, transactions: int, mix: TransactionMix = DEFAULT_MIX
+    ) -> ExecutionSummary:
+        """Execute ``transactions`` draws from the mix."""
+        dispatch = {
+            TransactionType.NEW_ORDER: self.new_order,
+            TransactionType.PAYMENT: self.payment,
+            TransactionType.ORDER_STATUS: self.order_status,
+            TransactionType.DELIVERY: self.delivery,
+            TransactionType.STOCK_LEVEL: self.stock_level,
+        }
+        for _ in range(transactions):
+            dispatch[mix.sample(self._rng)]()
+        return self.summary
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _locate_customer(
+        self, txn: Transaction, warehouse: int, district: int
+    ) -> dict:
+        """Select a customer by id (40%) or by last name (60%).
+
+        The by-name path resolves all same-named customers through the
+        ``by_name`` index, sorts by first name, and returns the middle
+        one — the specification's rule.
+        """
+        if self._rng.random() >= SELECT_BY_NAME_PROBABILITY:
+            customer_id = self._inputs.customer_id()
+            return txn.select("customer", (warehouse, district, customer_id))
+        name_number = self._name_sampler.sample(self._rng)
+        name = last_name(name_number)
+        matches = txn.select_by_index(
+            "customer", "by_name", (warehouse, district, name)
+        )
+        assert matches, f"no customers named {name} in ({warehouse}, {district})"
+        matches.sort(key=lambda row: row["c_first"])
+        return matches[len(matches) // 2]
+
+
+def buffer_miss_rates(db: Database) -> dict[str, float]:
+    """Measured per-table buffer miss rates of an engine run."""
+    rates = {}
+    for name in db.table_names():
+        file_id = db.file_id_of(name)
+        rates[name] = db.buffers.stats.miss_rate(file_id)
+    return rates

@@ -1,0 +1,249 @@
+"""Database population for executable TPC-C runs.
+
+Full-scale TPC-C (100 000 stock rows per warehouse, 30 000 customers)
+is too large to hold as Python objects, so the loader takes a
+:class:`TpccConfig` whose cardinalities default to a laptop-friendly
+scale; the access *patterns* (NURand skew, name collisions, pending
+orders) keep the benchmark's structure at any scale, with the NURand
+``A`` constants rescaled to keep the same skew ratio.
+
+Following TPC-C's initial-population rules (scaled): every customer
+exists, each district has a block of already-placed orders whose most
+recent ``pending_orders`` entries sit in the New-Order relation, and
+customer last names repeat so roughly three customers per district
+share each name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DISTRICTS_PER_WAREHOUSE, TUPLES_PER_NAME_SELECT
+from repro.engine.database import Database
+from repro.tpcc.rows import TPCC_SCHEMAS, tpcc_index_specs
+
+#: The ten TPC-C last-name syllables.
+NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def last_name(number: int) -> str:
+    """The TPC-C last name for a name number (three syllables)."""
+    if number < 0:
+        raise ValueError(f"name number must be non-negative, got {number}")
+    hundreds, rest = divmod(number, 100)
+    tens, ones = divmod(rest, 10)
+    return NAME_SYLLABLES[hundreds % 10] + NAME_SYLLABLES[tens] + NAME_SYLLABLES[ones]
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """Scale parameters for an executable TPC-C database."""
+
+    warehouses: int = 2
+    customers_per_district: int = 90
+    items: int = 1_000
+    items_per_order: int = 10
+    initial_orders_per_district: int = 30
+    pending_orders_per_district: int = 10
+    buffer_pages: int = 2_000
+    policy: str = "lru"
+    page_size: int = 4096
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.warehouses <= 0:
+            raise ValueError(f"warehouses must be positive, got {self.warehouses}")
+        if self.customers_per_district % TUPLES_PER_NAME_SELECT:
+            raise ValueError(
+                "customers_per_district must be divisible by "
+                f"{TUPLES_PER_NAME_SELECT}, got {self.customers_per_district}"
+            )
+        if self.pending_orders_per_district > self.initial_orders_per_district:
+            raise ValueError("pending orders cannot exceed initial orders")
+        if self.items <= 0:
+            raise ValueError(f"items must be positive, got {self.items}")
+
+    @property
+    def unique_names(self) -> int:
+        """Distinct last names per district (customers / 3)."""
+        return self.customers_per_district // TUPLES_PER_NAME_SELECT
+
+    @property
+    def districts(self) -> int:
+        return DISTRICTS_PER_WAREHOUSE
+
+
+def load_tpcc(config: TpccConfig) -> Database:
+    """Create and populate a database according to ``config``."""
+    rng = np.random.default_rng(config.seed)
+    db = Database(
+        buffer_pages=config.buffer_pages,
+        policy=config.policy,
+        page_size=config.page_size,
+    )
+    indexes = tpcc_index_specs()
+    for name, schema in TPCC_SCHEMAS.items():
+        db.create_table(schema, indexes.get(name))
+
+    _load_items(db, config, rng)
+    for warehouse in range(1, config.warehouses + 1):
+        _load_warehouse(db, config, rng, warehouse)
+    db.checkpoint()
+    db.buffers.reset_stats()
+    db.store.reset_counters()
+    return db
+
+
+def _load_items(db: Database, config: TpccConfig, rng: np.random.Generator) -> None:
+    table = db.table("item")
+    for item_id in range(1, config.items + 1):
+        table.insert(
+            {
+                "i_id": item_id,
+                "i_im_id": int(rng.integers(1, 10_001)),
+                "i_price": float(rng.uniform(1.0, 100.0)),
+                "i_name": f"item-{item_id}",
+                "i_data": "original",
+            }
+        )
+
+
+def _load_warehouse(
+    db: Database, config: TpccConfig, rng: np.random.Generator, warehouse: int
+) -> None:
+    db.table("warehouse").insert(
+        {
+            "w_id": warehouse,
+            "w_tax": float(rng.uniform(0.0, 0.2)),
+            "w_ytd": 300_000.0,
+            "w_name": f"wh-{warehouse}",
+            "w_street": "1 Main St",
+            "w_city": "Hampton",
+            "w_state": "VA",
+            "w_zip": "236810001",
+            "w_filler": "",
+        }
+    )
+    _load_stock(db, config, rng, warehouse)
+    for district in range(1, config.districts + 1):
+        _load_district(db, config, rng, warehouse, district)
+
+
+def _load_stock(
+    db: Database, config: TpccConfig, rng: np.random.Generator, warehouse: int
+) -> None:
+    table = db.table("stock")
+    quantities = rng.integers(10, 101, size=config.items)
+    for item_id in range(1, config.items + 1):
+        row = {
+            "s_w_id": warehouse,
+            "s_i_id": item_id,
+            "s_quantity": int(quantities[item_id - 1]),
+            "s_ytd": 0,
+            "s_order_cnt": 0,
+            "s_remote_cnt": 0,
+            "s_data": "original",
+        }
+        for d in range(1, 11):
+            row[f"s_dist_{d:02d}"] = f"dist-{d:02d}"
+        table.insert(row)
+
+
+def _load_district(
+    db: Database,
+    config: TpccConfig,
+    rng: np.random.Generator,
+    warehouse: int,
+    district: int,
+) -> None:
+    customers = db.table("customer")
+    for customer_id in range(1, config.customers_per_district + 1):
+        name_number = (customer_id - 1) % config.unique_names
+        customers.insert(
+            {
+                "c_w_id": warehouse,
+                "c_d_id": district,
+                "c_id": customer_id,
+                "c_credit_lim": 50_000.0,
+                "c_discount": float(rng.uniform(0.0, 0.5)),
+                "c_balance": -10.0,
+                "c_ytd_payment": 10.0,
+                "c_payment_cnt": 1,
+                "c_delivery_cnt": 0,
+                "c_first": f"first-{customer_id}",
+                "c_middle": "OE",
+                "c_last": last_name(name_number),
+                "c_street_1": "2 Oak St",
+                "c_street_2": "",
+                "c_city": "Hampton",
+                "c_state": "VA",
+                "c_zip": "236810001",
+                "c_phone": "555-0000",
+                "c_since": "1993-03-01",
+                "c_credit": "GC",
+                "c_data": "customer data",
+            }
+        )
+
+    orders = db.table("order")
+    order_lines = db.table("order_line")
+    new_orders = db.table("new_order")
+    first_pending = config.initial_orders_per_district - config.pending_orders_per_district
+    # TPC-C assigns initial orders to customers via a permutation, so no
+    # customer gets two initial orders.
+    customer_permutation = rng.permutation(config.customers_per_district) + 1
+    for order_id in range(1, config.initial_orders_per_district + 1):
+        customer_id = int(
+            customer_permutation[(order_id - 1) % config.customers_per_district]
+        )
+        delivered = order_id <= first_pending
+        orders.insert(
+            {
+                "o_w_id": warehouse,
+                "o_d_id": district,
+                "o_id": order_id,
+                "o_c_id": customer_id,
+                "o_carrier_id": int(rng.integers(1, 11)) if delivered else 0,
+                "o_ol_cnt": config.items_per_order,
+                "o_entry_d": 0,
+            }
+        )
+        for number in range(1, config.items_per_order + 1):
+            order_lines.insert(
+                {
+                    "ol_w_id": warehouse,
+                    "ol_d_id": district,
+                    "ol_o_id": order_id,
+                    "ol_number": number,
+                    "ol_i_id": int(rng.integers(1, config.items + 1)),
+                    "ol_supply_w_id": warehouse,
+                    "ol_quantity": 5,
+                    "ol_delivery_d": 0 if not delivered else 1,
+                    "ol_amount": float(rng.uniform(0.01, 9_999.99)),
+                    "ol_dist_info": f"dist-{district:02d}",
+                }
+            )
+        if not delivered:
+            new_orders.insert(
+                {"no_w_id": warehouse, "no_d_id": district, "no_o_id": order_id}
+            )
+
+    db.table("district").insert(
+        {
+            "d_w_id": warehouse,
+            "d_id": district,
+            "d_tax": float(rng.uniform(0.0, 0.2)),
+            "d_ytd": 30_000.0,
+            "d_next_o_id": config.initial_orders_per_district + 1,
+            "d_name": f"dist-{district}",
+            "d_street": "3 Elm St",
+            "d_city": "Hampton",
+            "d_state": "VA",
+            "d_zip": "236810001",
+        }
+    )

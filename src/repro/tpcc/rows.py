@@ -1,0 +1,245 @@
+"""TPC-C relation schemas for the storage engine.
+
+Column sets follow the TPC-C specification, with CHAR lengths and
+integer widths chosen so each packed row matches the paper's Table 1
+tuple length exactly — the page geometry (tuples per 4K page) then
+matches the model by construction.  A module-level assertion enforces
+the byte counts.
+
+Key column order is (warehouse, district, id) throughout so composite
+keys sort the way the ordered indexes need.
+"""
+
+from __future__ import annotations
+
+from repro.constants import TUPLE_BYTES
+from repro.engine.catalog import TableSchema, char, floating, int2, int4, integer
+from repro.engine.table import IndexSpec
+
+
+def _warehouse_schema() -> TableSchema:
+    return TableSchema(
+        "warehouse",
+        [
+            integer("w_id"),
+            floating("w_tax"),
+            floating("w_ytd"),
+            char("w_name", 10),
+            char("w_street", 20),
+            char("w_city", 18),
+            char("w_state", 2),
+            char("w_zip", 9),
+            char("w_filler", 6),
+        ],
+        primary_key=("w_id",),
+    )
+
+
+def _district_schema() -> TableSchema:
+    return TableSchema(
+        "district",
+        [
+            integer("d_w_id"),
+            integer("d_id"),
+            floating("d_tax"),
+            floating("d_ytd"),
+            integer("d_next_o_id"),
+            char("d_name", 10),
+            char("d_street", 20),
+            char("d_city", 14),
+            char("d_state", 2),
+            char("d_zip", 9),
+        ],
+        primary_key=("d_w_id", "d_id"),
+    )
+
+
+def _customer_schema() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            integer("c_w_id"),
+            integer("c_d_id"),
+            integer("c_id"),
+            floating("c_credit_lim"),
+            floating("c_discount"),
+            floating("c_balance"),
+            floating("c_ytd_payment"),
+            integer("c_payment_cnt"),
+            integer("c_delivery_cnt"),
+            char("c_first", 16),
+            char("c_middle", 2),
+            char("c_last", 16),
+            char("c_street_1", 20),
+            char("c_street_2", 20),
+            char("c_city", 20),
+            char("c_state", 2),
+            char("c_zip", 9),
+            char("c_phone", 16),
+            char("c_since", 10),
+            char("c_credit", 2),
+            char("c_data", 450),
+        ],
+        primary_key=("c_w_id", "c_d_id", "c_id"),
+    )
+
+
+def _stock_schema() -> TableSchema:
+    dist_columns = [char(f"s_dist_{d:02d}", 24) for d in range(1, 11)]
+    return TableSchema(
+        "stock",
+        [
+            integer("s_w_id"),
+            integer("s_i_id"),
+            integer("s_quantity"),
+            integer("s_ytd"),
+            integer("s_order_cnt"),
+            integer("s_remote_cnt"),
+            *dist_columns,
+            char("s_data", 18),
+        ],
+        primary_key=("s_w_id", "s_i_id"),
+    )
+
+
+def _item_schema() -> TableSchema:
+    return TableSchema(
+        "item",
+        [
+            integer("i_id"),
+            integer("i_im_id"),
+            floating("i_price"),
+            char("i_name", 24),
+            char("i_data", 34),
+        ],
+        primary_key=("i_id",),
+    )
+
+
+def _order_schema() -> TableSchema:
+    return TableSchema(
+        "order",
+        [
+            int2("o_w_id"),
+            int2("o_d_id"),
+            int4("o_id"),
+            int4("o_c_id"),
+            int2("o_carrier_id"),
+            int2("o_ol_cnt"),
+            integer("o_entry_d"),
+        ],
+        primary_key=("o_w_id", "o_d_id", "o_id"),
+    )
+
+
+def _new_order_schema() -> TableSchema:
+    return TableSchema(
+        "new_order",
+        [
+            int2("no_w_id"),
+            int2("no_d_id"),
+            int4("no_o_id"),
+        ],
+        primary_key=("no_w_id", "no_d_id", "no_o_id"),
+    )
+
+
+def _order_line_schema() -> TableSchema:
+    return TableSchema(
+        "order_line",
+        [
+            int2("ol_w_id"),
+            int2("ol_d_id"),
+            int4("ol_o_id"),
+            int2("ol_number"),
+            int4("ol_i_id"),
+            int2("ol_supply_w_id"),
+            int2("ol_quantity"),
+            integer("ol_delivery_d"),
+            floating("ol_amount"),
+            char("ol_dist_info", 20),
+        ],
+        primary_key=("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+    )
+
+
+def _history_schema() -> TableSchema:
+    return TableSchema(
+        "history",
+        [
+            int4("h_id"),
+            int4("h_c_id"),
+            int2("h_c_d_id"),
+            int2("h_c_w_id"),
+            int2("h_d_id"),
+            int2("h_w_id"),
+            integer("h_date"),
+            floating("h_amount"),
+            char("h_data", 14),
+        ],
+        primary_key=("h_id",),
+    )
+
+
+#: All nine schemas, keyed by relation name.
+TPCC_SCHEMAS: dict[str, TableSchema] = {
+    schema.name: schema
+    for schema in (
+        _warehouse_schema(),
+        _district_schema(),
+        _customer_schema(),
+        _stock_schema(),
+        _item_schema(),
+        _order_schema(),
+        _new_order_schema(),
+        _order_line_schema(),
+        _history_schema(),
+    )
+}
+
+# Enforce that row sizes reproduce paper Table 1 exactly.
+for _name, _schema in TPCC_SCHEMAS.items():
+    assert _schema.record_size == TUPLE_BYTES[_name], (
+        f"{_name}: packed size {_schema.record_size} != paper's "
+        f"{TUPLE_BYTES[_name]} bytes"
+    )
+
+
+def tpcc_index_specs() -> dict[str, list[IndexSpec]]:
+    """Secondary indexes required by the five transactions.
+
+    * ``customer.by_name`` — the Payment/Order-Status last-name lookup;
+    * ``order.by_customer`` — ordered, for Select(Max(order-id));
+    * ``new_order.by_district`` — ordered, for Select(Min(order-id));
+    * ``order_line.by_order`` — ordered, for per-order and last-20-orders
+      range scans (Order-Status, Delivery, Stock-Level).
+    """
+    return {
+        "customer": [
+            IndexSpec("by_name", ("c_w_id", "c_d_id", "c_last"), kind="hash"),
+        ],
+        "order": [
+            IndexSpec(
+                "by_customer",
+                ("o_w_id", "o_d_id", "o_c_id", "o_id"),
+                kind="btree",
+                unique=True,
+            ),
+        ],
+        "new_order": [
+            IndexSpec(
+                "by_district",
+                ("no_w_id", "no_d_id", "no_o_id"),
+                kind="btree",
+                unique=True,
+            ),
+        ],
+        "order_line": [
+            IndexSpec(
+                "by_order",
+                ("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+                kind="btree",
+                unique=True,
+            ),
+        ],
+    }

@@ -1,0 +1,247 @@
+"""Random input generation for the five transactions (paper Section 2.2).
+
+All tuple-id randomness follows the paper's assumptions:
+
+* warehouse and district ids are uniform (each terminal submits at the
+  same rate);
+* customer ids come from NU(1023, 1, 3000) when selecting by id;
+* by-name selection (60% of Payment / Order-Status) touches three
+  customer tuples drawn near a NU(255, lbound, ubound) seed in one of
+  three equally likely 1000-customer bands;
+* item ids come from NU(8191, 1, 100000);
+* 1% of order lines are supplied by a uniformly chosen remote
+  warehouse; 15% of payments go through a remote warehouse.
+
+Draws are buffered through vectorized NURand sampling so trace
+generation stays fast while the public API remains scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEMS,
+    ITEMS_PER_ORDER,
+    NURAND_A_CUSTOMER,
+    NURAND_A_ITEM,
+    NURAND_A_NAME,
+    REMOTE_PAYMENT_PROBABILITY,
+    REMOTE_STOCK_PROBABILITY,
+    SELECT_BY_NAME_PROBABILITY,
+    TUPLES_PER_NAME_SELECT,
+    UNIQUE_CUSTOMER_NAMES,
+)
+from repro.core.nurand import NURand, scaled_nurand_a
+from repro.workload.transactions import (
+    DeliveryParams,
+    NewOrderParams,
+    OrderLineRequest,
+    OrderStatusParams,
+    PaymentParams,
+    StockLevelParams,
+)
+
+
+class _BufferedSampler:
+    """Refillable block of draws from one NURand sampler."""
+
+    def __init__(self, sampler: NURand, rng: np.random.Generator, block: int = 8192):
+        self._sampler = sampler
+        self._rng = rng
+        self._block = block
+        self._buffer = sampler.sample_array(rng, block)
+        self._next = 0
+
+    def draw(self) -> int:
+        if self._next >= self._buffer.size:
+            self._buffer = self._sampler.sample_array(self._rng, self._block)
+            self._next = 0
+        value = int(self._buffer[self._next])
+        self._next += 1
+        return value
+
+
+class InputGenerator:
+    """Generates transaction input parameters for ``warehouses`` warehouses.
+
+    ``remote_stock_probability`` is exposed as a parameter because the
+    paper's Figure 12 studies scale-up sensitivity to it; the benchmark
+    value is 0.01.
+    """
+
+    def __init__(
+        self,
+        warehouses: int,
+        rng: np.random.Generator | None = None,
+        items_per_order: int = ITEMS_PER_ORDER,
+        remote_stock_probability: float = REMOTE_STOCK_PROBABILITY,
+        remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY,
+        items: int = ITEMS,
+        customers_per_district: int = CUSTOMERS_PER_DISTRICT,
+    ):
+        if warehouses <= 0:
+            raise ValueError(f"warehouses must be positive, got {warehouses}")
+        if items_per_order <= 0:
+            raise ValueError(f"items_per_order must be positive, got {items_per_order}")
+        if not 0 <= remote_stock_probability <= 1:
+            raise ValueError(
+                f"remote_stock_probability must be in [0, 1], got "
+                f"{remote_stock_probability}"
+            )
+        if not 0 <= remote_payment_probability <= 1:
+            raise ValueError(
+                f"remote_payment_probability must be in [0, 1], got "
+                f"{remote_payment_probability}"
+            )
+        if customers_per_district % TUPLES_PER_NAME_SELECT != 0:
+            raise ValueError(
+                f"customers_per_district must be divisible by "
+                f"{TUPLES_PER_NAME_SELECT}, got {customers_per_district}"
+            )
+        self._warehouses = warehouses
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._items_per_order = items_per_order
+        self._remote_stock_probability = remote_stock_probability
+        self._remote_payment_probability = remote_payment_probability
+        self._items = items
+        self._customers_per_district = customers_per_district
+        self._unique_names = customers_per_district // TUPLES_PER_NAME_SELECT
+
+        a_item = scaled_nurand_a(items, ITEMS, NURAND_A_ITEM)
+        a_customer = scaled_nurand_a(
+            customers_per_district, CUSTOMERS_PER_DISTRICT, NURAND_A_CUSTOMER
+        )
+        a_name = scaled_nurand_a(
+            self._unique_names, UNIQUE_CUSTOMER_NAMES, NURAND_A_NAME
+        )
+        self._item_sampler = _BufferedSampler(NURand(a_item, 1, items), self._rng)
+        self._customer_sampler = _BufferedSampler(
+            NURand(a_customer, 1, customers_per_district), self._rng
+        )
+        self._name_samplers = [
+            _BufferedSampler(
+                NURand(
+                    a_name,
+                    band * self._unique_names + 1,
+                    (band + 1) * self._unique_names,
+                ),
+                self._rng,
+            )
+            for band in range(TUPLES_PER_NAME_SELECT)
+        ]
+
+    # -- shared helpers -----------------------------------------------------
+
+    @property
+    def warehouses(self) -> int:
+        return self._warehouses
+
+    @property
+    def items_per_order(self) -> int:
+        return self._items_per_order
+
+    def uniform_warehouse(self) -> int:
+        """A warehouse id in ``[1 .. warehouses]``."""
+        return int(self._rng.integers(1, self._warehouses + 1))
+
+    def uniform_district(self) -> int:
+        """A district id in ``[1 .. 10]``."""
+        return int(self._rng.integers(1, DISTRICTS_PER_WAREHOUSE + 1))
+
+    def remote_warehouse(self, home: int) -> int:
+        """A warehouse id uniform over all warehouses except ``home``."""
+        if self._warehouses == 1:
+            return home
+        other = int(self._rng.integers(1, self._warehouses))
+        return other if other < home else other + 1
+
+    def customer_id(self) -> int:
+        """One NURand-distributed customer id."""
+        return self._customer_sampler.draw()
+
+    def item_id(self) -> int:
+        """One NURand-distributed item id."""
+        return self._item_sampler.draw()
+
+    def customer_tuples(self) -> tuple[bool, tuple[int, ...]]:
+        """Customer ids touched by a Payment / Order-Status selection.
+
+        Returns ``(by_name, ids)``: one NU(1023)-drawn id 40% of the
+        time; 60% of the time three ids drawn independently from the
+        NU(255) distribution of a uniformly chosen band of 1000
+        customers.  This is the paper's Section 3 simplification of the
+        name lookup — the three same-named tuples are "distributed
+        across the 3000 tuples", not adjacent (the executable engine in
+        :mod:`repro.tpcc` resolves real last names instead).
+        """
+        if self._rng.random() >= SELECT_BY_NAME_PROBABILITY:
+            return False, (self._customer_sampler.draw(),)
+        band = int(self._rng.integers(0, len(self._name_samplers)))
+        sampler = self._name_samplers[band]
+        ids = tuple(sampler.draw() for _ in range(TUPLES_PER_NAME_SELECT))
+        return True, ids
+
+    # -- per-transaction generators ----------------------------------------
+
+    def new_order(self) -> NewOrderParams:
+        """Inputs for one New-Order transaction."""
+        warehouse = self.uniform_warehouse()
+        lines = []
+        for _ in range(self._items_per_order):
+            item = self._item_sampler.draw()
+            if self._rng.random() < self._remote_stock_probability:
+                supply = self.remote_warehouse(warehouse)
+            else:
+                supply = warehouse
+            lines.append(OrderLineRequest(item_id=item, supply_warehouse=supply))
+        return NewOrderParams(
+            warehouse=warehouse,
+            district=self.uniform_district(),
+            customer=self._customer_sampler.draw(),
+            lines=tuple(lines),
+        )
+
+    def payment(self) -> PaymentParams:
+        """Inputs for one Payment transaction."""
+        warehouse = self.uniform_warehouse()
+        district = self.uniform_district()
+        if self._rng.random() < self._remote_payment_probability:
+            customer_warehouse = self.remote_warehouse(warehouse)
+            customer_district = self.uniform_district()
+        else:
+            customer_warehouse = warehouse
+            customer_district = district
+        by_name, tuples = self.customer_tuples()
+        return PaymentParams(
+            warehouse=warehouse,
+            district=district,
+            customer_warehouse=customer_warehouse,
+            customer_district=customer_district,
+            by_name=by_name,
+            customer_tuples=tuples,
+        )
+
+    def order_status(self) -> OrderStatusParams:
+        """Inputs for one Order-Status transaction."""
+        by_name, tuples = self.customer_tuples()
+        return OrderStatusParams(
+            warehouse=self.uniform_warehouse(),
+            district=self.uniform_district(),
+            by_name=by_name,
+            customer_tuples=tuples,
+        )
+
+    def delivery(self) -> DeliveryParams:
+        """Inputs for one Delivery transaction."""
+        return DeliveryParams(warehouse=self.uniform_warehouse())
+
+    def stock_level(self) -> StockLevelParams:
+        """Inputs for one Stock-Level transaction."""
+        return StockLevelParams(
+            warehouse=self.uniform_warehouse(),
+            district=self.uniform_district(),
+            threshold=int(self._rng.integers(10, 21)),
+        )

@@ -1,0 +1,129 @@
+"""The TPC-C logical schema (paper Table 1).
+
+Each relation is described by a :class:`RelationSpec` carrying its tuple
+length and cardinality rule.  :func:`schema_table` regenerates Table 1
+for a given warehouse count and page size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    CUSTOMERS_PER_WAREHOUSE,
+    DEFAULT_PAGE_SIZE,
+    DISTRICTS_PER_WAREHOUSE,
+    GROWING_RELATIONS,
+    ITEMS,
+    STOCK_PER_WAREHOUSE,
+    TUPLE_BYTES,
+)
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """Static description of one TPC-C relation.
+
+    ``cardinality_per_warehouse`` is ``None`` for relations that do not
+    scale with warehouses: the fixed-size Item relation and the three
+    relations that grow as transactions run (Order, New-Order,
+    Order-Line, History).
+    """
+
+    name: str
+    tuple_bytes: int
+    cardinality_per_warehouse: int | None
+    fixed_cardinality: int | None = None
+    grows: bool = False
+
+    def tuples_per_page(self, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+        """Whole tuples that fit on a page (remainder wasted)."""
+        if page_size < self.tuple_bytes:
+            raise ValueError(
+                f"page size {page_size} cannot hold a {self.tuple_bytes}-byte "
+                f"{self.name} tuple"
+            )
+        return page_size // self.tuple_bytes
+
+    def cardinality(self, warehouses: int) -> int | None:
+        """Tuple count for ``warehouses`` warehouses; None if unbounded."""
+        if warehouses <= 0:
+            raise ValueError(f"warehouses must be positive, got {warehouses}")
+        if self.grows:
+            return None
+        if self.cardinality_per_warehouse is not None:
+            return self.cardinality_per_warehouse * warehouses
+        return self.fixed_cardinality
+
+    def pages(self, warehouses: int, page_size: int = DEFAULT_PAGE_SIZE) -> int | None:
+        """Pages occupied by the static contents; None if unbounded."""
+        count = self.cardinality(warehouses)
+        if count is None:
+            return None
+        per_page = self.tuples_per_page(page_size)
+        return -(-count // per_page)
+
+    def bytes_required(self, warehouses: int) -> int | None:
+        """Raw tuple bytes (ignoring page waste); None if unbounded."""
+        count = self.cardinality(warehouses)
+        if count is None:
+            return None
+        return count * self.tuple_bytes
+
+
+def _build_relations() -> dict[str, RelationSpec]:
+    per_warehouse = {
+        "warehouse": 1,
+        "district": DISTRICTS_PER_WAREHOUSE,
+        "customer": CUSTOMERS_PER_WAREHOUSE,
+        "stock": STOCK_PER_WAREHOUSE,
+    }
+    specs = {}
+    for name, tuple_bytes in TUPLE_BYTES.items():
+        if name in per_warehouse:
+            spec = RelationSpec(name, tuple_bytes, per_warehouse[name])
+        elif name == "item":
+            spec = RelationSpec(name, tuple_bytes, None, fixed_cardinality=ITEMS)
+        else:
+            spec = RelationSpec(name, tuple_bytes, None, grows=True)
+        specs[name] = spec
+    assert all(name in specs for name in GROWING_RELATIONS)
+    return specs
+
+
+#: All nine TPC-C relations, keyed by name, in Table 1 order.
+RELATIONS: dict[str, RelationSpec] = _build_relations()
+
+
+def schema_table(
+    warehouses: int, page_size: int = DEFAULT_PAGE_SIZE
+) -> list[dict[str, object]]:
+    """Regenerate paper Table 1 as a list of row dicts."""
+    rows = []
+    for spec in RELATIONS.values():
+        count = spec.cardinality(warehouses)
+        rows.append(
+            {
+                "relation": spec.name,
+                "cardinality": count if count is not None else "grows",
+                "tuple bytes": spec.tuple_bytes,
+                f"tuples per {page_size // 1024}K page": spec.tuples_per_page(
+                    page_size
+                ),
+            }
+        )
+    return rows
+
+
+def static_database_bytes(warehouses: int) -> int:
+    """Raw bytes of the non-growing relations.
+
+    The paper reports ~1.1 GB for 20 warehouses (Warehouse, District,
+    Customer, Stock, Item tuple bytes summed).
+    """
+    total = 0
+    for spec in RELATIONS.values():
+        size = spec.bytes_required(warehouses)
+        if size is not None:
+            total += size
+    return total

@@ -1,0 +1,501 @@
+"""Page-reference trace generation for the buffer simulation (Section 4).
+
+A :class:`TraceGenerator` draws transactions from the mix, generates
+their inputs, updates the order bookkeeping, and emits one page
+reference per distinct tuple touched — exactly the access census of
+paper Table 3, mapped to pages through the configured packing strategy.
+
+Relations are addressed by small integer indexes (:data:`RELATION_INDEX`)
+so the buffer pool can key pages with cheap ``(relation, page)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from repro.constants import (
+    CUSTOMERS_PER_DISTRICT,
+    DEFAULT_PAGE_SIZE,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEMS,
+    ITEMS_PER_ORDER,
+    REMOTE_STOCK_PROBABILITY,
+    STOCK_LEVEL_ORDERS,
+)
+from repro.core.mapping import RelationLayout
+from repro.core.nurand import customer_mixture_distribution, item_id_distribution
+from repro.core.packing import (
+    HottestFirstPacking,
+    PackingStrategy,
+    RandomPacking,
+    SequentialPacking,
+)
+from repro.workload.generator import InputGenerator
+from repro.workload.mix import (
+    DEFAULT_MIX,
+    TRANSACTION_ORDER,
+    TransactionMix,
+    TransactionType,
+)
+from repro.workload.schema import RELATIONS
+from repro.workload.state import OrderRecord, WorkloadState
+
+#: Relation names in a stable order; positions are the relation indexes.
+RELATION_NAMES: tuple[str, ...] = (
+    "warehouse",
+    "district",
+    "customer",
+    "stock",
+    "item",
+    "order",
+    "new_order",
+    "order_line",
+    "history",
+)
+
+#: Relation name -> integer index used in page keys.
+RELATION_INDEX: dict[str, int] = {name: i for i, name in enumerate(RELATION_NAMES)}
+
+#: Transaction type per mix-sampler index (hot-path lookup).
+_TRANSACTION_BY_INDEX = TRANSACTION_ORDER
+
+_WAREHOUSE = RELATION_INDEX["warehouse"]
+_DISTRICT = RELATION_INDEX["district"]
+_CUSTOMER = RELATION_INDEX["customer"]
+_STOCK = RELATION_INDEX["stock"]
+_ITEM = RELATION_INDEX["item"]
+_ORDER = RELATION_INDEX["order"]
+_NEW_ORDER = RELATION_INDEX["new_order"]
+_ORDER_LINE = RELATION_INDEX["order_line"]
+_HISTORY = RELATION_INDEX["history"]
+
+
+class PageReference(NamedTuple):
+    """One page touched by a transaction."""
+
+    relation: int
+    page: int
+    write: bool
+
+    @property
+    def relation_name(self) -> str:
+        return RELATION_NAMES[self.relation]
+
+
+#: Valid packing selections for the skewed relations.
+PACKING_KINDS = ("sequential", "optimized", "random")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Configuration of a trace run.
+
+    ``packing`` selects how the Customer, Stock and Item relations are
+    loaded; the tiny Warehouse/District relations and the append-only
+    relations are always sequential.  ``prime_orders``/``prime_pending``
+    pre-populate each district's order history so the stateful
+    transactions have work from the first reference.
+    """
+
+    warehouses: int = 20
+    page_size: int = DEFAULT_PAGE_SIZE
+    packing: str = "sequential"
+    mix: TransactionMix = field(default_factory=lambda: DEFAULT_MIX)
+    items_per_order: int = ITEMS_PER_ORDER
+    remote_stock_probability: float = REMOTE_STOCK_PROBABILITY
+    prime_orders: int = STOCK_LEVEL_ORDERS + 10
+    prime_pending: int = 10
+    seed: int = 0
+    #: Scaled-database knobs (full TPC-C scale by default); used by the
+    #: engine cross-validation to run the trace model at engine scale.
+    items: int = ITEMS
+    customers_per_district: int = CUSTOMERS_PER_DISTRICT
+
+    def __post_init__(self) -> None:
+        if self.packing not in PACKING_KINDS:
+            raise ValueError(
+                f"packing must be one of {PACKING_KINDS}, got {self.packing!r}"
+            )
+        if self.warehouses <= 0:
+            raise ValueError(f"warehouses must be positive, got {self.warehouses}")
+        if self.prime_pending > self.prime_orders:
+            raise ValueError(
+                f"prime_pending ({self.prime_pending}) cannot exceed prime_orders "
+                f"({self.prime_orders})"
+            )
+        if self.prime_orders > self.customers_per_district:
+            raise ValueError(
+                f"prime_orders ({self.prime_orders}) cannot exceed "
+                f"customers_per_district ({self.customers_per_district})"
+            )
+
+
+def _skewed_packing(
+    kind: str, n_tuples: int, tuples_per_page: int, hotness, seed: int
+) -> PackingStrategy:
+    """Build the packing strategy for one skewed relation block."""
+    if kind == "sequential":
+        return SequentialPacking(n_tuples, tuples_per_page)
+    if kind == "optimized":
+        return HottestFirstPacking(n_tuples, tuples_per_page, hotness)
+    return RandomPacking(n_tuples, tuples_per_page, seed=seed)
+
+
+class TraceGenerator:
+    """Generates the TPC-C page-reference stream.
+
+    Use :meth:`transaction` to obtain one transaction's references (and
+    its type), or :meth:`references` for a flat bounded stream.  The
+    generator owns all randomness (seeded via the config) and the
+    workload state, so a given config yields a reproducible trace.
+    """
+
+    def __init__(self, config: TraceConfig):
+        self._config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._generator = InputGenerator(
+            config.warehouses,
+            rng=self._rng,
+            items_per_order=config.items_per_order,
+            remote_stock_probability=config.remote_stock_probability,
+            items=config.items,
+            customers_per_district=config.customers_per_district,
+        )
+        self._state = WorkloadState(
+            config.warehouses,
+            initial_orders_per_district=config.customers_per_district,
+            items_per_order=config.items_per_order,
+            initial_pending_per_district=config.prime_pending,
+        )
+        self._mix = config.mix
+
+        page_size = config.page_size
+        spec = RELATIONS
+        self._tpp_order = spec["order"].tuples_per_page(page_size)
+        self._tpp_new_order = spec["new_order"].tuples_per_page(page_size)
+        self._tpp_order_line = spec["order_line"].tuples_per_page(page_size)
+        self._tpp_history = spec["history"].tuples_per_page(page_size)
+
+        warehouses = config.warehouses
+        self._warehouse_layout = RelationLayout(
+            "warehouse",
+            SequentialPacking(warehouses, spec["warehouse"].tuples_per_page(page_size)),
+            n_blocks=1,
+        )
+        self._district_layout = RelationLayout(
+            "district",
+            SequentialPacking(
+                warehouses * DISTRICTS_PER_WAREHOUSE,
+                spec["district"].tuples_per_page(page_size),
+            ),
+            n_blocks=1,
+        )
+        self._customer_layout = RelationLayout(
+            "customer",
+            _skewed_packing(
+                config.packing,
+                config.customers_per_district,
+                spec["customer"].tuples_per_page(page_size),
+                customer_mixture_distribution(config.customers_per_district),
+                seed=config.seed + 1,
+            ),
+            n_blocks=warehouses * DISTRICTS_PER_WAREHOUSE,
+        )
+        item_hotness = item_id_distribution(config.items)
+        self._stock_layout = RelationLayout(
+            "stock",
+            _skewed_packing(
+                config.packing,
+                config.items,
+                spec["stock"].tuples_per_page(page_size),
+                item_hotness,
+                seed=config.seed + 2,
+            ),
+            n_blocks=warehouses,
+        )
+        self._item_layout = RelationLayout(
+            "item",
+            _skewed_packing(
+                config.packing,
+                config.items,
+                spec["item"].tuples_per_page(page_size),
+                item_hotness,
+                seed=config.seed + 3,
+            ),
+            n_blocks=1,
+        )
+
+        # Hot-path lookup tables: plain Python ints avoid per-reference
+        # numpy overhead (the simulator makes millions of page lookups).
+        self._warehouse_tpp = spec["warehouse"].tuples_per_page(page_size)
+        self._district_tpp = spec["district"].tuples_per_page(page_size)
+        self._customer_local = self._customer_layout.packing.local_page_list()
+        self._customer_ppb = self._customer_layout.pages_per_block
+        self._stock_local = self._stock_layout.packing.local_page_list()
+        self._stock_ppb = self._stock_layout.pages_per_block
+        self._item_local = self._item_layout.packing.local_page_list()
+
+        # Buffered transaction-type sampling (rng.choice is slow per call).
+        self._mix_buffer: list[int] = []
+        self._mix_next = 0
+
+        self._prime_state()
+
+    # -- public accessors -----------------------------------------------------
+
+    @property
+    def config(self) -> TraceConfig:
+        return self._config
+
+    @property
+    def state(self) -> WorkloadState:
+        return self._state
+
+    def total_static_pages(self) -> dict[str, int]:
+        """Pages occupied by the non-growing relations (diagnostics)."""
+        return {
+            "warehouse": self._warehouse_layout.n_pages,
+            "district": self._district_layout.n_pages,
+            "customer": self._customer_layout.n_pages,
+            "stock": self._stock_layout.n_pages,
+            "item": self._item_layout.n_pages,
+        }
+
+    # -- page helpers -----------------------------------------------------------
+
+    def _warehouse_page(self, warehouse: int) -> int:
+        return (warehouse - 1) // self._warehouse_tpp
+
+    def _district_page(self, warehouse: int, district: int) -> int:
+        tuple_id = (warehouse - 1) * DISTRICTS_PER_WAREHOUSE + district
+        return (tuple_id - 1) // self._district_tpp
+
+    def _customer_page(self, warehouse: int, district: int, customer: int) -> int:
+        block = (warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (district - 1)
+        return block * self._customer_ppb + self._customer_local[customer - 1]
+
+    def _stock_page(self, warehouse: int, item: int) -> int:
+        return (warehouse - 1) * self._stock_ppb + self._stock_local[item - 1]
+
+    def _item_page(self, item: int) -> int:
+        return self._item_local[item - 1]
+
+    # -- priming -----------------------------------------------------------------
+
+    def _prime_state(self) -> None:
+        """Register the tail of TPC-C's initial population (Sec. 4).
+
+        The initial database gives every customer one order, laid out
+        district by district.  The buffer model only needs the *recent*
+        ones: the last ``prime_orders`` per district enter the recent
+        list (for Stock-Level) with real random item ids, and the last
+        ``prime_pending`` of those are pending (for Delivery).  Older
+        initial orders are synthesized lazily by the workload state
+        when Order-Status asks for a cold customer's last order.
+        """
+        from repro.workload.state import OrderRecord
+
+        config = self._config
+        items_per_order = config.items_per_order
+        per_district = config.customers_per_district
+        for warehouse in range(1, config.warehouses + 1):
+            for district in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+                district_index = (warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (
+                    district - 1
+                )
+                first = per_district - config.prime_orders + 1
+                for customer in range(first, per_district + 1):
+                    order_seq = district_index * per_district + (customer - 1)
+                    pending_rank = customer - (per_district - config.prime_pending + 1)
+                    if pending_rank >= 0:
+                        new_order_seq = (
+                            district_index * config.prime_pending + pending_rank
+                        )
+                    else:
+                        new_order_seq = None
+                    items = tuple(
+                        int(value)
+                        for value in self._rng.integers(
+                            1, config.items + 1, size=items_per_order
+                        )
+                    )
+                    self._state.register_initial_order(
+                        OrderRecord(
+                            warehouse=warehouse,
+                            district=district,
+                            customer=customer,
+                            order_seq=order_seq,
+                            line_start=order_seq * items_per_order,
+                            item_ids=items,
+                            new_order_seq=new_order_seq,
+                        )
+                    )
+
+    # -- per-transaction reference generation -------------------------------------
+
+    def transaction(self) -> tuple[TransactionType, list[PageReference]]:
+        """Draw one transaction and return its type and page references."""
+        if self._mix_next >= len(self._mix_buffer):
+            self._mix_buffer = self._mix.sample_array(self._rng, 8192).tolist()
+            self._mix_next = 0
+        tx_type = _TRANSACTION_BY_INDEX[self._mix_buffer[self._mix_next]]
+        self._mix_next += 1
+        refs = self._dispatch(tx_type)
+        return tx_type, refs
+
+    def references(self, transactions: int) -> Iterator[PageReference]:
+        """Flat stream of references over ``transactions`` transactions."""
+        for _ in range(transactions):
+            _, refs = self.transaction()
+            yield from refs
+
+    def _dispatch(self, tx_type: TransactionType) -> list[PageReference]:
+        if tx_type is TransactionType.NEW_ORDER:
+            return self._new_order_refs()
+        if tx_type is TransactionType.PAYMENT:
+            return self._payment_refs()
+        if tx_type is TransactionType.ORDER_STATUS:
+            return self._order_status_refs()
+        if tx_type is TransactionType.DELIVERY:
+            return self._delivery_refs()
+        return self._stock_level_refs()
+
+    def _new_order_refs(self) -> list[PageReference]:
+        params = self._generator.new_order()
+        refs = [
+            PageReference(_WAREHOUSE, self._warehouse_page(params.warehouse), False),
+            PageReference(
+                _DISTRICT, self._district_page(params.warehouse, params.district), True
+            ),
+            PageReference(
+                _CUSTOMER,
+                self._customer_page(params.warehouse, params.district, params.customer),
+                False,
+            ),
+        ]
+        record = self._state.place_order(
+            params.warehouse, params.district, params.customer, params.item_ids
+        )
+        refs.append(PageReference(_ORDER, record.order_seq // self._tpp_order, True))
+        assert record.new_order_seq is not None
+        refs.append(
+            PageReference(
+                _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True
+            )
+        )
+        for line, line_seq in zip(params.lines, record.line_seqs()):
+            refs.append(PageReference(_ITEM, self._item_page(line.item_id), False))
+            refs.append(
+                PageReference(
+                    _STOCK, self._stock_page(line.supply_warehouse, line.item_id), True
+                )
+            )
+            refs.append(
+                PageReference(_ORDER_LINE, line_seq // self._tpp_order_line, True)
+            )
+        return refs
+
+    def _payment_refs(self) -> list[PageReference]:
+        params = self._generator.payment()
+        refs = [
+            PageReference(_WAREHOUSE, self._warehouse_page(params.warehouse), True),
+            PageReference(
+                _DISTRICT, self._district_page(params.warehouse, params.district), True
+            ),
+        ]
+        selected = params.selected_customer
+        update_pending = True  # the selected tuple is written exactly once
+        for customer in params.customer_tuples:
+            is_update = customer == selected and update_pending
+            if is_update:
+                update_pending = False
+            refs.append(
+                PageReference(
+                    _CUSTOMER,
+                    self._customer_page(
+                        params.customer_warehouse, params.customer_district, customer
+                    ),
+                    is_update,
+                )
+            )
+        history_seq = self._state.record_payment()
+        refs.append(PageReference(_HISTORY, history_seq // self._tpp_history, True))
+        return refs
+
+    def _order_status_refs(self) -> list[PageReference]:
+        params = self._generator.order_status()
+        refs = [
+            PageReference(
+                _CUSTOMER,
+                self._customer_page(params.warehouse, params.district, customer),
+                False,
+            )
+            for customer in params.customer_tuples
+        ]
+        record = self._state.last_order_of(
+            params.warehouse, params.district, params.selected_customer
+        )
+        if record is not None:
+            refs.append(
+                PageReference(_ORDER, record.order_seq // self._tpp_order, False)
+            )
+            for line_seq in record.line_seqs():
+                refs.append(
+                    PageReference(
+                        _ORDER_LINE, line_seq // self._tpp_order_line, False
+                    )
+                )
+        return refs
+
+    def _delivery_refs(self) -> list[PageReference]:
+        params = self._generator.delivery()
+        refs: list[PageReference] = []
+        for district in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+            record = self._state.deliver_oldest(params.warehouse, district)
+            if record is None:
+                continue
+            assert record.new_order_seq is not None
+            refs.append(
+                PageReference(
+                    _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True
+                )
+            )
+            refs.append(PageReference(_ORDER, record.order_seq // self._tpp_order, True))
+            for line_seq in record.line_seqs():
+                refs.append(
+                    PageReference(_ORDER_LINE, line_seq // self._tpp_order_line, True)
+                )
+            refs.append(
+                PageReference(
+                    _CUSTOMER,
+                    self._customer_page(
+                        record.warehouse, record.district, record.customer
+                    ),
+                    True,
+                )
+            )
+        return refs
+
+    def _stock_level_refs(self) -> list[PageReference]:
+        params = self._generator.stock_level()
+        refs = [
+            PageReference(
+                _DISTRICT, self._district_page(params.warehouse, params.district), False
+            )
+        ]
+        for record in self._state.recent_orders(params.warehouse, params.district):
+            for line_seq, item_id in zip(record.line_seqs(), record.item_ids):
+                refs.append(
+                    PageReference(
+                        _ORDER_LINE, line_seq // self._tpp_order_line, False
+                    )
+                )
+                refs.append(
+                    PageReference(
+                        _STOCK, self._stock_page(params.warehouse, item_id), False
+                    )
+                )
+        return refs

@@ -1,0 +1,187 @@
+"""Saving and replaying page-reference traces.
+
+Generating the TPC-C trace is cheap, but saved traces make experiments
+*repeatable across tools*: generate once, then replay the identical
+reference stream through any number of buffer configurations (or
+external cache simulators).  Traces are stored as compressed numpy
+archives with the generating configuration embedded, so a loaded trace
+knows where it came from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.buffer.pool import SimulatedBufferPool
+from repro.buffer.policy import make_policy
+from repro.workload.mix import TransactionMix
+from repro.workload.trace import (
+    RELATION_NAMES,
+    PageReference,
+    TraceConfig,
+    TraceGenerator,
+)
+
+#: Format identifier embedded in every trace file.
+FORMAT_VERSION = 1
+
+
+class SavedTrace:
+    """An in-memory page-reference trace with its provenance.
+
+    Stored column-wise (relation indexes, page numbers, write flags,
+    and per-transaction boundaries) for compactness; iterate with
+    :meth:`references` or :meth:`transactions`.
+    """
+
+    def __init__(
+        self,
+        relations: np.ndarray,
+        pages: np.ndarray,
+        writes: np.ndarray,
+        boundaries: np.ndarray,
+        config: TraceConfig,
+    ):
+        if not (relations.size == pages.size == writes.size):
+            raise ValueError("column arrays must have equal length")
+        if boundaries.size and boundaries[-1] != relations.size:
+            raise ValueError("final transaction boundary must equal trace length")
+        self._relations = relations
+        self._pages = pages
+        self._writes = writes
+        self._boundaries = boundaries
+        self._config = config
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def record(cls, config: TraceConfig, transactions: int) -> "SavedTrace":
+        """Generate and capture ``transactions`` transactions."""
+        if transactions <= 0:
+            raise ValueError(f"transactions must be positive, got {transactions}")
+        generator = TraceGenerator(config)
+        relations: list[int] = []
+        pages: list[int] = []
+        writes: list[bool] = []
+        boundaries: list[int] = []
+        for _ in range(transactions):
+            _, refs = generator.transaction()
+            for relation, page, write in refs:
+                relations.append(relation)
+                pages.append(page)
+                writes.append(write)
+            boundaries.append(len(relations))
+        return cls(
+            np.asarray(relations, dtype=np.int8),
+            np.asarray(pages, dtype=np.int64),
+            np.asarray(writes, dtype=np.bool_),
+            np.asarray(boundaries, dtype=np.int64),
+            config,
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def config(self) -> TraceConfig:
+        return self._config
+
+    @property
+    def reference_count(self) -> int:
+        return int(self._relations.size)
+
+    @property
+    def transaction_count(self) -> int:
+        return int(self._boundaries.size)
+
+    def references(self) -> Iterator[PageReference]:
+        """Iterate every reference in order."""
+        for relation, page, write in zip(self._relations, self._pages, self._writes):
+            yield PageReference(int(relation), int(page), bool(write))
+
+    def transactions(self) -> Iterator[list[PageReference]]:
+        """Iterate per-transaction reference groups."""
+        start = 0
+        for end in self._boundaries:
+            yield [
+                PageReference(
+                    int(self._relations[i]),
+                    int(self._pages[i]),
+                    bool(self._writes[i]),
+                )
+                for i in range(start, int(end))
+            ]
+            start = int(end)
+
+    def relation_access_counts(self) -> dict[str, int]:
+        """References per relation name (diagnostics)."""
+        counts = np.bincount(self._relations, minlength=len(RELATION_NAMES))
+        return {
+            name: int(counts[index])
+            for index, name in enumerate(RELATION_NAMES)
+            if counts[index]
+        }
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace to a compressed ``.npz`` archive."""
+        path = Path(path)
+        config_dict = dataclasses.asdict(self._config)
+        config_dict["mix"] = self._config.mix.as_dict()
+        np.savez_compressed(
+            path,
+            format_version=np.int64(FORMAT_VERSION),
+            relations=self._relations,
+            pages=self._pages,
+            writes=self._writes,
+            boundaries=self._boundaries,
+            config_json=np.bytes_(json.dumps(config_dict).encode("utf-8")),
+        )
+        # np.savez appends .npz when missing.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SavedTrace":
+        """Read a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            version = int(archive["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {version} "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            config_dict = json.loads(bytes(archive["config_json"]).decode("utf-8"))
+            mix = TransactionMix(**config_dict.pop("mix"))
+            config = TraceConfig(mix=mix, **config_dict)
+            return cls(
+                archive["relations"],
+                archive["pages"],
+                archive["writes"],
+                archive["boundaries"],
+                config,
+            )
+
+    # -- replay ----------------------------------------------------------------------
+
+    def replay(
+        self, buffer_pages: int, policy: str = "lru"
+    ) -> dict[str, float]:
+        """Run the trace through a fresh buffer pool; per-relation miss rates.
+
+        The whole trace is replayed with no warm-up discard — saved
+        traces are typically recorded after the generator's own priming,
+        and replaying identically is the point.
+        """
+        pool = SimulatedBufferPool(make_policy(policy, buffer_pages))
+        for relation, page, write in zip(self._relations, self._pages, self._writes):
+            pool.access(int(relation), int(page), bool(write))
+        return {
+            name: pool.stats.miss_rate(index)
+            for index, name in enumerate(RELATION_NAMES)
+            if pool.stats.accesses(index)
+        }

@@ -1,0 +1,76 @@
+"""Unit tests for repro.buffer.pool."""
+
+import pytest
+
+from repro.buffer.policy import LruPolicy
+from repro.buffer.pool import PoolStatistics, SimulatedBufferPool
+
+
+class TestPoolStatistics:
+    def test_record_and_rates(self):
+        stats = PoolStatistics()
+        stats.record(0, hit=True)
+        stats.record(0, hit=False)
+        stats.record(1, hit=False)
+        assert stats.accesses(0) == 2
+        assert stats.miss_rate(0) == pytest.approx(0.5)
+        assert stats.miss_rate(1) == 1.0
+        assert stats.accesses() == 3
+        assert stats.miss_rate() == pytest.approx(2 / 3)
+
+    def test_unobserved_relation(self):
+        stats = PoolStatistics()
+        assert stats.miss_rate(5) == 0.0
+        assert stats.accesses(5) == 0
+
+    def test_reset(self):
+        stats = PoolStatistics()
+        stats.record(0, hit=False)
+        stats.reset()
+        assert stats.accesses() == 0
+
+
+class TestSimulatedBufferPool:
+    def test_first_access_misses_second_hits(self):
+        pool = SimulatedBufferPool(LruPolicy(4))
+        assert pool.access(0, 1) is False
+        assert pool.access(0, 1) is True
+
+    def test_same_page_number_different_relation_is_distinct(self):
+        pool = SimulatedBufferPool(LruPolicy(4))
+        pool.access(0, 7)
+        assert pool.access(1, 7) is False
+
+    def test_capacity_enforced(self):
+        pool = SimulatedBufferPool(LruPolicy(2))
+        pool.access(0, 1)
+        pool.access(0, 2)
+        pool.access(0, 3)  # evicts page 1
+        assert pool.resident_pages == 2
+        assert pool.access(0, 1) is False
+
+    def test_stats_by_relation(self):
+        pool = SimulatedBufferPool(LruPolicy(8))
+        pool.access(0, 1)
+        pool.access(0, 1)
+        pool.access(3, 9)
+        assert pool.stats.miss_rate(0) == pytest.approx(0.5)
+        assert pool.stats.miss_rate(3) == 1.0
+
+    def test_reset_stats_preserves_residency(self):
+        pool = SimulatedBufferPool(LruPolicy(4))
+        pool.access(0, 1)
+        pool.reset_stats()
+        assert pool.access(0, 1) is True  # still resident
+        assert pool.stats.accesses() == 1
+
+    def test_hit_ratio_improves_with_capacity(self, rng):
+        """Bigger buffers never hurt LRU on the same reference string."""
+        refs = [(0, int(page)) for page in rng.integers(0, 60, size=4000)]
+        rates = []
+        for capacity in (5, 20, 60):
+            pool = SimulatedBufferPool(LruPolicy(capacity))
+            for relation, page in refs:
+                pool.access(relation, page)
+            rates.append(pool.stats.miss_rate())
+        assert rates[0] > rates[1] > rates[2]

@@ -1,0 +1,78 @@
+"""Tests for the paper's batch-means precision protocol.
+
+The paper: "All results ... have confidence intervals of 5% or less at
+a 90% confidence level"; ``run_until_precise`` adds batches until the
+criterion holds.
+"""
+
+import pytest
+
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.workload.trace import TraceConfig
+
+
+def config(batches=2, batch_size=2_500):
+    return SimulationConfig(
+        trace=TraceConfig(
+            warehouses=2,
+            items=600,
+            customers_per_district=90,
+            prime_orders=25,
+            prime_pending=8,
+            seed=19,
+        ),
+        buffer_mb=0.6,
+        batches=batches,
+        batch_size=batch_size,
+        warmup_references=6_000,
+    )
+
+
+class TestRunUntilPrecise:
+    def test_meets_target_or_hits_cap(self):
+        report = BufferSimulation(config()).run_until_precise(
+            relative_half_width=0.10, relations=("stock",), max_batches=32
+        )
+        summary = report.relations["stock"].summary
+        assert summary is not None
+        met = summary.meets_precision(0.10)
+        assert met or summary.batches >= 32
+
+    def test_adds_batches_when_needed(self):
+        simulation = BufferSimulation(config(batches=2, batch_size=1_500))
+        loose = simulation.run()
+        precise = simulation.run_until_precise(
+            relative_half_width=0.08, relations=("stock",), max_batches=64
+        )
+        assert precise.relations["stock"].summary.batches >= loose.relations[
+            "stock"
+        ].summary.batches
+
+    def test_tighter_target_needs_at_least_as_many_batches(self):
+        simulation = BufferSimulation(config(batches=2, batch_size=1_500))
+        loose = simulation.run_until_precise(
+            relative_half_width=0.5, relations=("stock",), max_batches=64
+        )
+        tight = simulation.run_until_precise(
+            relative_half_width=0.08, relations=("stock",), max_batches=64
+        )
+        assert (
+            tight.relations["stock"].summary.batches
+            >= loose.relations["stock"].summary.batches
+        )
+
+    def test_already_precise_returns_immediately(self):
+        report = BufferSimulation(config(batches=8, batch_size=4_000)).run_until_precise(
+            relative_half_width=0.99
+        )
+        assert report.relations["stock"].summary.batches == 8
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="relative_half_width"):
+            BufferSimulation(config()).run_until_precise(relative_half_width=0)
+
+    def test_missing_relations_ignored(self):
+        report = BufferSimulation(config()).run_until_precise(
+            relations=("nonexistent",), max_batches=4
+        )
+        assert report.total_references > 0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tpcc import TpccConfig, load_tpcc
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_tpcc_config() -> TpccConfig:
+    """A laptop-scale TPC-C configuration shared across engine tests."""
+    return TpccConfig(
+        warehouses=2,
+        customers_per_district=60,
+        items=300,
+        initial_orders_per_district=25,
+        pending_orders_per_district=8,
+        buffer_pages=400,
+        seed=99,
+    )
+
+
+@pytest.fixture
+def small_tpcc_db(small_tpcc_config):
+    """A freshly loaded small TPC-C database (function-scoped: mutable)."""
+    return load_tpcc(small_tpcc_config)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.mapping (page-level skew, relation layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import RelationLayout, page_access_distribution
+from repro.core.nurand import item_id_distribution
+from repro.core.packing import HottestFirstPacking, SequentialPacking
+from repro.core.skew import access_share_of_hottest
+from repro.stats.distribution import DiscreteDistribution
+
+
+class TestPageAccessDistribution:
+    def test_probability_conserved(self):
+        tuples = DiscreteDistribution(np.random.default_rng(1).random(100), lower=1)
+        pages = page_access_distribution(tuples, SequentialPacking(100, 7))
+        assert float(pages.pmf.sum()) == pytest.approx(1.0)
+
+    def test_page_probability_is_member_sum(self):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        tuples = DiscreteDistribution(weights, lower=1)
+        pages = page_access_distribution(tuples, SequentialPacking(4, 2))
+        assert pages.probability(0) == pytest.approx(0.3)
+        assert pages.probability(1) == pytest.approx(0.7)
+
+    def test_respects_distribution_lower_bound(self):
+        """Packing local ids are 1-based even when the PMF starts elsewhere."""
+        weights = np.array([0.5, 0.5])
+        tuples = DiscreteDistribution(weights, lower=1001)
+        pages = page_access_distribution(tuples, SequentialPacking(2, 1))
+        assert pages.size == 2
+
+    def test_size_mismatch_rejected(self):
+        tuples = DiscreteDistribution.uniform(1, 10)
+        with pytest.raises(ValueError, match="packing"):
+            page_access_distribution(tuples, SequentialPacking(20, 5))
+
+    def test_sequential_dilutes_skew_optimized_preserves(self):
+        """The paper's central Figure 5 observation."""
+        stock = item_id_distribution()
+        sequential = page_access_distribution(stock, SequentialPacking(stock.size, 13))
+        optimized = page_access_distribution(
+            stock, HottestFirstPacking(stock.size, 13, stock)
+        )
+        tuple_share = access_share_of_hottest(stock, 0.2)
+        assert access_share_of_hottest(sequential, 0.2) < tuple_share - 0.05
+        assert access_share_of_hottest(optimized, 0.2) == pytest.approx(
+            tuple_share, abs=0.005
+        )
+
+    def test_larger_pages_dilute_more(self):
+        stock = item_id_distribution()
+        pages_4k = page_access_distribution(stock, SequentialPacking(stock.size, 13))
+        pages_8k = page_access_distribution(stock, SequentialPacking(stock.size, 26))
+        assert access_share_of_hottest(pages_8k, 0.2) < access_share_of_hottest(
+            pages_4k, 0.2
+        )
+
+
+class TestRelationLayout:
+    def _layout(self, n_blocks=4):
+        return RelationLayout("stock", SequentialPacking(100, 10), n_blocks=n_blocks)
+
+    def test_geometry(self):
+        layout = self._layout()
+        assert layout.pages_per_block == 10
+        assert layout.n_pages == 40
+        assert layout.n_tuples == 400
+
+    def test_page_of_scalar(self):
+        layout = self._layout()
+        assert layout.page_of(0, 1) == 0
+        assert layout.page_of(1, 1) == 10
+        assert layout.page_of(3, 100) == 39
+
+    def test_page_of_arrays(self):
+        layout = self._layout()
+        pages = layout.page_of(np.array([0, 1, 2]), np.array([1, 11, 100]))
+        assert pages.tolist() == [0, 11, 29]
+
+    def test_blocks_disjoint(self):
+        layout = self._layout(2)
+        block0 = {layout.page_of(0, i) for i in range(1, 101)}
+        block1 = {layout.page_of(1, i) for i in range(1, 101)}
+        assert block0.isdisjoint(block1)
+
+    def test_block_out_of_range(self):
+        with pytest.raises(ValueError, match="block"):
+            self._layout(2).page_of(2, 1)
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError, match="n_blocks"):
+            RelationLayout("x", SequentialPacking(10, 2), n_blocks=0)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import (
+    HottestFirstPacking,
+    RandomPacking,
+    SequentialPacking,
+    pages_needed,
+)
+from repro.stats.distribution import DiscreteDistribution
+
+
+class TestPagesNeeded:
+    def test_exact_fit(self):
+        assert pages_needed(100, 10) == 10
+
+    def test_partial_page(self):
+        assert pages_needed(101, 10) == 11
+
+    def test_zero_tuples(self):
+        assert pages_needed(0, 10) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pages_needed(-1, 10)
+        with pytest.raises(ValueError):
+            pages_needed(10, 0)
+
+
+class TestSequentialPacking:
+    def test_page_of_scalar(self):
+        packing = SequentialPacking(100, 13)
+        assert packing.page_of(1) == 0
+        assert packing.page_of(13) == 0
+        assert packing.page_of(14) == 1
+        assert packing.page_of(100) == 7
+
+    def test_page_of_array(self):
+        packing = SequentialPacking(100, 10)
+        pages = packing.page_of(np.array([1, 10, 11, 100]))
+        assert pages.tolist() == [0, 0, 1, 9]
+
+    def test_n_pages(self):
+        assert SequentialPacking(100_000, 13).n_pages == 7693
+
+    def test_out_of_range_rejected(self):
+        packing = SequentialPacking(50, 10)
+        with pytest.raises(ValueError, match="tuple ids"):
+            packing.page_of(51)
+        with pytest.raises(ValueError, match="tuple ids"):
+            packing.page_of(0)
+
+    def test_local_page_list_matches_page_of(self):
+        packing = SequentialPacking(97, 7)
+        lookup = packing.local_page_list()
+        for tuple_id in (1, 7, 8, 97):
+            assert lookup[tuple_id - 1] == packing.page_of(tuple_id)
+
+
+class TestHottestFirstPacking:
+    def test_hottest_tuples_share_first_page(self):
+        # ids 1..10; id 5 and id 9 are hottest.
+        weights = np.ones(10)
+        weights[4] = 10.0
+        weights[8] = 8.0
+        hotness = DiscreteDistribution(weights, lower=1)
+        packing = HottestFirstPacking(10, 2, hotness)
+        assert packing.page_of(5) == 0
+        assert packing.page_of(9) == 0
+
+    def test_coldest_tuple_on_last_page(self):
+        weights = np.arange(1, 11, dtype=float)  # id 1 coldest
+        hotness = DiscreteDistribution(weights, lower=1)
+        packing = HottestFirstPacking(10, 2, hotness)
+        assert packing.page_of(1) == 4
+
+    def test_is_a_permutation(self):
+        weights = np.random.default_rng(0).random(50)
+        hotness = DiscreteDistribution(weights, lower=1)
+        packing = HottestFirstPacking(50, 5, hotness)
+        slots = packing._slot_of(np.arange(1, 51))
+        assert sorted(slots.tolist()) == list(range(50))
+
+    def test_size_mismatch_rejected(self):
+        hotness = DiscreteDistribution.uniform(1, 10)
+        with pytest.raises(ValueError, match="hotness"):
+            HottestFirstPacking(20, 2, hotness)
+
+
+class TestRandomPacking:
+    def test_deterministic_under_seed(self):
+        a = RandomPacking(100, 10, seed=3)
+        b = RandomPacking(100, 10, seed=3)
+        ids = np.arange(1, 101)
+        assert np.array_equal(a.page_of(ids), b.page_of(ids))
+
+    def test_different_seeds_differ(self):
+        ids = np.arange(1, 101)
+        a = RandomPacking(100, 10, seed=1).page_of(ids)
+        b = RandomPacking(100, 10, seed=2).page_of(ids)
+        assert not np.array_equal(a, b)
+
+    def test_is_a_permutation(self):
+        packing = RandomPacking(64, 8, seed=0)
+        slots = packing._slot_of(np.arange(1, 65))
+        assert sorted(slots.tolist()) == list(range(64))
+
+
+class TestValidation:
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            SequentialPacking(0, 10)
+        with pytest.raises(ValueError):
+            SequentialPacking(10, 0)
+
+    def test_names(self):
+        assert SequentialPacking(10, 2).name == "sequential"
+        assert RandomPacking(10, 2).name == "random"
+        hotness = DiscreteDistribution.uniform(1, 10)
+        assert HottestFirstPacking(10, 2, hotness).name == "optimized"

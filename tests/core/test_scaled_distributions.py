@@ -1,0 +1,122 @@
+"""Tests for scaled-database distributions and scaled traces.
+
+Scaled databases keep the benchmark's skew *ratio* while shrinking
+cardinalities, so engine-scale cross-validation and fast tests see the
+same qualitative behaviour as full scale.
+"""
+
+import pytest
+
+from repro.core.nurand import (
+    customer_id_distribution,
+    customer_mixture_distribution,
+    customer_name_band_distributions,
+    item_id_distribution,
+    scaled_nurand_a,
+)
+from repro.core.skew import access_share_of_hottest, gini_coefficient
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+
+class TestScaledItemDistribution:
+    def test_full_scale_default(self):
+        assert item_id_distribution().size == 100_000
+
+    def test_scaled_support(self):
+        assert item_id_distribution(600).size == 600
+
+    def test_scaled_distribution_still_strongly_skewed(self):
+        """Smaller A constants give inherently milder (but still heavy)
+        skew: a k-bit A has a 3^k max/min probability ratio, so exact
+        full-scale quantiles cannot survive scaling.  The hottest 20%
+        must still dominate."""
+        scaled = access_share_of_hottest(item_id_distribution(2_000), 0.2)
+        assert 0.55 < scaled < access_share_of_hottest(item_id_distribution(), 0.2)
+
+    def test_tiny_scale_still_works(self):
+        dist = item_id_distribution(24)
+        assert dist.size == 24
+        assert gini_coefficient(dist) > 0
+
+
+class TestScaledCustomerDistribution:
+    def test_by_id_scaled(self):
+        assert customer_id_distribution(90).size == 90
+
+    def test_bands_partition_scaled_district(self):
+        bands = customer_name_band_distributions(90)
+        assert len(bands) == 3
+        assert bands[0].lower == 1 and bands[0].upper == 30
+        assert bands[2].lower == 61 and bands[2].upper == 90
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            customer_name_band_distributions(91)
+
+    def test_mixture_scaled(self):
+        dist = customer_mixture_distribution(90)
+        assert dist.size == 90
+        assert float(dist.pmf.sum()) == pytest.approx(1.0)
+
+    def test_both_scaled_distributions_remain_skewed(self):
+        """At small scales the customer/item skew gap narrows (both A
+        constants shrink), but neither distribution becomes uniform."""
+        for scale in (90, 300):
+            assert gini_coefficient(customer_mixture_distribution(scale)) > 0.3
+            assert gini_coefficient(item_id_distribution(scale)) > 0.3
+
+
+class TestScaledTrace:
+    def _trace(self, **overrides):
+        defaults = dict(
+            warehouses=2,
+            items=300,
+            customers_per_district=90,
+            prime_orders=20,
+            prime_pending=5,
+            seed=4,
+        )
+        defaults.update(overrides)
+        return TraceGenerator(TraceConfig(**defaults))
+
+    def test_page_counts_scale(self):
+        pages = self._trace().total_static_pages()
+        assert pages["customer"] == 2 * 10 * 15  # 90 customers / 6 per page
+        assert pages["stock"] == 2 * 24  # 300 / 13 per page, rounded up
+        assert pages["item"] == 7
+
+    def test_references_stay_in_bounds(self):
+        trace = self._trace()
+        pages = trace.total_static_pages()
+        for ref in trace.references(300):
+            if ref.relation_name in pages:
+                assert 0 <= ref.page < pages[ref.relation_name]
+
+    def test_prime_orders_bounded_by_customers(self):
+        with pytest.raises(ValueError, match="prime_orders"):
+            TraceConfig(customers_per_district=9, prime_orders=20)
+
+    def test_optimized_packing_helps_at_scale(self):
+        from repro.buffer.simulator import BufferSimulation, SimulationConfig
+
+        results = {}
+        for packing in ("sequential", "optimized"):
+            config = SimulationConfig(
+                trace=TraceConfig(
+                    warehouses=2,
+                    items=600,
+                    customers_per_district=90,
+                    prime_orders=25,
+                    prime_pending=8,
+                    packing=packing,
+                    seed=9,
+                ),
+                buffer_mb=0.5,
+                batches=3,
+                batch_size=8_000,
+                warmup_references=8_000,
+            )
+            results[packing] = BufferSimulation(config).run()
+        assert results["optimized"].miss_rate("stock") < results[
+            "sequential"
+        ].miss_rate("stock")

@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.skew (Figures 5 and 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nurand import item_id_distribution
+from repro.core.skew import (
+    SkewSummary,
+    access_share_of_hottest,
+    data_share_for_accesses,
+    gini_coefficient,
+    lorenz_curve,
+)
+from repro.stats.distribution import DiscreteDistribution
+
+
+@pytest.fixture(scope="module")
+def stock():
+    return item_id_distribution()
+
+
+class TestLorenzCurve:
+    def test_uniform_is_diagonal(self):
+        data, access = lorenz_curve(DiscreteDistribution.uniform(1, 100))
+        assert np.allclose(data, access)
+
+    def test_endpoints(self, stock):
+        data, access = lorenz_curve(stock)
+        assert data[-1] == pytest.approx(1.0)
+        assert access[-1] == pytest.approx(1.0)
+
+    def test_monotone(self, stock):
+        _, access = lorenz_curve(stock)
+        assert np.all(np.diff(access) >= 0)
+
+    def test_below_diagonal_for_skewed(self, stock):
+        """Ordering by increasing hotness puts the curve under y = x."""
+        data, access = lorenz_curve(stock)
+        assert np.all(access <= data + 1e-12)
+
+
+class TestAccessShare:
+    def test_whole_relation_is_everything(self, stock):
+        assert access_share_of_hottest(stock, 1.0) == pytest.approx(1.0)
+
+    def test_nothing_is_nothing(self, stock):
+        assert access_share_of_hottest(stock, 0.0) == 0.0
+
+    def test_paper_tuple_level_quantiles(self, stock):
+        """Paper Sec. 3: ~84%/71%/39% to hottest 20%/10%/2% of stock tuples."""
+        assert access_share_of_hottest(stock, 0.20) == pytest.approx(0.84, abs=0.01)
+        assert access_share_of_hottest(stock, 0.10) == pytest.approx(0.71, abs=0.01)
+        assert access_share_of_hottest(stock, 0.02) == pytest.approx(0.39, abs=0.01)
+
+    def test_monotone_in_fraction(self, stock):
+        shares = [access_share_of_hottest(stock, f) for f in (0.1, 0.2, 0.5, 0.9)]
+        assert shares == sorted(shares)
+
+    def test_invalid_fraction(self, stock):
+        with pytest.raises(ValueError, match="data_fraction"):
+            access_share_of_hottest(stock, 1.5)
+
+
+class TestDataShare:
+    def test_inverse_of_access_share(self, stock):
+        data = data_share_for_accesses(stock, 0.84)
+        assert data == pytest.approx(0.20, abs=0.02)
+
+    def test_all_accesses_need_positive_support(self):
+        dist = DiscreteDistribution([1, 1, 0, 0])
+        assert data_share_for_accesses(dist, 1.0) == pytest.approx(0.5)
+
+    def test_invalid_fraction(self, stock):
+        with pytest.raises(ValueError, match="access_fraction"):
+            data_share_for_accesses(stock, -0.1)
+
+
+class TestGini:
+    def test_uniform_zero(self):
+        assert gini_coefficient(DiscreteDistribution.uniform(1, 1000)) == pytest.approx(
+            0.0, abs=1e-3
+        )
+
+    def test_point_mass_near_one(self):
+        weights = np.zeros(1000)
+        weights[0] = 1.0
+        assert gini_coefficient(DiscreteDistribution(weights)) > 0.99
+
+    def test_stock_value(self, stock):
+        assert 0.78 <= gini_coefficient(stock) <= 0.85
+
+
+class TestSkewSummary:
+    def test_of_matches_components(self, stock):
+        summary = SkewSummary.of(stock)
+        assert summary.hottest_20pct == pytest.approx(
+            access_share_of_hottest(stock, 0.20)
+        )
+        assert summary.gini == pytest.approx(gini_coefficient(stock))
+
+    def test_as_row_keys(self, stock):
+        row = SkewSummary.of(stock).as_row()
+        assert set(row) == {"hottest 2%", "hottest 10%", "hottest 20%", "gini"}

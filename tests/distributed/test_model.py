@@ -1,0 +1,106 @@
+"""Unit tests for repro.distributed.model (Tables 6/7 application)."""
+
+import pytest
+
+from repro.distributed.model import DistributedThroughputModel, distributed_visit_table
+from repro.distributed.remote import RemoteCallExpectations
+from repro.throughput.params import MissRateInputs
+from repro.throughput.visits import Operation, single_node_visits
+from repro.workload.mix import TransactionType
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+class TestVisitTableDeltas:
+    def test_single_node_degenerates(self):
+        expectations = RemoteCallExpectations(nodes=1)
+        distributed = distributed_visit_table(MISS, expectations, True)
+        single = single_node_visits(MISS)
+        for tx, counts in single.items():
+            for operation, visits in counts.items():
+                assert distributed[tx][operation] == pytest.approx(visits)
+
+    def test_only_new_order_and_payment_change(self):
+        expectations = RemoteCallExpectations(nodes=10)
+        distributed = distributed_visit_table(MISS, expectations, True)
+        single = single_node_visits(MISS)
+        for tx in (
+            TransactionType.ORDER_STATUS,
+            TransactionType.DELIVERY,
+            TransactionType.STOCK_LEVEL,
+        ):
+            assert distributed[tx] == single[tx]
+
+    def test_replicated_new_order_rows(self):
+        e = RemoteCallExpectations(nodes=10)
+        table = distributed_visit_table(MISS, e, True)
+        counts = table[TransactionType.NEW_ORDER]
+        assert counts[Operation.COMMIT] == pytest.approx(1 + e.u_stock)
+        assert counts[Operation.SEND_RECEIVE] == pytest.approx(
+            4 * e.u_stock + 2 * e.rc_stock
+        )
+        assert counts[Operation.PREP_COMMIT] == pytest.approx(
+            e.u_stock + 1 - e.l_stock
+        )
+
+    def test_non_replicated_new_order_rows(self):
+        e = RemoteCallExpectations(nodes=10)
+        table = distributed_visit_table(MISS, e, False)
+        counts = table[TransactionType.NEW_ORDER]
+        assert counts[Operation.COMMIT] == pytest.approx(1 + e.u_stock_item)
+        assert counts[Operation.SEND_RECEIVE] == pytest.approx(
+            2 * e.rc_stock + 2 * e.rc_item + 4 * e.u_stock + 2 * e.u_item_only
+        )
+
+    def test_payment_rows_identical_across_replication(self):
+        e = RemoteCallExpectations(nodes=10)
+        replicated = distributed_visit_table(MISS, e, True)
+        non_replicated = distributed_visit_table(MISS, e, False)
+        assert (
+            replicated[TransactionType.PAYMENT]
+            == non_replicated[TransactionType.PAYMENT]
+        )
+
+    def test_payment_rows(self):
+        e = RemoteCallExpectations(nodes=10)
+        counts = distributed_visit_table(MISS, e, True)[TransactionType.PAYMENT]
+        assert counts[Operation.COMMIT] == pytest.approx(1 + e.u_cust)
+        assert counts[Operation.SEND_RECEIVE] == pytest.approx(
+            2 * e.rc_cust + 4 * e.u_cust
+        )
+
+
+class TestDistributedModel:
+    def test_one_node_equals_single_model(self):
+        from repro.throughput.model import ThroughputModel
+
+        single = ThroughputModel(miss_rates=MISS).solve()
+        distributed = DistributedThroughputModel(1, MISS).solve()
+        assert distributed.per_node.new_order_tpm == pytest.approx(
+            single.new_order_tpm
+        )
+
+    def test_system_scales_with_nodes(self):
+        result = DistributedThroughputModel(10, MISS).solve()
+        assert result.system_new_order_tpm == pytest.approx(
+            10 * result.per_node.new_order_tpm
+        )
+        assert result.system_tps == pytest.approx(10 * result.per_node.throughput_tps)
+
+    def test_replication_beats_partitioning(self):
+        replicated = DistributedThroughputModel(10, MISS, item_replicated=True).solve()
+        partitioned = DistributedThroughputModel(
+            10, MISS, item_replicated=False
+        ).solve()
+        assert replicated.system_new_order_tpm > partitioned.system_new_order_tpm
+
+    def test_remote_probability_hurts(self):
+        base = DistributedThroughputModel(10, MISS).solve()
+        heavy = DistributedThroughputModel(
+            10, MISS, remote_stock_probability=1.0
+        ).solve()
+        assert heavy.system_new_order_tpm < base.system_new_order_tpm
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            DistributedThroughputModel(0, MISS)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.distributed.remote (Appendix A expectations)."""
+
+import pytest
+
+from repro.distributed.remote import RemoteCallExpectations
+
+
+class TestSingleNode:
+    def test_everything_local(self):
+        e = RemoteCallExpectations(nodes=1)
+        assert e.rc_stock == 0.0
+        assert e.u_stock == 0.0
+        assert e.l_stock == 1.0
+        assert e.rc_cust == 0.0
+        assert e.u_cust == 0.0
+        assert e.rc_item == 0.0
+        assert e.u_item == 0.0
+        assert e.u_stock_item == 0.0
+
+
+class TestStockExpectations:
+    def test_probability_formula(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.p_stock_remote == pytest.approx(0.01 * 0.9)
+
+    def test_expected_remote_stock_binomial_mean(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.expected_remote_stock == pytest.approx(10 * 0.009)
+
+    def test_rc_stock_read_plus_write(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.rc_stock == pytest.approx(2 * e.expected_remote_stock)
+
+    def test_l_stock(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.l_stock == pytest.approx((1 - 0.009) ** 10)
+
+    def test_u_stock_bounds(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert 0 < e.u_stock <= e.expected_remote_stock
+
+    def test_u_stock_close_to_mean_when_sparse(self):
+        """With tiny remote probability, collisions are negligible."""
+        e = RemoteCallExpectations(nodes=30)
+        assert e.u_stock == pytest.approx(e.expected_remote_stock, rel=0.02)
+
+
+class TestCustomerExpectations:
+    def test_rc_cust_paper_formula(self):
+        e = RemoteCallExpectations(nodes=10)
+        # 0.15 * (N-1)/N * (0.4*1 + 0.6*3 + 1)
+        assert e.rc_cust == pytest.approx(0.15 * 0.9 * 3.2)
+
+    def test_u_cust_at_most_probability(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.u_cust == pytest.approx(0.15 * 0.9)
+
+
+class TestItemExpectations:
+    def test_p_item_remote(self):
+        e = RemoteCallExpectations(nodes=4)
+        assert e.p_item_remote == pytest.approx(0.75)
+
+    def test_rc_item_no_write_back(self):
+        e = RemoteCallExpectations(nodes=4)
+        assert e.rc_item == pytest.approx(10 * 0.75)
+
+    def test_u_item_two_nodes(self):
+        """With 2 nodes only one remote site exists: U_item = P(any remote)."""
+        e = RemoteCallExpectations(nodes=2)
+        assert e.u_item == pytest.approx(1 - 0.5**10)
+
+    def test_u_item_bounded_by_remote_nodes(self):
+        e = RemoteCallExpectations(nodes=5)
+        assert e.u_item <= 4.0
+
+
+class TestCombined:
+    def test_u_stock_item_dominates_parts(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.u_stock_item >= e.u_stock
+        assert e.u_stock_item >= e.u_item
+
+    def test_u_stock_item_subadditive(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.u_stock_item <= e.u_stock + e.u_item
+
+    def test_u_item_only(self):
+        e = RemoteCallExpectations(nodes=10)
+        assert e.u_item_only == pytest.approx(e.u_stock_item - e.u_stock)
+
+
+class TestSensitivityParameters:
+    def test_remote_probability_override(self):
+        base = RemoteCallExpectations(nodes=10)
+        heavy = RemoteCallExpectations(nodes=10, remote_stock_probability=1.0)
+        assert heavy.rc_stock > base.rc_stock
+        assert heavy.l_stock < base.l_stock
+        assert heavy.u_stock > base.u_stock
+
+    def test_full_remote_probability(self):
+        e = RemoteCallExpectations(nodes=10, remote_stock_probability=1.0)
+        assert e.expected_remote_stock == pytest.approx(9.0)
+
+    def test_monotone_in_nodes(self):
+        values = [
+            RemoteCallExpectations(nodes=n).u_stock_item for n in (2, 5, 10, 30)
+        ]
+        assert values == sorted(values)
+
+    def test_as_row_keys(self):
+        row = RemoteCallExpectations(nodes=3).as_row()
+        assert "U_stock+item" in row and "L_stock" in row
+
+
+class TestValidation:
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            RemoteCallExpectations(nodes=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RemoteCallExpectations(nodes=2, remote_stock_probability=2.0)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.distributed.scaleup (Figures 11 and 12)."""
+
+import pytest
+
+from repro.distributed.scaleup import remote_probability_sensitivity, scaleup_curve
+from repro.throughput.params import MissRateInputs
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return scaleup_curve([1, 2, 10, 30], MISS)
+
+
+class TestScaleupCurve:
+    def test_single_node_all_equal(self, curve):
+        point = curve[0]
+        assert point.replicated_tpm == pytest.approx(point.linear_tpm)
+        assert point.non_replicated_tpm == pytest.approx(point.linear_tpm)
+        assert point.replication_gain == pytest.approx(0.0)
+
+    def test_ordering_linear_replicated_partitioned(self, curve):
+        for point in curve[1:]:
+            assert point.linear_tpm > point.replicated_tpm
+            assert point.replicated_tpm > point.non_replicated_tpm
+
+    def test_replicated_close_to_linear(self, curve):
+        """Paper: about 3% from ideal."""
+        final = curve[-1]
+        assert final.replicated_efficiency > 0.94
+
+    def test_replication_gain_grows_with_nodes(self, curve):
+        gains = [point.replication_gain for point in curve]
+        assert gains == sorted(gains)
+
+    def test_paper_gain_magnitudes(self, curve):
+        """Paper: 10/30/39% at 2/10/30 nodes; calibrated within a few points."""
+        by_nodes = {point.nodes: point for point in curve}
+        assert 100 * by_nodes[2].replication_gain == pytest.approx(10, abs=3)
+        assert 100 * by_nodes[10].replication_gain == pytest.approx(30, abs=6)
+        assert 100 * by_nodes[30].replication_gain == pytest.approx(39, abs=8)
+
+    def test_as_row(self, curve):
+        row = curve[1].as_row()
+        assert row["nodes"] == 2
+        assert isinstance(row["replication gain %"], float)
+
+
+class TestSensitivity:
+    def test_throughput_decreases_with_remote_probability(self):
+        curves = remote_probability_sensitivity([10], [0.01, 0.5, 1.0], MISS)
+        tpms = [curves[p][0][1] for p in (0.01, 0.5, 1.0)]
+        assert tpms[0] > tpms[1] > tpms[2]
+
+    def test_paper_drop_magnitude(self):
+        """Paper: scale-up falls ~44% as remote probability goes to 1."""
+        curves = remote_probability_sensitivity([30], [0.01, 1.0], MISS)
+        base = curves[0.01][0][1]
+        worst = curves[1.0][0][1]
+        drop = 1 - worst / base
+        assert drop == pytest.approx(0.44, abs=0.08)
+
+    def test_series_shape(self):
+        curves = remote_probability_sensitivity([1, 2, 4], [0.1], MISS)
+        assert [nodes for nodes, _ in curves[0.1]] == [1, 2, 4]
+
+    def test_non_replicated_variant(self):
+        replicated = remote_probability_sensitivity(
+            [10], [0.01], MISS, item_replicated=True
+        )
+        partitioned = remote_probability_sensitivity(
+            [10], [0.01], MISS, item_replicated=False
+        )
+        assert replicated[0.01][0][1] > partitioned[0.01][0][1]

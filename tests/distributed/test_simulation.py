@@ -1,0 +1,142 @@
+"""Tests for the multi-node buffer simulation.
+
+Validates, by simulation, the two assumptions the paper's distributed
+model makes analytically: the Appendix-A remote-call expectations, and
+the reuse of single-node miss rates per node.
+"""
+
+import pytest
+
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.distributed.simulation import (
+    DistributedBufferSimulation,
+    DistributedSimConfig,
+)
+from repro.workload.trace import TraceConfig
+
+
+def scaled_trace(**overrides):
+    defaults = dict(
+        warehouses=2,
+        items=600,
+        customers_per_district=90,
+        prime_orders=25,
+        prime_pending=8,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = DistributedSimConfig(
+        nodes=4,
+        trace=scaled_trace(),
+        buffer_mb=0.8,
+        transactions_per_node=2_500,
+        warmup_transactions_per_node=400,
+        seed=3,
+    )
+    return DistributedBufferSimulation(config).run()
+
+
+class TestAppendixAValidation:
+    """Simulated remote-call statistics vs the analytic formulas."""
+
+    def test_rc_stock(self, report):
+        assert report.remote.rc_stock == pytest.approx(
+            report.expectations.rc_stock, rel=0.35
+        )
+
+    def test_l_stock(self, report):
+        assert report.remote.l_stock == pytest.approx(
+            report.expectations.l_stock, abs=0.02
+        )
+
+    def test_u_stock_theorem_1(self, report):
+        """Theorem 1's unique-site expectation holds empirically."""
+        assert report.remote.u_stock == pytest.approx(
+            report.expectations.u_stock, rel=0.35
+        )
+
+    def test_u_cust(self, report):
+        assert report.remote.u_cust == pytest.approx(
+            report.expectations.u_cust, rel=0.25
+        )
+
+    def test_heavier_remote_traffic(self):
+        """At p = 0.5 the empirical quantities still track Appendix A,
+        where collisions make U_stock visibly smaller than E[remote]."""
+        config = DistributedSimConfig(
+            nodes=3,
+            trace=scaled_trace(remote_stock_probability=0.5, seed=8),
+            buffer_mb=0.8,
+            transactions_per_node=1_500,
+            warmup_transactions_per_node=200,
+            seed=4,
+        )
+        result = DistributedBufferSimulation(config).run()
+        assert result.remote.u_stock == pytest.approx(
+            result.expectations.u_stock, rel=0.15
+        )
+        assert result.remote.u_stock < result.remote.rc_stock / 2  # collisions
+
+    def test_rows_render(self, report):
+        rows = report.as_rows()
+        assert {row["quantity"] for row in rows} == {
+            "RC_stock",
+            "L_stock",
+            "U_stock",
+            "U_cust",
+        }
+
+
+class TestMissRateNeutrality:
+    """The paper reuses single-node miss rates per node."""
+
+    def test_nodes_behave_alike(self, report):
+        """All nodes see statistically similar miss rates."""
+        assert report.max_node_spread("stock") < 0.12
+        assert report.max_node_spread("customer") < 0.12
+
+    def test_matches_single_node_simulation(self, report):
+        """Per-node rates track an isolated single-node simulation."""
+        single = BufferSimulation(
+            SimulationConfig(
+                trace=scaled_trace(seed=11),
+                buffer_mb=0.8,
+                batches=3,
+                batch_size=15_000,
+                warmup_references=12_000,
+            )
+        ).run()
+        for relation in ("stock", "customer"):
+            assert report.mean_miss_rate(relation) == pytest.approx(
+                single.miss_rate(relation), abs=0.12
+            )
+
+
+class TestConfiguration:
+    def test_single_node_degenerates(self):
+        config = DistributedSimConfig(
+            nodes=1,
+            trace=scaled_trace(),
+            buffer_mb=0.8,
+            transactions_per_node=400,
+            warmup_transactions_per_node=100,
+        )
+        result = DistributedBufferSimulation(config).run()
+        assert result.remote.rc_stock == 0.0
+        assert result.remote.l_stock == 1.0
+        assert result.remote.u_cust == 0.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            DistributedSimConfig(nodes=0, trace=scaled_trace())
+
+    def test_invalid_transactions(self):
+        with pytest.raises(ValueError):
+            DistributedSimConfig(
+                nodes=2, trace=scaled_trace(), transactions_per_node=0
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for repro.engine.locks."""
+
+import pytest
+
+from repro.engine.errors import LockConflictError
+from repro.engine.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestSharedLocks:
+    def test_multiple_readers(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        shared, exclusive = locks.holders("r")
+        assert shared == {1, 2} and exclusive is None
+
+    def test_reacquire_is_idempotent(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.SHARED)
+        assert locks.acquisitions == 1
+
+    def test_reader_blocks_writer(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        with pytest.raises(LockConflictError, match="S-held"):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+
+
+class TestExclusiveLocks:
+    def test_writer_blocks_reader(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError, match="X-held"):
+            locks.acquire(2, "r", LockMode.SHARED)
+
+    def test_writer_blocks_writer(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+
+    def test_holder_can_reread(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(1, "r", LockMode.SHARED)  # no-op, already stronger
+        assert locks.mode_held(1, "r") is LockMode.EXCLUSIVE
+
+
+class TestUpgrade:
+    def test_sole_reader_upgrades(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.mode_held(1, "r") is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+
+class TestRelease:
+    def test_release_all_counts(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        released = locks.release_all(1)
+        assert released == 2
+        assert locks.releases == 2
+        assert locks.locks_held(1) == 0
+
+    def test_release_frees_resources(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)  # no conflict now
+
+    def test_release_unknown_transaction(self, locks):
+        assert locks.release_all(99) == 0
+
+    def test_release_does_not_disturb_others(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        locks.release_all(1)
+        assert locks.mode_held(2, "r") is LockMode.SHARED
+
+
+class TestAccounting:
+    def test_mode_held_none(self, locks):
+        assert locks.mode_held(1, "r") is None
+
+    def test_lock_counts_feed_cost_model(self, locks):
+        """Each acquired lock is one release_locks visit in the model."""
+        for resource in ("a", "b", "c"):
+            locks.acquire(5, resource, LockMode.SHARED)
+        assert locks.locks_held(5) == 3
+        assert locks.acquisitions == 3

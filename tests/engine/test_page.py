@@ -1,0 +1,162 @@
+"""Unit tests for repro.engine.page."""
+
+import pytest
+
+from repro.engine.errors import PageFullError, RecordNotFoundError
+from repro.engine.page import Page, PageId, PageStore
+
+
+class TestGeometry:
+    def test_capacity_accounts_for_header_and_map(self):
+        page = Page(record_size=306, page_size=4096)
+        assert page.capacity == 13  # paper Table 1: 13 stock tuples / 4K page
+
+    def test_customer_capacity(self):
+        assert Page(record_size=655, page_size=4096).capacity == 6
+
+    def test_too_large_record(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            Page(record_size=5000, page_size=4096)
+
+    def test_invalid_record_size(self):
+        with pytest.raises(ValueError, match="record_size"):
+            Page(record_size=0)
+
+
+class TestInsertReadUpdateDelete:
+    def test_round_trip(self):
+        page = Page(record_size=8)
+        slot = page.insert(b"12345678")
+        assert page.read(slot) == b"12345678"
+        assert page.live_records == 1
+
+    def test_fills_lowest_slot_first(self):
+        page = Page(record_size=4)
+        a = page.insert(b"aaaa")
+        b = page.insert(b"bbbb")
+        page.delete(a)
+        c = page.insert(b"cccc")
+        assert c == a  # freed slot reused
+        assert page.read(b) == b"bbbb"
+
+    def test_full_page_rejects_insert(self):
+        page = Page(record_size=2000, page_size=4096)
+        page.insert(b"x" * 2000)
+        page.insert(b"x" * 2000)
+        assert page.is_full
+        with pytest.raises(PageFullError):
+            page.insert(b"x" * 2000)
+
+    def test_update_in_place(self):
+        page = Page(record_size=4)
+        slot = page.insert(b"aaaa")
+        page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_wrong_record_length(self):
+        page = Page(record_size=4)
+        with pytest.raises(ValueError, match="exactly 4 bytes"):
+            page.insert(b"toolong")
+
+    def test_read_empty_slot(self):
+        page = Page(record_size=4)
+        with pytest.raises(RecordNotFoundError):
+            page.read(0)
+
+    def test_delete_then_read(self):
+        page = Page(record_size=4)
+        slot = page.insert(b"aaaa")
+        page.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            page.read(slot)
+        assert page.is_empty
+
+    def test_slot_out_of_range(self):
+        page = Page(record_size=4)
+        with pytest.raises(RecordNotFoundError, match="out of range"):
+            page.read(10_000)
+
+    def test_records_iteration(self):
+        page = Page(record_size=4)
+        page.insert(b"aaaa")
+        b = page.insert(b"bbbb")
+        page.insert(b"cccc")
+        page.delete(b)
+        assert [record for _, record in page.records()] == [b"aaaa", b"cccc"]
+
+
+class TestPutClear:
+    def test_put_occupies_specific_slot(self):
+        page = Page(record_size=4)
+        page.put(5, b"xxxx")
+        assert page.is_live(5)
+        assert page.live_records == 1
+
+    def test_put_is_idempotent(self):
+        page = Page(record_size=4)
+        page.put(2, b"aaaa")
+        page.put(2, b"bbbb")
+        assert page.read(2) == b"bbbb"
+        assert page.live_records == 1
+
+    def test_clear_is_idempotent(self):
+        page = Page(record_size=4)
+        page.put(1, b"aaaa")
+        page.clear(1)
+        page.clear(1)
+        assert page.live_records == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        page = Page(record_size=8)
+        page.insert(b"AAAAAAAA")
+        page.insert(b"BBBBBBBB")
+        page.delete(0)
+        image = page.to_bytes()
+        assert len(image) == 4096
+        restored = Page.from_bytes(image)
+        assert restored.live_records == 1
+        assert restored.read(1) == b"BBBBBBBB"
+        assert not restored.is_live(0)
+
+    def test_wrong_image_size(self):
+        with pytest.raises(ValueError, match="image"):
+            Page.from_bytes(b"short")
+
+
+class TestPageStore:
+    def test_allocate_read_write(self):
+        store = PageStore()
+        page = Page(record_size=8)
+        page.insert(b"12345678")
+        store.allocate(PageId(0, 0), page)
+        assert store.reads == 0  # allocation is free
+        fetched = store.read(PageId(0, 0))
+        assert store.reads == 1
+        assert fetched.read(0) == b"12345678"
+        store.write(PageId(0, 0), fetched)
+        assert store.writes == 1
+
+    def test_double_allocate_rejected(self):
+        store = PageStore()
+        store.allocate(PageId(0, 0), Page(record_size=8))
+        with pytest.raises(ValueError, match="already exists"):
+            store.allocate(PageId(0, 0), Page(record_size=8))
+
+    def test_missing_page(self):
+        with pytest.raises(RecordNotFoundError):
+            PageStore().read(PageId(9, 9))
+
+    def test_contains_and_len(self):
+        store = PageStore()
+        store.allocate(PageId(1, 2), Page(record_size=8))
+        assert PageId(1, 2) in store
+        assert len(store) == 1
+
+    def test_reset_counters(self):
+        store = PageStore()
+        store.allocate(PageId(0, 0), Page(record_size=8))
+        store.read(PageId(0, 0))
+        store.reset_counters()
+        assert store.reads == 0 and store.writes == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "fig5", "fig12", "appendix_a3"):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Logical Database" in out
+        assert "stock" in out
+
+    def test_run_with_preset(self, capsys):
+        assert main(["run", "fig5", "--preset", "quick"]) == 0
+        assert "hottest" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--preset", "galactic"])
+
+
+class TestSkew:
+    def test_stock_summary(self, capsys):
+        assert main(["skew"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest 20%" in out
+        assert "gini" in out
+
+    def test_customer_summary(self, capsys):
+        assert main(["skew", "--relation", "customer"]) == 0
+        assert "customer relation" in capsys.readouterr().out
+
+
+class TestThroughput:
+    def test_default_point(self, capsys):
+        assert main(["throughput"]) == 0
+        out = capsys.readouterr().out
+        assert "new-order tpm" in out
+
+    def test_custom_parameters(self, capsys):
+        assert main(
+            ["throughput", "--buffer-mb", "104", "--packing", "optimized",
+             "--mips", "20"]
+        ) == 0
+        assert "optimized" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0
+        assert "fig8" in process.stdout
+
+
+class TestValidate:
+    def test_consistent_trace(self, capsys):
+        assert main(
+            ["validate", "--warehouses", "1", "--items", "300",
+             "--customers", "90", "--transactions", "2500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TV distance" in out
+        assert "consistent" in out
+
+
+class TestTrace:
+    def test_record_trace(self, tmp_path, capsys):
+        path = tmp_path / "out.npz"
+        assert main(
+            ["trace", str(path), "--warehouses", "1", "--transactions", "100"]
+        ) == 0
+        assert path.exists()
+        assert "recorded" in capsys.readouterr().out
+
+
+class TestRunCsv:
+    def test_csv_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig5.csv"
+        assert main(["run", "fig5", "--csv", str(path)]) == 0
+        assert path.exists()
+        assert "rows written" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Cross-validation: trace-driven buffer model vs. the executable engine.
+
+Both systems run the same scaled TPC-C workload with the same buffer
+capacity; the trace model predicts buffer behaviour, the engine
+measures it.  They differ in known, bounded ways (the engine's pages
+hold slightly fewer tuples because of the slot map; by-name customer
+lookups resolve real last names instead of the paper's NU
+simplification; the engine touches a page once per *call* — select then
+update — while the model counts one reference per *tuple*), so the
+quantitative comparison uses **misses per transaction** (physical
+reads/tx, the quantity the throughput model consumes), and the
+structural properties must match exactly.
+"""
+
+import pytest
+
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.tpcc import TpccConfig, TpccExecutor, load_tpcc
+from repro.tpcc.executor import buffer_miss_rates
+from repro.workload.trace import TraceConfig
+
+WAREHOUSES = 2
+CUSTOMERS = 90
+ITEMS = 600
+BUFFER_PAGES = 260
+MEASURED_TRANSACTIONS = 1200
+
+
+@pytest.fixture(scope="module")
+def engine_db():
+    config = TpccConfig(
+        warehouses=WAREHOUSES,
+        customers_per_district=CUSTOMERS,
+        items=ITEMS,
+        initial_orders_per_district=30,
+        pending_orders_per_district=10,
+        buffer_pages=BUFFER_PAGES,
+        seed=61,
+    )
+    db = load_tpcc(config)
+    executor = TpccExecutor(db, config, seed=62)
+    executor.run_mix(300)  # warm up
+    db.buffers.reset_stats()
+    executor.run_mix(MEASURED_TRANSACTIONS)
+    return db
+
+
+@pytest.fixture(scope="module")
+def engine_rates(engine_db):
+    return buffer_miss_rates(engine_db)
+
+
+@pytest.fixture(scope="module")
+def model_report():
+    page_size = 4096
+    buffer_mb = BUFFER_PAGES * page_size / (1024 * 1024)
+    config = SimulationConfig(
+        trace=TraceConfig(
+            warehouses=WAREHOUSES,
+            items=ITEMS,
+            customers_per_district=CUSTOMERS,
+            prime_orders=30,
+            prime_pending=10,
+            seed=63,
+        ),
+        buffer_mb=buffer_mb,
+        batches=4,
+        batch_size=12_000,
+        warmup_references=12_000,
+    )
+    return BufferSimulation(config).run()
+
+
+def engine_misses_per_tx(engine_db, relation: str) -> float:
+    stats = engine_db.buffers.stats
+    file_id = engine_db.file_id_of(relation)
+    return stats.misses.get(file_id, 0) / MEASURED_TRANSACTIONS
+
+
+class TestStructuralAgreement:
+    def test_hot_relations_agree(self, engine_rates, model_report):
+        """Warehouse and District never miss in either system."""
+        assert engine_rates["warehouse"] < 0.02
+        assert engine_rates["district"] < 0.02
+        assert model_report.miss_rate("warehouse") < 0.02
+        assert model_report.miss_rate("district") < 0.02
+
+    def test_relation_ordering_agrees(self, engine_rates, model_report):
+        """Customer misses most among the static skewed relations."""
+        assert engine_rates["customer"] > engine_rates["item"]
+        assert model_report.miss_rate("customer") > model_report.miss_rate("item")
+
+    def test_append_relations_cheap_in_both(self, engine_rates, model_report):
+        for relation in ("history", "new_order"):
+            assert engine_rates[relation] < 0.15
+            assert model_report.miss_rate(relation) < 0.15
+
+
+class TestQuantitativeAgreement:
+    @pytest.mark.parametrize(
+        "relation, tolerance",
+        [("customer", 0.35), ("stock", 0.15), ("item", 0.05), ("order_line", 0.25)],
+    )
+    def test_misses_per_transaction_agree(
+        self, engine_db, model_report, relation, tolerance
+    ):
+        engine_mpt = engine_misses_per_tx(engine_db, relation)
+        model_mpt = model_report.misses_per_transaction(relation)
+        assert engine_mpt == pytest.approx(model_mpt, abs=tolerance), (
+            f"{relation}: engine {engine_mpt:.3f} vs model {model_mpt:.3f} misses/tx"
+        )
+
+    def test_total_reads_per_transaction_same_regime(self, engine_db, model_report):
+        stats = engine_db.buffers.stats
+        engine_total = sum(stats.misses.values()) / MEASURED_TRANSACTIONS
+        model_total = sum(
+            model_report.misses_per_transaction(name)
+            for name in model_report.relations
+        )
+        assert engine_total == pytest.approx(model_total, rel=0.5)

@@ -1,0 +1,92 @@
+"""Property-based tests for the B+ tree against a dict/sorted-list model."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.engine.errors import DuplicateKeyError, RecordNotFoundError
+
+keys = st.integers(min_value=-1000, max_value=1000)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "search"]), keys),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestModelEquivalence:
+    @given(operations, st.integers(min_value=4, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_against_dict_model(self, ops, order):
+        tree = BPlusTree(order=order)
+        model: dict[int, int] = {}
+        for op, key in ops:
+            if op == "insert":
+                if key in model:
+                    try:
+                        tree.insert(key, key)
+                        raise AssertionError("expected DuplicateKeyError")
+                    except DuplicateKeyError:
+                        pass
+                else:
+                    tree.insert(key, key)
+                    model[key] = key
+            elif op == "delete":
+                if key in model:
+                    assert tree.delete(key) == key
+                    del model[key]
+                else:
+                    try:
+                        tree.delete(key)
+                        raise AssertionError("expected RecordNotFoundError")
+                    except RecordNotFoundError:
+                        pass
+            else:
+                assert tree.get(key) == model.get(key)
+        assert len(tree) == len(model)
+        assert [k for k, _ in tree.items()] == sorted(model)
+        tree.check_invariants()
+
+    @given(st.lists(keys, unique=True, min_size=1, max_size=200), keys, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_range_scan_equals_sorted_slice(self, insert_keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree(order=5)
+        for key in insert_keys:
+            tree.insert(key, key)
+        expected = [k for k in sorted(insert_keys) if low <= k <= high]
+        assert [k for k, _ in tree.range_scan(low, high)] == expected
+
+    @given(st.lists(keys, unique=True, min_size=1, max_size=200), keys, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_min_max_in_range(self, insert_keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree(order=5)
+        for key in insert_keys:
+            tree.insert(key, key)
+        in_range = [k for k in insert_keys if low <= k <= high]
+        if in_range:
+            assert tree.min_in_range(low, high)[0] == min(in_range)
+            assert tree.max_in_range(low, high)[0] == max(in_range)
+        else:
+            assert tree.min_in_range(low, high) is None
+            assert tree.max_in_range(low, high) is None
+
+    @given(st.lists(keys, unique=True, min_size=2, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_half_preserves_rest(self, insert_keys):
+        tree = BPlusTree(order=4)
+        for key in insert_keys:
+            tree.insert(key, f"value-{key}")
+        to_delete = insert_keys[:: 2]
+        for key in to_delete:
+            tree.delete(key)
+        tree.check_invariants()
+        survivors = sorted(set(insert_keys) - set(to_delete))
+        assert [k for k, _ in tree.items()] == survivors
+        for key in survivors:
+            assert tree.search(key) == f"value-{key}"

@@ -1,0 +1,117 @@
+"""Property-based tests for distributions, skew metrics and packing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.mapping import page_access_distribution
+from repro.core.packing import HottestFirstPacking, SequentialPacking
+from repro.core.skew import (
+    access_share_of_hottest,
+    gini_coefficient,
+    lorenz_curve,
+)
+from repro.stats.distribution import DiscreteDistribution
+
+pmf_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=300),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).filter(lambda weights: weights.sum() > 1e-9)
+
+
+class TestDistributionInvariants:
+    @given(pmf_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_normalization(self, weights):
+        dist = DiscreteDistribution(weights)
+        np.testing.assert_allclose(dist.pmf.sum(), 1.0)
+
+    @given(pmf_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone(self, weights):
+        cdf = DiscreteDistribution(weights).cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    @given(pmf_arrays, pmf_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_tv_distance_is_metric_like(self, a, b):
+        da, db = DiscreteDistribution(a), DiscreteDistribution(b)
+        tv = da.total_variation_distance(db)
+        assert 0.0 <= tv <= 1.0 + 1e-12
+        assert tv == db.total_variation_distance(da)
+        assert da.total_variation_distance(da) < 1e-12
+
+    @given(pmf_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_hotness_ranks_is_permutation(self, weights):
+        dist = DiscreteDistribution(weights, lower=1)
+        ranks = dist.hotness_ranks()
+        assert sorted(ranks.tolist()) == list(range(1, dist.size + 1))
+        probs = [dist.probability(i) for i in ranks]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestSkewInvariants:
+    @given(pmf_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_lorenz_curve_under_diagonal(self, weights):
+        dist = DiscreteDistribution(weights)
+        data, access = lorenz_curve(dist)
+        assert np.all(access <= data + 1e-9)
+        assert access[-1] == 1.0
+
+    @given(pmf_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_gini_in_unit_interval(self, weights):
+        assert 0.0 <= gini_coefficient(DiscreteDistribution(weights)) <= 1.0
+
+    @given(pmf_arrays, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_access_share_bounds(self, weights, fraction):
+        dist = DiscreteDistribution(weights)
+        share = access_share_of_hottest(dist, fraction)
+        assert -1e-9 <= share <= 1.0 + 1e-9
+        # The hottest x% always captures at least x% of accesses.
+        assert share >= fraction - 0.5 / dist.size - 1e-9
+
+
+class TestPackingInvariants:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_pages_partition_tuples(self, n_tuples, per_page):
+        packing = SequentialPacking(n_tuples, per_page)
+        pages = packing.page_of(np.arange(1, n_tuples + 1))
+        counts = np.bincount(pages, minlength=packing.n_pages)
+        assert counts.max() <= per_page
+        assert counts.sum() == n_tuples
+        assert counts[:-1].min() == per_page if packing.n_pages > 1 else True
+
+    @given(pmf_arrays, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_page_distribution_conserves_mass(self, weights, per_page):
+        dist = DiscreteDistribution(weights, lower=1)
+        packing = SequentialPacking(dist.size, per_page)
+        pages = page_access_distribution(dist, packing)
+        np.testing.assert_allclose(pages.pmf.sum(), 1.0)
+
+    @given(pmf_arrays, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_optimized_packing_never_less_skewed(self, weights, per_page):
+        """Hottest-first packing maximizes page-level concentration."""
+        dist = DiscreteDistribution(weights, lower=1)
+        sequential = page_access_distribution(
+            dist, SequentialPacking(dist.size, per_page)
+        )
+        optimized = page_access_distribution(
+            dist, HottestFirstPacking(dist.size, per_page, dist)
+        )
+        for fraction in (0.1, 0.25, 0.5):
+            assert (
+                access_share_of_hottest(optimized, fraction)
+                >= access_share_of_hottest(sequential, fraction) - 1e-9
+            )

@@ -1,0 +1,84 @@
+"""Property-based tests for the storage engine's lower layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.bufferpool import BufferManager
+from repro.engine.heap import HeapFile
+from repro.engine.page import Page, PageStore
+
+record_payloads = st.binary(min_size=16, max_size=16)
+
+
+class TestPageProperties:
+    @given(st.lists(record_payloads, min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_insert_read_round_trip(self, payloads):
+        page = Page(record_size=16, page_size=4096)
+        stored = {}
+        for payload in payloads:
+            if page.is_full:
+                break
+            slot = page.insert(payload)
+            stored[slot] = payload
+        for slot, payload in stored.items():
+            assert page.read(slot) == payload
+
+    @given(st.lists(record_payloads, min_size=1, max_size=100), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_preserves_state(self, payloads, data):
+        page = Page(record_size=16, page_size=4096)
+        live = {}
+        for payload in payloads:
+            if page.is_full:
+                break
+            live[page.insert(payload)] = payload
+        if live and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(live)))
+            page.delete(victim)
+            del live[victim]
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.live_records == len(live)
+        for slot, payload in live.items():
+            assert restored.read(slot) == payload
+
+
+class TestHeapProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete", "update"]), record_payloads),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_against_dict_model(self, ops, capacity):
+        """The heap must agree with a dict model even under eviction
+        pressure from a tiny buffer pool."""
+        store = PageStore()
+        heap = HeapFile(BufferManager(store, capacity), 0, record_size=16)
+        model = {}
+        for op, payload in ops:
+            if op == "insert":
+                rid = heap.insert(payload)
+                model[rid] = payload
+            elif op == "delete" and model:
+                rid = sorted(model)[0]
+                heap.delete(rid)
+                del model[rid]
+            elif op == "update" and model:
+                rid = sorted(model)[-1]
+                heap.update(rid, payload)
+                model[rid] = payload
+        assert len(heap) == len(model)
+        assert dict(heap.scan()) == model
+
+    @given(st.integers(min_value=1, max_value=120))
+    @settings(max_examples=40, deadline=None)
+    def test_page_count_matches_geometry(self, inserts):
+        store = PageStore()
+        heap = HeapFile(BufferManager(store, 64), 0, record_size=16)
+        for _ in range(inserts):
+            heap.insert(b"x" * 16)
+        assert heap.page_count == -(-inserts // heap.records_per_page)

@@ -1,0 +1,83 @@
+"""Property-based tests for the NURand function and exact PMFs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nurand import NURand, exact_pmf, nurand, period_count
+from repro.core.nurand import _exact_counts_enumerated
+
+
+@st.composite
+def nurand_params(draw):
+    """Random (A, x, y) with a manageable exact-PMF cost."""
+    x = draw(st.integers(min_value=0, max_value=50))
+    span = draw(st.integers(min_value=1, max_value=400))
+    y = x + span - 1
+    a = draw(st.integers(min_value=0, max_value=255))
+    return a, x, y
+
+
+@st.composite
+def nurand_params_with_c(draw):
+    a, x, y = draw(nurand_params())
+    c = draw(st.integers(min_value=0, max_value=a))
+    return a, x, y, c
+
+
+class TestSamplerProperties:
+    @given(nurand_params_with_c(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_samples_within_bounds(self, params, seed):
+        a, x, y, c = params
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            assert x <= nurand(rng, a, x, y, c) <= y
+
+    @given(nurand_params(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_matches_bounds(self, params, seed):
+        a, x, y = params
+        values = NURand(a, x, y).sample_array(np.random.default_rng(seed), 500)
+        assert values.min() >= x and values.max() <= y
+
+
+class TestExactPmfProperties:
+    @given(nurand_params_with_c())
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_is_distribution(self, params):
+        a, x, y, c = params
+        dist = exact_pmf(a, x, y, c)
+        np.testing.assert_allclose(dist.pmf.sum(), 1.0)
+        assert np.all(dist.pmf >= 0)
+        assert dist.lower == x and dist.upper == y
+
+    @given(nurand_params_with_c())
+    @settings(max_examples=25, deadline=None)
+    def test_fast_path_equals_enumeration(self, params):
+        """The power-of-two subset-sum computation is exactly the
+        brute-force enumeration."""
+        a, x, y, c = params
+        fast = exact_pmf(a, x, y, c).pmf
+        slow = _exact_counts_enumerated(a, x, y, c)
+        np.testing.assert_allclose(fast, slow / slow.sum(), atol=1e-12)
+
+    @given(nurand_params())
+    @settings(max_examples=40, deadline=None)
+    def test_monte_carlo_converges_to_exact(self, params):
+        a, x, y = params
+        exact = exact_pmf(a, x, y)
+        sampled = NURand(a, x, y).sample_array(np.random.default_rng(0), 60_000)
+        counts = np.bincount(sampled - x, minlength=y - x + 1)
+        empirical = counts / counts.sum()
+        tv = 0.5 * np.abs(empirical - exact.pmf).sum()
+        # TV distance of the empirical law shrinks with sample size;
+        # bound loosely to keep the test robust for all spans.
+        assert tv < 0.12
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_period_count_power_of_two(self, a_bits, extra_bits):
+        a = (1 << a_bits) - 1
+        y = (1 << (a_bits + extra_bits)) - 1
+        assert period_count(a, 0, y) == (y + 1) // (a + 1)

@@ -1,0 +1,108 @@
+"""Property-based tests for the Appendix A expectations and the models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.model import DistributedThroughputModel
+from repro.distributed.remote import RemoteCallExpectations
+from repro.throughput.model import ThroughputModel
+from repro.throughput.params import MissRateInputs
+
+miss_inputs = st.builds(
+    MissRateInputs,
+    customer=st.floats(min_value=0, max_value=1),
+    item=st.floats(min_value=0, max_value=1),
+    stock=st.floats(min_value=0, max_value=1),
+    order=st.floats(min_value=0, max_value=1),
+    order_line=st.floats(min_value=0, max_value=1),
+)
+
+nodes_strategy = st.integers(min_value=1, max_value=64)
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestExpectationBounds:
+    @given(nodes_strategy, probabilities)
+    @settings(max_examples=120, deadline=None)
+    def test_all_quantities_bounded(self, nodes, probability):
+        e = RemoteCallExpectations(nodes=nodes, remote_stock_probability=probability)
+        assert 0.0 <= e.l_stock <= 1.0
+        assert 0.0 <= e.u_stock <= min(10.0, nodes - 1)
+        assert 0.0 <= e.u_item <= min(10.0, nodes - 1)
+        assert 0.0 <= e.u_stock_item <= min(20.0, nodes - 1)
+        assert e.rc_stock >= 0 and e.rc_item >= 0 and e.rc_cust >= 0
+
+    @given(nodes_strategy, probabilities)
+    @settings(max_examples=80, deadline=None)
+    def test_union_bounds(self, nodes, probability):
+        e = RemoteCallExpectations(nodes=nodes, remote_stock_probability=probability)
+        assert e.u_stock_item >= max(e.u_stock, e.u_item) - 1e-9
+        assert e.u_stock_item <= e.u_stock + e.u_item + 1e-9
+
+    @given(nodes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_unique_sites_below_expected_requests(self, nodes):
+        e = RemoteCallExpectations(nodes=nodes)
+        assert e.u_stock <= e.expected_remote_stock + 1e-9
+        assert e.u_item <= e.expected_remote_items + 1e-9
+
+    @given(probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_probability(self, probability):
+        low = RemoteCallExpectations(nodes=10, remote_stock_probability=probability / 2)
+        high = RemoteCallExpectations(nodes=10, remote_stock_probability=probability)
+        assert high.u_stock >= low.u_stock - 1e-9
+        assert high.l_stock <= low.l_stock + 1e-9
+
+
+class TestModelMonotonicity:
+    @given(miss_inputs)
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_positive(self, miss):
+        result = ThroughputModel(miss_rates=miss).solve()
+        assert result.throughput_tps > 0
+        assert result.new_order_tpm > 0
+
+    @given(miss_inputs, st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_more_misses_never_faster(self, miss, bump):
+        base = ThroughputModel(miss_rates=miss).solve()
+        worse = MissRateInputs(
+            customer=min(1.0, miss.customer + bump),
+            item=min(1.0, miss.item + bump),
+            stock=min(1.0, miss.stock + bump),
+            order=miss.order,
+            order_line=miss.order_line,
+        )
+        degraded = ThroughputModel(miss_rates=worse).solve()
+        assert degraded.throughput_tps <= base.throughput_tps + 1e-9
+        assert degraded.disk_reads_per_tx >= base.disk_reads_per_tx - 1e-9
+
+    @given(miss_inputs, nodes_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_distributed_never_beats_linear(self, miss, nodes):
+        single = ThroughputModel(miss_rates=miss).solve()
+        replicated = DistributedThroughputModel(nodes, miss).solve()
+        assert (
+            replicated.system_new_order_tpm
+            <= nodes * single.new_order_tpm + 1e-6
+        )
+
+    @given(miss_inputs, st.integers(min_value=2, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_replication_never_hurts(self, miss, nodes):
+        replicated = DistributedThroughputModel(nodes, miss, item_replicated=True)
+        partitioned = DistributedThroughputModel(nodes, miss, item_replicated=False)
+        assert (
+            replicated.solve().system_new_order_tpm
+            >= partitioned.solve().system_new_order_tpm - 1e-9
+        )
+
+    @given(miss_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_disk_arms_satisfy_cap(self, miss):
+        model = ThroughputModel(miss_rates=miss)
+        tps = model.max_throughput_tps()
+        arms = model.disk_arms_needed(tps)
+        assert model.disk_utilization(tps, arms) <= 0.5 + 1e-9

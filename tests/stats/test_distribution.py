@@ -1,0 +1,182 @@
+"""Unit tests for repro.stats.distribution."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distribution import DiscreteDistribution
+
+
+class TestConstruction:
+    def test_normalizes_weights(self):
+        dist = DiscreteDistribution([1, 1, 2], lower=1)
+        assert dist.pmf == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_support_bounds(self):
+        dist = DiscreteDistribution([1, 2, 3], lower=10)
+        assert dist.lower == 10
+        assert dist.upper == 12
+        assert dist.size == 3
+        assert len(dist) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DiscreteDistribution([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DiscreteDistribution([1, -1, 2])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="zero"):
+            DiscreteDistribution([0.0, 0.0])
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            DiscreteDistribution([[1, 2], [3, 4]])
+
+    def test_pmf_is_read_only(self):
+        dist = DiscreteDistribution([1, 2, 3])
+        with pytest.raises(ValueError):
+            dist.pmf[0] = 0.9
+
+    def test_repr_mentions_bounds(self):
+        text = repr(DiscreteDistribution([1, 1], lower=5))
+        assert "lower=5" in text and "upper=6" in text
+
+
+class TestUniform:
+    def test_uniform_probabilities(self):
+        dist = DiscreteDistribution.uniform(1, 4)
+        assert dist.pmf == pytest.approx([0.25] * 4)
+
+    def test_uniform_single_point(self):
+        dist = DiscreteDistribution.uniform(7, 7)
+        assert dist.probability(7) == 1.0
+
+    def test_uniform_invalid_bounds(self):
+        with pytest.raises(ValueError, match="upper"):
+            DiscreteDistribution.uniform(5, 4)
+
+
+class TestProbability:
+    def test_inside_support(self):
+        dist = DiscreteDistribution([1, 3], lower=10)
+        assert dist.probability(11) == pytest.approx(0.75)
+
+    def test_outside_support_is_zero(self):
+        dist = DiscreteDistribution([1, 3], lower=10)
+        assert dist.probability(9) == 0.0
+        assert dist.probability(12) == 0.0
+
+
+class TestFromCounts:
+    def test_counts_normalized(self):
+        dist = DiscreteDistribution.from_counts([10, 30], lower=0)
+        assert dist.probability(1) == pytest.approx(0.75)
+
+
+class TestMixture:
+    def test_disjoint_supports(self):
+        a = DiscreteDistribution.uniform(1, 2)
+        b = DiscreteDistribution.uniform(5, 6)
+        mix = DiscreteDistribution.mixture([a, b], [0.5, 0.5])
+        assert mix.lower == 1 and mix.upper == 6
+        assert mix.probability(1) == pytest.approx(0.25)
+        assert mix.probability(3) == 0.0
+        assert mix.probability(5) == pytest.approx(0.25)
+
+    def test_overlapping_supports_add(self):
+        a = DiscreteDistribution.uniform(1, 2)
+        b = DiscreteDistribution.uniform(2, 3)
+        mix = DiscreteDistribution.mixture([a, b], [0.5, 0.5])
+        assert mix.probability(2) == pytest.approx(0.5)
+
+    def test_weights_renormalized(self):
+        a = DiscreteDistribution.uniform(1, 2)
+        b = DiscreteDistribution.uniform(1, 2)
+        mix = DiscreteDistribution.mixture([a, b], [2, 2])
+        assert float(mix.pmf.sum()) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        a = DiscreteDistribution.uniform(1, 2)
+        with pytest.raises(ValueError, match="weights"):
+            DiscreteDistribution.mixture([a], [0.5, 0.5])
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DiscreteDistribution.mixture([], [])
+
+
+class TestDerived:
+    def test_cdf_monotone_and_ends_at_one(self):
+        dist = DiscreteDistribution([3, 1, 2, 4])
+        cdf = dist.cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_sorted_pmf(self):
+        dist = DiscreteDistribution([3, 1, 2])
+        assert dist.sorted_pmf().tolist() == sorted(dist.pmf.tolist())
+        assert dist.sorted_pmf(descending=True)[0] == dist.pmf.max()
+
+    def test_hotness_ranks_hot_first(self):
+        dist = DiscreteDistribution([1, 5, 3], lower=100)
+        assert dist.hotness_ranks().tolist() == [101, 102, 100]
+
+    def test_hotness_ranks_deterministic_on_ties(self):
+        dist = DiscreteDistribution([1, 1, 1], lower=1)
+        assert dist.hotness_ranks().tolist() == [1, 2, 3]
+
+    def test_entropy_uniform_is_log2_n(self):
+        dist = DiscreteDistribution.uniform(1, 8)
+        assert dist.entropy() == pytest.approx(3.0)
+
+    def test_entropy_point_mass_is_zero(self):
+        dist = DiscreteDistribution([0, 1, 0])
+        assert dist.entropy() == pytest.approx(0.0)
+
+    def test_expected_value(self):
+        dist = DiscreteDistribution([1, 1], lower=10)
+        assert dist.expected_value() == pytest.approx(10.5)
+
+
+class TestSampling:
+    def test_scalar_sample_in_support(self, rng):
+        dist = DiscreteDistribution.uniform(5, 9)
+        for _ in range(50):
+            assert 5 <= dist.sample(rng) <= 9
+
+    def test_array_sample_shape_and_dtype(self, rng):
+        dist = DiscreteDistribution.uniform(1, 3)
+        samples = dist.sample(rng, size=1000)
+        assert samples.shape == (1000,)
+        assert samples.dtype == np.int64
+
+    def test_sample_frequencies_match_pmf(self, rng):
+        dist = DiscreteDistribution([0.7, 0.2, 0.1], lower=1)
+        samples = dist.sample(rng, size=50_000)
+        freq = np.bincount(samples, minlength=4)[1:] / 50_000
+        assert freq == pytest.approx([0.7, 0.2, 0.1], abs=0.02)
+
+    def test_zero_probability_ids_never_sampled(self, rng):
+        dist = DiscreteDistribution([0.5, 0.0, 0.5], lower=1)
+        samples = dist.sample(rng, size=10_000)
+        assert not np.any(samples == 2)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        dist = DiscreteDistribution([1, 2, 3])
+        assert dist.total_variation_distance(dist) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        a = DiscreteDistribution.uniform(1, 2)
+        b = DiscreteDistribution.uniform(10, 11)
+        assert a.total_variation_distance(b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = DiscreteDistribution([1, 2, 3])
+        b = DiscreteDistribution([3, 2, 1])
+        assert a.total_variation_distance(b) == pytest.approx(
+            b.total_variation_distance(a)
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for repro.throughput.capacity (storage sizing)."""
+
+import pytest
+
+from repro.throughput.capacity import (
+    growth_bytes,
+    growth_bytes_per_transaction,
+    static_storage_bytes,
+)
+from repro.workload.mix import DEFAULT_MIX, TransactionMix
+
+
+class TestStaticStorage:
+    def test_paper_value(self):
+        """~1.1 GB for 20 warehouses (paper Sec. 5.2)."""
+        assert static_storage_bytes(20) == pytest.approx(1.1e9, rel=0.1)
+
+    def test_scales_with_warehouses(self):
+        assert static_storage_bytes(40) > 1.9 * static_storage_bytes(20)
+
+    def test_whole_pages(self):
+        assert static_storage_bytes(20) % 4096 == 0
+
+
+class TestGrowthPerTransaction:
+    def test_value(self):
+        # 0.43 * (24 + 540 + 8) + 0.44 * 46 bytes.
+        expected = 0.43 * 572 + 0.44 * 46
+        assert growth_bytes_per_transaction() == pytest.approx(expected)
+
+    def test_mix_dependence(self):
+        no_heavy = TransactionMix.from_percent(
+            new_order=45, payment=43, order_status=4, delivery=5, stock_level=3
+        )
+        assert growth_bytes_per_transaction(no_heavy) > growth_bytes_per_transaction(
+            DEFAULT_MIX
+        )
+
+    def test_items_per_order_scaling(self):
+        assert growth_bytes_per_transaction(
+            items_per_order=15
+        ) > growth_bytes_per_transaction(items_per_order=10)
+
+
+class TestGrowth:
+    def test_paper_magnitude(self):
+        """~11 GB at the paper's ~430 total tpm operating point."""
+        assert growth_bytes(430) == pytest.approx(11e9, rel=0.15)
+
+    def test_linear_in_throughput(self):
+        assert growth_bytes(200) == pytest.approx(2 * growth_bytes(100))
+
+    def test_retention_period(self):
+        assert growth_bytes(100, days=90) == pytest.approx(
+            growth_bytes(100, days=180) / 2
+        )
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ValueError):
+            growth_bytes(-1)

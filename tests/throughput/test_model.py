@@ -1,0 +1,105 @@
+"""Unit tests for repro.throughput.model (Figure 9 machinery)."""
+
+import pytest
+
+from repro.throughput.model import ThroughputModel, warehouses_supported
+from repro.throughput.params import CostParameters, MissRateInputs
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+@pytest.fixture
+def model():
+    return ThroughputModel(miss_rates=MISS)
+
+
+class TestConstruction:
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError, match="miss_rates"):
+            ThroughputModel()
+
+    def test_custom_visit_table(self):
+        from repro.throughput.visits import single_node_visits
+
+        table = single_node_visits(MISS)
+        model = ThroughputModel(visit_table=table)
+        assert model.cpu_demand_k() > 0
+
+
+class TestUtilization:
+    def test_cpu_utilization_linear_in_throughput(self, model):
+        assert model.cpu_utilization(2.0) == pytest.approx(
+            2 * model.cpu_utilization(1.0)
+        )
+
+    def test_negative_throughput_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.cpu_utilization(-1.0)
+
+    def test_disk_utilization_inverse_in_arms(self, model):
+        one = model.disk_utilization(5.0, disk_arms=1)
+        four = model.disk_utilization(5.0, disk_arms=4)
+        assert one == pytest.approx(4 * four)
+
+    def test_disk_arms_positive(self, model):
+        with pytest.raises(ValueError):
+            model.disk_utilization(1.0, disk_arms=0)
+
+
+class TestMaxThroughput:
+    def test_utilization_at_cap(self, model):
+        tps = model.max_throughput_tps()
+        assert model.cpu_utilization(tps) == pytest.approx(0.8)
+
+    def test_faster_cpu_scales_linearly(self):
+        slow = ThroughputModel(params=CostParameters(mips=10), miss_rates=MISS)
+        fast = ThroughputModel(params=CostParameters(mips=20), miss_rates=MISS)
+        assert fast.max_throughput_tps() == pytest.approx(
+            2 * slow.max_throughput_tps()
+        )
+
+    def test_lower_miss_rates_higher_throughput(self):
+        lossy = ThroughputModel(miss_rates=MISS)
+        clean = ThroughputModel(miss_rates=MissRateInputs.zero())
+        assert clean.max_throughput_tps() > lossy.max_throughput_tps()
+
+    def test_new_order_tpm_is_share_of_total(self, model):
+        result = model.solve()
+        assert result.new_order_tpm == pytest.approx(0.43 * result.total_tpm)
+
+    def test_paper_operating_point(self, model):
+        """~20 warehouses on a 10 MIPS CPU (paper Sec. 4): ~10 tpmC each."""
+        result = model.solve()
+        assert 5 <= warehouses_supported(result) / 20 * 20 <= 40
+        assert 100 < result.new_order_tpm < 350
+
+
+class TestDiskSizing:
+    def test_arms_keep_utilization_under_cap(self, model):
+        tps = model.max_throughput_tps()
+        arms = model.disk_arms_needed(tps)
+        assert model.disk_utilization(tps, arms) <= 0.5
+        if arms > 1:
+            assert model.disk_utilization(tps, arms - 1) > 0.5
+
+    def test_zero_reads_one_arm(self):
+        model = ThroughputModel(miss_rates=MissRateInputs.zero())
+        assert model.disk_arms_needed(model.max_throughput_tps()) == 1
+
+    def test_result_fields(self, model):
+        result = model.solve()
+        assert result.cpu_utilization == 0.8
+        assert result.disk_arms_for_bandwidth >= 1
+        assert set(result.per_transaction_cpu_k) == {
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        }
+
+
+class TestWarehousesSupported:
+    def test_invalid_rate(self, model):
+        with pytest.raises(ValueError):
+            warehouses_supported(model.solve(), tpm_per_warehouse=0)

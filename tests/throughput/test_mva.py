@@ -1,0 +1,126 @@
+"""Unit tests for repro.throughput.mva (closed-system MVA extension)."""
+
+import pytest
+
+from repro.throughput.mva import ClosedSystemModel
+from repro.throughput.params import MissRateInputs
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+@pytest.fixture
+def model():
+    return ClosedSystemModel(
+        miss_rates=MISS, disk_arms=4, think_time_seconds=1.0
+    )
+
+
+class TestSinglePopulation:
+    def test_one_customer_no_queueing(self, model):
+        point = model.solve(1)
+        expected_response = model.cpu_demand_seconds + model.disk_demand_seconds
+        assert point.response_seconds == pytest.approx(expected_response)
+        assert point.throughput_tps == pytest.approx(
+            1.0 / (expected_response + 1.0)
+        )
+
+    def test_utilization_law(self, model):
+        for point in model.curve(20):
+            assert point.cpu_utilization == pytest.approx(
+                point.throughput_tps * model.cpu_demand_seconds
+            )
+
+
+class TestScalingBehaviour:
+    def test_throughput_monotone_in_population(self, model):
+        curve = model.curve(100)
+        throughputs = [point.throughput_tps for point in curve]
+        assert all(b >= a - 1e-12 for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_response_monotone_in_population(self, model):
+        curve = model.curve(100)
+        responses = [point.response_seconds for point in curve]
+        assert all(b >= a - 1e-12 for a, b in zip(responses, responses[1:]))
+
+    def test_throughput_approaches_asymptote(self, model):
+        ceiling = model.asymptotic_throughput_tps()
+        final = model.curve(800)[-1]
+        assert final.throughput_tps == pytest.approx(ceiling, rel=0.02)
+        assert final.throughput_tps <= ceiling + 1e-9
+
+    def test_utilizations_never_exceed_one(self, model):
+        for point in model.curve(500):
+            assert point.cpu_utilization <= 1.0 + 1e-9
+            assert point.disk_utilization <= 1.0 + 1e-9
+
+    def test_interactive_response_time_law(self, model):
+        """R = N/X - Z must hold exactly for a closed network."""
+        for point in model.curve(50):
+            assert point.response_seconds == pytest.approx(
+                point.population / point.throughput_tps - 1.0
+            )
+
+
+class TestOperatingPoint:
+    def test_population_for_cpu_cap(self, model):
+        point = model.population_for_utilization(0.8)
+        assert point is not None
+        assert point.cpu_utilization >= 0.8
+        previous = model.curve(point.population)[-2]
+        assert previous.cpu_utilization < 0.8
+
+    def test_population_unreachable_when_disk_bound(self):
+        heavy = MissRateInputs(
+            customer=1.0, item=1.0, stock=1.0, order=1.0, order_line=1.0
+        )
+        model = ClosedSystemModel(miss_rates=heavy, disk_arms=1)
+        assert model.bottleneck() == "disk"
+        assert model.population_for_utilization(0.95, max_population=300) is None
+
+    def test_bottleneck_cpu_for_reference_rates(self, model):
+        assert model.bottleneck() == "cpu"
+
+    def test_closed_matches_open_model_capacity(self, model):
+        """The MVA ceiling equals the open model's CPU saturation rate."""
+        open_capacity = (
+            model.model.params.k_instructions_per_second
+            / model.model.cpu_demand_k()
+        )
+        assert model.asymptotic_throughput_tps() == pytest.approx(open_capacity)
+
+
+class TestThinkTime:
+    def test_longer_think_needs_more_terminals(self):
+        short = ClosedSystemModel(miss_rates=MISS, disk_arms=4, think_time_seconds=0.5)
+        long = ClosedSystemModel(miss_rates=MISS, disk_arms=4, think_time_seconds=5.0)
+        n_short = short.population_for_utilization(0.8).population
+        n_long = long.population_for_utilization(0.8).population
+        assert n_long > n_short
+
+    def test_zero_think_time_allowed(self):
+        model = ClosedSystemModel(miss_rates=MISS, disk_arms=4, think_time_seconds=0.0)
+        assert model.solve(10).throughput_tps > 0
+
+    def test_negative_think_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedSystemModel(miss_rates=MISS, think_time_seconds=-1.0)
+
+
+class TestValidation:
+    def test_invalid_population(self, model):
+        with pytest.raises(ValueError):
+            model.curve(0)
+
+    def test_invalid_utilization(self, model):
+        with pytest.raises(ValueError):
+            model.population_for_utilization(1.0)
+
+    def test_as_row(self, model):
+        row = model.solve(5).as_row()
+        assert set(row) == {
+            "terminals",
+            "throughput tx/s",
+            "response s",
+            "cpu util",
+            "disk util",
+        }

@@ -1,0 +1,91 @@
+"""Unit tests for repro.throughput.params."""
+
+import pytest
+
+from repro.throughput.params import CostParameters, MissRateInputs
+
+
+class TestCostParameters:
+    def test_defaults_reasonable(self):
+        params = CostParameters()
+        assert params.mips == 10.0
+        assert params.cpu_utilization_cap == 0.8
+        assert params.disk_utilization_cap == 0.5
+        assert params.join_k == 2040.0
+
+    def test_k_instructions_per_second(self):
+        assert CostParameters(mips=10).k_instructions_per_second == 10_000
+
+    def test_with_mips(self):
+        faster = CostParameters().with_mips(40)
+        assert faster.mips == 40
+        assert faster.select_k == CostParameters().select_k
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("mips", 0),
+            ("cpu_utilization_cap", 1.5),
+            ("disk_utilization_cap", 0),
+            ("disk_service_ms", -1),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            CostParameters(**{field: value})
+
+
+class TestMissRateInputs:
+    def test_basic_fields(self):
+        miss = MissRateInputs(customer=0.5, item=0.1, stock=0.3)
+        assert miss.order == 0.0
+        assert miss.order_line == 0.0
+
+    def test_effective_fallbacks(self):
+        miss = MissRateInputs(customer=0.5, item=0.1, stock=0.3)
+        assert miss.effective_delivery_customer == 0.5
+        assert miss.effective_stock_level_stock == 0.3
+        assert miss.effective_stock_level_order_line == 0.0
+
+    def test_effective_overrides(self):
+        miss = MissRateInputs(
+            customer=0.5,
+            item=0.1,
+            stock=0.3,
+            delivery_customer=0.05,
+            stock_level_stock=0.2,
+            stock_level_order_line=0.02,
+        )
+        assert miss.effective_delivery_customer == 0.05
+        assert miss.effective_stock_level_stock == 0.2
+        assert miss.effective_stock_level_order_line == 0.02
+
+    def test_zero_constructor(self):
+        miss = MissRateInputs.zero()
+        assert miss.customer == miss.item == miss.stock == 0.0
+
+    @pytest.mark.parametrize("field", ["customer", "order_line", "stock_level_stock"])
+    def test_range_validation(self, field):
+        kwargs = {"customer": 0.1, "item": 0.1, "stock": 0.1}
+        kwargs[field] = 1.5
+        with pytest.raises(ValueError, match="miss rate"):
+            MissRateInputs(**kwargs)
+
+    def test_from_report(self):
+        """Build inputs from a (small) real simulation report."""
+        from repro.buffer.simulator import BufferSimulation, SimulationConfig
+        from repro.workload.trace import TraceConfig
+
+        report = BufferSimulation(
+            SimulationConfig(
+                trace=TraceConfig(warehouses=2, seed=6),
+                buffer_mb=8,
+                batches=3,
+                batch_size=6_000,
+                warmup_references=8_000,
+            )
+        ).run()
+        miss = MissRateInputs.from_report(report)
+        assert 0.0 <= miss.customer <= 1.0
+        assert 0.0 <= miss.stock <= 1.0
+        assert miss.stock_level_stock is not None

@@ -1,0 +1,119 @@
+"""Unit tests for repro.throughput.response (open queueing extension)."""
+
+import pytest
+
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.response import ResponseTimeModel
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+@pytest.fixture
+def model():
+    return ResponseTimeModel(miss_rates=MISS, disk_arms=4)
+
+
+class TestConstruction:
+    def test_default_disk_arms_from_throughput_model(self):
+        model = ResponseTimeModel(miss_rates=MISS)
+        assert model.disk_arms >= 1
+
+    def test_invalid_disk_arms(self):
+        with pytest.raises(ValueError):
+            ResponseTimeModel(miss_rates=MISS, disk_arms=0)
+
+
+class TestLimits:
+    def test_light_load_approaches_service_demand(self, model):
+        """At near-zero load, response time = raw service time."""
+        light = model.evaluate(1e-6)
+        params = CostParameters()
+        cpu_seconds = (
+            model.model.per_transaction_cpu_k()["payment"]
+            / params.k_instructions_per_second
+        )
+        expected = cpu_seconds + 1.1 * 0.025 + 0.025  # reads + log write
+        assert light.by_transaction["payment"] == pytest.approx(expected, rel=0.01)
+
+    def test_monotone_in_load(self, model):
+        saturation = model.saturation_tps()
+        times = [
+            model.evaluate(fraction * saturation).mean
+            for fraction in (0.1, 0.5, 0.8, 0.95)
+        ]
+        assert times == sorted(times)
+
+    def test_blows_up_near_saturation(self, model):
+        saturation = model.saturation_tps()
+        assert model.evaluate(0.99 * saturation).mean > 5 * model.evaluate(
+            0.2 * saturation
+        ).mean
+
+    def test_saturation_rejected(self, model):
+        with pytest.raises(ValueError, match="saturates"):
+            model.evaluate(model.saturation_tps() * 1.01)
+
+    def test_negative_rate_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(-1.0)
+
+
+class TestStructure:
+    def test_heavy_transactions_slowest(self, model):
+        """Payment is the lightest; Delivery and Stock-Level (whose
+        200-tuple join triggers the most synchronous reads at these
+        miss rates) dominate."""
+        result = model.evaluate(0.5 * model.saturation_tps())
+        times = result.by_transaction
+        assert times["payment"] == min(times.values())
+        assert max(times, key=times.get) in ("delivery", "stock_level")
+        assert times["delivery"] > times["new_order"] > times["payment"]
+
+    def test_mean_is_mix_weighted(self, model):
+        result = model.evaluate(2.0)
+        explicit = sum(
+            share * result.by_transaction[name]
+            for name, share in
+            model.model.mix.as_dict().items()
+        )
+        assert result.mean == pytest.approx(explicit)
+
+    def test_more_arms_faster(self):
+        few = ResponseTimeModel(miss_rates=MISS, disk_arms=2)
+        many = ResponseTimeModel(miss_rates=MISS, disk_arms=8)
+        rate = 0.8 * few.saturation_tps()
+        assert many.evaluate(rate).mean < few.evaluate(rate).mean
+
+    def test_log_disk_optional(self):
+        with_log = ResponseTimeModel(miss_rates=MISS, disk_arms=4, log_disk=True)
+        without = ResponseTimeModel(miss_rates=MISS, disk_arms=4, log_disk=False)
+        assert without.evaluate(2.0).mean < with_log.evaluate(2.0).mean
+
+    def test_as_rows(self, model):
+        rows = model.evaluate(1.0).as_rows()
+        assert rows[-1]["transaction"] == "mix average"
+        assert len(rows) == 6
+
+
+class TestCurve:
+    def test_curve_along_utilizations(self, model):
+        curve = model.response_curve([0.2, 0.5, 0.8])
+        assert [point.cpu_utilization for point in curve] == pytest.approx(
+            [0.2, 0.5, 0.8]
+        )
+        assert curve[0].mean < curve[-1].mean
+
+    def test_invalid_utilization(self, model):
+        with pytest.raises(ValueError, match="utilization"):
+            model.response_curve([1.5])
+
+    def test_saturation_includes_all_resources(self):
+        # With a single arm and lots of reads, the disk saturates first.
+        heavy = MissRateInputs(customer=1.0, item=1.0, stock=1.0, order=1.0,
+                               order_line=1.0)
+        model = ResponseTimeModel(miss_rates=heavy, disk_arms=1)
+        cpu_capacity = (
+            model.model.params.k_instructions_per_second
+            / model.model.cpu_demand_k()
+        )
+        assert model.saturation_tps() < cpu_capacity

@@ -1,0 +1,124 @@
+"""Unit tests for repro.throughput.visits (paper Table 4)."""
+
+import pytest
+
+from repro.throughput.params import CostParameters, MissRateInputs
+from repro.throughput.visits import (
+    Operation,
+    cpu_k_per_transaction,
+    disk_visits,
+    operation_cost_k,
+    single_node_visits,
+    visit_table_rows,
+)
+from repro.workload.mix import TransactionType
+
+MISS = MissRateInputs(customer=0.5, item=0.1, stock=0.3, order=0.02, order_line=0.01)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return single_node_visits(MISS)
+
+
+class TestStructuralCounts:
+    def test_new_order_calls(self, table):
+        counts = table[TransactionType.NEW_ORDER]
+        assert counts[Operation.SELECT] == 23
+        assert counts[Operation.UPDATE] == 11
+        assert counts[Operation.INSERT] == 12
+        assert counts[Operation.COMMIT] == 1
+
+    def test_payment_calls(self, table):
+        counts = table[TransactionType.PAYMENT]
+        assert counts[Operation.SELECT] == pytest.approx(4.2)
+        assert counts[Operation.UPDATE] == 3
+        assert counts[Operation.NON_UNIQUE_SELECT] == pytest.approx(0.6)
+
+    def test_delivery_calls(self, table):
+        counts = table[TransactionType.DELIVERY]
+        assert counts[Operation.SELECT] == 130
+        assert counts[Operation.UPDATE] == 120
+        assert counts[Operation.DELETE] == 10
+
+    def test_stock_level_join(self, table):
+        counts = table[TransactionType.STOCK_LEVEL]
+        assert counts[Operation.JOIN] == 1
+        assert counts[Operation.SELECT] == 1
+
+    def test_single_node_has_no_messages(self, table):
+        for counts in table.values():
+            assert counts[Operation.SEND_RECEIVE] == 0
+            assert counts[Operation.PREP_COMMIT] == 0
+
+
+class TestMissRateDependentCounts:
+    def test_new_order_disk_reads(self, table):
+        # mc + 10(mi + ms) = 0.5 + 10 * 0.4 = 4.5
+        assert disk_visits(table[TransactionType.NEW_ORDER]) == pytest.approx(4.5)
+
+    def test_payment_disk_reads(self, table):
+        # 2.2 * mc = 1.1
+        assert disk_visits(table[TransactionType.PAYMENT]) == pytest.approx(1.1)
+
+    def test_stock_level_disk_reads(self, table):
+        # 200 * (ml + ms) with fallbacks = 200 * 0.31 = 62
+        assert disk_visits(table[TransactionType.STOCK_LEVEL]) == pytest.approx(62.0)
+
+    def test_init_io_is_one_plus_reads(self, table):
+        for counts in table.values():
+            assert counts[Operation.INIT_IO] == pytest.approx(
+                1.0 + counts[Operation.DISK_IO]
+            )
+
+    def test_zero_misses_zero_reads(self):
+        table = single_node_visits(MissRateInputs.zero())
+        for counts in table.values():
+            assert disk_visits(counts) == 0.0
+
+    def test_stock_level_override_used(self):
+        miss = MissRateInputs(
+            customer=0.5,
+            item=0.1,
+            stock=0.9,
+            stock_level_stock=0.1,
+            stock_level_order_line=0.0,
+        )
+        table = single_node_visits(miss)
+        assert disk_visits(table[TransactionType.STOCK_LEVEL]) == pytest.approx(20.0)
+
+
+class TestCosting:
+    def test_operation_cost_lookup(self):
+        params = CostParameters()
+        assert operation_cost_k(params, Operation.SELECT) == 20
+        assert operation_cost_k(params, Operation.JOIN) == 2040
+        assert operation_cost_k(params, Operation.DISK_IO) == 0
+
+    def test_cpu_demand_positive_and_ordered(self, table):
+        params = CostParameters()
+        demands = {
+            tx: cpu_k_per_transaction(params, counts) for tx, counts in table.items()
+        }
+        # Delivery is by far the heaviest, Payment the lightest.
+        assert demands[TransactionType.DELIVERY] > demands[TransactionType.NEW_ORDER]
+        assert demands[TransactionType.NEW_ORDER] > demands[TransactionType.PAYMENT]
+
+    def test_new_order_demand_magnitude(self, table):
+        """Roughly 1.2-1.4M instructions per New-Order at these rates."""
+        demand = cpu_k_per_transaction(CostParameters(), table[TransactionType.NEW_ORDER])
+        assert 1000 < demand < 1600
+
+    def test_custom_parameters_change_cost(self, table):
+        base = cpu_k_per_transaction(CostParameters(), table[TransactionType.PAYMENT])
+        pricier = cpu_k_per_transaction(
+            CostParameters(select_k=100), table[TransactionType.PAYMENT]
+        )
+        assert pricier > base
+
+
+class TestRendering:
+    def test_rows_cover_all_operations(self, table):
+        rows = visit_table_rows(table)
+        assert len(rows) == len(Operation)
+        assert {row["operation"] for row in rows} == {op.value for op in Operation}

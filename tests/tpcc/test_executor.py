@@ -1,0 +1,182 @@
+"""Behaviour tests for the executable TPC-C transactions."""
+
+import pytest
+
+from repro.tpcc import TpccExecutor
+from repro.tpcc.executor import buffer_miss_rates
+
+
+@pytest.fixture
+def executor(small_tpcc_db, small_tpcc_config):
+    return TpccExecutor(small_tpcc_db, small_tpcc_config, seed=5)
+
+
+class TestNewOrder:
+    def test_places_order(self, executor):
+        before = executor.db.table("order").row_count
+        result = executor.new_order()
+        assert result is not None
+        assert executor.db.table("order").row_count == before + 1
+
+    def test_order_id_advances_district_counter(self, executor):
+        result = executor.new_order()
+        district = executor.db.table("district").get(
+            (result["warehouse"], result["district"])
+        )
+        assert district["d_next_o_id"] == result["o_id"] + 1
+
+    def test_order_lines_written(self, executor, small_tpcc_config):
+        before = executor.db.table("order_line").row_count
+        executor.new_order()
+        assert (
+            executor.db.table("order_line").row_count
+            == before + small_tpcc_config.items_per_order
+        )
+
+    def test_pending_entry_created(self, executor):
+        before = executor.db.table("new_order").row_count
+        executor.new_order()
+        assert executor.db.table("new_order").row_count == before + 1
+
+    def test_stock_updated(self, executor):
+        result = executor.new_order()
+        order_id = result["o_id"]
+        lines = [
+            row
+            for _, row in executor.db.table("order_line").scan()
+            if row["ol_o_id"] == order_id
+            and row["ol_w_id"] == result["warehouse"]
+            and row["ol_d_id"] == result["district"]
+        ]
+        stock = executor.db.table("stock").get(
+            (lines[0]["ol_supply_w_id"], lines[0]["ol_i_id"])
+        )
+        assert stock["s_order_cnt"] >= 1
+
+    def test_census_matches_table2(self, executor):
+        for _ in range(10):
+            executor.new_order()
+        census = executor.db.census("new_order")
+        n = executor.db.finished_count("new_order")
+        assert census.selects / n == 23
+        assert census.updates / n == 11
+        assert census.inserts / n == 12
+
+    def test_rollback_probability_one_commits_nothing(
+        self, small_tpcc_db, small_tpcc_config
+    ):
+        executor = TpccExecutor(
+            small_tpcc_db, small_tpcc_config, seed=5, rollback_probability=1.0
+        )
+        before = small_tpcc_db.table("order").row_count
+        assert executor.new_order() is None
+        assert small_tpcc_db.table("order").row_count == before
+        assert executor.summary.rolled_back == 1
+
+
+class TestPayment:
+    def test_balances_move(self, executor):
+        result = executor.payment()
+        assert result["amount"] > 0
+        census = executor.db.census("payment")
+        assert census.updates == 3
+        assert census.inserts == 1
+
+    def test_history_appended(self, executor):
+        before = executor.db.table("history").row_count
+        executor.payment()
+        assert executor.db.table("history").row_count == before + 1
+
+    def test_census_close_to_table2(self, executor):
+        for _ in range(60):
+            executor.payment()
+        census = executor.db.census("payment")
+        n = executor.db.finished_count("payment")
+        assert census.selects / n == pytest.approx(4.2, abs=0.45)
+        assert census.non_unique_selects / n == pytest.approx(0.6, abs=0.15)
+
+
+class TestOrderStatus:
+    def test_reports_lines(self, executor):
+        results = [executor.order_status() for _ in range(30)]
+        found = [r for r in results if r is not None]
+        assert found, "no customer with an order found in 30 tries"
+        assert all(r["lines"] >= 1 for r in found)
+
+    def test_read_only(self, executor):
+        orders_before = executor.db.table("order").row_count
+        executor.order_status()
+        census = executor.db.census("order_status")
+        assert census.updates == census.inserts == census.deletes == 0
+        assert executor.db.table("order").row_count == orders_before
+
+
+class TestDelivery:
+    def test_consumes_pending_orders(self, executor):
+        before = executor.db.table("new_order").row_count
+        result = executor.delivery()
+        assert result["delivered"] >= 1
+        assert (
+            executor.db.table("new_order").row_count == before - result["delivered"]
+        )
+
+    def test_sets_carrier(self, executor):
+        result = executor.delivery()
+        warehouse = result["warehouse"]
+        carriers = [
+            row["o_carrier_id"]
+            for _, row in executor.db.table("order").scan()
+            if row["o_w_id"] == warehouse
+        ]
+        assert any(carrier > 0 for carrier in carriers)
+
+    def test_census_matches_table2(self, executor, small_tpcc_config):
+        executor.delivery()
+        census = executor.db.census("delivery")
+        per_district = 3 + small_tpcc_config.items_per_order
+        delivered = executor.summary.executed["delivery"] * 10
+        # All 10 districts had pending orders at load time.
+        assert census.selects == per_district * 10
+        assert census.deletes == 10
+
+    def test_empty_district_skipped(self, executor):
+        # Drain all pending orders of warehouse districts via repeated delivery.
+        for _ in range(30):
+            executor.delivery()
+        assert executor.summary.skipped_deliveries > 0
+
+
+class TestStockLevel:
+    def test_counts_low_stock(self, executor):
+        result = executor.stock_level()
+        assert result["low_stock"] >= 0
+        assert 10 <= result["threshold"] <= 20
+
+    def test_join_counted(self, executor):
+        executor.stock_level()
+        assert executor.db.census("stock_level").joins == 1
+
+
+class TestRunMix:
+    def test_mix_dispatches_all_types(self, executor):
+        summary = executor.run_mix(250)
+        assert summary.total == 250
+        assert set(summary.executed) == {
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        }
+
+    def test_buffer_miss_rates_shape(self, executor):
+        executor.run_mix(150)
+        rates = buffer_miss_rates(executor.db)
+        assert set(rates) == set(executor.db.table_names())
+        assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+    def test_warehouse_district_always_hot(self, executor):
+        executor.run_mix(150)
+        rates = buffer_miss_rates(executor.db)
+        assert rates["warehouse"] < 0.05
+        assert rates["district"] < 0.05

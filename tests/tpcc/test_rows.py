@@ -1,0 +1,68 @@
+"""Unit tests for repro.tpcc.rows (schema fidelity to paper Table 1)."""
+
+import pytest
+
+from repro.constants import TUPLE_BYTES
+from repro.tpcc.rows import TPCC_SCHEMAS, tpcc_index_specs
+
+
+class TestSchemas:
+    def test_all_nine_tables(self):
+        assert set(TPCC_SCHEMAS) == set(TUPLE_BYTES)
+
+    @pytest.mark.parametrize("name", sorted(TUPLE_BYTES))
+    def test_row_sizes_match_paper(self, name):
+        assert TPCC_SCHEMAS[name].record_size == TUPLE_BYTES[name]
+
+    @pytest.mark.parametrize(
+        "name, tuples_per_page",
+        [("customer", 6), ("stock", 13), ("order", 170), ("order_line", 75)],
+    )
+    def test_page_capacity(self, name, tuples_per_page):
+        from repro.engine.page import Page
+
+        page = Page(TPCC_SCHEMAS[name].record_size, 4096)
+        # The engine's slot map costs a byte per record, so capacity is
+        # within ~5% of the paper's idealized geometry.
+        assert abs(page.capacity - tuples_per_page) <= max(1, tuples_per_page // 20)
+
+    def test_primary_keys_composite(self):
+        assert TPCC_SCHEMAS["customer"].primary_key == ("c_w_id", "c_d_id", "c_id")
+        assert TPCC_SCHEMAS["stock"].primary_key == ("s_w_id", "s_i_id")
+        assert TPCC_SCHEMAS["order_line"].primary_key == (
+            "ol_w_id",
+            "ol_d_id",
+            "ol_o_id",
+            "ol_number",
+        )
+
+    def test_round_trip_order_row(self):
+        schema = TPCC_SCHEMAS["order"]
+        row = {
+            "o_w_id": 3,
+            "o_d_id": 9,
+            "o_id": 12345,
+            "o_c_id": 777,
+            "o_carrier_id": 4,
+            "o_ol_cnt": 10,
+            "o_entry_d": 0,
+        }
+        assert schema.unpack(schema.pack(row)) == row
+
+
+class TestIndexSpecs:
+    def test_expected_indexes(self):
+        specs = tpcc_index_specs()
+        assert {s.name for s in specs["customer"]} == {"by_name"}
+        assert {s.name for s in specs["order"]} == {"by_customer"}
+        assert {s.name for s in specs["new_order"]} == {"by_district"}
+        assert {s.name for s in specs["order_line"]} == {"by_order"}
+
+    def test_ordered_indexes_are_btrees(self):
+        specs = tpcc_index_specs()
+        for table in ("order", "new_order", "order_line"):
+            assert all(s.kind == "btree" for s in specs[table])
+
+    def test_name_index_is_hash(self):
+        specs = tpcc_index_specs()
+        assert specs["customer"][0].kind == "hash"

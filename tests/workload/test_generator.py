@@ -1,0 +1,167 @@
+"""Unit tests for repro.workload.generator."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ITEMS, NURAND_A_CUSTOMER, NURAND_A_ITEM, NURAND_A_NAME
+from repro.workload.generator import InputGenerator, scaled_nurand_a
+
+
+@pytest.fixture
+def generator(rng):
+    return InputGenerator(warehouses=5, rng=rng)
+
+
+class TestScaledA:
+    def test_full_scale_defaults(self):
+        assert scaled_nurand_a(ITEMS, ITEMS, NURAND_A_ITEM) == NURAND_A_ITEM
+        assert scaled_nurand_a(3000, 3000, NURAND_A_CUSTOMER) == NURAND_A_CUSTOMER
+        assert scaled_nurand_a(1000, 1000, NURAND_A_NAME) == NURAND_A_NAME
+
+    def test_scaled_keeps_ratio(self):
+        # 1000 items at the item ratio (~12x) -> A around 63..127.
+        a = scaled_nurand_a(1000, ITEMS, NURAND_A_ITEM)
+        assert a in (63, 127)
+
+    def test_result_is_power_of_two_minus_one(self):
+        for span in (30, 90, 300, 5000):
+            a = scaled_nurand_a(span, 3000, NURAND_A_CUSTOMER)
+            assert (a + 1) & a == 0  # 2^k - 1 pattern
+
+    def test_never_exceeds_span(self):
+        assert scaled_nurand_a(4, 3000, NURAND_A_CUSTOMER) <= 3
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError, match="span"):
+            scaled_nurand_a(0, 3000, 1023)
+
+
+class TestUniformDraws:
+    def test_warehouse_bounds(self, generator):
+        for _ in range(100):
+            assert 1 <= generator.uniform_warehouse() <= 5
+
+    def test_district_bounds(self, generator):
+        for _ in range(100):
+            assert 1 <= generator.uniform_district() <= 10
+
+    def test_remote_warehouse_never_home(self, generator):
+        for home in (1, 3, 5):
+            for _ in range(50):
+                assert generator.remote_warehouse(home) != home
+
+    def test_remote_warehouse_single_node(self, rng):
+        generator = InputGenerator(warehouses=1, rng=rng)
+        assert generator.remote_warehouse(1) == 1
+
+
+class TestCustomerTuples:
+    def test_by_id_returns_one(self, rng):
+        generator = InputGenerator(warehouses=1, rng=rng)
+        singles = [ids for by_name, ids in (generator.customer_tuples() for _ in range(500)) if not by_name]
+        assert all(len(ids) == 1 for ids in singles)
+
+    def test_by_name_returns_three_in_band(self, rng):
+        generator = InputGenerator(warehouses=1, rng=rng)
+        for _ in range(500):
+            by_name, ids = generator.customer_tuples()
+            if not by_name:
+                continue
+            assert len(ids) == 3
+            band = (min(ids) - 1) // 1000
+            assert all((i - 1) // 1000 == band for i in ids)
+
+    def test_by_name_share(self, rng):
+        generator = InputGenerator(warehouses=1, rng=rng)
+        flags = [generator.customer_tuples()[0] for _ in range(4000)]
+        assert np.mean(flags) == pytest.approx(0.6, abs=0.04)
+
+
+class TestNewOrder:
+    def test_line_count(self, generator):
+        params = generator.new_order()
+        assert len(params.lines) == 10
+
+    def test_ids_in_bounds(self, generator):
+        params = generator.new_order()
+        assert 1 <= params.warehouse <= 5
+        assert 1 <= params.district <= 10
+        assert 1 <= params.customer <= 3000
+        for line in params.lines:
+            assert 1 <= line.item_id <= ITEMS
+            assert 1 <= line.supply_warehouse <= 5
+
+    def test_remote_share_roughly_one_percent(self, rng):
+        generator = InputGenerator(warehouses=10, rng=rng)
+        remote = sum(generator.new_order().remote_line_count for _ in range(2000))
+        assert remote / 20_000 == pytest.approx(0.01, abs=0.005)
+
+    def test_remote_probability_override(self, rng):
+        generator = InputGenerator(warehouses=10, rng=rng, remote_stock_probability=1.0)
+        params = generator.new_order()
+        assert params.remote_line_count == 10
+
+    def test_custom_items_per_order(self, rng):
+        generator = InputGenerator(warehouses=2, rng=rng, items_per_order=7)
+        assert len(generator.new_order().lines) == 7
+
+
+class TestPayment:
+    def test_remote_share(self, rng):
+        generator = InputGenerator(warehouses=10, rng=rng)
+        remote = sum(generator.payment().is_remote for _ in range(3000))
+        assert remote / 3000 == pytest.approx(0.15, abs=0.03)
+
+    def test_local_payment_uses_home_district(self, rng):
+        generator = InputGenerator(warehouses=3, rng=rng)
+        for _ in range(200):
+            params = generator.payment()
+            if not params.is_remote:
+                assert params.customer_district == params.district
+
+    def test_selected_customer_is_median(self, rng):
+        generator = InputGenerator(warehouses=1, rng=rng)
+        while True:
+            params = generator.payment()
+            if params.by_name:
+                assert params.selected_customer == sorted(params.customer_tuples)[1]
+                break
+
+
+class TestScaledGenerator:
+    def test_scaled_bounds(self, rng):
+        generator = InputGenerator(
+            warehouses=2, rng=rng, items=500, customers_per_district=90
+        )
+        params = generator.new_order()
+        assert all(1 <= line.item_id <= 500 for line in params.lines)
+        assert 1 <= params.customer <= 90
+
+    def test_scaled_name_bands(self, rng):
+        generator = InputGenerator(
+            warehouses=1, rng=rng, customers_per_district=90
+        )
+        for _ in range(300):
+            by_name, ids = generator.customer_tuples()
+            if by_name:
+                assert all(1 <= i <= 90 for i in ids)
+
+    def test_indivisible_customers_rejected(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            InputGenerator(warehouses=1, rng=rng, customers_per_district=100)
+
+
+class TestValidation:
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError, match="warehouses"):
+            InputGenerator(warehouses=0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="remote_stock"):
+            InputGenerator(warehouses=1, remote_stock_probability=1.5)
+        with pytest.raises(ValueError, match="remote_payment"):
+            InputGenerator(warehouses=1, remote_payment_probability=-0.1)
+
+    def test_invalid_items_per_order(self):
+        with pytest.raises(ValueError, match="items_per_order"):
+            InputGenerator(warehouses=1, items_per_order=0)

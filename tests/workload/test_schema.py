@@ -1,0 +1,90 @@
+"""Unit tests for repro.workload.schema (paper Table 1)."""
+
+import pytest
+
+from repro.workload.schema import RELATIONS, schema_table, static_database_bytes
+
+
+class TestRelationSpecs:
+    def test_all_nine_relations(self):
+        assert set(RELATIONS) == {
+            "warehouse",
+            "district",
+            "customer",
+            "stock",
+            "item",
+            "order",
+            "new_order",
+            "order_line",
+            "history",
+        }
+
+    @pytest.mark.parametrize(
+        "relation, tuples_per_page",
+        [
+            ("warehouse", 46),
+            ("district", 43),
+            ("customer", 6),
+            ("stock", 13),
+            ("item", 49),
+            ("order", 170),
+            ("new_order", 512),
+            ("order_line", 75),
+            ("history", 89),
+        ],
+    )
+    def test_table1_page_geometry(self, relation, tuples_per_page):
+        assert RELATIONS[relation].tuples_per_page(4096) == tuples_per_page
+
+    @pytest.mark.parametrize(
+        "relation, per_warehouse",
+        [("warehouse", 1), ("district", 10), ("customer", 30_000), ("stock", 100_000)],
+    )
+    def test_warehouse_scaling(self, relation, per_warehouse):
+        assert RELATIONS[relation].cardinality(7) == 7 * per_warehouse
+
+    def test_item_fixed_cardinality(self):
+        assert RELATIONS["item"].cardinality(1) == 100_000
+        assert RELATIONS["item"].cardinality(50) == 100_000
+
+    def test_growing_relations_unbounded(self):
+        for relation in ("order", "new_order", "order_line", "history"):
+            assert RELATIONS[relation].cardinality(10) is None
+            assert RELATIONS[relation].pages(10) is None
+
+    def test_pages_rounds_up(self):
+        # 100000 stock tuples at 13/page = 7693 pages per warehouse.
+        assert RELATIONS["stock"].pages(1) == 7693
+
+    def test_page_too_small_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            RELATIONS["customer"].tuples_per_page(512)
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError, match="warehouses"):
+            RELATIONS["stock"].cardinality(0)
+
+
+class TestSchemaTable:
+    def test_row_per_relation(self):
+        rows = schema_table(20)
+        assert len(rows) == 9
+
+    def test_growing_marked(self):
+        rows = {row["relation"]: row for row in schema_table(20)}
+        assert rows["order"]["cardinality"] == "grows"
+        assert rows["stock"]["cardinality"] == 2_000_000
+
+    def test_8k_page_column(self):
+        rows = {row["relation"]: row for row in schema_table(20, page_size=8192)}
+        assert rows["stock"]["tuples per 8K page"] == 26
+
+
+class TestStaticBytes:
+    def test_paper_order_of_magnitude(self):
+        """Paper Sec. 5.2: ~1.1 GB of static data for 20 warehouses."""
+        total = static_database_bytes(20)
+        assert 0.9e9 < total < 1.3e9
+
+    def test_scales_with_warehouses(self):
+        assert static_database_bytes(40) > 1.9 * static_database_bytes(20)

@@ -1,0 +1,179 @@
+"""Unit tests for repro.workload.trace (the buffer-simulation input)."""
+
+import collections
+
+import pytest
+
+from repro.workload.mix import TransactionType
+from repro.workload.trace import (
+    PACKING_KINDS,
+    RELATION_INDEX,
+    RELATION_NAMES,
+    PageReference,
+    TraceConfig,
+    TraceGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return TraceGenerator(TraceConfig(warehouses=2, seed=5))
+
+
+class TestConfig:
+    def test_invalid_packing(self):
+        with pytest.raises(ValueError, match="packing"):
+            TraceConfig(packing="zigzag")
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError, match="warehouses"):
+            TraceConfig(warehouses=0)
+
+    def test_prime_pending_bounded(self):
+        with pytest.raises(ValueError, match="prime_pending"):
+            TraceConfig(prime_orders=5, prime_pending=6)
+
+    def test_all_packings_construct(self):
+        for packing in PACKING_KINDS:
+            TraceGenerator(TraceConfig(warehouses=1, packing=packing, seed=1))
+
+
+class TestRelationIndex:
+    def test_nine_relations(self):
+        assert len(RELATION_NAMES) == 9
+        assert RELATION_INDEX["warehouse"] == 0
+
+    def test_reference_names(self):
+        ref = PageReference(RELATION_INDEX["stock"], 5, True)
+        assert ref.relation_name == "stock"
+
+
+class TestPriming:
+    def test_recent_orders_available(self, small_trace):
+        state = small_trace.state
+        assert len(state.recent_orders(1, 1)) == 20
+
+    def test_pending_orders_available(self, small_trace):
+        assert small_trace.state.pending_orders(1, 1)
+
+
+class TestPageMapping:
+    def test_static_page_counts(self, small_trace):
+        pages = small_trace.total_static_pages()
+        assert pages["warehouse"] == 1
+        assert pages["district"] == 1  # 20 districts at 43/page
+        assert pages["customer"] == 20 * 500  # 3000/6 per district
+        assert pages["stock"] == 2 * 7693
+        assert pages["item"] == 2041
+
+    def test_customer_blocks_disjoint(self, small_trace):
+        page_a = small_trace._customer_page(1, 1, 1)
+        page_b = small_trace._customer_page(1, 2, 1)
+        page_c = small_trace._customer_page(2, 1, 1)
+        assert len({page_a, page_b, page_c}) == 3
+
+    def test_stock_blocks_disjoint(self, small_trace):
+        assert small_trace._stock_page(1, 1) != small_trace._stock_page(2, 1)
+
+
+class TestReferenceStreams:
+    def _refs_by_type(self, packing="sequential", transactions=400):
+        trace = TraceGenerator(TraceConfig(warehouses=2, packing=packing, seed=9))
+        by_type = collections.defaultdict(list)
+        for _ in range(transactions):
+            tx_type, refs = trace.transaction()
+            by_type[tx_type].append(refs)
+        return by_type
+
+    def test_new_order_reference_count(self):
+        by_type = self._refs_by_type()
+        for refs in by_type[TransactionType.NEW_ORDER]:
+            # 1 wh + 1 dist + 1 cust + 1 order + 1 new-order + 10*(item+stock+line)
+            assert len(refs) == 35
+
+    def test_new_order_relations_touched(self):
+        by_type = self._refs_by_type()
+        refs = by_type[TransactionType.NEW_ORDER][0]
+        touched = {ref.relation_name for ref in refs}
+        assert touched == {
+            "warehouse",
+            "district",
+            "customer",
+            "order",
+            "new_order",
+            "item",
+            "stock",
+            "order_line",
+        }
+
+    def test_payment_reference_count(self):
+        by_type = self._refs_by_type()
+        for refs in by_type[TransactionType.PAYMENT]:
+            # 1 wh + 1 dist + (1 or 3) customers + 1 history
+            assert len(refs) in (4, 6)
+
+    def test_payment_write_flags(self):
+        by_type = self._refs_by_type()
+        for refs in by_type[TransactionType.PAYMENT]:
+            customers = [r for r in refs if r.relation_name == "customer"]
+            # Exactly one customer tuple is updated (the selected one).
+            assert sum(r.write for r in customers) == 1
+
+    def test_order_status_reads_only(self):
+        by_type = self._refs_by_type()
+        for refs in by_type[TransactionType.ORDER_STATUS]:
+            assert all(not ref.write for ref in refs)
+
+    def test_order_status_includes_last_order_lines(self):
+        by_type = self._refs_by_type()
+        sizes = [len(refs) for refs in by_type[TransactionType.ORDER_STATUS]]
+        # 1-3 customer refs + 1 order + 10 lines when a last order exists.
+        assert max(sizes) >= 12
+
+    def test_delivery_touches_ten_districts(self):
+        by_type = self._refs_by_type()
+        refs = by_type[TransactionType.DELIVERY][0]
+        new_orders = [r for r in refs if r.relation_name == "new_order"]
+        assert 1 <= len(new_orders) <= 10
+        assert all(r.write for r in new_orders)
+
+    def test_stock_level_reads_lines_and_stock(self):
+        by_type = self._refs_by_type()
+        refs = by_type[TransactionType.STOCK_LEVEL][0]
+        lines = sum(r.relation_name == "order_line" for r in refs)
+        stock = sum(r.relation_name == "stock" for r in refs)
+        assert lines == stock == 200  # 20 primed orders x 10 items
+        assert all(not r.write for r in refs)
+
+    def test_references_iterator_counts_transactions(self, small_trace):
+        refs = list(small_trace.references(10))
+        assert refs  # ten transactions' worth of references
+        assert all(isinstance(ref, PageReference) for ref in refs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = TraceGenerator(TraceConfig(warehouses=2, seed=3))
+        b = TraceGenerator(TraceConfig(warehouses=2, seed=3))
+        assert list(a.references(50)) == list(b.references(50))
+
+    def test_different_seed_differs(self):
+        a = TraceGenerator(TraceConfig(warehouses=2, seed=3))
+        b = TraceGenerator(TraceConfig(warehouses=2, seed=4))
+        assert list(a.references(50)) != list(b.references(50))
+
+
+class TestAccessShares:
+    def test_table3_relative_intensities(self):
+        """Stock and order-line dominate tuple accesses (paper Table 3)."""
+        trace = TraceGenerator(TraceConfig(warehouses=2, seed=17))
+        counts = collections.Counter()
+        transactions = 3000
+        for ref in trace.references(transactions):
+            counts[ref.relation_name] += 1
+        per_tx = {name: counts[name] / transactions for name in counts}
+        # Expected: warehouse~0.87, stock~12.3, item~4.3.
+        assert per_tx["warehouse"] == pytest.approx(0.87, abs=0.1)
+        assert per_tx["stock"] == pytest.approx(12.3, rel=0.15)
+        assert per_tx["item"] == pytest.approx(4.3, rel=0.15)
+        assert per_tx["order_line"] > per_tx["customer"]

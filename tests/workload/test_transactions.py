@@ -1,0 +1,87 @@
+"""Unit tests for repro.workload.transactions (parameter records)."""
+
+import pytest
+
+from repro.workload.transactions import (
+    DeliveryParams,
+    NewOrderParams,
+    OrderLineRequest,
+    OrderStatusParams,
+    PaymentParams,
+    StockLevelParams,
+    TransactionCounts,
+)
+
+
+class TestOrderLineRequest:
+    def test_valid(self):
+        line = OrderLineRequest(item_id=5, supply_warehouse=2, quantity=3)
+        assert line.item_id == 5
+
+    def test_invalid_item(self):
+        with pytest.raises(ValueError, match="item_id"):
+            OrderLineRequest(item_id=0, supply_warehouse=1)
+
+    def test_invalid_quantity(self):
+        with pytest.raises(ValueError, match="quantity"):
+            OrderLineRequest(item_id=1, supply_warehouse=1, quantity=0)
+
+
+class TestNewOrderParams:
+    def _params(self):
+        lines = (
+            OrderLineRequest(1, 1),
+            OrderLineRequest(2, 3),
+            OrderLineRequest(3, 1),
+        )
+        return NewOrderParams(warehouse=1, district=4, customer=10, lines=lines)
+
+    def test_item_ids(self):
+        assert self._params().item_ids == (1, 2, 3)
+
+    def test_remote_line_count(self):
+        assert self._params().remote_line_count == 1
+
+
+class TestPaymentParams:
+    def test_is_remote(self):
+        params = PaymentParams(
+            warehouse=1,
+            district=1,
+            customer_warehouse=2,
+            customer_district=5,
+            by_name=False,
+            customer_tuples=(7,),
+        )
+        assert params.is_remote
+
+    def test_selected_customer_single(self):
+        params = PaymentParams(1, 1, 1, 1, False, (42,))
+        assert params.selected_customer == 42
+
+    def test_selected_customer_median_of_three(self):
+        params = PaymentParams(1, 1, 1, 1, True, (30, 10, 20))
+        assert params.selected_customer == 20
+
+
+class TestOrderStatusParams:
+    def test_selected_customer(self):
+        params = OrderStatusParams(1, 1, True, (5, 3, 9))
+        assert params.selected_customer == 5
+
+
+class TestSimpleParams:
+    def test_delivery(self):
+        assert DeliveryParams(warehouse=3).warehouse == 3
+
+    def test_stock_level_defaults(self):
+        params = StockLevelParams(warehouse=1, district=2)
+        assert params.threshold == 15
+
+
+class TestTransactionCounts:
+    def test_total_calls(self):
+        counts = TransactionCounts(
+            selects=4.2, updates=3, inserts=1, deletes=0, non_unique_selects=0.6
+        )
+        assert counts.total_calls == pytest.approx(8.8)

@@ -1,0 +1,64 @@
+"""Tests for repro.workload.validation (trace-vs-theory consistency)."""
+
+import pytest
+
+from repro.workload.trace import TraceConfig
+from repro.workload.validation import validate_trace
+
+
+def scaled_config(**overrides):
+    defaults = dict(
+        warehouses=2,
+        items=600,
+        customers_per_district=90,
+        prime_orders=25,
+        prime_pending=8,
+        seed=23,
+    )
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate_trace(scaled_config(), transactions=6_000)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("relation", ["item", "stock", "customer"])
+    def test_trace_matches_analytic_pmf(self, checks, relation):
+        """Empirical NU-driven page accesses track the exact PMFs."""
+        check = checks[relation]
+        assert check.samples > 1_000
+        assert check.consistent(tv_threshold=0.12), check
+
+    def test_chi_square_not_catastrophic(self, checks):
+        """A p-value of exactly 0 would mean a structurally wrong mapping."""
+        assert checks["item"].chi2_p_value > 1e-6
+
+    def test_optimized_packing_also_consistent(self):
+        checks = validate_trace(
+            scaled_config(packing="optimized", seed=29), transactions=6_000
+        )
+        for relation in ("item", "stock"):
+            assert checks[relation].consistent(tv_threshold=0.12)
+
+    def test_detects_wrong_distribution(self):
+        """Sanity: comparing against the wrong PMF must fail."""
+        from repro.workload import validation
+        import numpy as np
+
+        analytic = validation._analytic_page_pmf(scaled_config(), "item")
+        uniform_counts = np.full(analytic.size, 100, dtype=np.int64)
+        check = validation._check("item", uniform_counts, analytic)
+        assert not check.consistent(tv_threshold=0.05)
+
+
+class TestInterface:
+    def test_invalid_transactions(self):
+        with pytest.raises(ValueError):
+            validate_trace(scaled_config(), transactions=0)
+
+    def test_as_row(self, checks):
+        row = checks["stock"].as_row()
+        assert set(row) == {"relation", "samples", "TV distance", "chi2 p-value"}
