@@ -1,0 +1,77 @@
+"""Benchmarks for the parallel execution engine.
+
+Times the fig8 quick sweep through the engine at ``jobs=1`` (must not
+be slower than the plain serial path beyond fixed overhead), records
+the ``jobs=2`` speedup (informational — CI machines may expose a
+single core, where no speedup is possible), and smoke-runs
+``python -m repro run-all --preset quick`` end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import show
+
+from repro.experiments import run_experiment
+
+
+def _timed(callable_, *args, **kwargs):
+    started = time.perf_counter()
+    result = callable_(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def test_engine_serial_no_slower_than_before(run_once):
+    """``--jobs 1`` is the legacy in-process path plus bookkeeping only."""
+    # Warm-up run so interpreter/import costs don't bias either side.
+    run_experiment("fig8", "quick")
+    baseline, baseline_seconds = _timed(run_experiment, "fig8", "quick")
+    engine, engine_seconds = _timed(run_experiment, "fig8", "quick", jobs=1)
+    show(engine)
+    print(
+        f"\nfig8 quick serial: baseline {baseline_seconds:.2f}s, "
+        f"engine jobs=1 {engine_seconds:.2f}s"
+    )
+    assert engine.rows == baseline.rows
+    # Generous bound: the engine adds per-unit bookkeeping, not work.
+    assert engine_seconds <= baseline_seconds * 1.5 + 1.0
+
+    result = run_once(run_experiment, "fig8", "quick", jobs=1)
+    assert result.rows == baseline.rows
+
+
+def test_engine_parallel_speedup_recorded():
+    """Record (don't assert) the jobs=2 speedup — CI may have one core."""
+    _, serial_seconds = _timed(run_experiment, "fig8", "quick", jobs=1)
+    parallel, parallel_seconds = _timed(run_experiment, "fig8", "quick", jobs=2)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(
+        f"\nfig8 quick: jobs=1 {serial_seconds:.2f}s, "
+        f"jobs=2 {parallel_seconds:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cores visible)"
+    )
+    assert parallel.rows
+
+
+def test_run_all_quick_smoke():
+    """``python -m repro run-all --preset quick`` regenerates everything."""
+    repo_root = Path(__file__).resolve().parent.parent
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(repo_root / "src")
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "run-all", "--preset", "quick",
+         "--quiet"],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        cwd=repo_root,
+        env=environment,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    for experiment_id in ("table1", "fig8", "fig10", "fig12"):
+        assert f"{experiment_id}:" in process.stdout

@@ -8,15 +8,22 @@ This example tests that hypothesis: it simulates the TPC-C reference
 trace under LRU, CLOCK, FIFO, LFU and 2Q, for both packings, and
 reports per-relation miss rates plus the packing gap per policy.
 
+It also doubles as a tour of the execution engine: every
+(policy, packing) simulation is an independent work unit, so the whole
+grid is declared as one ``SweepSpec`` and fanned out over worker
+processes (``--jobs``), optionally memoized on disk (``--cache-dir``).
+
 Usage::
 
     python examples/buffer_policy_study.py
     python examples/buffer_policy_study.py --warehouses 4 --buffer-mb 24
+    python examples/buffer_policy_study.py --jobs 4 --cache-dir /tmp/repro-cache
 """
 
 import argparse
 
-from repro import BufferSimulation, SimulationConfig, TraceConfig
+from repro import ExecutionEngine, SimulationConfig, SweepSpec, TraceConfig
+from repro.buffer.simulator import run_simulation_config
 from repro.experiments.report import render_table
 
 
@@ -31,26 +38,43 @@ def parse_args() -> argparse.Namespace:
         nargs="+",
         default=["lru", "clock", "fifo", "lfu", "2q", "lru2"],
     )
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
     return parser.parse_args()
 
 
-def simulate(args, policy: str, packing: str):
-    config = SimulationConfig(
-        trace=TraceConfig(warehouses=args.warehouses, packing=packing, seed=8),
+def policy_spec(args) -> SweepSpec:
+    """One work unit per (policy, packing) point, derived from one base."""
+    base = SimulationConfig(
+        trace=TraceConfig(warehouses=args.warehouses, packing="sequential", seed=8),
         buffer_mb=args.buffer_mb,
-        policy=policy,
         batches=args.batches,
         batch_size=args.batch_size,
     )
-    return BufferSimulation(config).run()
+    return SweepSpec.over(
+        "policy-study",
+        run_simulation_config,
+        (
+            (
+                f"{policy}/{packing}",
+                base.replace(policy=policy, trace_packing=packing),
+            )
+            for policy in args.policies
+            for packing in ("sequential", "optimized")
+        ),
+    )
 
 
 def main() -> None:
     args = parse_args()
+    with ExecutionEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, progress=True
+    ) as engine:
+        reports = engine.run_sweep(policy_spec(args))
     rows = []
     for policy in args.policies:
-        sequential = simulate(args, policy, "sequential")
-        optimized = simulate(args, policy, "optimized")
+        sequential = reports[f"{policy}/sequential"]
+        optimized = reports[f"{policy}/optimized"]
         gap = sequential.miss_rate("stock") - optimized.miss_rate("stock")
         rows.append(
             {

@@ -54,7 +54,15 @@ from repro.distributed import (
     RemoteCallExpectations,
     scaleup_curve,
 )
-from repro.experiments import ExperimentResult, run_experiment
+from repro.exec import (
+    ExecutionEngine,
+    RunContext,
+    RunRequest,
+    SweepSpec,
+    WorkUnit,
+    execute,
+)
+from repro.experiments import ExperimentResult, Preset, run_experiment
 from repro.throughput import (
     AnalyticMissRateProvider,
     CostParameters,
@@ -79,24 +87,31 @@ __all__ = [
     "CostParameters",
     "DEFAULT_MIX",
     "DistributedThroughputModel",
+    "ExecutionEngine",
     "ExperimentResult",
     "HottestFirstPacking",
     "InputGenerator",
     "MissRateInputs",
     "MissRateReport",
     "NURand",
+    "Preset",
     "RemoteCallExpectations",
+    "RunContext",
+    "RunRequest",
     "SequentialPacking",
     "SimulationConfig",
     "SkewSummary",
+    "SweepSpec",
     "ThroughputModel",
     "TraceConfig",
+    "WorkUnit",
     "TraceGenerator",
     "TransactionMix",
     "TransactionType",
     "che_miss_rates",
     "customer_mixture_distribution",
     "exact_pmf",
+    "execute",
     "item_id_distribution",
     "lorenz_curve",
     "nurand",

@@ -15,7 +15,7 @@ very differently from the NURand-driven ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dataclass_replace
 
 from repro.buffer.policy import make_policy
 from repro.buffer.pool import SimulatedBufferPool
@@ -33,13 +33,15 @@ def pages_for_megabytes(megabytes: float, page_size: int = DEFAULT_PAGE_SIZE) ->
     return max(1, pages)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SimulationConfig:
-    """Configuration of one buffer-simulation run.
+    """Configuration of one buffer-simulation run (keyword-only).
 
     ``buffer_mb`` is converted to pages using the trace's page size.
     ``warmup_references`` defaults to enough references to fill and
     churn the buffer (four times its capacity, at least one batch).
+    Derive sweep points from a base config with :meth:`replace` instead
+    of re-spelling every field.
     """
 
     trace: TraceConfig = field(default_factory=TraceConfig)
@@ -55,6 +57,22 @@ class SimulationConfig:
             raise ValueError(f"need at least 2 batches, got {self.batches}")
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+
+    def replace(self, **overrides) -> "SimulationConfig":
+        """A copy with the given fields replaced (validation re-runs).
+
+        Fields of the nested trace config can be overridden directly by
+        prefixing with ``trace_``, e.g. ``config.replace(trace_seed=7)``.
+        """
+        trace_overrides = {
+            name[len("trace_"):]: overrides.pop(name)
+            for name in list(overrides)
+            if name.startswith("trace_")
+        }
+        if trace_overrides:
+            trace = overrides.pop("trace", self.trace)
+            overrides["trace"] = trace.replace(**trace_overrides)
+        return _dataclass_replace(self, **overrides)
 
     @property
     def buffer_pages(self) -> int:
@@ -170,9 +188,7 @@ class BufferSimulation:
             )
         batches = self._config.batches
         while True:
-            from dataclasses import replace
-
-            report = BufferSimulation(replace(self._config, batches=batches)).run()
+            report = BufferSimulation(self._config.replace(batches=batches)).run()
             imprecise = [
                 relation
                 for relation in relations
@@ -267,18 +283,54 @@ class BufferSimulation:
         pool.reset_stats()
 
 
+def run_simulation_config(config: SimulationConfig) -> MissRateReport:
+    """Run one simulation config to completion (module-level work unit).
+
+    This is the picklable entry point the parallel execution engine
+    ships to worker processes: configs are frozen dataclasses and
+    reports plain dataclasses, so both cross process boundaries.
+    """
+    return BufferSimulation(config).run()
+
+
+def simulation_sweep_spec(
+    experiment: str, base: SimulationConfig, buffer_sizes_mb: list[float]
+):
+    """Declare a buffer-size sweep as engine work units (one per size)."""
+    from repro.exec.units import SweepSpec
+
+    return SweepSpec.over(
+        experiment,
+        run_simulation_config,
+        (
+            (f"{experiment}/{base.trace.packing}/{megabytes:g}MB",
+             base.replace(buffer_mb=megabytes))
+            for megabytes in buffer_sizes_mb
+        ),
+    )
+
+
 def sweep_buffer_sizes(
-    base: SimulationConfig, buffer_sizes_mb: list[float]
+    base: SimulationConfig,
+    buffer_sizes_mb: list[float],
+    engine=None,
 ) -> dict[float, MissRateReport]:
     """Run the same simulation at several buffer sizes (Figure 8 x-axis).
 
     Each size gets an independent trace (same seed), so curves differ
-    only in buffer capacity.
+    only in buffer capacity — which also makes the points independent
+    work units: pass an :class:`repro.exec.engine.ExecutionEngine` to
+    fan them out over processes (and hit its result cache); without one
+    the sweep runs serially in-process, bit-identical either way.
     """
-    from dataclasses import replace
-
-    reports = {}
-    for megabytes in buffer_sizes_mb:
-        config = replace(base, buffer_mb=megabytes)
-        reports[megabytes] = BufferSimulation(config).run()
-    return reports
+    if engine is None:
+        return {
+            megabytes: run_simulation_config(base.replace(buffer_mb=megabytes))
+            for megabytes in buffer_sizes_mb
+        }
+    spec = simulation_sweep_spec("buffer-sweep", base, buffer_sizes_mb)
+    results = engine.run_sweep(spec)
+    return {
+        megabytes: results[unit.unit_id]
+        for megabytes, unit in zip(buffer_sizes_mb, spec.units)
+    }

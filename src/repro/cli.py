@@ -5,8 +5,16 @@ Subcommands::
     python -m repro list                       # all experiment ids
     python -m repro run fig5                   # regenerate an artifact
     python -m repro run fig8 --preset standard # paper-scale simulation
+    python -m repro run fig8 --jobs 4 --cache-dir ~/.repro-cache
+    python -m repro run-all --preset quick     # every table and figure
     python -m repro skew                       # Section 3 headline numbers
     python -m repro throughput --buffer-mb 52  # Section 5 at one point
+
+Simulation-backed experiments decompose into independent work units;
+``--jobs N`` fans them out over N worker processes, ``--cache-dir``
+memoizes unit results on disk (keyed by config + package version), and
+``--manifest`` writes a JSON run manifest with per-unit timings and
+cache-hit counts.
 """
 
 from __future__ import annotations
@@ -28,19 +36,77 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="list every table/figure experiment id")
 
+    def add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--preset",
+            choices=["quick", "standard", "paper"],
+            default="quick",
+            help="simulation effort (default: quick)",
+        )
+        subparser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for sweep units (1 = in-process serial)",
+        )
+        subparser.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            default=None,
+            help="on-disk result cache for sweep units (keyed by config "
+            "and package version)",
+        )
+        subparser.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="override the experiment's built-in trace seed",
+        )
+        subparser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-unit timeout (enforced when --jobs > 1)",
+        )
+        subparser.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            help="retry budget per failing work unit (default: 1)",
+        )
+        subparser.add_argument(
+            "--manifest",
+            metavar="PATH",
+            default=None,
+            help="write a JSON run manifest (unit timings, cache hits)",
+        )
+        subparser.add_argument(
+            "--quiet",
+            action="store_true",
+            help="suppress per-unit progress lines on stderr",
+        )
+
     run = commands.add_parser("run", help="regenerate one table or figure")
     run.add_argument("experiment", help="experiment id, e.g. table1 or fig8")
-    run.add_argument(
-        "--preset",
-        choices=["quick", "standard", "paper"],
-        default="quick",
-        help="simulation effort (default: quick)",
-    )
+    add_engine_arguments(run)
     run.add_argument(
         "--csv",
         metavar="PATH",
         default=None,
         help="also write the data rows as CSV for external plotting",
+    )
+
+    run_all = commands.add_parser(
+        "run-all", help="regenerate every registered table and figure"
+    )
+    add_engine_arguments(run_all)
+    run_all.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows as CSV into this directory",
     )
 
     validate = commands.add_parser(
@@ -95,18 +161,110 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, preset: str, csv_path: str | None) -> int:
-    from repro.experiments import run_experiment
+def _request_from_args(args, experiment: str):
+    from repro.exec.request import RunRequest
+
+    return RunRequest(
+        experiment=experiment,
+        preset=args.preset,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        seed_override=args.seed,
+        unit_timeout=args.timeout,
+        retries=args.retries,
+        manifest_path=args.manifest,
+        progress=not args.quiet,
+    )
+
+
+def _command_run(args) -> int:
+    from repro.exec.engine import ExecutionError
+    from repro.exec.request import build_engine, execute
 
     try:
-        result = run_experiment(experiment, preset)
+        request = _request_from_args(args, args.experiment)
+        engine = build_engine(request)
+    except ValueError as error:
+        print(f"invalid run request: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = execute(request, engine=engine)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    except ValueError as error:
+        print(
+            f"experiment {args.experiment!r} rejected its configuration: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    except ExecutionError as error:
+        print(f"execution failed: {error}", file=sys.stderr)
+        return 3
+    finally:
+        manifest = engine.manifest()
+        if request.manifest_path is not None:
+            manifest.write(request.manifest_path)
+        if manifest.total_units and not args.quiet:
+            print(f"[exec] manifest: {manifest.summary()}", file=sys.stderr)
+        engine.close()
     print(result.render())
-    if csv_path:
-        result.to_csv(csv_path)
-        print(f"\nrows written to {csv_path}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def _command_run_all(args) -> int:
+    from repro.exec.engine import ExecutionError
+    from repro.exec.request import build_engine, execute
+    from repro.experiments.runner import list_experiments
+
+    failures: list[str] = []
+    try:
+        base = _request_from_args(args, "placeholder")
+        engine = build_engine(base)
+    except ValueError as error:
+        print(f"invalid run request: {error}", file=sys.stderr)
+        return 2
+    try:
+        for experiment_id in list_experiments():
+            request = base.replace(experiment=experiment_id)
+            try:
+                result = execute(request, engine=engine)
+            except ValueError as error:
+                failures.append(experiment_id)
+                print(
+                    f"experiment {experiment_id!r} rejected its "
+                    f"configuration: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            except ExecutionError as error:
+                failures.append(experiment_id)
+                print(
+                    f"execution failed for {experiment_id!r}: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            print(result.render())
+            print()
+            if args.csv_dir:
+                from pathlib import Path
+
+                directory = Path(args.csv_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                result.to_csv(directory / f"{experiment_id}.csv")
+    finally:
+        manifest = engine.manifest()
+        if base.manifest_path is not None:
+            manifest.write(base.manifest_path)
+        if not args.quiet:
+            print(f"[exec] manifest: {manifest.summary()}", file=sys.stderr)
+        engine.close()
+    if failures:
+        print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -198,7 +356,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.preset, args.csv)
+        return _command_run(args)
+    if args.command == "run-all":
+        return _command_run_all(args)
     if args.command == "validate":
         return _command_validate(
             args.warehouses, args.items, args.customers, args.transactions,

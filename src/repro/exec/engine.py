@@ -1,0 +1,413 @@
+"""Parallel execution of experiment work units.
+
+The :class:`ExecutionEngine` runs the units of a :class:`~repro.exec.
+units.SweepSpec` with
+
+* a configurable worker count (``jobs=1`` runs synchronously in-process,
+  so results are bit-identical with the pre-engine serial code path),
+* an optional on-disk result cache (see :mod:`repro.exec.cache`),
+* per-unit retry-on-failure and, for ``jobs > 1``, a per-unit timeout
+  (a timed-out round tears the worker pool down so stragglers cannot
+  occupy slots forever), and
+* structured progress on stderr plus a :class:`RunManifest` recording
+  per-unit status, attempts, cache hits and wall/CPU time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.exec.cache import MISSING, ResultCache, cache_key
+from repro.exec.units import SupportsSweep, WorkUnit
+
+
+class ExecutionError(RuntimeError):
+    """A unit exhausted its retry budget (or the pool died repeatedly)."""
+
+
+@dataclass
+class UnitRecord:
+    """Execution record of one work unit (one manifest row)."""
+
+    experiment: str
+    unit_id: str
+    status: str  # "done" | "cached" | "failed"
+    attempts: int
+    wall_seconds: float
+    cpu_seconds: float
+    error: str | None = None
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "cached"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "unit": self.unit_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Aggregate statistics of one engine run (JSON-serializable)."""
+
+    jobs: int
+    cache_dir: str | None
+    units: list[UnitRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.units if record.cached)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for record in self.units if record.status == "failed")
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(record.cpu_seconds for record in self.units)
+
+    @property
+    def all_cached(self) -> bool:
+        return self.total_units > 0 and self.cache_hits == self.total_units
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "units_total": self.total_units,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "units": [record.as_dict() for record in self.units],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_units} units, {self.cache_hits} cache hits, "
+            f"{self.failures} failures, wall {self.wall_seconds:.2f}s, "
+            f"cpu {self.cpu_seconds:.2f}s"
+        )
+
+
+def _invoke(unit: WorkUnit) -> tuple[Any, float, float]:
+    """Run one unit, measuring wall and CPU time (worker-side)."""
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    result = unit.function(unit.payload)
+    return (
+        result,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+    )
+
+
+class ExecutionEngine:
+    """Runs sweeps; owns the worker pool, cache and manifest.
+
+    One engine is created per run request (or shared across experiments
+    by ``run-all``); ``scratch`` is a per-engine memo dict experiments
+    may use to share intermediate results within a run.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        unit_timeout: float | None = None,
+        retries: int = 1,
+        progress: bool = False,
+        stream: TextIO | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be positive, got {unit_timeout}")
+        self.jobs = jobs
+        self.unit_timeout = unit_timeout
+        self.retries = retries
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.scratch: dict[Any, Any] = {}
+        self._progress = progress
+        self._stream = stream if stream is not None else sys.stderr
+        self._records: list[UnitRecord] = []
+        self._wall = 0.0
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down without waiting (after a timeout/breakage)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        # Workers stuck inside a timed-out unit would otherwise keep a
+        # CPU busy (and, via the executor's atexit hook, stall process
+        # shutdown); terminating them is safe because their results are
+        # discarded anyway.  ``_processes`` is private but stable.
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    # -- manifest ------------------------------------------------------------
+
+    def manifest(self) -> RunManifest:
+        return RunManifest(
+            jobs=self.jobs,
+            cache_dir=str(self.cache.root) if self.cache else None,
+            units=list(self._records),
+            wall_seconds=self._wall,
+        )
+
+    def _record(self, record: UnitRecord) -> None:
+        self._records.append(record)
+
+    def _log(self, message: str) -> None:
+        if self._progress:
+            print(f"[exec] {message}", file=self._stream, flush=True)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_sweep(self, spec: SupportsSweep) -> dict[str, Any]:
+        """Run every unit of a sweep; returns ``{unit_id: result}``.
+
+        Cached units are served from disk without executing; fresh
+        results are written back.  Raises :class:`ExecutionError` when
+        a unit keeps failing past the retry budget.
+        """
+        started = time.perf_counter()
+        results: dict[str, Any] = {}
+        remaining: list[WorkUnit] = []
+        keys: dict[str, str] = {}
+        for unit in spec.units:
+            if self.cache is not None:
+                key = cache_key(unit.function, unit.payload)
+                keys[unit.unit_id] = key
+                value = self.cache.get(key)
+                if value is not MISSING:
+                    results[unit.unit_id] = value
+                    self._record(
+                        UnitRecord(
+                            experiment=spec.experiment,
+                            unit_id=unit.unit_id,
+                            status="cached",
+                            attempts=0,
+                            wall_seconds=0.0,
+                            cpu_seconds=0.0,
+                        )
+                    )
+                    self._log(f"{spec.experiment} {unit.unit_id} cache hit")
+                    continue
+            remaining.append(unit)
+
+        if remaining:
+            if self.jobs == 1:
+                self._run_serial(spec.experiment, remaining, results)
+            else:
+                self._run_parallel(spec.experiment, remaining, results)
+            if self.cache is not None:
+                for unit in remaining:
+                    if unit.unit_id in results:
+                        self.cache.put(keys.get(unit.unit_id) or cache_key(
+                            unit.function, unit.payload
+                        ), results[unit.unit_id])
+
+        self._wall += time.perf_counter() - started
+        self._log(
+            f"{spec.experiment} sweep done: {len(spec.units)} units "
+            f"({len(spec.units) - len(remaining)} cached)"
+        )
+        return results
+
+    def _run_serial(
+        self, experiment: str, units: list[WorkUnit], results: dict[str, Any]
+    ) -> None:
+        """In-process execution (``jobs=1``); timeouts are not enforced."""
+        total = len(units)
+        for index, unit in enumerate(units, start=1):
+            error_text = None
+            for attempt in range(1, self.retries + 2):
+                try:
+                    result, wall, cpu = _invoke(unit)
+                except Exception as error:  # noqa: BLE001 - recorded + retried
+                    error_text = f"{type(error).__name__}: {error}"
+                    self._log(
+                        f"{experiment} {unit.unit_id} attempt {attempt} "
+                        f"failed: {error_text}"
+                    )
+                    continue
+                results[unit.unit_id] = result
+                self._record(
+                    UnitRecord(
+                        experiment=experiment,
+                        unit_id=unit.unit_id,
+                        status="done",
+                        attempts=attempt,
+                        wall_seconds=wall,
+                        cpu_seconds=cpu,
+                    )
+                )
+                self._log(
+                    f"{experiment} {index}/{total} {unit.unit_id} "
+                    f"wall={wall:.2f}s cpu={cpu:.2f}s"
+                )
+                break
+            else:
+                self._record(
+                    UnitRecord(
+                        experiment=experiment,
+                        unit_id=unit.unit_id,
+                        status="failed",
+                        attempts=self.retries + 1,
+                        wall_seconds=0.0,
+                        cpu_seconds=0.0,
+                        error=error_text,
+                    )
+                )
+                raise ExecutionError(
+                    f"unit {unit.unit_id!r} of {experiment} failed after "
+                    f"{self.retries + 1} attempts: {error_text}"
+                )
+
+    def _run_parallel(
+        self, experiment: str, units: list[WorkUnit], results: dict[str, Any]
+    ) -> None:
+        """Fan units out over the process pool, with retry and timeout."""
+        pending: dict[str, WorkUnit] = {unit.unit_id: unit for unit in units}
+        attempts: dict[str, int] = {unit.unit_id: 0 for unit in units}
+        errors: dict[str, str] = {}
+        total = len(units)
+        done = 0
+
+        while pending:
+            pool = self._ensure_pool()
+            futures: dict[str, Future] = {
+                unit_id: pool.submit(_invoke, unit)
+                for unit_id, unit in pending.items()
+            }
+            pool_broken = False
+            for unit_id, future in futures.items():
+                attempts[unit_id] += 1
+                try:
+                    result, wall, cpu = future.result(timeout=self.unit_timeout)
+                except FutureTimeoutError:
+                    errors[unit_id] = (
+                        f"timed out after {self.unit_timeout}s"
+                    )
+                    pool_broken = True
+                    self._log(f"{experiment} {unit_id} {errors[unit_id]}")
+                except (CancelledError, BrokenProcessPool) as error:
+                    # Collateral damage from a timed-out sibling (the pool
+                    # was torn down under it): retry without charging the
+                    # unit's own budget.
+                    errors[unit_id] = f"{type(error).__name__}: {error}"
+                    attempts[unit_id] -= 1
+                    pool_broken = True
+                except Exception as error:  # noqa: BLE001 - recorded + retried
+                    errors[unit_id] = f"{type(error).__name__}: {error}"
+                    self._log(
+                        f"{experiment} {unit_id} attempt {attempts[unit_id]} "
+                        f"failed: {errors[unit_id]}"
+                    )
+                else:
+                    done += 1
+                    results[unit_id] = result
+                    del pending[unit_id]
+                    errors.pop(unit_id, None)
+                    self._record(
+                        UnitRecord(
+                            experiment=experiment,
+                            unit_id=unit_id,
+                            status="done",
+                            attempts=attempts[unit_id],
+                            wall_seconds=wall,
+                            cpu_seconds=cpu,
+                        )
+                    )
+                    self._log(
+                        f"{experiment} {done}/{total} {unit_id} "
+                        f"wall={wall:.2f}s cpu={cpu:.2f}s"
+                    )
+            if pool_broken:
+                self._discard_pool()
+
+            exhausted = [
+                unit_id
+                for unit_id in pending
+                if attempts[unit_id] >= self.retries + 1
+            ]
+            if exhausted:
+                for unit_id in exhausted:
+                    self._record(
+                        UnitRecord(
+                            experiment=experiment,
+                            unit_id=unit_id,
+                            status="failed",
+                            attempts=attempts[unit_id],
+                            wall_seconds=0.0,
+                            cpu_seconds=0.0,
+                            error=errors.get(unit_id),
+                        )
+                    )
+                details = "; ".join(
+                    f"{unit_id}: {errors.get(unit_id)}" for unit_id in exhausted
+                )
+                raise ExecutionError(
+                    f"{len(exhausted)} unit(s) of {experiment} failed after "
+                    f"{self.retries + 1} attempts — {details}"
+                )

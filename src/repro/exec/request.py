@@ -1,0 +1,138 @@
+"""The unified run-request API.
+
+A :class:`RunRequest` is the single entry point for executing an
+experiment: it names the experiment and preset and carries every
+execution knob (worker count, cache directory, per-unit timeout, retry
+budget, seed override, manifest path).  :func:`execute` resolves the
+experiment function, builds an :class:`~repro.exec.engine.
+ExecutionEngine`, and calls the function with a :class:`RunContext` —
+the object experiment functions receive instead of a bare
+:class:`~repro.experiments.runner.Preset`.
+
+``repro.experiments.run_experiment`` is a thin wrapper that builds a
+``RunRequest`` and delegates here, so the old call sites keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.exec.engine import ExecutionEngine, RunManifest
+from repro.exec.units import SupportsSweep
+from repro.experiments.runner import Preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunRequest:
+    """Everything needed to run one experiment.
+
+    ``seed_override`` replaces the experiment's built-in trace seed so
+    sweeps can be replicated at different random seeds; ``unit_timeout``
+    (seconds) and ``retries`` govern individual work units and only
+    bite for simulation-backed sweeps; ``jobs=1`` keeps execution
+    synchronous and in-process (bit-identical with the legacy path).
+    """
+
+    experiment: str
+    preset: Preset = Preset.QUICK
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    seed_override: int | None = None
+    unit_timeout: float | None = None
+    retries: int = 1
+    manifest_path: str | Path | None = None
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.preset, str):
+            object.__setattr__(self, "preset", Preset(self.preset))
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(
+                f"unit_timeout must be positive, got {self.unit_timeout}"
+            )
+
+    def replace(self, **overrides: Any) -> "RunRequest":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """What an experiment function receives: preset plus execution services."""
+
+    request: RunRequest
+    engine: ExecutionEngine
+
+    @property
+    def preset(self) -> Preset:
+        return self.request.preset
+
+    def seed(self, default: int) -> int:
+        """The request's seed override, or the experiment's default."""
+        if self.request.seed_override is not None:
+            return self.request.seed_override
+        return default
+
+    def run_sweep(self, spec: SupportsSweep) -> dict[str, Any]:
+        """Execute a sweep's units through the engine."""
+        return self.engine.run_sweep(spec)
+
+
+def build_engine(request: RunRequest) -> ExecutionEngine:
+    """An engine configured from a request's execution knobs."""
+    return ExecutionEngine(
+        jobs=request.jobs,
+        cache_dir=request.cache_dir,
+        unit_timeout=request.unit_timeout,
+        retries=request.retries,
+        progress=request.progress,
+    )
+
+
+def context_for(request: RunRequest, engine: ExecutionEngine | None = None) -> RunContext:
+    """A ready-to-use context (building an engine when none is shared)."""
+    return RunContext(request=request, engine=engine or build_engine(request))
+
+
+def execute(
+    request: RunRequest, *, engine: ExecutionEngine | None = None
+) -> "ExperimentResult":
+    """Run the requested experiment and return its result.
+
+    When ``engine`` is given (``run-all`` shares one across
+    experiments) the caller owns its lifecycle and manifest; otherwise
+    a fresh engine is built, closed afterwards, and its manifest is
+    written to ``request.manifest_path`` when set.
+    """
+    from repro.experiments.runner import resolve
+
+    function = resolve(request.experiment)
+    own_engine = engine is None
+    engine = engine if engine is not None else build_engine(request)
+    try:
+        result = function(RunContext(request=request, engine=engine))
+    finally:
+        if own_engine:
+            if request.manifest_path is not None:
+                engine.manifest().write(request.manifest_path)
+            engine.close()
+    return result
+
+
+__all__ = [
+    "RunContext",
+    "RunRequest",
+    "RunManifest",
+    "build_engine",
+    "context_for",
+    "execute",
+]

@@ -13,6 +13,8 @@ from repro.experiments.runner import (
     EXPERIMENTS,
     ExperimentResult,
     Preset,
+    list_experiments,
+    resolve,
     run_experiment,
 )
 
@@ -20,6 +22,8 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "Preset",
+    "list_experiments",
     "render_table",
+    "resolve",
     "run_experiment",
 ]

@@ -1,20 +1,25 @@
 """Reproduction of the paper's figures (3-12) plus Appendix A.3.
 
 Figures are reproduced as data series (rows of the underlying plot).
-Simulation-backed figures accept a :class:`~repro.experiments.runner.
-Preset`: QUICK uses scaled-down workloads and the analytic miss-rate
-provider; STANDARD runs the paper's 20-warehouse simulation at a
-coarser statistical budget; PAPER replicates the 30 x 100k batch-means
-protocol.
+Each experiment function receives a :class:`~repro.exec.request.
+RunContext` whose preset selects the effort: QUICK uses scaled-down
+workloads and the analytic miss-rate provider; STANDARD runs the
+paper's 20-warehouse simulation at a coarser statistical budget; PAPER
+replicates the 30 x 100k batch-means protocol.
+
+The sweep-shaped experiments (fig8-fig12) declare their grid points as
+:class:`~repro.exec.units.SweepSpec` work units and execute them
+through the context's engine, so ``--jobs N`` fans them out over
+processes and ``--cache-dir`` memoizes each point on disk.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.buffer.simulator import SimulationConfig, sweep_buffer_sizes
+from repro.buffer.simulator import SimulationConfig, simulation_sweep_spec
 from repro.constants import (
     NURAND_A_ITEM,
     ITEMS,
@@ -32,18 +37,24 @@ from repro.core.nurand import (
 )
 from repro.core.packing import HottestFirstPacking, SequentialPacking
 from repro.core.skew import SkewSummary, access_share_of_hottest, gini_coefficient
-from repro.distributed.scaleup import remote_probability_sensitivity, scaleup_curve
+from repro.distributed.scaleup import ScaleupUnit, evaluate_scaleup_unit
+from repro.exec.units import SweepSpec
 from repro.experiments.runner import ExperimentResult, Preset, register
 from repro.throughput.model import ThroughputModel
 from repro.throughput.params import MissRateInputs
 from repro.throughput.pricing import (
     AnalyticMissRateProvider,
     InterpolatingMissRateProvider,
+    PricePointUnit,
+    evaluate_throughput_point,
     optimal_point,
     price_performance_sweep,
 )
 from repro.workload.schema import RELATIONS
 from repro.workload.trace import TraceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.request import RunContext
 
 # ---------------------------------------------------------------------------
 # Shared helpers.
@@ -85,32 +96,52 @@ def _fig8_settings(preset: Preset) -> dict:
     }
 
 
-@lru_cache(maxsize=8)
-def _fig8_sweep(preset: Preset, packing: str):
-    """Cached miss-rate sweep (shared by figs 8, 9, 10)."""
-    settings = _fig8_settings(preset)
+def _fig8_sweep(ctx: RunContext, packing: str):
+    """Miss-rate sweep for one packing, shared by figs 8, 9, 10.
+
+    The sweep points are declared as a :class:`SweepSpec` (one
+    simulation per buffer size) and executed through the context's
+    engine; results are memoized on the engine so a ``run-all`` reuses
+    them across the whole figure family.
+    """
+    seed = ctx.seed(11)
+    memo_key = ("fig8-sweep", ctx.preset, packing, seed)
+    cached = ctx.engine.scratch.get(memo_key)
+    if cached is not None:
+        return cached
+
+    settings = _fig8_settings(ctx.preset)
     base = SimulationConfig(
-        trace=TraceConfig(warehouses=settings["warehouses"], packing=packing, seed=11),
+        trace=TraceConfig(
+            warehouses=settings["warehouses"], packing=packing, seed=seed
+        ),
         buffer_mb=settings["sizes_mb"][0],
         batches=settings["batches"],
         batch_size=settings["batch_size"],
     )
-    return sweep_buffer_sizes(base, settings["sizes_mb"])
+    spec = simulation_sweep_spec("fig8", base, settings["sizes_mb"])
+    results = ctx.run_sweep(spec)
+    reports = {
+        megabytes: results[unit.unit_id]
+        for megabytes, unit in zip(settings["sizes_mb"], spec.units)
+    }
+    ctx.engine.scratch[memo_key] = reports
+    return reports
 
 
-def _miss_rate_provider(preset: Preset, packing: str):
+def _miss_rate_provider(ctx: RunContext, packing: str):
     """Buffer-size -> MissRateInputs, analytic for QUICK, simulated otherwise."""
-    if preset is Preset.QUICK:
+    if ctx.preset is Preset.QUICK:
         residual = MissRateInputs(
             customer=0.0, item=0.0, stock=0.0, order=0.02, order_line=0.01
         )
         return AnalyticMissRateProvider(packing=packing, residual=residual)
-    return InterpolatingMissRateProvider.from_reports(_fig8_sweep(preset, packing))
+    return InterpolatingMissRateProvider.from_reports(_fig8_sweep(ctx, packing))
 
 
-def _reference_miss(preset: Preset, packing: str = "optimized") -> MissRateInputs:
+def _reference_miss(ctx: RunContext, packing: str = "optimized") -> MissRateInputs:
     """Miss rates at the paper's 102 MB distributed operating point."""
-    return _miss_rate_provider(preset, packing)(102.0)
+    return _miss_rate_provider(ctx, packing)(102.0)
 
 
 # ---------------------------------------------------------------------------
@@ -119,7 +150,7 @@ def _reference_miss(preset: Preset, packing: str = "optimized") -> MissRateInput
 
 
 @register("fig3")
-def fig3(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig3(ctx: RunContext) -> ExperimentResult:
     """Figure 3: PMF of the stock/item distribution NU(8191, 1, 100000)."""
     distribution = item_id_distribution()
     pmf = distribution.pmf
@@ -131,7 +162,7 @@ def fig3(preset: Preset = Preset.QUICK) -> ExperimentResult:
         "max/min probability ratio": float(pmf.max() / pmf.min()),
     }
     notes = "Exact PMF (the paper estimated it from 10^9 samples)."
-    if preset is not Preset.QUICK:
+    if ctx.preset is not Preset.QUICK:
         sampled = monte_carlo_pmf(
             NURAND_A_ITEM, 1, ITEMS, samples=20_000_000, rng=np.random.default_rng(3)
         )
@@ -150,7 +181,7 @@ def fig3(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig4")
-def fig4(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig4(ctx: RunContext) -> ExperimentResult:
     """Figure 4: the same PMF zoomed to tuples 1..10000 (cycle visible)."""
     pmf = item_id_distribution().pmf[:10_000]
     stride = 50
@@ -173,7 +204,7 @@ def fig4(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig5")
-def fig5(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig5(ctx: RunContext) -> ExperimentResult:
     """Figure 5: stock cumulative access vs cumulative data.
 
     Four curves: tuple level, 4K sequential pages, 8K sequential pages,
@@ -235,7 +266,7 @@ def fig5(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig6")
-def fig6(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig6(ctx: RunContext) -> ExperimentResult:
     """Figure 6: customer relation PMF (by-id / by-name mixture)."""
     distribution = customer_mixture_distribution()
     pmf = distribution.pmf
@@ -259,7 +290,7 @@ def fig6(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig7")
-def fig7(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig7(ctx: RunContext) -> ExperimentResult:
     """Figure 7: customer cumulative access vs cumulative data."""
     customer = customer_mixture_distribution()
     stock = item_id_distribution()
@@ -298,10 +329,10 @@ def fig7(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig8")
-def fig8(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig8(ctx: RunContext) -> ExperimentResult:
     """Figure 8: miss rate vs buffer size, sequential vs optimized."""
-    sequential = _fig8_sweep(preset, "sequential")
-    optimized = _fig8_sweep(preset, "optimized")
+    sequential = _fig8_sweep(ctx, "sequential")
+    optimized = _fig8_sweep(ctx, "optimized")
     sizes = sorted(sequential)
     series: dict[str, list[float]] = {}
     for relation in ("customer", "stock", "item"):
@@ -325,7 +356,7 @@ def fig8(preset: Preset = Preset.QUICK) -> ExperimentResult:
         experiment="fig8",
         title=(
             f"Customer, Stock, Item miss rates vs buffer size "
-            f"({preset.value} preset, LRU)"
+            f"({ctx.preset.value} preset, LRU)"
         ),
         rows=rows,
         headline={
@@ -355,25 +386,34 @@ def fig8(preset: Preset = Preset.QUICK) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def _throughput_series(preset: Preset, sizes_mb: list[float]):
-    providers = {
-        packing: _miss_rate_provider(preset, packing)
-        for packing in ("sequential", "optimized")
-    }
+def _throughput_series(ctx: RunContext, sizes_mb: list[float]):
+    """New-Order tpm per packing, one engine work unit per buffer size."""
     series = {}
-    for packing, provider in providers.items():
+    for packing in ("sequential", "optimized"):
+        provider = _miss_rate_provider(ctx, packing)
+        spec = SweepSpec.over(
+            "fig9",
+            evaluate_throughput_point,
+            (
+                (
+                    f"fig9/{packing}/{size:g}MB",
+                    PricePointUnit(buffer_mb=size, provider=provider),
+                )
+                for size in sizes_mb
+            ),
+        )
+        results = ctx.run_sweep(spec)
         series[packing] = [
-            ThroughputModel(miss_rates=provider(size)).solve().new_order_tpm
-            for size in sizes_mb
+            results[unit.unit_id].new_order_tpm for unit in spec.units
         ]
     return series
 
 
 @register("fig9")
-def fig9(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig9(ctx: RunContext) -> ExperimentResult:
     """Figure 9: maximum New-Order throughput vs buffer size."""
     sizes = [float(mb) for mb in (8, 16, 26, 39, 52, 78, 104, 130, 154, 180, 208)]
-    series = _throughput_series(preset, sizes)
+    series = _throughput_series(ctx, sizes)
     sequential = np.array(series["sequential"])
     optimized = np.array(series["optimized"])
     improvement = (optimized - sequential) / sequential
@@ -404,19 +444,23 @@ def fig9(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig10")
-def fig10(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig10(ctx: RunContext) -> ExperimentResult:
     """Figure 10: $/tpm vs buffer size, with and without storage growth."""
     sizes = [float(mb) for mb in range(8, 260, 8)]
     rows = []
     headline: dict[str, float] = {}
     curves = {}
     for packing in ("sequential", "optimized"):
-        provider = _miss_rate_provider(preset, packing)
+        provider = _miss_rate_provider(ctx, packing)
         for include_growth in (False, True):
-            points = price_performance_sweep(
-                sizes, provider, include_growth=include_growth
-            )
             label = f"{packing}{' +storage' if include_growth else ''}"
+            points = price_performance_sweep(
+                sizes,
+                provider,
+                include_growth=include_growth,
+                engine=ctx.engine,
+                label=f"fig10/{packing}{'+storage' if include_growth else ''}",
+            )
             curves[label] = points
             best = optimal_point(points)
             headline[f"optimum $/tpm ({label})"] = best.cost_per_tpm
@@ -462,7 +506,7 @@ def fig10(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig10_disk_size")
-def fig10_disk_size(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig10_disk_size(ctx: RunContext) -> ExperimentResult:
     """Section 5.2's disk-capacity sensitivity (prose, after Figure 10).
 
     "Given the rate at which disk size is currently increasing the
@@ -476,7 +520,7 @@ def fig10_disk_size(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
     sizes = [float(mb) for mb in range(8, 260, 8)]
     providers = {
-        packing: _miss_rate_provider(preset, packing)
+        packing: _miss_rate_provider(ctx, packing)
         for packing in ("sequential", "optimized")
     }
     rows = []
@@ -489,6 +533,8 @@ def fig10_disk_size(preset: Preset = Preset.QUICK) -> ExperimentResult:
                 provider,
                 prices=PriceBook(disk_capacity_gb=capacity_gb),
                 include_growth=True,
+                engine=ctx.engine,
+                label=f"fig10b/{capacity_gb:g}GB/{packing}",
             )
             optima[packing] = optimal_point(points)
         gain = 1 - optima["optimized"].cost_per_tpm / optima["sequential"].cost_per_tpm
@@ -529,11 +575,20 @@ def fig10_disk_size(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig11")
-def fig11(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig11(ctx: RunContext) -> ExperimentResult:
     """Figure 11: scale-up with and without Item replication."""
-    miss = _reference_miss(preset)
+    miss = _reference_miss(ctx)
     node_counts = [1, 2, 5, 10, 15, 20, 25, 30]
-    points = scaleup_curve(node_counts, miss)
+    spec = SweepSpec.over(
+        "fig11",
+        evaluate_scaleup_unit,
+        (
+            (f"fig11/N={nodes}", ScaleupUnit(nodes=nodes, miss_rates=miss))
+            for nodes in node_counts
+        ),
+    )
+    results = ctx.run_sweep(spec)
+    points = [results[unit.unit_id] for unit in spec.units]
     rows = [point.as_row() for point in points]
     by_nodes = {point.nodes: point for point in points}
     return ExperimentResult(
@@ -561,12 +616,35 @@ def fig11(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("fig12")
-def fig12(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def fig12(ctx: RunContext) -> ExperimentResult:
     """Figure 12: sensitivity to the remote-stock probability."""
-    miss = _reference_miss(preset)
+    miss = _reference_miss(ctx)
     node_counts = [1, 2, 5, 10, 15, 20, 25, 30]
     probabilities = [0.01, 0.05, 0.10, 0.50, 1.00]
-    curves = remote_probability_sensitivity(node_counts, probabilities, miss)
+    spec = SweepSpec.over(
+        "fig12",
+        evaluate_scaleup_unit,
+        (
+            (
+                f"fig12/p={probability}/N={nodes}",
+                ScaleupUnit(
+                    nodes=nodes,
+                    miss_rates=miss,
+                    remote_stock_probability=probability,
+                ),
+            )
+            for probability in probabilities
+            for nodes in node_counts
+        ),
+    )
+    results = ctx.run_sweep(spec)
+    curves = {
+        probability: [
+            (nodes, results[f"fig12/p={probability}/N={nodes}"].replicated_tpm)
+            for nodes in node_counts
+        ]
+        for probability in probabilities
+    }
     rows = []
     for index, nodes in enumerate(node_counts):
         row: dict[str, object] = {"nodes": nodes}
@@ -594,7 +672,7 @@ def fig12(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("appendix_a3")
-def appendix_a3(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def appendix_a3(ctx: RunContext) -> ExperimentResult:
     """Appendix A.3: exact periodicity for power-of-two NURand ranges."""
     a_bits, b_bits = 8, 12
     closed = closed_form_pmf(a_bits, b_bits)

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 import enum
+import functools
+import inspect
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.report import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.request import RunContext
 
 
 class Preset(enum.Enum):
@@ -70,42 +76,93 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
 
-ExperimentFunction = Callable[[Preset], ExperimentResult]
+#: An experiment function receives a :class:`repro.exec.request.RunContext`
+#: (preset plus execution services) and returns an ExperimentResult.
+ExperimentFunction = Callable[["RunContext"], ExperimentResult]
 
 #: Registry of experiment id -> function; populated by tables.py / figures.py.
 EXPERIMENTS: dict[str, ExperimentFunction] = {}
 
 
+def _adapt(experiment_id: str, function: Callable) -> ExperimentFunction:
+    """Wrap a legacy ``function(preset)`` experiment into the new contract.
+
+    New-style functions declare a ``RunContext`` parameter (by
+    annotation, or a first parameter named ``ctx``/``context``) and are
+    registered as-is; anything else is treated as the deprecated
+    single-``Preset`` signature and shimmed.
+    """
+    parameters = list(inspect.signature(function).parameters.values())
+    first = parameters[0] if parameters else None
+    annotation = (
+        "" if first is None or first.annotation is inspect.Parameter.empty
+        else str(first.annotation)
+    )
+    if first is not None and (
+        "RunContext" in annotation or first.name in ("ctx", "context")
+    ):
+        return function
+
+    warnings.warn(
+        f"experiment {experiment_id!r} uses the legacy single-argument "
+        "ExperimentFunction signature (bare Preset); take a RunContext "
+        "instead (its .preset attribute is the old argument)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+    @functools.wraps(function)
+    def wrapper(ctx: "RunContext") -> ExperimentResult:
+        if parameters:
+            return function(ctx.preset)
+        return function()
+
+    wrapper.__legacy_preset_function__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
 def register(experiment_id: str):
     """Decorator adding an experiment function to the registry."""
 
-    def wrap(function: ExperimentFunction) -> ExperimentFunction:
+    def wrap(function: Callable) -> ExperimentFunction:
         if experiment_id in EXPERIMENTS:
             raise ValueError(f"experiment {experiment_id!r} registered twice")
-        EXPERIMENTS[experiment_id] = function
-        return function
+        adapted = _adapt(experiment_id, function)
+        EXPERIMENTS[experiment_id] = adapted
+        return adapted
 
     return wrap
 
 
-def run_experiment(
-    experiment_id: str, preset: Preset | str = Preset.QUICK
-) -> ExperimentResult:
-    """Run one experiment by id ("table1", "fig8", …)."""
+def resolve(experiment_id: str) -> ExperimentFunction:
+    """The registered function for an id, importing experiments lazily."""
     # Importing the experiment modules populates the registry lazily,
     # avoiding import cycles at package-import time.
     from repro.experiments import figures, tables  # noqa: F401
 
-    if isinstance(preset, str):
-        preset = Preset(preset)
     try:
-        function = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: "
             f"{sorted(EXPERIMENTS)}"
         ) from None
-    return function(preset)
+
+
+def run_experiment(
+    experiment_id: str, preset: Preset | str = Preset.QUICK, **options
+) -> ExperimentResult:
+    """Run one experiment by id ("table1", "fig8", …).
+
+    Thin wrapper over the unified run-request API: keyword ``options``
+    (``jobs``, ``cache_dir``, ``seed_override``, ``unit_timeout``,
+    ``retries``, ``manifest_path``, ``progress``) are forwarded to
+    :class:`repro.exec.request.RunRequest`.
+    """
+    from repro.exec.request import RunRequest, execute
+
+    request = RunRequest(experiment=experiment_id, preset=preset, **options)
+    return execute(request)
 
 
 def list_experiments() -> list[str]:

@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.constants import WAREHOUSES_PER_NODE
 from repro.distributed.model import distributed_visit_table
 from repro.distributed.remote import RemoteCallExpectations
-from repro.experiments.runner import ExperimentResult, Preset, register
+from repro.experiments.runner import ExperimentResult, register
 from repro.throughput.params import MissRateInputs
 from repro.throughput.visits import single_node_visits, visit_table_rows
 from repro.workload.access import relation_access_table, transaction_mix_table
 from repro.workload.schema import schema_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.request import RunContext
 
 #: Representative miss rates used when a table needs symbolic inputs
 #: evaluated (roughly the simulated 52 MB sequential-packing point).
@@ -19,7 +24,7 @@ _REFERENCE_MISS = MissRateInputs(
 
 
 @register("table1")
-def table1(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def table1(ctx: RunContext) -> ExperimentResult:
     """Table 1: the logical database (cardinality, tuple size, geometry)."""
     rows = schema_table(warehouses=WAREHOUSES_PER_NODE)
     return ExperimentResult(
@@ -42,7 +47,7 @@ def table1(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("table2")
-def table2(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def table2(ctx: RunContext) -> ExperimentResult:
     """Table 2: transaction mix and SQL-call census."""
     rows = transaction_mix_table()
     new_order = next(r for r in rows if r["transaction"] == "new_order")
@@ -69,7 +74,7 @@ def table2(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("table3")
-def table3(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def table3(ctx: RunContext) -> ExperimentResult:
     """Table 3: per-relation tuple accesses and weighted averages."""
     rows = relation_access_table()
     by_name = {row["relation"]: row for row in rows}
@@ -102,7 +107,7 @@ def table3(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("table4")
-def table4(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def table4(ctx: RunContext) -> ExperimentResult:
     """Table 4: single-node visit counts, evaluated at reference miss rates."""
     table = single_node_visits(_REFERENCE_MISS)
     rows = visit_table_rows(table)
@@ -120,7 +125,7 @@ def table4(preset: Preset = Preset.QUICK) -> ExperimentResult:
 
 
 @register("tables6_7")
-def tables6_7(preset: Preset = Preset.QUICK) -> ExperimentResult:
+def tables6_7(ctx: RunContext) -> ExperimentResult:
     """Tables 6 and 7: distributed visit-count deltas at N = 10 nodes."""
     nodes = 10
     expectations = RemoteCallExpectations(nodes=nodes)

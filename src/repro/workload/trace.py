@@ -89,15 +89,16 @@ class PageReference(NamedTuple):
 PACKING_KINDS = ("sequential", "optimized", "random")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TraceConfig:
-    """Configuration of a trace run.
+    """Configuration of a trace run (keyword-only).
 
     ``packing`` selects how the Customer, Stock and Item relations are
     loaded; the tiny Warehouse/District relations and the append-only
     relations are always sequential.  ``prime_orders``/``prime_pending``
     pre-populate each district's order history so the stateful
-    transactions have work from the first reference.
+    transactions have work from the first reference.  Derive variants
+    from a base config with :meth:`replace`.
     """
 
     warehouses: int = 20
@@ -131,6 +132,12 @@ class TraceConfig:
                 f"prime_orders ({self.prime_orders}) cannot exceed "
                 f"customers_per_district ({self.customers_per_district})"
             )
+
+    def replace(self, **overrides) -> "TraceConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        from dataclasses import replace as dataclass_replace
+
+        return dataclass_replace(self, **overrides)
 
 
 def _skewed_packing(

@@ -1,0 +1,236 @@
+"""Unit tests for the execution engine: serial/parallel parity, the
+on-disk cache, retry-on-failure, per-unit timeouts and the manifest."""
+
+import io
+import time
+
+import pytest
+
+from repro.exec.engine import ExecutionEngine, ExecutionError
+from repro.exec.units import SupportsSweep, SweepSpec, WorkUnit
+
+
+# Unit functions must be module-level so the process pool can pickle
+# them by qualified name.
+
+def _double(value):
+    return value * 2
+
+
+def _fail_until_marker(payload):
+    """Fail on the first attempt; succeed once the marker file exists."""
+    marker, value = payload
+    from pathlib import Path
+
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        raise RuntimeError("first attempt fails")
+    return value * 10
+
+
+def _always_fail(payload):
+    raise RuntimeError(f"boom {payload}")
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _spec(values=(1, 2, 3)):
+    return SweepSpec.over(
+        "demo", _double, ((f"demo/{value}", value) for value in values)
+    )
+
+
+class TestSweepSpec:
+    def test_over_builds_units(self):
+        spec = _spec()
+        assert len(spec) == 3
+        assert [unit.unit_id for unit in spec] == ["demo/1", "demo/2", "demo/3"]
+        assert spec.units[0].run() == 2
+
+    def test_duplicate_unit_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate unit ids"):
+            SweepSpec.over("demo", _double, [("same", 1), ("same", 2)])
+
+    def test_satisfies_protocol(self):
+        assert isinstance(_spec(), SupportsSweep)
+
+
+class TestSerialExecution:
+    def test_results_by_unit_id(self):
+        with ExecutionEngine(jobs=1) as engine:
+            results = engine.run_sweep(_spec())
+        assert results == {"demo/1": 2, "demo/2": 4, "demo/3": 6}
+
+    def test_manifest_records_every_unit(self):
+        engine = ExecutionEngine(jobs=1)
+        engine.run_sweep(_spec())
+        manifest = engine.manifest()
+        assert manifest.total_units == 3
+        assert manifest.cache_hits == 0
+        assert manifest.failures == 0
+        assert all(record.status == "done" for record in manifest.units)
+        assert all(record.attempts == 1 for record in manifest.units)
+
+    def test_progress_lines(self):
+        stream = io.StringIO()
+        engine = ExecutionEngine(jobs=1, progress=True, stream=stream)
+        engine.run_sweep(_spec())
+        lines = stream.getvalue().splitlines()
+        assert lines
+        assert all(line.startswith("[exec] ") for line in lines)
+        assert any("sweep done" in line for line in lines)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExecutionEngine(jobs=0)
+        with pytest.raises(ValueError, match="retries"):
+            ExecutionEngine(retries=-1)
+        with pytest.raises(ValueError, match="unit_timeout"):
+            ExecutionEngine(unit_timeout=0.0)
+
+
+class TestParallelExecution:
+    def test_matches_serial_results(self):
+        with ExecutionEngine(jobs=1) as serial:
+            expected = serial.run_sweep(_spec(range(6)))
+        with ExecutionEngine(jobs=2) as parallel:
+            assert parallel.run_sweep(_spec(range(6))) == expected
+
+    def test_manifest_counts(self):
+        with ExecutionEngine(jobs=2) as engine:
+            engine.run_sweep(_spec())
+            manifest = engine.manifest()
+        assert manifest.total_units == 3
+        assert manifest.failures == 0
+
+
+class TestCache:
+    def test_second_run_is_all_cached(self, tmp_path):
+        spec = _spec()
+        with ExecutionEngine(jobs=1, cache_dir=tmp_path) as first:
+            expected = first.run_sweep(spec)
+            assert first.manifest().cache_hits == 0
+        with ExecutionEngine(jobs=1, cache_dir=tmp_path) as second:
+            assert second.run_sweep(spec) == expected
+            manifest = second.manifest()
+        assert manifest.all_cached
+        assert manifest.cache_hits == 3
+        assert all(record.status == "cached" for record in manifest.units)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        with ExecutionEngine(jobs=2, cache_dir=tmp_path) as parallel:
+            expected = parallel.run_sweep(_spec())
+        with ExecutionEngine(jobs=1, cache_dir=tmp_path) as serial:
+            assert serial.run_sweep(_spec()) == expected
+            assert serial.manifest().all_cached
+
+    def test_cache_hit_logged(self, tmp_path):
+        with ExecutionEngine(jobs=1, cache_dir=tmp_path) as first:
+            first.run_sweep(_spec())
+        stream = io.StringIO()
+        with ExecutionEngine(
+            jobs=1, cache_dir=tmp_path, progress=True, stream=stream
+        ) as second:
+            second.run_sweep(_spec())
+        assert "cache hit" in stream.getvalue()
+
+
+class TestRetry:
+    def _flaky_spec(self, tmp_path):
+        return SweepSpec.over(
+            "flaky",
+            _fail_until_marker,
+            [("flaky/unit", (str(tmp_path / "marker"), 7))],
+        )
+
+    def test_serial_retry_succeeds(self, tmp_path):
+        with ExecutionEngine(jobs=1, retries=1) as engine:
+            results = engine.run_sweep(self._flaky_spec(tmp_path))
+            record = engine.manifest().units[0]
+        assert results == {"flaky/unit": 70}
+        assert record.status == "done"
+        assert record.attempts == 2
+
+    def test_parallel_retry_succeeds(self, tmp_path):
+        with ExecutionEngine(jobs=2, retries=1) as engine:
+            results = engine.run_sweep(self._flaky_spec(tmp_path))
+            record = engine.manifest().units[0]
+        assert results == {"flaky/unit": 70}
+        assert record.attempts == 2
+
+    def test_serial_budget_exhausted(self):
+        spec = SweepSpec.over("doomed", _always_fail, [("doomed/unit", "x")])
+        with ExecutionEngine(jobs=1, retries=0) as engine:
+            with pytest.raises(ExecutionError, match="boom"):
+                engine.run_sweep(spec)
+            manifest = engine.manifest()
+        assert manifest.failures == 1
+        assert manifest.units[0].error.startswith("RuntimeError")
+
+    def test_parallel_budget_exhausted(self):
+        spec = SweepSpec.over(
+            "doomed", _always_fail, [("doomed/a", 1), ("doomed/b", 2)]
+        )
+        with ExecutionEngine(jobs=2, retries=0) as engine:
+            with pytest.raises(ExecutionError, match="failed after 1 attempts"):
+                engine.run_sweep(spec)
+            assert engine.manifest().failures == 2
+
+    def test_failed_units_not_cached(self, tmp_path):
+        spec = SweepSpec.over("doomed", _always_fail, [("doomed/unit", 1)])
+        with ExecutionEngine(jobs=1, retries=0, cache_dir=tmp_path) as engine:
+            with pytest.raises(ExecutionError):
+                engine.run_sweep(spec)
+            assert len(engine.cache) == 0
+
+
+class TestTimeout:
+    def test_hung_unit_times_out(self):
+        spec = SweepSpec.over("slow", _sleep, [("slow/unit", 120.0)])
+        started = time.perf_counter()
+        with ExecutionEngine(jobs=2, unit_timeout=0.25, retries=0) as engine:
+            with pytest.raises(ExecutionError, match="timed out"):
+                engine.run_sweep(spec)
+        # The worker pool must be torn down instead of waiting out the
+        # 120-second sleep.
+        assert time.perf_counter() - started < 60.0
+
+    def test_fast_units_unaffected(self):
+        spec = SweepSpec.over("fast", _sleep, [("fast/unit", 0.01)])
+        with ExecutionEngine(jobs=2, unit_timeout=30.0) as engine:
+            assert engine.run_sweep(spec) == {"fast/unit": 0.01}
+
+
+class TestManifestOutput:
+    def test_as_dict_and_json(self, tmp_path):
+        with ExecutionEngine(jobs=1) as engine:
+            engine.run_sweep(_spec())
+            manifest = engine.manifest()
+        data = manifest.as_dict()
+        assert data["jobs"] == 1
+        assert data["units_total"] == 3
+        assert data["cache_hits"] == 0
+        assert len(data["units"]) == 3
+        assert data["units"][0]["unit"] == "demo/1"
+        path = manifest.write(tmp_path / "nested" / "manifest.json")
+        assert path.exists()
+        assert '"units_total": 3' in path.read_text()
+
+    def test_summary_line(self):
+        with ExecutionEngine(jobs=1) as engine:
+            engine.run_sweep(_spec())
+            summary = engine.manifest().summary()
+        assert "3 units" in summary
+        assert "0 failures" in summary
+
+
+class TestScratch:
+    def test_scratch_is_per_engine(self):
+        first = ExecutionEngine()
+        second = ExecutionEngine()
+        first.scratch["key"] = "value"
+        assert "key" not in second.scratch

@@ -33,6 +33,62 @@ class TestRun:
             main(["run", "fig5", "--preset", "galactic"])
 
 
+class TestRunEngineFlags:
+    def test_jobs_cache_and_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "manifest.json"
+        assert main(
+            [
+                "run", "fig8",
+                "--preset", "quick",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--manifest", str(manifest_path),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "miss rate" in captured.out
+        assert "[exec] manifest:" in captured.err
+        data = json.loads(manifest_path.read_text())
+        assert data["jobs"] == 2
+        assert data["units_total"] > 0
+        assert data["failures"] == 0
+
+    def test_quiet_suppresses_progress(self, capsys):
+        assert main(["run", "fig8", "--preset", "quick", "--quiet"]) == 0
+        assert "[exec]" not in capsys.readouterr().err
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["run", "fig8", "--jobs", "0"]) == 2
+        assert "invalid run request" in capsys.readouterr().err
+
+    def test_value_error_exit_code(self, capsys, monkeypatch):
+        from repro.experiments import runner
+
+        def bad(ctx):
+            raise ValueError("unsupported preset")
+
+        monkeypatch.setattr(
+            runner, "EXPERIMENTS", {**runner.EXPERIMENTS, "_test_bad": bad}
+        )
+        assert main(["run", "_test_bad"]) == 2
+        assert "rejected its configuration" in capsys.readouterr().err
+
+    def test_execution_error_exit_code(self, capsys, monkeypatch):
+        from repro.exec.engine import ExecutionError
+        from repro.experiments import runner
+
+        def doomed(ctx):
+            raise ExecutionError("unit kept failing")
+
+        monkeypatch.setattr(
+            runner, "EXPERIMENTS", {**runner.EXPERIMENTS, "_test_doomed": doomed}
+        )
+        assert main(["run", "_test_doomed"]) == 3
+        assert "execution failed" in capsys.readouterr().err
+
+
 class TestSkew:
     def test_stock_summary(self, capsys):
         assert main(["skew"]) == 0
