@@ -83,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write a JSON run manifest (unit timings, cache hits)",
         )
         subparser.add_argument(
+            "--resume",
+            metavar="PATH",
+            default=None,
+            help="resume from a previous run's manifest: skip units it "
+            "completed, serving their results from --cache-dir",
+        )
+        subparser.add_argument(
             "--quiet",
             action="store_true",
             help="suppress per-unit progress lines on stderr",
@@ -174,6 +181,7 @@ def _request_from_args(args, experiment: str):
         retries=args.retries,
         manifest_path=args.manifest,
         progress=not args.quiet,
+        resume_from=args.resume,
     )
 
 
@@ -201,6 +209,13 @@ def _command_run(args) -> int:
     except ExecutionError as error:
         print(f"execution failed: {error}", file=sys.stderr)
         return 3
+    except KeyboardInterrupt:
+        print(
+            "interrupted; partial manifest covers the finished units "
+            "(resume with --resume)",
+            file=sys.stderr,
+        )
+        return 130
     finally:
         manifest = engine.manifest()
         if request.manifest_path is not None:
@@ -255,6 +270,13 @@ def _command_run_all(args) -> int:
                 directory = Path(args.csv_dir)
                 directory.mkdir(parents=True, exist_ok=True)
                 result.to_csv(directory / f"{experiment_id}.csv")
+    except KeyboardInterrupt:
+        print(
+            "interrupted; partial manifest covers the finished units "
+            "(resume with --resume)",
+            file=sys.stderr,
+        )
+        return 130
     finally:
         manifest = engine.manifest()
         if base.manifest_path is not None:

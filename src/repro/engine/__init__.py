@@ -18,13 +18,18 @@ from repro.engine.btree import BPlusTree
 from repro.engine.catalog import Column, ColumnType, TableSchema
 from repro.engine.database import Database, Transaction
 from repro.engine.errors import (
+    BufferEvictionError,
+    CorruptPageError,
     DuplicateKeyError,
     EngineError,
+    InjectedFaultError,
     LockConflictError,
     PageFullError,
     RecordNotFoundError,
     TableNotFoundError,
+    TornPageWriteError,
     TransactionStateError,
+    WalAppendFaultError,
 )
 from repro.engine.hashindex import HashIndex
 from repro.engine.heap import HeapFile, RecordId
@@ -51,14 +56,17 @@ from repro.engine.wal import WriteAheadLog
 __all__ = [
     "Aggregate",
     "BPlusTree",
+    "BufferEvictionError",
     "BufferManager",
     "Column",
     "ColumnType",
+    "CorruptPageError",
     "Database",
     "Distinct",
     "DuplicateKeyError",
     "EngineError",
     "Filter",
+    "InjectedFaultError",
     "HashIndex",
     "HeapFile",
     "IndexLookup",
@@ -81,8 +89,10 @@ __all__ = [
     "Table",
     "TableNotFoundError",
     "TableSchema",
+    "TornPageWriteError",
     "Transaction",
     "TransactionStateError",
+    "WalAppendFaultError",
     "WriteAheadLog",
     "execute",
     "stock_level_plan",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.buffer.policy import ReplacementPolicy, make_policy
 from repro.buffer.pool import PoolStatistics
+from repro.engine.errors import InjectedFaultError
 from repro.engine.page import Page, PageId, PageStore
 
 
@@ -21,6 +22,14 @@ class BufferManager:
 
     The engine is single-threaded, so pages are not pinned: a frame can
     be evicted between operations but never during one.
+
+    Eviction is best-effort under fault injection: when the write-back
+    of a victim fails with an injected fault (eviction error or torn
+    page write), the victim stays resident — and dirty — as an
+    *orphaned* frame the policy has already forgotten.  Orphans are
+    re-admitted on their next access and flushed by the next
+    checkpoint, so a transient I/O fault degrades to a deferred
+    eviction instead of losing an update or corrupting pool state.
     """
 
     def __init__(
@@ -28,6 +37,7 @@ class BufferManager:
         store: PageStore,
         capacity_pages: int,
         policy: str | ReplacementPolicy = "lru",
+        injector=None,
     ):
         if capacity_pages <= 0:
             raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
@@ -38,6 +48,12 @@ class BufferManager:
         self._frames: dict[PageId, Page] = {}
         self._dirty: set[PageId] = set()
         self._stats = PoolStatistics()
+        self._injector = injector
+        self.deferred_evictions = 0
+
+    def set_injector(self, injector) -> None:
+        """Arm (or disarm with None) a fault injector at the eviction seam."""
+        self._injector = injector
 
     # -- accessors ---------------------------------------------------------------
 
@@ -70,10 +86,14 @@ class BufferManager:
         """Return the cached page, faulting it in from the store if needed."""
         page = self._frames.get(page_id)
         if page is not None:
-            victim = self._policy.touch(page_id)
+            if self._policy.contains(page_id):
+                victim = self._policy.touch(page_id)
+            else:
+                # An orphaned frame (its eviction write-back failed):
+                # re-adopt it into the policy.
+                victim = self._policy.admit(page_id)
             if victim is not None:
-                self._write_back(victim)
-                del self._frames[victim]
+                self._evict_victim(victim)
             self._stats.record(page_id.file_id, hit=True)
         else:
             page = self._store.read(page_id)
@@ -129,14 +149,32 @@ class BufferManager:
 
     def _install(self, page_id: PageId, page: Page) -> None:
         victim = self._policy.admit(page_id)
-        if victim is not None:
-            self._write_back(victim)
-            del self._frames[victim]
         self._frames[page_id] = page
+        if victim is not None:
+            self._evict_victim(victim)
+
+    def _evict_victim(self, victim: PageId) -> None:
+        """Write a policy-chosen victim back and drop its frame.
+
+        The victim is already gone from the policy.  An injected fault
+        (eviction error or torn write) defers the eviction: the frame
+        stays resident and dirty as an orphan, to be re-admitted on its
+        next access or flushed at the next checkpoint.
+        """
+        if self._injector is not None and self._injector.fire("buffer.evict"):
+            self.deferred_evictions += 1
+            return
+        try:
+            self._write_back(victim)
+        except InjectedFaultError:
+            self.deferred_evictions += 1
+            return
+        del self._frames[victim]
 
     def _evict(self, page_id: PageId) -> None:
         self._write_back(page_id)
-        self._policy.remove(page_id)
+        if self._policy.contains(page_id):
+            self._policy.remove(page_id)
         del self._frames[page_id]
 
     def _write_back(self, page_id: PageId) -> None:

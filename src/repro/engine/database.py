@@ -13,15 +13,16 @@ the executable engine can *measure* what the model assumes.
 from __future__ import annotations
 
 import enum
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, ContextManager, Iterator
 
 from repro.engine.bufferpool import BufferManager
 from repro.engine.catalog import TableSchema
 from repro.engine.errors import TableNotFoundError, TransactionStateError
 from repro.engine.heap import HeapFile, RecordId
 from repro.engine.locks import LockManager, LockMode
-from repro.engine.page import PageStore
+from repro.engine.page import Page, PageStore
 from repro.engine.table import IndexSpec, Table
 from repro.engine.wal import LogRecordType, WriteAheadLog
 
@@ -158,20 +159,30 @@ class Transaction:
     # -- writes ---------------------------------------------------------------------
 
     def insert(self, table: str, row: dict) -> RecordId:
-        """Insert a row under an X lock, logging the after-image."""
+        """Insert a row under an X lock, logging the after-image.
+
+        If logging the change fails (an injected WAL-append fault), the
+        heap insert is compensated locally so the statement is atomic:
+        either the row exists and is logged, or neither happened.
+        """
         self._check_active()
         target = self._db.table(table)
         key = target.schema.key_of(row)
         self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
         rid = target.insert(row)
-        self._db.wal.log_change(
-            self._id,
-            LogRecordType.INSERT,
-            table,
-            rid,
-            before=None,
-            after=target.schema.pack(row),
-        )
+        try:
+            self._db.wal.log_change(
+                self._id,
+                LogRecordType.INSERT,
+                table,
+                rid,
+                before=None,
+                after=target.schema.pack(row),
+            )
+        except BaseException:
+            with self._db.fault_exemption():
+                target.delete(rid)
+            raise
         self.calls.inserts += 1
         return rid
 
@@ -193,14 +204,19 @@ class Transaction:
         else:
             new_row = {**old_row, **changes}
         target.update(rid, new_row)
-        self._db.wal.log_change(
-            self._id,
-            LogRecordType.UPDATE,
-            table,
-            rid,
-            before=target.schema.pack(old_row),
-            after=target.schema.pack(new_row),
-        )
+        try:
+            self._db.wal.log_change(
+                self._id,
+                LogRecordType.UPDATE,
+                table,
+                rid,
+                before=target.schema.pack(old_row),
+                after=target.schema.pack(new_row),
+            )
+        except BaseException:
+            with self._db.fault_exemption():
+                target.update(rid, old_row)
+            raise
         self.calls.updates += 1
         return new_row
 
@@ -211,14 +227,19 @@ class Transaction:
         self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
         rid = target.rid_of(key)
         row = target.delete(rid)
-        self._db.wal.log_change(
-            self._id,
-            LogRecordType.DELETE,
-            table,
-            rid,
-            before=target.schema.pack(row),
-            after=None,
-        )
+        try:
+            self._db.wal.log_change(
+                self._id,
+                LogRecordType.DELETE,
+                table,
+                rid,
+                before=target.schema.pack(row),
+                after=None,
+            )
+        except BaseException:
+            with self._db.fault_exemption():
+                target.restore(rid, row)
+            raise
         self.calls.deletes += 1
         return row
 
@@ -246,6 +267,13 @@ class Transaction:
         reuse of the same slot.
         """
         self._check_active()
+        with self._db.fault_exemption():
+            self._undo_all()
+        self._db.locks.release_all(self._id)
+        self._state = _TxnState.ABORTED
+
+    def _undo_all(self) -> None:
+        """Walk undo records newest-first, logging compensations."""
         wal = self._db.wal
         for record in list(wal.undo_records(self._id)):
             target = self._db.table(record.table)
@@ -283,8 +311,6 @@ class Transaction:
                     after=record.before,
                 )
         wal.log_abort(self._id)
-        self._db.locks.release_all(self._id)
-        self._state = _TxnState.ABORTED
 
     def _check_active(self) -> None:
         if self._state is not _TxnState.ACTIVE:
@@ -301,10 +327,12 @@ class Database:
         buffer_pages: int = 1024,
         policy: str = "lru",
         page_size: int = 4096,
+        lock_timeout: float = 0.0,
+        injector=None,
     ):
         self.store = PageStore(page_size)
         self.buffers = BufferManager(self.store, buffer_pages, policy)
-        self.locks = LockManager()
+        self.locks = LockManager(default_timeout=lock_timeout)
         self.wal = WriteAheadLog()
         self._tables: dict[str, Table] = {}
         self._file_ids: dict[str, int] = {}
@@ -312,6 +340,34 @@ class Database:
         self._next_txn_id = 1
         self._census: dict[str, CallCounts] = {}
         self._finished: dict[str, int] = {}
+        self._injector = None
+        if injector is not None:
+            self.attach_injector(injector)
+
+    # -- fault injection ---------------------------------------------------------
+
+    @property
+    def injector(self):
+        """The attached fault injector, or None."""
+        return self._injector
+
+    def attach_injector(self, injector) -> None:
+        """Arm a :class:`repro.faults.FaultInjector` at every engine seam.
+
+        Pass None to disarm.  Typically called *after* loading, so the
+        initial population is never subjected to faults.
+        """
+        self._injector = injector
+        self.store.set_injector(injector)
+        self.buffers.set_injector(injector)
+        self.locks.set_injector(injector)
+        self.wal.set_injector(injector)
+
+    def fault_exemption(self) -> ContextManager[None]:
+        """Context manager suppressing injected faults (undo/recovery)."""
+        if self._injector is None:
+            return nullcontext()
+        return self._injector.exempt()
 
     # -- catalog --------------------------------------------------------------------
 
@@ -387,31 +443,71 @@ class Database:
         """Flush all dirty pages to the store."""
         self.buffers.flush_all()
 
-    def simulate_crash(self) -> None:
-        """Discard all buffered (possibly dirty) pages without writing.
+    def backup(self) -> None:
+        """Checkpoint, then snapshot every page image as the base backup.
 
-        Models losing volatile memory; call :meth:`recover` afterwards.
-        The lock table is volatile too, so all locks vanish; in-flight
-        transactions are rolled back (with logged compensations) by
-        :meth:`recover`.
+        Call after the initial load: crash recovery restores torn
+        (checksum-failing) pages from this snapshot before rolling the
+        log forward, so base rows that predate the WAL survive torn
+        writes too.
         """
-        self.buffers = BufferManager(self.store, self.buffers.capacity, "lru")
+        self.checkpoint()
+        self.store.snapshot_backup()
+
+    def crash(self) -> None:
+        """Simulate a hard crash: volatile state (buffers, locks) is lost.
+
+        Call :meth:`recover` afterwards.  In-flight transactions are
+        rolled back (with logged compensations) by recovery; the page
+        store keeps whatever images — including torn ones — reached it.
+        """
+        self.buffers = BufferManager(
+            self.store, self.buffers.capacity, "lru", injector=self._injector
+        )
         for table in self._tables.values():
             table.heap.rebind(self.buffers)
-        self.locks = LockManager()
+        self.locks = LockManager(
+            default_timeout=self.locks.default_timeout,
+            poll_interval=self.locks.poll_interval,
+            injector=self._injector,
+        )
+
+    def simulate_crash(self) -> None:
+        """Backwards-compatible alias for :meth:`crash`."""
+        self.crash()
 
     def recover(self) -> None:
-        """Replay the log history, roll back in-flight work, rebuild indexes.
+        """Repair torn pages, replay the log, roll back in-flight work.
 
-        Redo is a *full history* replay in LSN order: committed changes
-        land, and aborted transactions' changes are neutralized by the
-        compensation records their aborts logged.  Slot reuse is then
-        safe — an aborted insert followed by a committed reuse of the
-        same slot replays in the order it happened.  Transactions that
-        were still active at the crash are rolled back newest-first,
-        logging compensations plus an ABORT so a second crash replays
-        identically.
+        Recovery runs under a fault exemption (rollback must not fail)
+        and proceeds in four steps: (1) pages whose on-disk image fails
+        its checksum are restored from the base backup (or reformatted
+        empty when they were created after the backup — the replay
+        rebuilds their contents); (2) redo is a *full history* replay
+        in LSN order: committed changes land, and aborted transactions'
+        changes are neutralized by the compensation records their
+        aborts logged, so slot reuse replays in the order it happened;
+        (3) transactions still active at the crash are rolled back
+        newest-first, logging compensations plus an ABORT so a second
+        crash replays identically; (4) indexes are rebuilt and a
+        checkpoint makes the recovered state durable.
         """
+        with self.fault_exemption():
+            self._recover_locked()
+
+    def _repair_torn_pages(self) -> None:
+        """Restore checksum-failing pages from backup (or reformat them)."""
+        for page_id in self.store.corrupt_page_ids():
+            if self.store.restore_from_backup(page_id):
+                continue
+            table = self.table_of_file(page_id.file_id)
+            record_size = self.table(table).schema.record_size
+            self.store.reformat(
+                page_id, Page(record_size, self.store.page_size)
+            )
+
+    def _recover_locked(self) -> None:
+        self._repair_torn_pages()
         for record in self.wal.change_records():
             heap = self.table(record.table).heap
             if record.after is None:

@@ -33,3 +33,28 @@ class TransactionStateError(EngineError):
 
 class WalError(EngineError):
     """The write-ahead log was malformed or used out of protocol."""
+
+
+class CorruptPageError(EngineError):
+    """A page image on disk failed its checksum (e.g. a torn write)."""
+
+
+class InjectedFaultError(EngineError):
+    """Base class for faults fired by a :class:`repro.faults.FaultInjector`.
+
+    Injected faults are *transient* by contract: retrying the failed
+    operation (after aborting the enclosing transaction) is expected to
+    succeed once the fault schedule moves on.
+    """
+
+
+class WalAppendFaultError(InjectedFaultError, WalError):
+    """An injected write failure while appending a WAL record."""
+
+
+class TornPageWriteError(InjectedFaultError):
+    """An injected torn/partial page write: the on-disk image is corrupt."""
+
+
+class BufferEvictionError(InjectedFaultError):
+    """An injected failure while evicting a buffer-pool victim."""

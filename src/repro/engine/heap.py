@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterator, NamedTuple
 
 from repro.engine.bufferpool import BufferManager
+from repro.engine.errors import RecordNotFoundError
 from repro.engine.page import Page, PageId
 
 

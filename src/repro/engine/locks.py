@@ -12,8 +12,9 @@ is also the easiest policy to test.
 from __future__ import annotations
 
 import enum
+import time
 from collections import defaultdict
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.engine.errors import LockConflictError
 
@@ -32,14 +33,43 @@ class LockManager:
 
     Counters ``acquisitions`` and ``releases`` feed the cost model's
     lock-overhead accounting.
+
+    ``default_timeout`` is the deadlock/starvation guard: with the
+    default of 0 a conflicting request fails fast (the no-wait policy
+    the single-threaded engine has always used); a positive timeout
+    polls — via the injectable ``clock``/``sleep`` hooks — until the
+    conflict clears or the deadline passes, then raises
+    :class:`LockConflictError` instead of hanging forever.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        default_timeout: float = 0.0,
+        poll_interval: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        injector=None,
+    ) -> None:
+        if default_timeout < 0:
+            raise ValueError(f"default_timeout must be >= 0, got {default_timeout}")
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
         self._shared: dict[Resource, set[int]] = defaultdict(set)
         self._exclusive: dict[Resource, int] = {}
         self._held: dict[int, set[Resource]] = defaultdict(set)
+        self.default_timeout = default_timeout
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._injector = injector
         self.acquisitions = 0
         self.releases = 0
+        self.conflicts = 0
+        self.timeouts = 0
+
+    def set_injector(self, injector) -> None:
+        """Arm (or disarm with None) a fault injector at the acquire seam."""
+        self._injector = injector
 
     # -- queries -----------------------------------------------------------------
 
@@ -61,8 +91,42 @@ class LockManager:
 
     # -- acquisition -----------------------------------------------------------------
 
-    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> None:
-        """Take (or upgrade to) a lock; raises LockConflictError on conflict."""
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        timeout: float | None = None,
+    ) -> None:
+        """Take (or upgrade to) a lock; raises LockConflictError on conflict.
+
+        A positive ``timeout`` (or ``default_timeout``) keeps retrying
+        the request until it is granted or the deadline passes, so a
+        holder releasing concurrently (or a fault schedule moving on)
+        unblocks the waiter instead of failing it spuriously.
+        """
+        if self._injector is not None:
+            self._injector.check("lock.acquire")
+        budget = self.default_timeout if timeout is None else timeout
+        if budget <= 0:
+            self._try_acquire(txn_id, resource, mode)
+            return
+        deadline = self._clock() + budget
+        while True:
+            try:
+                self._try_acquire(txn_id, resource, mode)
+                return
+            except LockConflictError as error:
+                if self._clock() >= deadline:
+                    self.timeouts += 1
+                    raise LockConflictError(
+                        f"txn {txn_id} timed out after {budget}s waiting for "
+                        f"{mode.value} on {resource!r}: {error}"
+                    ) from error
+                self._sleep(self.poll_interval)
+
+    def _try_acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> None:
+        """One no-wait grant attempt (the original acquire semantics)."""
         current = self.mode_held(txn_id, resource)
         if current is LockMode.EXCLUSIVE:
             return  # already as strong as possible
@@ -71,12 +135,14 @@ class LockManager:
 
         exclusive_holder = self._exclusive.get(resource)
         if exclusive_holder is not None and exclusive_holder != txn_id:
+            self.conflicts += 1
             raise LockConflictError(
                 f"txn {txn_id} blocked on {resource!r}: X-held by {exclusive_holder}"
             )
         if mode is LockMode.EXCLUSIVE:
             others = self._shared.get(resource, set()) - {txn_id}
             if others:
+                self.conflicts += 1
                 raise LockConflictError(
                     f"txn {txn_id} blocked on {resource!r}: S-held by {sorted(others)}"
                 )

@@ -12,9 +12,15 @@ which is how the executable engine measures its I/O behaviour.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator, NamedTuple
 
-from repro.engine.errors import PageFullError, RecordNotFoundError
+from repro.engine.errors import (
+    CorruptPageError,
+    PageFullError,
+    RecordNotFoundError,
+    TornPageWriteError,
+)
 
 #: Default page size, matching the paper's experiments.
 DEFAULT_PAGE_SIZE = 4096
@@ -204,13 +210,29 @@ class PageStore:
     The buffer manager reads and writes whole page images here;
     ``reads``/``writes`` give the engine's physical I/O counts, the
     executable analogue of the model's miss counts.
+
+    Each write also records a CRC of the intended image (the embedded
+    page checksum of a real DBMS), so a torn write — injected via a
+    fault plan at the ``store.write`` seam — leaves a *detectably*
+    corrupt image: :meth:`read` raises
+    :class:`~repro.engine.errors.CorruptPageError`, and recovery
+    repairs the page from the backup snapshot (see :meth:`snapshot_backup`)
+    before replaying the log.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, injector=None):
         self._page_size = page_size
         self._images: dict[PageId, bytes] = {}
+        self._checksums: dict[PageId, int] = {}
+        self._backup: dict[PageId, bytes] | None = None
+        self._injector = injector
         self.reads = 0
         self.writes = 0
+        self.torn_writes = 0
+
+    def set_injector(self, injector) -> None:
+        """Arm (or disarm with None) a fault injector at the write seam."""
+        self._injector = injector
 
     @property
     def page_size(self) -> int:
@@ -222,26 +244,110 @@ class PageStore:
     def __contains__(self, page_id: PageId) -> bool:
         return page_id in self._images
 
+    def page_ids(self) -> tuple[PageId, ...]:
+        """Every page currently on disk."""
+        return tuple(self._images)
+
     def read(self, page_id: PageId) -> Page:
-        """Fetch and deserialize a page (counts one physical read)."""
+        """Fetch and deserialize a page (counts one physical read).
+
+        Raises :class:`CorruptPageError` when the stored image fails
+        its checksum (a torn write reached disk and was never rewritten).
+        """
         try:
             image = self._images[page_id]
         except KeyError:
             raise RecordNotFoundError(f"no page {page_id} on disk") from None
         self.reads += 1
+        if self.is_corrupt(page_id):
+            raise CorruptPageError(
+                f"page {page_id} failed its checksum (torn write?)"
+            )
         return Page.from_bytes(image, self._page_size)
 
     def write(self, page_id: PageId, page: Page) -> None:
-        """Serialize and persist a page (counts one physical write)."""
-        self._images[page_id] = page.to_bytes()
+        """Serialize and persist a page (counts one physical write).
+
+        When the injector fires a torn-write fault, only the first half
+        of the image reaches "disk" (the tail keeps the previous image's
+        bytes, or zeros for a fresh page) while the recorded checksum is
+        that of the intended image — the classic torn-page signature.
+        """
+        image = page.to_bytes()
+        event = self._injector.fire("store.write") if self._injector else None
         self.writes += 1
+        self._checksums[page_id] = zlib.crc32(image)
+        if event is not None:
+            half = self._page_size // 2
+            old = self._images.get(page_id)
+            tail = old[half:] if old is not None else b"\x00" * (len(image) - half)
+            self._images[page_id] = image[:half] + tail
+            self.torn_writes += 1
+            raise TornPageWriteError(
+                f"torn write on page {page_id} (injected, op {event.op_index})"
+            )
+        self._images[page_id] = image
 
     def allocate(self, page_id: PageId, page: Page) -> None:
         """Persist a brand-new page without counting it as I/O traffic."""
         if page_id in self._images:
             raise ValueError(f"page {page_id} already exists")
-        self._images[page_id] = page.to_bytes()
+        image = page.to_bytes()
+        self._images[page_id] = image
+        self._checksums[page_id] = zlib.crc32(image)
+
+    # -- integrity & backup ----------------------------------------------------
+
+    def is_corrupt(self, page_id: PageId) -> bool:
+        """Whether a stored image fails its recorded checksum."""
+        image = self._images.get(page_id)
+        if image is None:
+            return False
+        expected = self._checksums.get(page_id)
+        return expected is not None and zlib.crc32(image) != expected
+
+    def corrupt_page_ids(self) -> tuple[PageId, ...]:
+        """Pages whose on-disk image fails its checksum."""
+        return tuple(
+            page_id for page_id in self._images if self.is_corrupt(page_id)
+        )
+
+    def snapshot_backup(self) -> None:
+        """Snapshot every image as the base backup (taken after load).
+
+        Crash recovery restores torn pages from this snapshot before
+        replaying the log — the executable analogue of "restore from
+        backup, then roll the log forward".
+        """
+        self._backup = dict(self._images)
+
+    @property
+    def has_backup(self) -> bool:
+        return self._backup is not None
+
+    def backup_images(self) -> dict[PageId, bytes]:
+        """The backup snapshot (empty when none was taken)."""
+        return dict(self._backup) if self._backup is not None else {}
+
+    def restore_from_backup(self, page_id: PageId) -> bool:
+        """Reinstate a page's backup image; False when not in the backup."""
+        if self._backup is None or page_id not in self._backup:
+            return False
+        image = self._backup[page_id]
+        self._images[page_id] = image
+        self._checksums[page_id] = zlib.crc32(image)
+        return True
+
+    def reformat(self, page_id: PageId, page: Page) -> None:
+        """Replace a (corrupt, backup-less) page with a fresh image.
+
+        Recovery-only hook: bypasses the injector and I/O counters.
+        """
+        image = page.to_bytes()
+        self._images[page_id] = image
+        self._checksums[page_id] = zlib.crc32(image)
 
     def reset_counters(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.torn_writes = 0

@@ -62,14 +62,25 @@ class LogRecord:
 
 
 class WriteAheadLog:
-    """An append-only in-memory log."""
+    """An append-only in-memory log.
 
-    def __init__(self) -> None:
+    An optional fault injector (see :mod:`repro.faults`) is consulted
+    before every append; transaction-state bookkeeping happens only
+    *after* a successful append, so an injected append failure leaves
+    the log consistent and the operation retryable.
+    """
+
+    def __init__(self, injector=None) -> None:
         self._records: list[LogRecord] = []
         self._active: set[int] = set()
         self._committed: set[int] = set()
         self._aborted: set[int] = set()
         self.bytes_written = 0
+        self._injector = injector
+
+    def set_injector(self, injector) -> None:
+        """Arm (or disarm with None) a fault injector at the append seam."""
+        self._injector = injector
 
     # -- accessors ----------------------------------------------------------------
 
@@ -96,8 +107,9 @@ class WriteAheadLog:
             raise WalError(f"transaction {txn_id} already began")
         if txn_id in self._committed or txn_id in self._aborted:
             raise WalError(f"transaction id {txn_id} was already used")
+        lsn = self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.BEGIN))
         self._active.add(txn_id)
-        return self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.BEGIN))
+        return lsn
 
     def log_change(
         self,
@@ -122,15 +134,17 @@ class WriteAheadLog:
 
     def log_commit(self, txn_id: int) -> int:
         self._check_active(txn_id)
+        lsn = self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.COMMIT))
         self._active.discard(txn_id)
         self._committed.add(txn_id)
-        return self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.COMMIT))
+        return lsn
 
     def log_abort(self, txn_id: int) -> int:
         self._check_active(txn_id)
+        lsn = self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.ABORT))
         self._active.discard(txn_id)
         self._aborted.add(txn_id)
-        return self._append(LogRecord(self.next_lsn, txn_id, LogRecordType.ABORT))
+        return lsn
 
     def abort_all_active(self) -> tuple[int, ...]:
         """Mark every in-flight transaction aborted (crash recovery).
@@ -190,6 +204,8 @@ class WriteAheadLog:
             raise WalError(f"transaction {txn_id} is not active")
 
     def _append(self, record: LogRecord) -> int:
+        if self._injector is not None:
+            self._injector.check("wal.append")
         self._records.append(record)
         self.bytes_written += record.size_bytes
         return record.lsn

@@ -15,6 +15,7 @@ from repro.exec.engine import (
     ExecutionError,
     RunManifest,
     UnitRecord,
+    load_completed_units,
 )
 from repro.exec.request import (
     RunContext,
@@ -39,5 +40,6 @@ __all__ = [
     "cache_key",
     "context_for",
     "execute",
+    "load_completed_units",
     "stable_fingerprint",
 ]

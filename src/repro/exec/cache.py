@@ -18,6 +18,7 @@ import dataclasses
 import enum
 import hashlib
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any, Callable
 
@@ -119,12 +120,28 @@ class ResultCache:
         return self._root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any:
-        """The stored value, or :data:`MISSING` when absent/corrupt."""
+        """The stored value, or :data:`MISSING` when absent/corrupt.
+
+        A missing entry is a silent miss; an entry that exists but
+        cannot be read back (truncated pickle, bad permissions, a class
+        that no longer unpickles) is reported with a
+        :class:`RuntimeWarning` and treated as a miss — the next
+        :meth:`put` overwrites it — so a damaged cache degrades to
+        recomputation instead of failing the run.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            return MISSING
+        except Exception as error:  # noqa: BLE001 - any damage means a miss
+            warnings.warn(
+                f"discarding unreadable cache entry {path}: "
+                f"{type(error).__name__}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return MISSING
 
     def put(self, key: str, value: Any) -> Path:

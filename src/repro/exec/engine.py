@@ -8,9 +8,14 @@ units.SweepSpec` with
 * an optional on-disk result cache (see :mod:`repro.exec.cache`),
 * per-unit retry-on-failure and, for ``jobs > 1``, a per-unit timeout
   (a timed-out round tears the worker pool down so stragglers cannot
-  occupy slots forever), and
+  occupy slots forever),
 * structured progress on stderr plus a :class:`RunManifest` recording
-  per-unit status, attempts, cache hits and wall/CPU time.
+  per-unit status, attempts, cache hits and wall/CPU time, and
+* checkpoint/resume: results are written to the cache per unit as they
+  finish, an interrupt (SIGINT) records the unfinished units as
+  ``"interrupted"`` so a partial manifest can still be written, and a
+  re-invocation passing ``resume_from=<manifest path>`` skips units the
+  previous run completed, serving their results from the cache.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+import warnings
 from concurrent.futures import (
     CancelledError,
     Future,
@@ -43,7 +49,7 @@ class UnitRecord:
 
     experiment: str
     unit_id: str
-    status: str  # "done" | "cached" | "failed"
+    status: str  # "done" | "cached" | "skipped" | "interrupted" | "failed"
     attempts: int
     wall_seconds: float
     cpu_seconds: float
@@ -52,6 +58,11 @@ class UnitRecord:
     @property
     def cached(self) -> bool:
         return self.status == "cached"
+
+    @property
+    def skipped(self) -> bool:
+        """Completed by a previous (resumed-from) run, served from cache."""
+        return self.status == "skipped"
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -83,6 +94,16 @@ class RunManifest:
         return sum(1 for record in self.units if record.cached)
 
     @property
+    def skipped(self) -> int:
+        """Units a resumed run did not re-execute."""
+        return sum(1 for record in self.units if record.skipped)
+
+    @property
+    def interrupted(self) -> int:
+        """Units left unfinished by an interrupt (SIGINT)."""
+        return sum(1 for record in self.units if record.status == "interrupted")
+
+    @property
     def failures(self) -> int:
         return sum(1 for record in self.units if record.status == "failed")
 
@@ -100,6 +121,8 @@ class RunManifest:
             "cache_dir": self.cache_dir,
             "units_total": self.total_units,
             "cache_hits": self.cache_hits,
+            "skipped": self.skipped,
+            "interrupted": self.interrupted,
             "failures": self.failures,
             "wall_seconds": round(self.wall_seconds, 6),
             "cpu_seconds": round(self.cpu_seconds, 6),
@@ -116,11 +139,45 @@ class RunManifest:
         return path
 
     def summary(self) -> str:
+        extra = ""
+        if self.skipped:
+            extra += f", {self.skipped} resumed-skipped"
+        if self.interrupted:
+            extra += f", {self.interrupted} interrupted"
         return (
             f"{self.total_units} units, {self.cache_hits} cache hits, "
-            f"{self.failures} failures, wall {self.wall_seconds:.2f}s, "
+            f"{self.failures} failures{extra}, wall {self.wall_seconds:.2f}s, "
             f"cpu {self.cpu_seconds:.2f}s"
         )
+
+
+#: Manifest statuses that mean "this unit's result is good" for resume.
+_COMPLETED_STATUSES = frozenset({"done", "cached", "skipped"})
+
+
+def load_completed_units(manifest_path: str | Path) -> set[tuple[str, str]]:
+    """(experiment, unit) pairs a previous run's manifest completed.
+
+    A missing or unparsable manifest yields an empty set with a
+    :class:`RuntimeWarning` — resuming from nothing is a full run, not
+    an error.
+    """
+    path = Path(manifest_path)
+    try:
+        data = json.loads(path.read_text())
+        return {
+            (row["experiment"], row["unit"])
+            for row in data.get("units", ())
+            if row.get("status") in _COMPLETED_STATUSES
+        }
+    except Exception as error:  # noqa: BLE001 - degrade to a full run
+        warnings.warn(
+            f"cannot resume from manifest {path}: "
+            f"{type(error).__name__}: {error}; running all units",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return set()
 
 
 def _invoke(unit: WorkUnit) -> tuple[Any, float, float]:
@@ -151,6 +208,7 @@ class ExecutionEngine:
         retries: int = 1,
         progress: bool = False,
         stream: TextIO | None = None,
+        resume_from: str | Path | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -162,6 +220,17 @@ class ExecutionEngine:
         self.unit_timeout = unit_timeout
         self.retries = retries
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self._completed: set[tuple[str, str]] = (
+            load_completed_units(resume_from) if resume_from is not None else set()
+        )
+        if self._completed and self.cache is None:
+            warnings.warn(
+                "resume_from given without a cache directory; completed "
+                "units have no stored results and will be re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._completed = set()
         self.scratch: dict[Any, Any] = {}
         self._progress = progress
         self._stream = stream if stream is not None else sys.stderr
@@ -226,9 +295,15 @@ class ExecutionEngine:
     def run_sweep(self, spec: SupportsSweep) -> dict[str, Any]:
         """Run every unit of a sweep; returns ``{unit_id: result}``.
 
-        Cached units are served from disk without executing; fresh
-        results are written back.  Raises :class:`ExecutionError` when
-        a unit keeps failing past the retry budget.
+        Cached units are served from disk without executing; a resumed
+        run (``resume_from``) additionally skips units its predecessor
+        completed.  Fresh results are written back to the cache as each
+        unit finishes, so an interrupt loses at most in-flight work:
+        on ``KeyboardInterrupt`` the unfinished units are recorded as
+        ``"interrupted"`` and the exception propagates, leaving the
+        manifest ready to be written and resumed from.  Raises
+        :class:`ExecutionError` when a unit keeps failing past the
+        retry budget.
         """
         started = time.perf_counter()
         results: dict[str, Any] = {}
@@ -240,32 +315,38 @@ class ExecutionEngine:
                 keys[unit.unit_id] = key
                 value = self.cache.get(key)
                 if value is not MISSING:
+                    resumed = (spec.experiment, unit.unit_id) in self._completed
+                    status = "skipped" if resumed else "cached"
                     results[unit.unit_id] = value
                     self._record(
                         UnitRecord(
                             experiment=spec.experiment,
                             unit_id=unit.unit_id,
-                            status="cached",
+                            status=status,
                             attempts=0,
                             wall_seconds=0.0,
                             cpu_seconds=0.0,
                         )
                     )
-                    self._log(f"{spec.experiment} {unit.unit_id} cache hit")
+                    self._log(
+                        f"{spec.experiment} {unit.unit_id} "
+                        + ("resumed (skipped)" if resumed else "cache hit")
+                    )
                     continue
             remaining.append(unit)
 
-        if remaining:
-            if self.jobs == 1:
-                self._run_serial(spec.experiment, remaining, results)
-            else:
-                self._run_parallel(spec.experiment, remaining, results)
-            if self.cache is not None:
-                for unit in remaining:
-                    if unit.unit_id in results:
-                        self.cache.put(keys.get(unit.unit_id) or cache_key(
-                            unit.function, unit.payload
-                        ), results[unit.unit_id])
+        try:
+            if remaining:
+                if self.jobs == 1:
+                    self._run_serial(spec.experiment, remaining, results, keys)
+                else:
+                    self._run_parallel(spec.experiment, remaining, results, keys)
+        except KeyboardInterrupt:
+            self._discard_pool()
+            self._record_interrupted(spec.experiment, spec.units)
+            self._wall += time.perf_counter() - started
+            self._log(f"{spec.experiment} sweep interrupted")
+            raise
 
         self._wall += time.perf_counter() - started
         self._log(
@@ -274,8 +355,39 @@ class ExecutionEngine:
         )
         return results
 
+    def _store(self, unit: WorkUnit, result: Any, keys: dict[str, str]) -> None:
+        """Write one fresh result through to the cache (checkpointing)."""
+        if self.cache is not None:
+            key = keys.get(unit.unit_id) or cache_key(unit.function, unit.payload)
+            self.cache.put(key, result)
+
+    def _record_interrupted(self, experiment: str, units: list[WorkUnit]) -> None:
+        """Mark every unit without a record yet as interrupted."""
+        recorded = {
+            record.unit_id
+            for record in self._records
+            if record.experiment == experiment
+        }
+        for unit in units:
+            if unit.unit_id not in recorded:
+                self._record(
+                    UnitRecord(
+                        experiment=experiment,
+                        unit_id=unit.unit_id,
+                        status="interrupted",
+                        attempts=0,
+                        wall_seconds=0.0,
+                        cpu_seconds=0.0,
+                        error="KeyboardInterrupt",
+                    )
+                )
+
     def _run_serial(
-        self, experiment: str, units: list[WorkUnit], results: dict[str, Any]
+        self,
+        experiment: str,
+        units: list[WorkUnit],
+        results: dict[str, Any],
+        keys: dict[str, str],
     ) -> None:
         """In-process execution (``jobs=1``); timeouts are not enforced."""
         total = len(units)
@@ -284,6 +396,8 @@ class ExecutionEngine:
             for attempt in range(1, self.retries + 2):
                 try:
                     result, wall, cpu = _invoke(unit)
+                except KeyboardInterrupt:
+                    raise
                 except Exception as error:  # noqa: BLE001 - recorded + retried
                     error_text = f"{type(error).__name__}: {error}"
                     self._log(
@@ -292,6 +406,7 @@ class ExecutionEngine:
                     )
                     continue
                 results[unit.unit_id] = result
+                self._store(unit, result, keys)
                 self._record(
                     UnitRecord(
                         experiment=experiment,
@@ -325,7 +440,11 @@ class ExecutionEngine:
                 )
 
     def _run_parallel(
-        self, experiment: str, units: list[WorkUnit], results: dict[str, Any]
+        self,
+        experiment: str,
+        units: list[WorkUnit],
+        results: dict[str, Any],
+        keys: dict[str, str],
     ) -> None:
         """Fan units out over the process pool, with retry and timeout."""
         pending: dict[str, WorkUnit] = {unit.unit_id: unit for unit in units}
@@ -367,6 +486,7 @@ class ExecutionEngine:
                 else:
                     done += 1
                     results[unit_id] = result
+                    self._store(pending[unit_id], result, keys)
                     del pending[unit_id]
                     errors.pop(unit_id, None)
                     self._record(

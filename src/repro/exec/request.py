@@ -36,6 +36,9 @@ class RunRequest:
     (seconds) and ``retries`` govern individual work units and only
     bite for simulation-backed sweeps; ``jobs=1`` keeps execution
     synchronous and in-process (bit-identical with the legacy path).
+    ``resume_from`` points at a previous run's manifest: units it
+    completed are skipped and served from the cache (requires
+    ``cache_dir``).
     """
 
     experiment: str
@@ -47,6 +50,7 @@ class RunRequest:
     retries: int = 1
     manifest_path: str | Path | None = None
     progress: bool = False
+    resume_from: str | Path | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.preset, str):
@@ -95,6 +99,7 @@ def build_engine(request: RunRequest) -> ExecutionEngine:
         unit_timeout=request.unit_timeout,
         retries=request.retries,
         progress=request.progress,
+        resume_from=request.resume_from,
     )
 
 

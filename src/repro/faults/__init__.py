@@ -1,0 +1,56 @@
+"""Deterministic fault injection and crash-recovery checking.
+
+The paper's throughput model assumes transactions complete cleanly;
+this package stress-tests the executable engine beyond that happy
+path.  A seeded :class:`FaultPlan` describes which faults fire when
+(WAL-append failures, torn page writes, buffer-eviction errors, forced
+lock conflicts); a :class:`FaultInjector` evaluates it at the engine
+seams; and :func:`check_recovery_invariants` asserts — against a
+logical replay of the log, not the engine's own recovery code path —
+that after ``Database.crash()`` + ``recover()`` every committed
+transaction survived and no aborted or in-flight one did.
+"""
+
+from repro.engine.errors import (
+    BufferEvictionError,
+    CorruptPageError,
+    InjectedFaultError,
+    TornPageWriteError,
+    WalAppendFaultError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_recovery_invariants,
+    expected_state,
+)
+from repro.faults.plan import (
+    ERROR_OF_KIND,
+    SITE_OF_KIND,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    error_for,
+)
+
+__all__ = [
+    "BufferEvictionError",
+    "CorruptPageError",
+    "ERROR_OF_KIND",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "InvariantReport",
+    "InvariantViolation",
+    "SITE_OF_KIND",
+    "TornPageWriteError",
+    "WalAppendFaultError",
+    "check_recovery_invariants",
+    "error_for",
+    "expected_state",
+]

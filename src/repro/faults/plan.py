@@ -1,0 +1,169 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is a seeded, declarative description of *which*
+faults fire *when*: each :class:`FaultRule` names a fault kind (and
+thereby the engine seam it arms) and a trigger — explicit operation
+indexes, a periodic stride, or a per-operation probability drawn from
+the plan's seeded stream.  Two runs of the same workload under the
+same plan observe the identical fault sequence, which is what lets the
+chaos suite assert byte-identical recovery outcomes across replays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.errors import (
+    BufferEvictionError,
+    InjectedFaultError,
+    LockConflictError,
+    TornPageWriteError,
+    WalAppendFaultError,
+)
+
+
+class FaultKind(enum.Enum):
+    """The fault vocabulary, one per armed engine seam."""
+
+    WAL_APPEND = "wal_append"
+    TORN_PAGE_WRITE = "torn_page_write"
+    BUFFER_EVICTION = "buffer_eviction"
+    LOCK_CONFLICT = "lock_conflict"
+
+
+#: Engine seam (injector site name) armed by each fault kind.
+SITE_OF_KIND: dict[FaultKind, str] = {
+    FaultKind.WAL_APPEND: "wal.append",
+    FaultKind.TORN_PAGE_WRITE: "store.write",
+    FaultKind.BUFFER_EVICTION: "buffer.evict",
+    FaultKind.LOCK_CONFLICT: "lock.acquire",
+}
+
+#: Exception type raised (or recorded) when each kind fires.
+ERROR_OF_KIND: dict[FaultKind, type[Exception]] = {
+    FaultKind.WAL_APPEND: WalAppendFaultError,
+    FaultKind.TORN_PAGE_WRITE: TornPageWriteError,
+    FaultKind.BUFFER_EVICTION: BufferEvictionError,
+    FaultKind.LOCK_CONFLICT: LockConflictError,
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one fault kind fires at its seam.
+
+    Triggers combine with OR: the rule fires on every operation index
+    listed in ``at_ops`` (1-based, counted per site), on every
+    ``every``-th operation, and independently with ``probability`` per
+    operation (drawn from the plan's seeded stream).  ``max_fires``
+    caps the total firings of the rule.
+    """
+
+    kind: FaultKind
+    at_ops: tuple[int, ...] = ()
+    every: int | None = None
+    probability: float = 0.0
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.at_ops and self.every is None and self.probability == 0.0:
+            raise ValueError(
+                f"rule for {self.kind.value} has no trigger "
+                "(at_ops, every or probability)"
+            )
+        if any(index < 1 for index in self.at_ops):
+            raise ValueError(f"at_ops are 1-based, got {self.at_ops}")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+
+    @property
+    def site(self) -> str:
+        return SITE_OF_KIND[self.kind]
+
+    @property
+    def uses_randomness(self) -> bool:
+        return self.probability > 0.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault firing: what fired, where, and on which operation."""
+
+    sequence: int  # global firing order across all sites
+    kind: FaultKind
+    site: str
+    op_index: int  # 1-based operation count at the site when it fired
+
+    def as_tuple(self) -> tuple[int, str, str, int]:
+        """Comparable summary (used to assert identical replays)."""
+        return (self.sequence, self.kind.value, self.site, self.op_index)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules (the unit the chaos suite iterates)."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def rules_for(self, site: str) -> tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.site == site)
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        *,
+        wal_append: float = 0.0,
+        torn_write: float = 0.0,
+        eviction: float = 0.0,
+        lock_conflict: float = 0.0,
+        name: str = "chaos",
+    ) -> "FaultPlan":
+        """A probability-per-operation plan over any subset of seams."""
+        probabilities = {
+            FaultKind.WAL_APPEND: wal_append,
+            FaultKind.TORN_PAGE_WRITE: torn_write,
+            FaultKind.BUFFER_EVICTION: eviction,
+            FaultKind.LOCK_CONFLICT: lock_conflict,
+        }
+        rules = tuple(
+            FaultRule(kind=kind, probability=probability)
+            for kind, probability in probabilities.items()
+            if probability > 0.0
+        )
+        if not rules:
+            raise ValueError("chaos plan needs at least one non-zero probability")
+        return cls(rules=rules, seed=seed, name=name)
+
+
+def error_for(kind: FaultKind, op_index: int) -> Exception:
+    """The exception instance describing a firing of ``kind``."""
+    error_type = ERROR_OF_KIND[kind]
+    return error_type(
+        f"injected {kind.value} fault at {SITE_OF_KIND[kind]} op {op_index}"
+    )
+
+
+__all__ = [
+    "ERROR_OF_KIND",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "SITE_OF_KIND",
+    "error_for",
+    "InjectedFaultError",
+]

@@ -13,7 +13,9 @@ specification requires.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -26,10 +28,49 @@ from repro.constants import (
     UNIQUE_CUSTOMER_NAMES,
 )
 from repro.engine.database import Database, Transaction
+from repro.engine.errors import InjectedFaultError, LockConflictError
 from repro.workload.generator import InputGenerator, scaled_nurand_a
 from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
 from repro.core.nurand import NURand
 from repro.tpcc.loader import TpccConfig, last_name
+
+
+#: Errors treated as transient: the transaction already rolled back
+#: cleanly, so the executor may retry it.
+TRANSIENT_ERRORS = (LockConflictError, InjectedFaultError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient transaction failures.
+
+    Attempt ``n`` (0-based) sleeps ``base_delay * multiplier**n`` capped
+    at ``max_delay``, scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter)`` so concurrent retries decorrelate.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            raw *= 1.0 - self.jitter + 2.0 * self.jitter * float(rng.random())
+        return raw
 
 
 @dataclass
@@ -39,13 +80,23 @@ class ExecutionSummary:
     executed: dict[str, int] = field(default_factory=dict)
     rolled_back: int = 0
     skipped_deliveries: int = 0
+    aborted: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    gave_up: int = 0
 
     def record(self, tx_name: str) -> None:
         self.executed[tx_name] = self.executed.get(tx_name, 0) + 1
 
+    def record_abort(self, tx_name: str) -> None:
+        self.aborted[tx_name] = self.aborted.get(tx_name, 0) + 1
+
     @property
     def total(self) -> int:
         return sum(self.executed.values())
+
+    @property
+    def total_aborted(self) -> int:
+        return sum(self.aborted.values())
 
 
 class TpccExecutor:
@@ -59,6 +110,8 @@ class TpccExecutor:
         remote_stock_probability: float = REMOTE_STOCK_PROBABILITY,
         remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY,
         rollback_probability: float = 0.0,
+        retry_policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self._db = db
         self._config = config
@@ -77,6 +130,8 @@ class TpccExecutor:
         )
         self._name_sampler = NURand(a_name, 0, config.unique_names - 1)
         self._rollback_probability = rollback_probability
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._sleep = sleep
         self._history_seq = db.table("history").row_count
         self.summary = ExecutionSummary()
 
@@ -353,7 +408,13 @@ class TpccExecutor:
     def run_mix(
         self, transactions: int, mix: TransactionMix = DEFAULT_MIX
     ) -> ExecutionSummary:
-        """Execute ``transactions`` draws from the mix."""
+        """Execute ``transactions`` draws from the mix.
+
+        Transient failures (lock conflicts, injected faults) abort the
+        transaction and retry it under the executor's
+        :class:`RetryPolicy`; a transaction that exhausts its attempts
+        counts as ``gave_up`` and re-raises.
+        """
         dispatch = {
             TransactionType.NEW_ORDER: self.new_order,
             TransactionType.PAYMENT: self.payment,
@@ -362,8 +423,30 @@ class TpccExecutor:
             TransactionType.STOCK_LEVEL: self.stock_level,
         }
         for _ in range(transactions):
-            dispatch[mix.sample(self._rng)]()
+            tx_type = mix.sample(self._rng)
+            self._run_with_retry(tx_type.value, dispatch[tx_type])
         return self.summary
+
+    def _run_with_retry(self, tx_name: str, work: Callable[[], object]) -> object:
+        """Run one transaction, retrying transient failures with backoff.
+
+        The transaction methods roll themselves back before re-raising,
+        so each retry starts from a clean slate (with freshly drawn
+        inputs — the benchmark client would likewise submit a new
+        request).
+        """
+        attempt = 0
+        while True:
+            try:
+                return work()
+            except TRANSIENT_ERRORS:
+                self.summary.record_abort(tx_name)
+                attempt += 1
+                if attempt >= self._retry_policy.max_attempts:
+                    self.summary.gave_up += 1
+                    raise
+                self.summary.retries += 1
+                self._sleep(self._retry_policy.delay(attempt - 1, self._rng))
 
     # -- helpers -----------------------------------------------------------------------
 

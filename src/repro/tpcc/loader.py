@@ -93,7 +93,7 @@ def load_tpcc(config: TpccConfig) -> Database:
     _load_items(db, config, rng)
     for warehouse in range(1, config.warehouses + 1):
         _load_warehouse(db, config, rng, warehouse)
-    db.checkpoint()
+    db.backup()  # checkpoint + base backup: torn-page repair needs it
     db.buffers.reset_stats()
     db.store.reset_counters()
     return db

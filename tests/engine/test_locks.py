@@ -93,3 +93,89 @@ class TestAccounting:
             locks.acquire(5, resource, LockMode.SHARED)
         assert locks.locks_held(5) == 3
         assert locks.acquisitions == 3
+
+
+class FakeClock:
+    """A virtual clock: ``sleep`` advances ``now`` deterministically."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def waiting_locks(default_timeout=0.0):
+    clock = FakeClock()
+    manager = LockManager(
+        default_timeout=default_timeout,
+        poll_interval=0.01,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    return manager, clock
+
+
+class TestAcquisitionTimeout:
+    def test_default_is_no_wait(self):
+        manager, clock = waiting_locks()
+        manager.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            manager.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert clock.sleeps == []  # failed fast, never polled
+        assert manager.conflicts == 1
+        assert manager.timeouts == 0
+
+    def test_timeout_bounds_the_wait(self):
+        """The deadlock/starvation guard: a blocked request raises
+        instead of hanging once its budget is exhausted."""
+        manager, clock = waiting_locks(default_timeout=0.05)
+        manager.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError, match="timed out"):
+            manager.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert manager.timeouts == 1
+        assert clock.sleeps  # it polled while waiting
+        assert clock.now >= 0.05  # and gave up only after the budget
+
+    def test_waiter_succeeds_when_holder_releases(self):
+        manager, clock = waiting_locks(default_timeout=1.0)
+        manager.acquire(1, "r", LockMode.EXCLUSIVE)
+
+        # Release the conflicting lock after two polls.
+        original_sleep = clock.sleep
+
+        def sleeping(seconds):
+            original_sleep(seconds)
+            if len(clock.sleeps) == 2:
+                manager.release_all(1)
+
+        manager._sleep = sleeping
+        manager.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert manager.mode_held(2, "r") is LockMode.EXCLUSIVE
+        assert manager.timeouts == 0
+        assert len(clock.sleeps) == 2
+
+    def test_per_call_timeout_overrides_default(self):
+        manager, clock = waiting_locks(default_timeout=0.0)
+        manager.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError, match="timed out"):
+            manager.acquire(2, "r", LockMode.EXCLUSIVE, timeout=0.03)
+        assert manager.timeouts == 1
+
+    def test_conflicts_counted_per_failed_attempt(self):
+        manager, clock = waiting_locks(default_timeout=0.03)
+        manager.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            manager.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert manager.conflicts == len(clock.sleeps) + 1  # one try per poll + the last
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="default_timeout"):
+            LockManager(default_timeout=-1.0)
+        with pytest.raises(ValueError, match="poll_interval"):
+            LockManager(poll_interval=0.0)

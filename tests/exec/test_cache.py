@@ -135,11 +135,26 @@ class TestResultCache:
         assert cache.get("ab" + "0" * 62) is None
         assert cache.get("cd" + "0" * 62) is MISSING
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_warned_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "ef" + "0" * 62
         cache.put(key, [1, 2, 3])
         cache.path_for(key).write_bytes(b"not a pickle")
-        assert cache.get(key) is MISSING
+        with pytest.warns(RuntimeWarning, match="unreadable cache entry"):
+            assert cache.get(key) is MISSING
         cache.put(key, [4])
         assert cache.get(key) == [4]
+
+    def test_truncated_entry_is_a_warned_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        cache.put(key, list(range(100)))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])  # simulate a torn write
+        with pytest.warns(RuntimeWarning, match="unreadable cache entry"):
+            assert cache.get(key) is MISSING
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path, recwarn):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is MISSING
+        assert not recwarn.list

@@ -1,0 +1,165 @@
+"""Chaos suite: the full TPC-C mix under seeded fault schedules.
+
+Each schedule arms the injector at every engine seam and runs the
+five-transaction mix with abort-and-retry.  The contracts checked:
+
+* no committed update is lost and no aborted transaction's effects
+  survive a crash + recovery (snapshot equality + invariant oracle);
+* replaying the same seed reproduces the identical fault sequence and
+  the identical final database state.
+"""
+
+import pytest
+
+from repro.engine.errors import LockConflictError
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    check_recovery_invariants,
+)
+from repro.tpcc import RetryPolicy, TpccConfig, TpccExecutor, load_tpcc
+
+CONFIG = TpccConfig(
+    warehouses=1,
+    customers_per_district=30,
+    items=120,
+    initial_orders_per_district=12,
+    pending_orders_per_district=4,
+    buffer_pages=64,  # small enough that the run evicts (and tears) pages
+    seed=77,
+)
+
+#: Named, seeded fault schedules.  ``max_fires`` caps keep every
+#: transaction inside the retry budget so the mix always completes.
+PLANS = {
+    "wal-storm": FaultPlan(
+        rules=(FaultRule(FaultKind.WAL_APPEND, probability=0.004, max_fires=6),),
+        seed=11,
+        name="wal-storm",
+    ),
+    "torn-evict": FaultPlan(
+        rules=(
+            FaultRule(FaultKind.TORN_PAGE_WRITE, every=13, max_fires=5),
+            FaultRule(FaultKind.BUFFER_EVICTION, probability=0.05, max_fires=5),
+        ),
+        seed=23,
+        name="torn-evict",
+    ),
+    "lock-flaky": FaultPlan(
+        rules=(FaultRule(FaultKind.LOCK_CONFLICT, probability=0.01, max_fires=5),),
+        seed=31,
+        name="lock-flaky",
+    ),
+    "everything": FaultPlan(
+        rules=(
+            FaultRule(FaultKind.WAL_APPEND, probability=0.002, max_fires=4),
+            FaultRule(FaultKind.TORN_PAGE_WRITE, every=17, max_fires=4),
+            FaultRule(FaultKind.BUFFER_EVICTION, probability=0.03, max_fires=4),
+            FaultRule(FaultKind.LOCK_CONFLICT, probability=0.005, max_fires=4),
+        ),
+        seed=47,
+        name="everything",
+    ),
+}
+
+
+def snapshot(db):
+    """Deterministic digest of all committed table contents."""
+    digest = {}
+    for name in db.table_names():
+        rows = sorted(
+            tuple(sorted(row.items())) for _, row in db.table(name).scan()
+        )
+        digest[name] = rows
+    return digest
+
+
+def chaos_run(plan: FaultPlan, transactions: int = 60):
+    """Load, arm, run the mix with retries; returns (db, executor, injector)."""
+    db = load_tpcc(CONFIG)
+    injector = FaultInjector(plan)
+    db.attach_injector(injector)
+    executor = TpccExecutor(
+        db,
+        CONFIG,
+        seed=5,
+        retry_policy=RetryPolicy(max_attempts=8),
+        sleep=lambda _: None,  # no real backoff delay in tests
+    )
+    executor.run_mix(transactions)
+    return db, executor, injector
+
+
+@pytest.mark.parametrize("name", sorted(PLANS))
+class TestChaosSchedules:
+    def test_no_committed_update_lost_after_crash(self, name):
+        db, executor, injector = chaos_run(PLANS[name])
+        assert executor.summary.total == 60  # every draw eventually committed
+        committed = snapshot(db)
+        db.crash()
+        db.recover()
+        assert snapshot(db) == committed
+        report = check_recovery_invariants(db)
+        assert report.ok, report.violations
+
+    def test_seed_replay_reproduces_faults_and_state(self, name):
+        first_db, first_exec, first_inj = chaos_run(PLANS[name])
+        second_db, second_exec, second_inj = chaos_run(PLANS[name])
+        assert first_inj.event_summary() == second_inj.event_summary()
+        assert snapshot(first_db) == snapshot(second_db)
+        assert first_exec.summary.retries == second_exec.summary.retries
+        assert first_exec.summary.aborted == second_exec.summary.aborted
+
+
+class TestChaosOutcomes:
+    def test_faults_actually_fire_and_are_retried(self):
+        # Sanity of the suite itself: the schedules are not vacuous.
+        fired = {
+            name: chaos_run(plan)[2].fired() for name, plan in PLANS.items()
+        }
+        assert all(count > 0 for count in fired.values()), fired
+
+    def test_in_flight_transaction_rolled_back_on_crash(self):
+        db, executor, injector = chaos_run(PLANS["wal-storm"], transactions=20)
+        committed = snapshot(db)
+        txn = db.begin("in-flight")
+        with db.fault_exemption():  # keep the hand-rolled txn fault-free
+            txn.update("warehouse", (1,), {"w_ytd": 1e12})
+        db.checkpoint()  # its dirty page reaches disk before the crash
+        db.crash()
+        db.recover()
+        assert snapshot(db) == committed
+        assert check_recovery_invariants(db).ok
+
+    def test_exhausted_retries_give_up_and_surface(self):
+        db = load_tpcc(CONFIG)
+        db.attach_injector(
+            FaultInjector(
+                FaultPlan(
+                    rules=(FaultRule(FaultKind.LOCK_CONFLICT, every=1),),
+                    seed=1,
+                )
+            )
+        )
+        executor = TpccExecutor(
+            db,
+            CONFIG,
+            seed=5,
+            retry_policy=RetryPolicy(max_attempts=3),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(LockConflictError):
+            executor.run_mix(5)
+        assert executor.summary.gave_up == 1
+        assert executor.summary.total_aborted == 3  # one per attempt
+        assert executor.summary.retries == 2
+
+    def test_summary_counters_reconcile(self):
+        _, executor, injector = chaos_run(PLANS["everything"])
+        summary = executor.summary
+        # Every retry follows an abort; give-ups would have raised.
+        assert summary.retries == summary.total_aborted
+        assert summary.gave_up == 0
+        assert summary.total == 60

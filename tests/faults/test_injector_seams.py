@@ -1,0 +1,195 @@
+"""Per-seam behaviour of the armed engine: each injected fault must
+leave the engine in a consistent, retryable state."""
+
+import pytest
+
+from repro.engine.catalog import TableSchema, integer
+from repro.engine.database import Database
+from repro.engine.errors import (
+    BufferEvictionError,
+    CorruptPageError,
+    LockConflictError,
+    TornPageWriteError,
+    WalAppendFaultError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    check_recovery_invariants,
+)
+
+SCHEMA = TableSchema(
+    "items", [integer("id"), integer("value")], primary_key=("id",)
+)
+
+
+def fresh_db(rows: int = 20, buffer_pages: int = 64) -> Database:
+    db = Database(buffer_pages=buffer_pages)
+    db.create_table(SCHEMA)
+    for key in range(rows):
+        db.run(lambda txn, key=key: txn.insert("items", {"id": key, "value": key}))
+    db.backup()
+    return db
+
+
+def arm(db: Database, *rules: FaultRule, seed: int = 0) -> FaultInjector:
+    injector = FaultInjector(FaultPlan(rules=tuple(rules), seed=seed))
+    db.attach_injector(injector)
+    return injector
+
+
+def table_state(db: Database) -> dict:
+    return {row["id"]: row["value"] for _, row in db.table("items").scan()}
+
+
+class TestWalAppendSeam:
+    def test_insert_is_statement_atomic(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.WAL_APPEND, at_ops=(2,)))
+        txn = db.begin()
+        before = table_state(db)
+        with pytest.raises(WalAppendFaultError):
+            txn.insert("items", {"id": 100, "value": 1})  # begin was op 1
+        assert table_state(db) == before  # the heap insert was compensated
+        txn.abort()  # still active and abortable
+        assert table_state(db) == before
+
+    def test_update_is_statement_atomic(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.WAL_APPEND, at_ops=(2,)))
+        txn = db.begin()
+        with pytest.raises(WalAppendFaultError):
+            txn.update("items", (3,), {"value": 999})
+        assert table_state(db)[3] == 3
+        txn.abort()
+
+    def test_delete_is_statement_atomic(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.WAL_APPEND, at_ops=(2,)))
+        txn = db.begin()
+        with pytest.raises(WalAppendFaultError):
+            txn.delete("items", (3,))
+        assert 3 in table_state(db)
+        txn.abort()
+
+    def test_failed_begin_leaves_wal_clean_and_is_retryable(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.WAL_APPEND, at_ops=(1,)))
+        with pytest.raises(WalAppendFaultError):
+            db.begin()
+        txn = db.begin()  # op 2: succeeds, same machinery
+        txn.update("items", (0,), {"value": 42})
+        txn.commit()
+        assert table_state(db)[0] == 42
+
+    def test_failed_commit_keeps_transaction_active(self):
+        db = fresh_db()
+        injector = arm(db, FaultRule(FaultKind.WAL_APPEND, at_ops=(3,)))
+        txn = db.begin()  # op 1
+        txn.update("items", (0,), {"value": 42})  # op 2
+        with pytest.raises(WalAppendFaultError):
+            txn.commit()  # op 3: COMMIT record never reaches the log
+        assert txn.is_active
+        assert not db.wal.is_committed(txn.txn_id)
+        txn.abort()  # exempt: undo + ABORT append despite the plan
+        assert table_state(db)[0] == 0
+        assert injector.fired() == 1
+
+    def test_abort_is_exempt_from_injection(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.WAL_APPEND, every=1, max_fires=None))
+        # Every non-exempt append would fail; abort must still succeed.
+        with pytest.raises(WalAppendFaultError):
+            db.begin()
+
+
+class TestTornPageWriteSeam:
+    def test_torn_checkpoint_detected_and_repaired(self):
+        # Row 150 lives in the second half of its 240-record page, so
+        # the torn image (new head + stale tail) fails its checksum.
+        db = fresh_db(rows=200)
+        db.run(lambda txn: txn.update("items", (150,), {"value": 9999}))
+        arm(db, FaultRule(FaultKind.TORN_PAGE_WRITE, at_ops=(1,)))
+        with pytest.raises(TornPageWriteError):
+            db.checkpoint()
+        corrupt = db.store.corrupt_page_ids()
+        assert corrupt
+        with pytest.raises(CorruptPageError):
+            db.store.read(corrupt[0])
+        db.crash()
+        db.recover()
+        state = table_state(db)
+        assert state[150] == 9999  # committed update survived the torn write
+        assert len(state) == 200
+        assert check_recovery_invariants(db).ok
+
+    def test_torn_write_on_post_backup_page_reformatted(self):
+        # Rows inserted after the backup live on fresh pages with no
+        # backup image; repair reformats them and the log replay
+        # rebuilds their contents.
+        db = fresh_db(rows=10)
+        for key in range(1000, 1300):
+            db.run(
+                lambda txn, key=key: txn.insert("items", {"id": key, "value": key})
+            )
+        arm(db, FaultRule(FaultKind.TORN_PAGE_WRITE, every=2))
+        with pytest.raises(TornPageWriteError):
+            db.checkpoint()
+        db.crash()
+        db.recover()
+        state = table_state(db)
+        assert len(state) == 310
+        assert state[1299] == 1299
+        assert check_recovery_invariants(db).ok
+
+
+class TestBufferEvictionSeam:
+    def test_failed_eviction_defers_without_losing_updates(self):
+        db = fresh_db(rows=2000, buffer_pages=4)
+        arm(db, FaultRule(FaultKind.BUFFER_EVICTION, every=3))
+        for key in (0, 500, 1000, 1500, 1999):
+            db.run(lambda txn, key=key: txn.update("items", (key,), {"value": -key}))
+        assert db.buffers.deferred_evictions > 0
+        state = table_state(db)
+        for key in (0, 500, 1000, 1500, 1999):
+            assert state[key] == -key
+
+    def test_orphaned_frames_flushed_by_checkpoint(self):
+        db = fresh_db(rows=2000, buffer_pages=4)
+        arm(db, FaultRule(FaultKind.BUFFER_EVICTION, every=2))
+        for key in range(0, 2000, 100):
+            db.run(lambda txn, key=key: txn.update("items", (key,), {"value": -key}))
+        assert db.buffers.deferred_evictions > 0
+        db.attach_injector(None)  # stop injecting, then checkpoint + crash
+        db.checkpoint()
+        db.crash()
+        db.recover()
+        state = table_state(db)
+        for key in range(0, 2000, 100):
+            assert state[key] == -key
+        assert check_recovery_invariants(db).ok
+
+
+class TestLockAcquireSeam:
+    def test_injected_conflict_raises_and_transaction_can_retry(self):
+        db = fresh_db()
+        arm(db, FaultRule(FaultKind.LOCK_CONFLICT, at_ops=(1,)))
+        txn = db.begin()
+        with pytest.raises(LockConflictError, match="injected"):
+            txn.update("items", (0,), {"value": 1})
+        txn.abort()
+        db.run(lambda txn: txn.update("items", (0,), {"value": 1}))  # op 2 fine
+        assert table_state(db)[0] == 1
+
+
+class TestRecoveryExemption:
+    def test_recover_succeeds_under_hostile_plan(self):
+        db = fresh_db(rows=50)
+        db.run(lambda txn: txn.update("items", (7,), {"value": 77}))
+        db.crash()
+        arm(db, FaultRule(FaultKind.TORN_PAGE_WRITE, every=1))
+        db.recover()  # exempt: recovery's own writes never fail
+        assert table_state(db)[7] == 77
+        assert check_recovery_invariants(db).ok

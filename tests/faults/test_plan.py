@@ -1,0 +1,170 @@
+"""Unit tests for repro.faults.plan and the injector's trigger logic."""
+
+import pytest
+
+from repro.engine.errors import (
+    BufferEvictionError,
+    InjectedFaultError,
+    LockConflictError,
+    TornPageWriteError,
+    WalAppendFaultError,
+    WalError,
+)
+from repro.faults import (
+    ERROR_OF_KIND,
+    SITE_OF_KIND,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    error_for,
+)
+
+
+class TestFaultRule:
+    def test_requires_a_trigger(self):
+        with pytest.raises(ValueError, match="no trigger"):
+            FaultRule(FaultKind.WAL_APPEND)
+
+    def test_at_ops_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule(FaultKind.WAL_APPEND, at_ops=(0,))
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="every"):
+            FaultRule(FaultKind.WAL_APPEND, every=0)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(FaultKind.WAL_APPEND, probability=1.5)
+
+    def test_max_fires_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultRule(FaultKind.WAL_APPEND, at_ops=(1,), max_fires=0)
+
+    @pytest.mark.parametrize("kind", list(FaultKind))
+    def test_site_mapping(self, kind):
+        rule = FaultRule(kind, at_ops=(1,))
+        assert rule.site == SITE_OF_KIND[kind]
+
+    def test_uses_randomness(self):
+        assert FaultRule(FaultKind.WAL_APPEND, probability=0.5).uses_randomness
+        assert not FaultRule(FaultKind.WAL_APPEND, at_ops=(1,)).uses_randomness
+
+
+class TestErrorMapping:
+    def test_error_types(self):
+        assert ERROR_OF_KIND[FaultKind.WAL_APPEND] is WalAppendFaultError
+        assert ERROR_OF_KIND[FaultKind.TORN_PAGE_WRITE] is TornPageWriteError
+        assert ERROR_OF_KIND[FaultKind.BUFFER_EVICTION] is BufferEvictionError
+        assert ERROR_OF_KIND[FaultKind.LOCK_CONFLICT] is LockConflictError
+
+    def test_wal_append_error_is_both_injected_and_wal(self):
+        error = error_for(FaultKind.WAL_APPEND, 3)
+        assert isinstance(error, InjectedFaultError)
+        assert isinstance(error, WalError)
+
+    def test_message_names_site_and_op(self):
+        error = error_for(FaultKind.TORN_PAGE_WRITE, 7)
+        assert "store.write" in str(error) and "op 7" in str(error)
+
+
+class TestFaultPlan:
+    def test_rules_for_filters_by_site(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(FaultKind.WAL_APPEND, at_ops=(1,)),
+                FaultRule(FaultKind.LOCK_CONFLICT, at_ops=(2,)),
+                FaultRule(FaultKind.WAL_APPEND, every=5),
+            )
+        )
+        assert len(plan.rules_for("wal.append")) == 2
+        assert len(plan.rules_for("lock.acquire")) == 1
+        assert plan.rules_for("store.write") == ()
+
+    def test_rules_coerced_to_tuple(self):
+        plan = FaultPlan(rules=[FaultRule(FaultKind.WAL_APPEND, at_ops=(1,))])
+        assert isinstance(plan.rules, tuple)
+
+    def test_chaos_builds_only_nonzero_seams(self):
+        plan = FaultPlan.chaos(5, wal_append=0.1, lock_conflict=0.2)
+        kinds = {rule.kind for rule in plan.rules}
+        assert kinds == {FaultKind.WAL_APPEND, FaultKind.LOCK_CONFLICT}
+        assert plan.seed == 5
+
+    def test_chaos_requires_a_seam(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FaultPlan.chaos(0)
+
+
+class TestInjectorTriggers:
+    def test_at_ops_fires_exactly_there(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.WAL_APPEND, at_ops=(2, 4)),))
+        injector = FaultInjector(plan)
+        fired = [injector.fire("wal.append") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.LOCK_CONFLICT, every=3),))
+        injector = FaultInjector(plan)
+        fired = [injector.fire("lock.acquire") is not None for _ in range(7)]
+        assert fired == [False, False, True, False, False, True, False]
+
+    def test_max_fires_caps_firings(self):
+        plan = FaultPlan(
+            rules=(FaultRule(FaultKind.WAL_APPEND, every=1, max_fires=2),)
+        )
+        injector = FaultInjector(plan)
+        fired = [injector.fire("wal.append") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_probability_is_deterministic_per_seed(self):
+        plan = FaultPlan.chaos(42, wal_append=0.3)
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        for _ in range(50):
+            first.fire("wal.append")
+            second.fire("wal.append")
+        assert first.event_summary() == second.event_summary()
+        assert first.fired() > 0  # 0.3 over 50 ops fires w.h.p. at this seed
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.WAL_APPEND, at_ops=(2,)),))
+        injector = FaultInjector(plan)
+        injector.fire("lock.acquire")
+        injector.fire("lock.acquire")
+        assert injector.fire("wal.append") is None  # wal op 1, not 2
+        assert injector.operations("lock.acquire") == 2
+        assert injector.operations("wal.append") == 1
+
+    def test_check_raises_mapped_error(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.LOCK_CONFLICT, at_ops=(1,)),))
+        injector = FaultInjector(plan)
+        with pytest.raises(LockConflictError, match="injected"):
+            injector.check("lock.acquire")
+
+    def test_disarm_and_exempt_suppress_and_do_not_count(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.WAL_APPEND, at_ops=(1,)),))
+        injector = FaultInjector(plan)
+        injector.disarm()
+        assert injector.fire("wal.append") is None
+        injector.arm()
+        with injector.exempt():
+            assert injector.fire("wal.append") is None
+        assert injector.operations("wal.append") == 0
+        assert injector.fire("wal.append") is not None  # op 1 fires now
+
+    def test_events_record_global_sequence(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(FaultKind.WAL_APPEND, at_ops=(1,)),
+                FaultRule(FaultKind.LOCK_CONFLICT, at_ops=(1,)),
+            )
+        )
+        injector = FaultInjector(plan)
+        assert injector.fire("wal.append") is not None
+        assert injector.fire("lock.acquire") is not None
+        assert injector.event_summary() == (
+            (1, "wal_append", "wal.append", 1),
+            (2, "lock_conflict", "lock.acquire", 1),
+        )
