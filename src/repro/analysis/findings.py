@@ -1,0 +1,87 @@
+"""Finding and source-module types shared by all reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Any
+
+#: Inline suppression: ``# reprolint: disable=REP001`` or
+#: ``# reprolint: disable=REP001,REP004`` on the offending line.
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True, kw_only=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleSource:
+    """A parsed source file handed to every rule.
+
+    Carries the AST, the raw lines (for suppression comments) and
+    helpers for building findings.  Parsing happens once per file, not
+    once per rule.
+    """
+
+    def __init__(self, path: str | Path, text: str | None = None) -> None:
+        self.path = Path(path)
+        self.text = self.path.read_text() if text is None else text
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=str(self.path))
+
+    @cached_property
+    def suppressions(self) -> dict[int, frozenset[str]]:
+        """Rule codes suppressed per (1-indexed) line."""
+        table: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESSION.search(line)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            if codes:
+                table[number] = codes
+        return table
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment disables the finding's rule."""
+        return finding.rule in self.suppressions.get(finding.line, frozenset())
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            rule=rule,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+__all__ = ["Finding", "ModuleSource"]

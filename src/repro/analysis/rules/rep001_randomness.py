@@ -1,0 +1,202 @@
+"""REP001 — no unseeded randomness.
+
+Every random draw must flow from an explicitly seeded generator
+(``np.random.default_rng(seed)``, ``random.Random(seed)``) so a run can
+be replayed bit-for-bit.  Flags:
+
+* stateful module-level ``random.*`` functions (``random.random()``,
+  ``random.shuffle()``, ...) and bare calls to names imported from
+  ``random``;
+* ``random.Random()`` constructed without a seed, and ``SystemRandom``
+  anywhere (OS entropy is unreplayable by design);
+* legacy global-state numpy functions (``np.random.seed``,
+  ``np.random.randint``, ...);
+* ``default_rng()`` / ``RandomState()`` with no seed argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, call_name, register
+
+#: Stateful functions on the stdlib ``random`` module (global Mersenne
+#: Twister — unseeded unless ``random.seed`` ran, and shared state either way).
+_STDLIB_STATEFUL = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: numpy constructors that are fine *with* a seed argument.
+_NUMPY_SEEDABLE = frozenset({"default_rng", "RandomState"})
+
+#: numpy.random names that never produce a finding (types, bit generators).
+_NUMPY_ALLOWED = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    code = "REP001"
+    summary = "random draws must come from an explicitly seeded generator"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        random_aliases, numpy_aliases, numpy_random_aliases, from_imports = _imports(
+            module.tree
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name:
+                continue
+            yield from self._check_call(
+                module,
+                node,
+                name,
+                random_aliases,
+                numpy_aliases,
+                numpy_random_aliases,
+                from_imports,
+            )
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        name: str,
+        random_aliases: frozenset[str],
+        numpy_aliases: frozenset[str],
+        numpy_random_aliases: frozenset[str],
+        from_imports: dict[str, str],
+    ) -> Iterator[Finding]:
+        head, _, rest = name.partition(".")
+        seeded = bool(node.args) or any(
+            kw.arg in {"seed", "x"} for kw in node.keywords
+        )
+
+        # import random; random.random() / random.Random() / random.SystemRandom()
+        if head in random_aliases and rest and "." not in rest:
+            if rest in _STDLIB_STATEFUL:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() draws from the shared global generator; "
+                    "use a seeded random.Random or numpy Generator",
+                )
+            elif rest == "SystemRandom":
+                yield self.finding(
+                    module, node, "SystemRandom uses OS entropy and cannot be replayed"
+                )
+            elif rest == "Random" and not seeded:
+                yield self.finding(
+                    module, node, "random.Random() without a seed is unreplayable"
+                )
+            return
+
+        # numpy.random.* via `import numpy as np` or `from numpy import random`
+        np_rest = ""
+        if head in numpy_aliases and rest.startswith("random."):
+            np_rest = rest.partition(".")[2]
+        elif head in numpy_random_aliases and rest and "." not in rest:
+            np_rest = rest
+        if np_rest and "." not in np_rest:
+            if np_rest in _NUMPY_ALLOWED:
+                return
+            if np_rest in _NUMPY_SEEDABLE:
+                if not seeded:
+                    yield self.finding(
+                        module, node, f"{name}() without a seed is unreplayable"
+                    )
+            else:
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy numpy global-state function {name}(); "
+                    "use np.random.default_rng(seed)",
+                )
+            return
+
+        # from random import shuffle / from numpy.random import default_rng
+        if "." not in name and name in from_imports:
+            origin = from_imports[name]
+            if origin in _STDLIB_STATEFUL:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() (from random import {origin}) draws from the "
+                    "shared global generator",
+                )
+            elif origin == "SystemRandom":
+                yield self.finding(
+                    module, node, "SystemRandom uses OS entropy and cannot be replayed"
+                )
+            elif origin in {"Random", "default_rng", "RandomState"} and not seeded:
+                yield self.finding(
+                    module, node, f"{name}() without a seed is unreplayable"
+                )
+
+
+def _imports(
+    tree: ast.Module,
+) -> tuple[frozenset[str], frozenset[str], frozenset[str], dict[str, str]]:
+    """Aliases of random/numpy/numpy.random plus from-imported names."""
+    random_aliases: set[str] = set()
+    numpy_aliases: set[str] = set()
+    numpy_random_aliases: set[str] = set()
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                if alias.name == "random":
+                    random_aliases.add(local)
+                elif alias.name in {"numpy", "numpy.random"}:
+                    if alias.name == "numpy.random" and alias.asname:
+                        numpy_random_aliases.add(alias.asname)
+                    else:
+                        numpy_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = alias.name
+            elif node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        numpy_random_aliases.add(alias.asname or alias.name)
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = alias.name
+    return (
+        frozenset(random_aliases),
+        frozenset(numpy_aliases),
+        frozenset(numpy_random_aliases),
+        from_imports,
+    )
+
+
+__all__ = ["UnseededRandomnessRule"]

@@ -1,0 +1,144 @@
+"""REP002 — no wall-clock reads or hash-order nondeterminism.
+
+Simulated results must not depend on when or where they ran.  Flags:
+
+* ``time.time`` / ``time.time_ns`` / ``time.localtime`` / ... (the
+  monotonic family — ``perf_counter``, ``monotonic``, ``process_time``,
+  ``sleep`` — is allowed: it may only affect *measured wall time*, never
+  simulated results);
+* ``datetime.now`` / ``utcnow`` / ``today`` and ``date.today``;
+* ``os.urandom``, ``uuid.uuid1`` / ``uuid.uuid4``, anything in
+  ``secrets``;
+* iterating a set-valued expression (``for x in a_set & b_set``) —
+  hash order leaks into result order; sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, call_name, register
+
+#: time.* clock reads that observe the wall clock.
+_TIME_BANNED = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime", "mktime"}
+)
+
+#: datetime class methods that observe the wall clock.
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+_UUID_BANNED = frozenset({"uuid1", "uuid4"})
+
+
+@register
+class WallClockRule(Rule):
+    code = "REP002"
+    summary = "no wall-clock reads, OS entropy, or set-order iteration in result paths"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = _module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    yield from self._check_iteration(module, comp.iter)
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call, aliases: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        name = call_name(node)
+        if not name:
+            return
+        head, _, rest = name.partition(".")
+        if not rest and head in aliases["bare_clock"]:
+            yield self.finding(
+                module,
+                node,
+                f"{name}() (imported from time) reads the wall clock; use "
+                "time.monotonic/perf_counter for measurement",
+            )
+        elif head in aliases["time"] and rest in _TIME_BANNED:
+            yield self.finding(
+                module,
+                node,
+                f"{name}() reads the wall clock; use time.monotonic/perf_counter "
+                "for measurement or the simulated clock for results",
+            )
+        elif head in aliases["datetime_module"] and rest.partition(".")[2] in _DATETIME_BANNED:
+            yield self.finding(module, node, f"{name}() reads the wall clock")
+        elif head in aliases["datetime_class"] and rest in _DATETIME_BANNED:
+            yield self.finding(module, node, f"{name}() reads the wall clock")
+        elif head in aliases["os"] and rest == "urandom":
+            yield self.finding(module, node, "os.urandom() is OS entropy; unreplayable")
+        elif head in aliases["uuid"] and rest in _UUID_BANNED:
+            yield self.finding(
+                module, node, f"{name}() depends on host/clock/entropy; unreplayable"
+            )
+        elif head in aliases["secrets"] and rest:
+            yield self.finding(module, node, "secrets.* is OS entropy; unreplayable")
+
+    def _check_iteration(self, module: ModuleSource, iter_node: ast.expr) -> Iterator[Finding]:
+        if _is_set_valued(iter_node):
+            yield self.finding(
+                module,
+                iter_node,
+                "iteration order over a set is hash-dependent; "
+                "wrap in sorted() before iterating",
+            )
+
+
+def _is_set_valued(node: ast.expr) -> bool:
+    """Conservatively: does this expression definitely build a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        # set algebra: either side being a known set makes the result a set
+        return _is_set_valued(node.left) or _is_set_valued(node.right)
+    return False
+
+
+def _module_aliases(tree: ast.Module) -> dict[str, set[str]]:
+    """Local names bound to the modules/classes this rule watches."""
+    aliases: dict[str, set[str]] = {
+        "time": set(),
+        "bare_clock": set(),
+        "datetime_module": set(),
+        "datetime_class": set(),
+        "os": set(),
+        "uuid": set(),
+        "secrets": set(),
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                if alias.name == "time":
+                    aliases["time"].add(local)
+                elif alias.name == "datetime":
+                    aliases["datetime_module"].add(local)
+                elif alias.name == "os":
+                    aliases["os"].add(local)
+                elif alias.name == "uuid":
+                    aliases["uuid"].add(local)
+                elif alias.name == "secrets":
+                    aliases["secrets"].add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in {"datetime", "date"}:
+                        aliases["datetime_class"].add(alias.asname or alias.name)
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_BANNED:
+                        aliases["bare_clock"].add(alias.asname or alias.name)
+    return aliases
+
+
+__all__ = ["WallClockRule"]

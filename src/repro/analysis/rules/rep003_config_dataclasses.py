@@ -1,0 +1,75 @@
+"""REP003 — config dataclasses must be kw-only and support ``.replace()``.
+
+The run-request API (PR 1) hashes config objects into cache keys, so
+every ``*Config`` dataclass must be constructed with keywords (field
+reordering must not silently change meanings) and must expose a
+``replace()`` method so sweeps derive variants without mutation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, attr_chain, register
+
+
+@register
+class ConfigDataclassRule(Rule):
+    code = "REP003"
+    summary = "*Config dataclasses must set kw_only=True and define replace()"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config"):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _has_true_keyword(decorator, "kw_only"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"config dataclass {node.name} must pass kw_only=True "
+                    "(positional construction breaks when fields are reordered)",
+                )
+            if not _defines_replace(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"config dataclass {node.name} must define replace() "
+                    "so sweeps can derive variants",
+                )
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The @dataclass decorator node, if any (bare name or call form)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = attr_chain(target)
+        if name in {"dataclass", "dataclasses.dataclass"}:
+            return decorator
+    return None
+
+
+def _has_true_keyword(decorator: ast.expr, keyword: str) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass — kw_only defaults to False
+    for kw in decorator.keywords:
+        if kw.arg == keyword:
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _defines_replace(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "replace"
+        for item in node.body
+    )
+
+
+__all__ = ["ConfigDataclassRule"]

@@ -1,0 +1,49 @@
+"""REP004 — no bare ``assert`` in runtime code.
+
+``python -O`` strips asserts, silently disabling the check; a corrupted
+page or lost lock then propagates instead of failing fast.  Runtime
+invariants must raise typed errors from :mod:`repro.engine.errors`
+(e.g. ``InvariantViolationError``).
+
+Exemption: functions whose name contains ``invariant`` or ``validate``
+are explicit debug validators — callers opt in, and the test suite runs
+them un-optimised.  (Test files are excluded by the runner's default
+path, not by this rule.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, register, scoped_walk
+
+_EXEMPT_MARKERS = ("invariant", "validate")
+
+
+@register
+class BareAssertRule(Rule):
+    code = "REP004"
+    summary = "runtime code must raise typed errors, not assert"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, stack in scoped_walk(module.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            if any(
+                marker in scope.lower()
+                for scope in stack
+                for marker in _EXEMPT_MARKERS
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "bare assert vanishes under python -O; raise a typed error "
+                "from repro.engine.errors (or move it into a *validate*/"
+                "*invariant* checker)",
+            )
+
+
+__all__ = ["BareAssertRule"]

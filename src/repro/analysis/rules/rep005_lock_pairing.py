@@ -1,0 +1,113 @@
+"""REP005 — lock acquire/release and buffer pin/unpin pairing.
+
+AST-level (the runtime sanitizer does the precise dynamic check):
+
+* a class (or module-level function soup) that calls
+  ``<lockish>.acquire(...)`` must somewhere also call
+  ``<lockish>.release(...)`` or ``<lockish>.release_all(...)`` — a
+  component that only ever takes locks leaks them by construction;
+* a function that calls ``<anything>.pin(...)`` must call ``.unpin``
+  in the same function body — pins are frame-local by contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, attr_chain, register
+
+_RELEASE_NAMES = frozenset({"release", "release_all"})
+
+
+def _is_lockish(receiver: str) -> bool:
+    """Does the receiver chain look like a lock manager? (``self._db.locks``)"""
+    last = receiver.rsplit(".", 1)[-1].lower()
+    return "lock" in last
+
+
+@register
+class LockPairingRule(Rule):
+    code = "REP005"
+    summary = "lock acquire needs a matching release; pin needs unpin in-function"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._check_lock_pairing(module)
+        yield from self._check_pin_pairing(module)
+
+    # -- locks: paired at class granularity -----------------------------------
+
+    def _check_lock_pairing(self, module: ModuleSource) -> Iterator[Finding]:
+        groups = [module.tree] + [
+            node for node in ast.walk(module.tree) if isinstance(node, ast.ClassDef)
+        ]
+        class_bodies = groups[1:]
+        for group in groups:
+            acquires: list[ast.Call] = []
+            releases = 0
+            for node in _group_walk(group, exclude=class_bodies if group is module.tree else ()):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                receiver = attr_chain(node.func.value)
+                if not receiver or not _is_lockish(receiver):
+                    continue
+                if node.func.attr == "acquire":
+                    acquires.append(node)
+                elif node.func.attr in _RELEASE_NAMES:
+                    releases += 1
+            if acquires and not releases:
+                where = group.name if isinstance(group, ast.ClassDef) else "module"
+                for call in acquires:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"lock acquired but {where} never calls release/"
+                        "release_all on a lock manager",
+                    )
+
+    # -- pins: paired per function ---------------------------------------------
+
+    def _check_pin_pairing(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            pins: list[ast.Call] = []
+            unpins = 0
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call) or not isinstance(
+                    inner.func, ast.Attribute
+                ):
+                    continue
+                if inner.func.attr == "pin":
+                    pins.append(inner)
+                elif inner.func.attr == "unpin":
+                    unpins += 1
+            if pins and not unpins:
+                for call in pins:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"page pinned but {node.name}() never unpins; pins are "
+                        "function-local by contract",
+                    )
+
+
+def _group_walk(group: ast.AST, exclude: tuple[ast.AST, ...] | list[ast.AST] = ()) -> Iterator[ast.AST]:
+    """Walk a scope group, skipping nested class bodies when asked.
+
+    Module-level pairing must not see class-body calls (those pair
+    within their class), so the module group excludes every ClassDef.
+    """
+    excluded = set(map(id, exclude))
+    stack = [group]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if id(child) in excluded:
+                continue
+            stack.append(child)
+
+
+__all__ = ["LockPairingRule"]

@@ -22,6 +22,8 @@ from collections import OrderedDict, deque
 from collections.abc import Hashable
 from typing import Callable
 
+from repro.errors import InvariantViolationError
+
 PageKey = Hashable
 
 
@@ -175,7 +177,11 @@ class ClockPolicy(ReplacementPolicy):
                 self._hand = (self._hand + 1) % self._capacity
                 continue
             victim = self._frames[self._hand]
-            assert victim is not None
+            if victim is None:
+                raise InvariantViolationError(
+                    f"CLOCK hand {self._hand} points at an empty frame "
+                    f"despite a full pool"
+                )
             del self._frame_of[victim]
             self._install(page, self._hand)
             self._hand = (self._hand + 1) % self._capacity

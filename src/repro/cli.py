@@ -9,6 +9,8 @@ Subcommands::
     python -m repro run-all --preset quick     # every table and figure
     python -m repro skew                       # Section 3 headline numbers
     python -m repro throughput --buffer-mb 52  # Section 5 at one point
+    python -m repro lint                       # reprolint over src/repro
+    python -m repro lint --format json path/   # machine-readable findings
 
 Simulation-backed experiments decompose into independent work units;
 ``--jobs N`` fans them out over N worker processes, ``--cache-dir``
@@ -155,6 +157,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--packing", choices=["sequential", "optimized"], default="sequential"
     )
     throughput.add_argument("--mips", type=float, default=10.0)
+
+    lint = commands.add_parser(
+        "lint", help="run the reprolint static-analysis rules (REP001..REP006)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="CODES",
+        default=None,
+        help="comma-separated subset of rule codes, e.g. REP001,REP004",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its summary and exit",
+    )
     return parser
 
 
@@ -372,11 +400,32 @@ def _command_throughput(buffer_mb: float, packing: str, mips: float) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.analysis.runner import describe_rules, lint_paths
+
+    if args.list_rules:
+        for code, summary in describe_rules():
+            print(f"{code}  {summary}")
+        return 0
+    codes = None
+    if args.rules:
+        codes = [code.strip() for code in args.rules.split(",") if code.strip()]
+    try:
+        report = lint_paths(args.paths or None, codes=codes)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(report.render_json() if args.format == "json" else report.render_text())
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "run-all":

@@ -42,9 +42,12 @@ _STOCK = RELATION_INDEX["stock"]
 _CUSTOMER = RELATION_INDEX["customer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class DistributedSimConfig:
-    """Configuration of one multi-node buffer simulation."""
+    """Configuration of one multi-node buffer simulation (keyword-only).
+
+    Derive sweep points from a base config with :meth:`replace`.
+    """
 
     nodes: int = 4
     trace: TraceConfig = field(default_factory=lambda: TraceConfig(warehouses=2))
@@ -62,6 +65,10 @@ class DistributedSimConfig:
             raise ValueError("transactions_per_node must be positive")
         if self.trace.remote_stock_probability < 0:
             raise ValueError("remote probability must be non-negative")
+
+    def replace(self, **overrides) -> "DistributedSimConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
 
 
 @dataclass(frozen=True)

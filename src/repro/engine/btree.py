@@ -19,7 +19,11 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator
 
-from repro.engine.errors import DuplicateKeyError, RecordNotFoundError
+from repro.engine.errors import (
+    DuplicateKeyError,
+    InvariantViolationError,
+    RecordNotFoundError,
+)
 
 
 class _Node:
@@ -216,9 +220,13 @@ class BPlusTree:
             self._borrow_from_right(parent, index, child, right)
         elif left is not None:
             self._merge(parent, index - 1, left, child)
-        else:
-            assert right is not None
+        elif right is not None:
             self._merge(parent, index, child, right)
+        else:
+            raise InvariantViolationError(
+                "underfull non-root node has no sibling to borrow from or "
+                "merge with"
+            )
 
     def _borrow_from_left(
         self, parent: _Node, index: int, left: _Node, child: _Node
@@ -323,30 +331,50 @@ class BPlusTree:
 
     # -- validation (used by property tests) ---------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        """Assert structural invariants; raises AssertionError on violation."""
-        keys = [key for key, _ in self.items()]
-        assert keys == sorted(keys), "leaf chain out of order"
-        assert len(keys) == self._size, "size counter out of sync"
-        self._check_node(self._root, is_root=True)
+    def validate(self) -> None:
+        """Check structural invariants, raising a typed error on violation.
 
-    def _check_node(self, node: _Node, is_root: bool) -> tuple[Any, Any] | None:
-        assert len(node.keys) <= self._max_keys, "node overfull"
+        Unlike a bare ``assert``, the checks survive ``python -O``:
+        violations raise :class:`InvariantViolationError` (a subclass of
+        :class:`AssertionError`) unconditionally.
+        """
+        keys = [key for key, _ in self.items()]
+        self._require(keys == sorted(keys), "leaf chain out of order")
+        self._require(len(keys) == self._size, "size counter out of sync")
+        self._validate_node(self._root, is_root=True)
+
+    def check_invariants(self) -> None:
+        """Backwards-compatible alias for :meth:`validate`."""
+        self.validate()
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise InvariantViolationError(message)
+
+    def _validate_node(self, node: _Node, is_root: bool) -> tuple[Any, Any] | None:
+        self._require(len(node.keys) <= self._max_keys, "node overfull")
         if not is_root:
-            assert len(node.keys) >= self._min_keys, "node underfull"
-        assert node.keys == sorted(node.keys), "node keys out of order"
+            self._require(len(node.keys) >= self._min_keys, "node underfull")
+        self._require(node.keys == sorted(node.keys), "node keys out of order")
         if node.is_leaf:
             return (node.keys[0], node.keys[-1]) if node.keys else None
-        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        self._require(
+            len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        )
         for index, child in enumerate(node.children):
-            bounds = self._check_node(child, is_root=False)
+            bounds = self._validate_node(child, is_root=False)
             if bounds is None:
                 continue
             low, high = bounds
             if index > 0:
-                assert low >= node.keys[index - 1], "separator violated (low)"
+                self._require(
+                    low >= node.keys[index - 1], "separator violated (low)"
+                )
             if index < len(node.keys):
-                assert high < node.keys[index], "separator violated (high)"
+                self._require(
+                    high < node.keys[index], "separator violated (high)"
+                )
         return (
             (node.keys[0], node.keys[-1]) if node.keys else None
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.errors import InvariantViolationError
+
 
 class EngineError(Exception):
     """Base class for all storage-engine errors."""
@@ -58,3 +60,21 @@ class TornPageWriteError(InjectedFaultError):
 
 class BufferEvictionError(InjectedFaultError):
     """An injected failure while evicting a buffer-pool victim."""
+
+
+__all__ = [
+    "BufferEvictionError",
+    "CorruptPageError",
+    "DuplicateKeyError",
+    "EngineError",
+    "InjectedFaultError",
+    "InvariantViolationError",
+    "LockConflictError",
+    "PageFullError",
+    "RecordNotFoundError",
+    "TableNotFoundError",
+    "TornPageWriteError",
+    "TransactionStateError",
+    "WalAppendFaultError",
+    "WalError",
+]

@@ -17,6 +17,7 @@ from typing import Iterator, NamedTuple
 
 from repro.engine.errors import (
     CorruptPageError,
+    InvariantViolationError,
     PageFullError,
     RecordNotFoundError,
     TornPageWriteError,
@@ -94,7 +95,11 @@ class Page:
         if self.is_full:
             raise PageFullError(f"page is full ({self._capacity} records)")
         slot = self._occupied.find(0)
-        assert slot >= 0
+        if slot < 0:
+            raise InvariantViolationError(
+                f"occupancy map has no free slot but live count is "
+                f"{self._live}/{self._capacity}"
+            )
         self._write_slot(slot, record)
         self._occupied[slot] = 1
         self._live += 1

@@ -1,0 +1,22 @@
+"""Cross-package error types.
+
+This module deliberately imports nothing from the rest of the package,
+so any layer (engine, buffer, workload, analysis) can raise these
+without creating import cycles.
+"""
+
+from __future__ import annotations
+
+
+class InvariantViolationError(AssertionError):
+    """An internal structural invariant does not hold.
+
+    Raised by explicit ``validate()``-style checkers in place of bare
+    ``assert`` statements, so invariant enforcement survives
+    ``python -O`` (which strips asserts) and is catchable as a typed
+    error.  Subclasses :class:`AssertionError` because callers treating
+    validators as assert-like checks should keep working.
+    """
+
+
+__all__ = ["InvariantViolationError"]

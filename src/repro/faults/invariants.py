@@ -103,7 +103,7 @@ def check_recovery_invariants(db: Database) -> InvariantReport:
             )
         differing = [
             rid
-            for rid in set(want) & set(actual)
+            for rid in sorted(set(want) & set(actual))
             if want[rid] != actual[rid]
         ]
         if differing:

@@ -28,7 +28,11 @@ from repro.constants import (
     UNIQUE_CUSTOMER_NAMES,
 )
 from repro.engine.database import Database, Transaction
-from repro.engine.errors import InjectedFaultError, LockConflictError
+from repro.engine.errors import (
+    InjectedFaultError,
+    LockConflictError,
+    RecordNotFoundError,
+)
 from repro.workload.generator import InputGenerator, scaled_nurand_a
 from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
 from repro.core.nurand import NURand
@@ -467,7 +471,13 @@ class TpccExecutor:
         matches = txn.select_by_index(
             "customer", "by_name", (warehouse, district, name)
         )
-        assert matches, f"no customers named {name} in ({warehouse}, {district})"
+        if not matches:
+            # The loader assigns every name number to exactly three
+            # customers per district, so an empty match means the data
+            # or the index is broken — not a benign miss.
+            raise RecordNotFoundError(
+                f"no customers named {name} in ({warehouse}, {district})"
+            )
         matches.sort(key=lambda row: row["c_first"])
         return matches[len(matches) // 2]
 

@@ -16,7 +16,7 @@ share each name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 import numpy as np
 
@@ -40,9 +40,13 @@ def last_name(number: int) -> str:
     return NAME_SYLLABLES[hundreds % 10] + NAME_SYLLABLES[tens] + NAME_SYLLABLES[ones]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TpccConfig:
-    """Scale parameters for an executable TPC-C database."""
+    """Scale parameters for an executable TPC-C database (keyword-only).
+
+    Derive variants from a base config with :meth:`replace` instead of
+    re-spelling every field.
+    """
 
     warehouses: int = 2
     customers_per_district: int = 90
@@ -67,6 +71,10 @@ class TpccConfig:
             raise ValueError("pending orders cannot exceed initial orders")
         if self.items <= 0:
             raise ValueError(f"items must be positive, got {self.items}")
+
+    def replace(self, **overrides) -> "TpccConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclass_replace(self, **overrides)
 
     @property
     def unique_names(self) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.constants import TUPLE_BYTES
 from repro.engine.catalog import TableSchema, char, floating, int2, int4, integer
 from repro.engine.table import IndexSpec
+from repro.errors import InvariantViolationError
 
 
 def _warehouse_schema() -> TableSchema:
@@ -199,10 +200,11 @@ TPCC_SCHEMAS: dict[str, TableSchema] = {
 
 # Enforce that row sizes reproduce paper Table 1 exactly.
 for _name, _schema in TPCC_SCHEMAS.items():
-    assert _schema.record_size == TUPLE_BYTES[_name], (
-        f"{_name}: packed size {_schema.record_size} != paper's "
-        f"{TUPLE_BYTES[_name]} bytes"
-    )
+    if _schema.record_size != TUPLE_BYTES[_name]:
+        raise InvariantViolationError(
+            f"{_name}: packed size {_schema.record_size} != paper's "
+            f"{TUPLE_BYTES[_name]} bytes"
+        )
 
 
 def tpcc_index_specs() -> dict[str, list[IndexSpec]]:

@@ -18,6 +18,7 @@ from repro.constants import (
     STOCK_PER_WAREHOUSE,
     TUPLE_BYTES,
 )
+from repro.errors import InvariantViolationError
 
 
 @dataclass(frozen=True)
@@ -87,7 +88,10 @@ def _build_relations() -> dict[str, RelationSpec]:
         else:
             spec = RelationSpec(name, tuple_bytes, None, grows=True)
         specs[name] = spec
-    assert all(name in specs for name in GROWING_RELATIONS)
+    if not all(name in specs for name in GROWING_RELATIONS):
+        raise InvariantViolationError(
+            "GROWING_RELATIONS names a relation missing from TUPLE_BYTES"
+        )
     return specs
 
 

@@ -33,6 +33,7 @@ from repro.core.packing import (
     RandomPacking,
     SequentialPacking,
 )
+from repro.errors import InvariantViolationError
 from repro.workload.generator import InputGenerator
 from repro.workload.mix import (
     DEFAULT_MIX,
@@ -387,7 +388,10 @@ class TraceGenerator:
             params.warehouse, params.district, params.customer, params.item_ids
         )
         refs.append(PageReference(_ORDER, record.order_seq // self._tpp_order, True))
-        assert record.new_order_seq is not None
+        if record.new_order_seq is None:
+            raise InvariantViolationError(
+                "place_order returned a record without a new-order sequence"
+            )
         refs.append(
             PageReference(
                 _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True
@@ -464,7 +468,11 @@ class TraceGenerator:
             record = self._state.deliver_oldest(params.warehouse, district)
             if record is None:
                 continue
-            assert record.new_order_seq is not None
+            if record.new_order_seq is None:
+                raise InvariantViolationError(
+                    "deliver_oldest returned a record without a new-order "
+                    "sequence"
+                )
             refs.append(
                 PageReference(
                     _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True

@@ -1,0 +1,26 @@
+"""REP001 fixture: every draw below must be flagged."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+
+def stdlib_global_draw():
+    return random.randint(1, 6)
+
+
+def unseeded_stdlib_instance():
+    return random.Random()
+
+
+def numpy_legacy():
+    np.random.seed(0)
+    return np.random.randint(10)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def unseeded_from_import():
+    return default_rng()

@@ -1,0 +1,26 @@
+"""REP001 fixture: all draws explicitly seeded — zero findings."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_stdlib():
+    return random.Random(42).randint(1, 6)
+
+
+def seeded_generator():
+    return np.random.default_rng(7).integers(10)
+
+
+def seeded_from_import(seed):
+    return default_rng(seed)
+
+
+def seeded_keyword():
+    return np.random.default_rng(seed=3)
+
+
+def generator_type_reference():
+    return np.random.Generator, np.random.PCG64(5)

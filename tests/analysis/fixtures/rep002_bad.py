@@ -1,0 +1,26 @@
+"""REP002 fixture: wall-clock reads and set iteration — all flagged."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def wall_clock():
+    return time.time()
+
+
+def timestamp():
+    return datetime.now()
+
+
+def entropy():
+    return os.urandom(8)
+
+
+def token():
+    return uuid.uuid4()
+
+
+def hash_order(keys, other):
+    return [k for k in set(keys) & other]

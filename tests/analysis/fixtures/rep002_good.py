@@ -1,0 +1,18 @@
+"""REP002 fixture: monotonic clocks and sorted iteration — zero findings."""
+
+import time
+from datetime import datetime
+
+
+def stopwatch():
+    start = time.perf_counter()
+    time.sleep(0)
+    return time.monotonic() - start
+
+
+def fixed_timestamp():
+    return datetime(1993, 5, 26)
+
+
+def deterministic_order(keys, other):
+    return [k for k in sorted(set(keys) & other)]

@@ -1,0 +1,13 @@
+"""REP003 fixture: non-conforming *Config dataclasses — flagged."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    points: int = 10
+
+
+@dataclass(frozen=True, kw_only=True)
+class GridConfig:
+    cells: int = 4

@@ -1,0 +1,20 @@
+"""REP003 fixture: conforming or out-of-scope classes — zero findings."""
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunConfig:
+    steps: int = 100
+
+    def replace(self, **overrides):
+        return dataclass_replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int = 0
+
+
+class PlainConfig:
+    pass

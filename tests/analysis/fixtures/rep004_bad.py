@@ -1,0 +1,12 @@
+"""REP004 fixture: bare asserts in runtime code — flagged."""
+
+
+def transfer(amount):
+    assert amount > 0
+    return amount
+
+
+class Ledger:
+    def post(self, entry):
+        assert entry is not None
+        return entry

@@ -1,0 +1,16 @@
+"""REP004 fixture: typed raises and exempt validators — zero findings."""
+
+
+def transfer(amount):
+    if amount <= 0:
+        raise ValueError(f"amount must be positive, got {amount}")
+    return amount
+
+
+def validate_balance(amount):
+    assert amount >= 0  # exempt: explicit validator
+
+
+class Tree:
+    def check_invariants(self):
+        assert True  # exempt: invariant checker

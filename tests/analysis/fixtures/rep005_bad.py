@@ -1,0 +1,11 @@
+"""REP005 fixture: unpaired acquire and pin — flagged."""
+
+
+class Grabby:
+    def take(self, locks, txn_id, resource, mode):
+        locks.acquire(txn_id, resource, mode)
+
+
+def read_page(pool, page_id):
+    frame = pool.pin(page_id)
+    return frame.data

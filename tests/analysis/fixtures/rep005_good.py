@@ -1,0 +1,17 @@
+"""REP005 fixture: paired lock and pin usage — zero findings."""
+
+
+class Courteous:
+    def take(self, locks, txn_id, resource, mode):
+        locks.acquire(txn_id, resource, mode)
+
+    def drop(self, locks, txn_id):
+        locks.release_all(txn_id)
+
+
+def copy_page(pool, page_id):
+    frame = pool.pin(page_id)
+    try:
+        return frame.data
+    finally:
+        pool.unpin(page_id)

@@ -1,0 +1,11 @@
+"""REP006 fixture: page/heap mutation outside the whitelist — flagged."""
+
+
+def sneak_write(page, heap):
+    page.insert(b"row")
+    heap.apply_put(0, b"row")
+
+
+class Repairer:
+    def patch(self, page):
+        page.update(3, b"fixed")

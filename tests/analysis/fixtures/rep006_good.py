@@ -1,0 +1,11 @@
+"""REP006 fixture: reads and audited mutations — zero findings."""
+
+
+def peek(page, heap):
+    row = page.read(0)
+    count = heap.live_count()
+    return row, count
+
+
+def audited_recovery(page):
+    page.put(0, b"row")  # reprolint: disable=REP006

@@ -1,0 +1,12 @@
+"""Suppression fixture: every finding disabled by an inline comment."""
+
+import random
+
+
+def quiet_draw():
+    return random.random()  # reprolint: disable=REP001
+
+
+def quiet_many(amount):
+    assert amount > 0  # reprolint: disable=REP004,REP001
+    return random.random()  # reprolint: disable=REP001, REP004

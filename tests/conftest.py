@@ -5,7 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import InvariantSanitizer
 from repro.tpcc import TpccConfig, load_tpcc
+
+
+@pytest.fixture(autouse=True)
+def invariant_sanitizer():
+    """Monitor lock pairing, waits-for cycles, and buffer accounting.
+
+    Installed around every test; a transaction that finishes while
+    holding locks, a deadlock cycle, or an over-capacity buffer pool
+    fails the test with SanitizerViolation even if its own assertions
+    pass.  Tests exercising the sanitizer itself opt out by shadowing
+    this fixture.
+    """
+    sanitizer = InvariantSanitizer()
+    with sanitizer:
+        yield sanitizer
+    sanitizer.check()
 
 
 @pytest.fixture

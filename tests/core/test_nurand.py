@@ -124,6 +124,12 @@ class TestMonteCarloPmf:
         )
         assert float(a.pmf.sum()) == pytest.approx(1.0)
 
+    def test_default_rng_is_deterministic(self):
+        """Regression (reprolint REP001): the no-rng path must replay."""
+        a = monte_carlo_pmf(63, 1, 200, samples=10_000)
+        b = monte_carlo_pmf(63, 1, 200, samples=10_000)
+        assert np.array_equal(a.pmf, b.pmf)
+
 
 class TestClosedForm:
     def test_matches_exact(self):

@@ -12,7 +12,6 @@ from repro.core.nurand import (
     customer_mixture_distribution,
     customer_name_band_distributions,
     item_id_distribution,
-    scaled_nurand_a,
 )
 from repro.core.skew import access_share_of_hottest, gini_coefficient
 from repro.workload.trace import TraceConfig, TraceGenerator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.runner import Preset, run_experiment
+from repro.experiments.runner import run_experiment
 
 
 class TestTable1:

@@ -6,7 +6,6 @@ import pytest
 from repro.engine.catalog import TableSchema, integer
 from repro.engine.database import Database
 from repro.engine.errors import (
-    BufferEvictionError,
     CorruptPageError,
     LockConflictError,
     TornPageWriteError,

@@ -6,7 +6,7 @@ and distributed scale-up, plus the executable engine cross-validation.
 
 import pytest
 
-from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.buffer.simulator import SimulationConfig
 from repro.distributed.scaleup import scaleup_curve
 from repro.throughput.model import ThroughputModel
 from repro.throughput.params import MissRateInputs

@@ -31,6 +31,18 @@ class TestConfig:
     def test_unique_names(self):
         assert TpccConfig(customers_per_district=90).unique_names == 30
 
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            TpccConfig(3)  # noqa: B026 - deliberate positional misuse
+
+    def test_replace_revalidates(self):
+        base = TpccConfig(warehouses=4)
+        derived = base.replace(warehouses=7)
+        assert derived.warehouses == 7
+        assert base.warehouses == 4
+        with pytest.raises(ValueError, match="divisible"):
+            base.replace(customers_per_district=100)
+
 
 class TestLoadedDatabase:
     def test_cardinalities(self, small_tpcc_db, small_tpcc_config):

@@ -12,6 +12,21 @@ def generator(rng):
     return InputGenerator(warehouses=5, rng=rng)
 
 
+class TestDefaultRngDeterminism:
+    """Regression: the no-rng fallback must be seeded (reprolint REP001).
+
+    An OS-entropy-seeded default generator made two InputGenerators
+    constructed without an explicit rng produce different traces.
+    """
+
+    def test_default_rng_is_deterministic(self):
+        first = InputGenerator(warehouses=3)
+        second = InputGenerator(warehouses=3)
+        draws_a = [first.new_order().item_ids for _ in range(5)]
+        draws_b = [second.new_order().item_ids for _ in range(5)]
+        assert draws_a == draws_b
+
+
 class TestScaledA:
     def test_full_scale_defaults(self):
         assert scaled_nurand_a(ITEMS, ITEMS, NURAND_A_ITEM) == NURAND_A_ITEM
