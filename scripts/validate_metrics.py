@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a metrics snapshot against the checked-in JSON schema.
+
+Usage::
+
+    python -m repro run fig5 --metrics - --format json --quiet \
+        | python scripts/validate_metrics.py
+    python scripts/validate_metrics.py snapshot.json
+
+Accepts either a bare ``MetricsSnapshot`` document or any document
+embedding one under a ``metrics`` key (a ``--format json`` result, a
+run manifest).  The validator is a small hand-rolled interpreter of
+the JSON Schema subset used by ``schemas/metrics_snapshot.schema.json``
+(type/const/enum/required/properties/additionalProperties/items), so
+CI needs no third-party jsonschema package.  On top of the schema it
+enforces the per-type sample shapes the schema language can't express
+compactly: counters/gauges carry ``value``, histograms carry
+``counts``/``sum``/``count`` with one overflow bucket.
+
+Exit codes: 0 valid, 1 invalid, 2 usage/input errors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / (
+    "schemas/metrics_snapshot.schema.json"
+)
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def check_schema(value: Any, schema: dict, path: str, errors: list[str]) -> None:
+    """Collect violations of ``schema`` by ``value`` into ``errors``."""
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        ok = isinstance(value, python_type)
+        if ok and expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, item in value.items():
+            if name in properties:
+                check_schema(item, properties[name], f"{path}.{name}", errors)
+            elif "additionalProperties" in schema:
+                check_schema(
+                    item, schema["additionalProperties"], f"{path}.{name}", errors
+                )
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            check_schema(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def check_sample_shapes(snapshot: dict, errors: list[str]) -> None:
+    """Per-instrument-type constraints beyond the schema language."""
+    for i, entry in enumerate(snapshot.get("series", [])):
+        if not isinstance(entry, dict):
+            continue
+        kind = entry.get("type")
+        where = f"$.series[{i}]"
+        buckets = entry.get("buckets")
+        if kind == "histogram" and not isinstance(buckets, list):
+            errors.append(f"{where}: histogram series must declare buckets")
+            continue
+        for j, sample in enumerate(entry.get("samples", [])):
+            if not isinstance(sample, dict):
+                continue
+            spot = f"{where}.samples[{j}]"
+            if kind == "histogram":
+                for key in ("counts", "sum", "count"):
+                    if key not in sample:
+                        errors.append(f"{spot}: histogram sample missing {key!r}")
+                counts = sample.get("counts")
+                if isinstance(counts, list) and len(counts) != len(buckets) + 1:
+                    errors.append(
+                        f"{spot}: expected {len(buckets) + 1} bucket counts "
+                        f"(incl. overflow), got {len(counts)}"
+                    )
+            elif "value" not in sample:
+                errors.append(f"{spot}: {kind} sample missing 'value'")
+
+
+def extract_snapshot(document: Any) -> Any:
+    """The snapshot itself, or the one embedded under ``metrics``."""
+    if isinstance(document, dict) and document.get("kind") != "MetricsSnapshot":
+        return document.get("metrics")
+    return document
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        raw = Path(argv[0]).read_text() if argv else sys.stdin.read()
+    except OSError as error:
+        print(f"cannot read input: {error}", file=sys.stderr)
+        return 2
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        print(f"input is not JSON: {error}", file=sys.stderr)
+        return 2
+    snapshot = extract_snapshot(document)
+    if not isinstance(snapshot, dict):
+        print(
+            "no metrics snapshot found (expected a MetricsSnapshot document "
+            "or a document with a 'metrics' key)",
+            file=sys.stderr,
+        )
+        return 2
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+    errors: list[str] = []
+    check_schema(snapshot, schema, "$", errors)
+    if not errors:
+        check_sample_shapes(snapshot, errors)
+    if errors:
+        for message in errors:
+            print(f"schema violation: {message}", file=sys.stderr)
+        return 1
+    series = snapshot.get("series", [])
+    samples = sum(len(entry.get("samples", [])) for entry in series)
+    print(f"metrics snapshot valid: {len(series)} series, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -17,6 +17,21 @@ from repro.analysis.rules import all_rule_codes, make_rules
 #: Directories never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
 
+#: Per-rule path whitelist: rule code -> path suffixes the rule does not
+#: apply to.  ``repro/obs/clock.py`` is the single sanctioned wall-clock
+#: seam (everything else must stay deterministic), so REP002 exempts it
+#: — and only it.
+RULE_WHITELIST: dict[str, tuple[str, ...]] = {
+    "REP002": ("repro/obs/clock.py",),
+}
+
+
+def is_whitelisted(rule_code: str, path: Path) -> bool:
+    """Whether a file is exempt from a rule via :data:`RULE_WHITELIST`."""
+    suffixes = RULE_WHITELIST.get(rule_code, ())
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in suffixes)
+
 
 def default_target() -> Path:
     """The installed ``repro`` package directory (the tree we lint)."""
@@ -97,6 +112,8 @@ def lint_paths(
             continue
         report.files_checked += 1
         for rule in rules:
+            if is_whitelisted(rule.code, path):
+                continue
             for finding in rule.check(module):
                 if module.is_suppressed(finding):
                     report.suppressed += 1
@@ -115,8 +132,10 @@ def describe_rules() -> list[tuple[str, str]]:
 
 __all__ = [
     "LintReport",
+    "RULE_WHITELIST",
     "default_target",
     "describe_rules",
+    "is_whitelisted",
     "iter_python_files",
     "lint_paths",
 ]

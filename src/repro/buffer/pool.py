@@ -16,14 +16,22 @@ from repro.buffer.policy import ReplacementPolicy
 
 @dataclass
 class PoolStatistics:
-    """Hit/miss counters, per relation index and overall."""
+    """Hit/miss/eviction counters, per relation index and overall.
+
+    Evictions are keyed by the relation of the *evicted* page, not the
+    page whose admission displaced it.
+    """
 
     hits: dict[int, int] = field(default_factory=dict)
     misses: dict[int, int] = field(default_factory=dict)
+    evictions: dict[int, int] = field(default_factory=dict)
 
     def record(self, relation: int, hit: bool) -> None:
         table = self.hits if hit else self.misses
         table[relation] = table.get(relation, 0) + 1
+
+    def record_eviction(self, relation: int) -> None:
+        self.evictions[relation] = self.evictions.get(relation, 0) + 1
 
     def accesses(self, relation: int | None = None) -> int:
         """References seen, for one relation or in total."""
@@ -43,6 +51,7 @@ class PoolStatistics:
     def reset(self) -> None:
         self.hits.clear()
         self.misses.clear()
+        self.evictions.clear()
 
 
 class SimulatedBufferPool:
@@ -84,10 +93,14 @@ class SimulatedBufferPool:
         key = (relation, page)
         policy = self._policy
         if policy.contains(key):
-            policy.touch(key)  # a 2Q promotion may displace a page; fine here
+            victim = policy.touch(key)  # a 2Q promotion may displace a page
+            if victim is not None:
+                self._stats.record_eviction(victim[0])
             self._stats.record(relation, hit=True)
             return True
-        policy.admit(key)
+        victim = policy.admit(key)
+        if victim is not None:
+            self._stats.record_eviction(victim[0])
         self._stats.record(relation, hit=False)
         return False
 

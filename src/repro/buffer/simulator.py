@@ -20,6 +20,8 @@ from dataclasses import dataclass, field, replace as _dataclass_replace
 from repro.buffer.policy import make_policy
 from repro.buffer.pool import SimulatedBufferPool
 from repro.constants import DEFAULT_PAGE_SIZE
+from repro.obs import instruments
+from repro.obs.tracing import get_tracer
 from repro.stats.batch_means import BatchMeans, BatchMeansSummary
 from repro.workload.mix import TransactionType
 from repro.workload.trace import RELATION_NAMES, TraceConfig, TraceGenerator
@@ -208,6 +210,20 @@ class BufferSimulation:
         trace = TraceGenerator(config.trace)
         pool = SimulatedBufferPool(make_policy(config.policy, config.buffer_pages))
 
+        with get_tracer().span(
+            "sim.run",
+            policy=config.policy,
+            buffer_mb=config.buffer_mb,
+            packing=config.trace.packing,
+        ):
+            return self._measure(config, trace, pool)
+
+    def _measure(
+        self,
+        config: SimulationConfig,
+        trace: TraceGenerator,
+        pool: SimulatedBufferPool,
+    ) -> MissRateReport:
         self._warm_up(trace, pool, config.effective_warmup)
 
         n_relations = len(RELATION_NAMES)
@@ -227,6 +243,8 @@ class BufferSimulation:
                 tx_type, refs = trace.transaction()
                 total_transactions += 1
                 tx_name = tx_type.value
+                instruments.SIM_TRANSACTIONS.inc(tx=tx_name)
+                instruments.SIM_TX_REFS.observe(len(refs), tx=tx_name)
                 for relation, page, write in refs:
                     hit = pool.access(relation, page, write)
                     batch_accesses[relation] += 1
@@ -263,6 +281,7 @@ class BufferSimulation:
             for (tx_name, relation), accesses in tx_accesses.items()
             if accesses
         }
+        self._fold_counters(config, pool, total_accesses, total_misses)
         return MissRateReport(
             config=config,
             relations=relations,
@@ -270,6 +289,41 @@ class BufferSimulation:
             total_references=total_references,
             total_transactions=total_transactions,
         )
+
+    @staticmethod
+    def _fold_counters(
+        config: SimulationConfig,
+        pool: SimulatedBufferPool,
+        total_accesses: list[int],
+        total_misses: list[int],
+    ) -> None:
+        """Fold the run's exact measured totals into the obs counters.
+
+        Folding the same tallies the report is built from (rather than
+        counting each reference again on the hot path) guarantees the
+        snapshot reconciles exactly with the reported miss rates.
+        """
+        if not instruments.SIM_BUFFER_ACCESSES.enabled:
+            return
+        run_labels = {
+            "policy": config.policy,
+            "packing": config.trace.packing,
+            "buffer_mb": f"{config.buffer_mb:g}",
+        }
+        for index, name in enumerate(RELATION_NAMES):
+            if total_accesses[index]:
+                instruments.SIM_BUFFER_ACCESSES.inc(
+                    total_accesses[index], relation=name, **run_labels
+                )
+            if total_misses[index]:
+                instruments.SIM_BUFFER_MISSES.inc(
+                    total_misses[index], relation=name, **run_labels
+                )
+            evicted = pool.stats.evictions.get(index, 0)
+            if evicted:
+                instruments.SIM_BUFFER_EVICTIONS.inc(
+                    evicted, relation=name, **run_labels
+                )
 
     @staticmethod
     def _warm_up(trace: TraceGenerator, pool: SimulatedBufferPool, target: int) -> None:

@@ -6,7 +6,9 @@ Subcommands::
     python -m repro run fig5                   # regenerate an artifact
     python -m repro run fig8 --preset standard # paper-scale simulation
     python -m repro run fig8 --jobs 4 --cache-dir ~/.repro-cache
+    python -m repro run fig8 --metrics out.json --trace trace.jsonl
     python -m repro run-all --preset quick     # every table and figure
+    python -m repro stats out.json             # pretty-print a snapshot
     python -m repro skew                       # Section 3 headline numbers
     python -m repro throughput --buffer-mb 52  # Section 5 at one point
     python -m repro lint                       # reprolint over src/repro
@@ -17,13 +19,24 @@ Simulation-backed experiments decompose into independent work units;
 memoizes unit results on disk (keyed by config + package version), and
 ``--manifest`` writes a JSON run manifest with per-unit timings and
 cache-hit counts.
+
+Observability is observe-only: ``--metrics`` collects a metrics
+snapshot (written to a file, or printed with ``-``), ``--trace``
+records a JSONL span/event trace, and ``--profile`` runs cProfile over
+each work unit — none of them change experiment outputs or cache keys.
+
+Every subcommand accepts ``--format {text,json}``; all output is
+routed through one rendering helper so the JSON mode emits exactly one
+document on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,7 +49,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list every table/figure experiment id")
+    def add_format_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--format",
+            choices=["text", "json"],
+            default="text",
+            help="output format (default: text)",
+        )
+
+    list_parser = commands.add_parser(
+        "list", help="list every table/figure experiment id"
+    )
+    add_format_argument(list_parser)
 
     def add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -96,6 +120,25 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="suppress per-unit progress lines on stderr",
         )
+        subparser.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help="collect a metrics snapshot and write it to PATH as JSON "
+            "('-' prints it to stdout); observe-only, cache keys unchanged",
+        )
+        subparser.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="record a JSONL span/event trace of the run to PATH",
+        )
+        subparser.add_argument(
+            "--profile",
+            action="store_true",
+            help="cProfile each work unit; top hotspots land in the manifest",
+        )
+        add_format_argument(subparser)
 
     run = commands.add_parser("run", help="regenerate one table or figure")
     run.add_argument("experiment", help="experiment id, e.g. table1 or fig8")
@@ -118,6 +161,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's rows as CSV into this directory",
     )
 
+    stats = commands.add_parser(
+        "stats",
+        help="pretty-print a metrics snapshot (from --metrics, a result "
+        "JSON, or a run manifest)",
+    )
+    stats.add_argument(
+        "path",
+        help="snapshot file, result/manifest JSON with embedded metrics, "
+        "or '-' for stdin",
+    )
+    stats.add_argument(
+        "--deterministic-only",
+        action="store_true",
+        help="drop series that are not seed-reproducible (wall-clock times)",
+    )
+    add_format_argument(stats)
+
     validate = commands.add_parser(
         "validate", help="check trace output against the exact PMFs"
     )
@@ -128,6 +188,7 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--packing", choices=["sequential", "optimized"], default="sequential"
     )
+    add_format_argument(validate)
 
     trace = commands.add_parser(
         "trace", help="record a page-reference trace to an .npz file"
@@ -140,6 +201,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sequential",
     )
     trace.add_argument("--seed", type=int, default=0)
+    add_format_argument(trace)
 
     skew = commands.add_parser("skew", help="Section 3 skew summary")
     skew.add_argument(
@@ -148,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="stock",
         help="which relation's access distribution to summarize",
     )
+    add_format_argument(skew)
 
     throughput = commands.add_parser(
         "throughput", help="Section 5 throughput model at one buffer size"
@@ -157,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--packing", choices=["sequential", "optimized"], default="sequential"
     )
     throughput.add_argument("--mips", type=float, default=10.0)
+    add_format_argument(throughput)
 
     lint = commands.add_parser(
         "lint", help="run the reprolint static-analysis rules (REP001..REP006)"
@@ -166,12 +230,7 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files or directories to lint (default: the repro package)",
     )
-    lint.add_argument(
-        "--format",
-        choices=["text", "json"],
-        default="text",
-        help="output format (default: text)",
-    )
+    add_format_argument(lint)
     lint.add_argument(
         "--rules",
         metavar="CODES",
@@ -186,13 +245,38 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_list() -> int:
+def _emit(args, text: str, data: Any) -> None:
+    """The single rendering seam every subcommand's output goes through.
+
+    ``--format text`` prints the human-readable report; ``--format
+    json`` prints one JSON document (and nothing else) to stdout.
+    """
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(data, indent=2, sort_keys=True, default=str))
+    else:
+        print(text)
+
+
+def _note(args, message: str) -> None:
+    """A side-effect confirmation ('rows written to ...').
+
+    Goes to stdout in text mode (historical behaviour) but to stderr in
+    JSON mode so stdout stays a single parseable document.
+    """
+    stream = sys.stderr if getattr(args, "format", "text") == "json" else sys.stdout
+    print(message, file=stream)
+
+
+def _command_list(args) -> int:
     from repro.experiments.runner import EXPERIMENTS, list_experiments
 
+    entries = []
     for experiment_id in list_experiments():
         function = EXPERIMENTS[experiment_id]
         summary = (function.__doc__ or "").strip().splitlines()[0]
-        print(f"{experiment_id:<12} {summary}")
+        entries.append({"experiment": experiment_id, "summary": summary})
+    text = "\n".join(f"{e['experiment']:<12} {e['summary']}" for e in entries)
+    _emit(args, text, {"experiments": entries})
     return 0
 
 
@@ -210,7 +294,25 @@ def _request_from_args(args, experiment: str):
         manifest_path=args.manifest,
         progress=not args.quiet,
         resume_from=args.resume,
+        collect_metrics=args.metrics is not None,
+        trace_path=args.trace,
+        profile=args.profile,
     )
+
+
+def _write_snapshot(args, snapshot) -> None:
+    """Honor ``--metrics PATH|-`` for a collected snapshot."""
+    if args.metrics is None or snapshot is None:
+        return
+    if args.metrics == "-":
+        if getattr(args, "format", "text") == "json":
+            return  # already embedded in the JSON document on stdout
+        print(snapshot.to_json())
+    else:
+        from pathlib import Path
+
+        Path(args.metrics).write_text(snapshot.to_json() + "\n")
+        _note(args, f"metrics snapshot written to {args.metrics}")
 
 
 def _command_run(args) -> int:
@@ -251,10 +353,11 @@ def _command_run(args) -> int:
         if manifest.total_units and not args.quiet:
             print(f"[exec] manifest: {manifest.summary()}", file=sys.stderr)
         engine.close()
-    print(result.render())
+    _emit(args, result.render(), result.to_dict())
+    _write_snapshot(args, getattr(result, "metrics", None))
     if args.csv:
         result.to_csv(args.csv)
-        print(f"\nrows written to {args.csv}")
+        _note(args, f"\nrows written to {args.csv}")
     return 0
 
 
@@ -264,6 +367,8 @@ def _command_run_all(args) -> int:
     from repro.experiments.runner import list_experiments
 
     failures: list[str] = []
+    documents: list[dict[str, Any]] = []
+    json_mode = args.format == "json"
     try:
         base = _request_from_args(args, "placeholder")
         engine = build_engine(base)
@@ -290,8 +395,11 @@ def _command_run_all(args) -> int:
                     file=sys.stderr,
                 )
                 continue
-            print(result.render())
-            print()
+            if json_mode:
+                documents.append(result.to_dict())
+            else:
+                print(result.render())
+                print()
             if args.csv_dir:
                 from pathlib import Path
 
@@ -311,83 +419,147 @@ def _command_run_all(args) -> int:
             manifest.write(base.manifest_path)
         if not args.quiet:
             print(f"[exec] manifest: {manifest.summary()}", file=sys.stderr)
+        snapshot = engine.collected_metrics
         engine.close()
+    if json_mode:
+        document: dict[str, Any] = {"results": documents, "failed": failures}
+        if snapshot is not None and args.metrics == "-":
+            document["metrics"] = snapshot.to_dict()
+        print(json.dumps(document, indent=2, sort_keys=True, default=str))
+        if args.metrics not in (None, "-"):
+            _write_snapshot(args, snapshot)
+    else:
+        _write_snapshot(args, snapshot)
     if failures:
         print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
         return 3
     return 0
 
 
-def _command_validate(
-    warehouses: int, items: int, customers: int, transactions: int, packing: str
-) -> int:
+def _command_stats(args) -> int:
+    from repro.experiments.report import render_table
+    from repro.obs.metrics import MetricsSnapshot
+
+    if args.path == "-":
+        raw = sys.stdin.read()
+    else:
+        from pathlib import Path
+
+        source = Path(args.path)
+        if not source.exists():
+            print(f"no such file: {args.path}", file=sys.stderr)
+            return 2
+        raw = source.read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as error:
+        print(f"not JSON: {error}", file=sys.stderr)
+        return 2
+    if isinstance(data, dict) and data.get("kind") != "MetricsSnapshot":
+        # A result or manifest document with an embedded snapshot.
+        data = data.get("metrics")
+    if not isinstance(data, dict):
+        print(
+            "no metrics snapshot found (expected a snapshot document or a "
+            "result/manifest with a 'metrics' field)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        snapshot = MetricsSnapshot.from_dict(data)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"malformed snapshot: {error}", file=sys.stderr)
+        return 2
+    if args.deterministic_only:
+        snapshot = snapshot.deterministic_only()
+    rows = snapshot.as_rows()
+    text = (
+        render_table(rows, title="metrics snapshot")
+        if rows
+        else "metrics snapshot: empty"
+    )
+    _emit(args, text, snapshot.to_dict())
+    return 0
+
+
+def _command_validate(args) -> int:
     from repro.experiments.report import render_table
     from repro.workload.trace import TraceConfig
     from repro.workload.validation import validate_trace
 
     config = TraceConfig(
-        warehouses=warehouses,
-        items=items,
-        customers_per_district=customers,
-        prime_orders=min(30, customers),
-        prime_pending=min(10, customers),
-        packing=packing,
+        warehouses=args.warehouses,
+        items=args.items,
+        customers_per_district=args.customers,
+        prime_orders=min(30, args.customers),
+        prime_pending=min(10, args.customers),
+        packing=args.packing,
     )
-    checks = validate_trace(config, transactions)
-    print(
-        render_table(
-            [check.as_row() for check in checks.values()],
-            title="trace vs exact PMFs (NU-driven accesses)",
-        )
-    )
+    checks = validate_trace(config, args.transactions)
+    rows = [check.as_row() for check in checks.values()]
     consistent = all(check.consistent() for check in checks.values())
-    print("\nconsistent" if consistent else "\nINCONSISTENT")
+    text = render_table(
+        rows, title="trace vs exact PMFs (NU-driven accesses)"
+    ) + ("\n\nconsistent" if consistent else "\n\nINCONSISTENT")
+    _emit(args, text, {"checks": rows, "consistent": consistent})
     return 0 if consistent else 1
 
 
-def _command_trace(
-    path: str, warehouses: int, transactions: int, packing: str, seed: int
-) -> int:
+def _command_trace(args) -> int:
     from repro.workload.trace import TraceConfig
     from repro.workload.tracefile import SavedTrace
 
-    config = TraceConfig(warehouses=warehouses, packing=packing, seed=seed)
-    saved = SavedTrace.record(config, transactions)
-    written = saved.save(path)
-    print(
+    config = TraceConfig(
+        warehouses=args.warehouses, packing=args.packing, seed=args.seed
+    )
+    saved = SavedTrace.record(config, args.transactions)
+    written = saved.save(args.path)
+    _emit(
+        args,
         f"recorded {saved.reference_count} references over "
-        f"{saved.transaction_count} transactions to {written}"
+        f"{saved.transaction_count} transactions to {written}",
+        {
+            "path": str(written),
+            "references": saved.reference_count,
+            "transactions": saved.transaction_count,
+        },
     )
     return 0
 
 
-def _command_skew(relation: str) -> int:
+def _command_skew(args) -> int:
     from repro.core.nurand import customer_mixture_distribution, item_id_distribution
     from repro.core.skew import SkewSummary
     from repro.experiments.report import render_table
 
     distribution = (
-        item_id_distribution() if relation == "stock" else customer_mixture_distribution()
+        item_id_distribution()
+        if args.relation == "stock"
+        else customer_mixture_distribution()
     )
     summary = SkewSummary.of(distribution)
     rows = [{"metric": name, "value": value} for name, value in summary.as_row().items()]
-    print(render_table(rows, title=f"{relation} relation access skew (tuple level)"))
+    _emit(
+        args,
+        render_table(rows, title=f"{args.relation} relation access skew (tuple level)"),
+        {"relation": args.relation, **summary.to_dict()},
+    )
     return 0
 
 
-def _command_throughput(buffer_mb: float, packing: str, mips: float) -> int:
+def _command_throughput(args) -> int:
     from repro.experiments.report import render_table
     from repro.throughput.model import ThroughputModel
     from repro.throughput.params import CostParameters
     from repro.throughput.pricing import AnalyticMissRateProvider
 
-    miss = AnalyticMissRateProvider(packing=packing)(buffer_mb)
+    miss = AnalyticMissRateProvider(packing=args.packing)(args.buffer_mb)
     result = ThroughputModel(
-        params=CostParameters(mips=mips), miss_rates=miss
+        params=CostParameters(mips=args.mips), miss_rates=miss
     ).solve()
     rows = [
-        {"metric": "buffer MB", "value": buffer_mb},
-        {"metric": "packing", "value": packing},
+        {"metric": "buffer MB", "value": args.buffer_mb},
+        {"metric": "packing", "value": args.packing},
         {"metric": "customer miss rate", "value": round(miss.customer, 4)},
         {"metric": "stock miss rate", "value": round(miss.stock, 4)},
         {"metric": "item miss rate", "value": round(miss.item, 4)},
@@ -396,7 +568,20 @@ def _command_throughput(buffer_mb: float, packing: str, mips: float) -> int:
         {"metric": "disk reads per tx", "value": round(result.disk_reads_per_tx, 2)},
         {"metric": "disk arms", "value": result.disk_arms_for_bandwidth},
     ]
-    print(render_table(rows, title="throughput model (80% CPU utilization)"))
+    _emit(
+        args,
+        render_table(rows, title="throughput model (80% CPU utilization)"),
+        {
+            "buffer_mb": args.buffer_mb,
+            "packing": args.packing,
+            "miss_rates": {
+                "customer": miss.customer,
+                "stock": miss.stock,
+                "item": miss.item,
+            },
+            "result": result.to_dict(),
+        },
+    )
     return 0
 
 
@@ -415,33 +600,33 @@ def _command_lint(args) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
-    print(report.render_json() if args.format == "json" else report.render_text())
+    _emit(args, report.render_text(), report.as_dict())
     return report.exit_code
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "lint":
-        return _command_lint(args)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "run-all":
-        return _command_run_all(args)
-    if args.command == "validate":
-        return _command_validate(
-            args.warehouses, args.items, args.customers, args.transactions,
-            args.packing,
-        )
-    if args.command == "trace":
-        return _command_trace(
-            args.path, args.warehouses, args.transactions, args.packing, args.seed
-        )
-    if args.command == "skew":
-        return _command_skew(args.relation)
-    return _command_throughput(args.buffer_mb, args.packing, args.mips)
+    handlers = {
+        "list": _command_list,
+        "lint": _command_lint,
+        "run": _command_run,
+        "run-all": _command_run_all,
+        "stats": _command_stats,
+        "validate": _command_validate,
+        "trace": _command_trace,
+        "skew": _command_skew,
+        "throughput": _command_throughput,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout early; the
+        # conventional exit status is 128 + SIGPIPE.  Detach stdout so the
+        # interpreter's shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

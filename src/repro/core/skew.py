@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.results import ReportMixin
 from repro.stats.distribution import DiscreteDistribution
 
 
@@ -81,7 +82,7 @@ def gini_coefficient(distribution: DiscreteDistribution) -> float:
 
 
 @dataclass(frozen=True)
-class SkewSummary:
+class SkewSummary(ReportMixin):
     """The skew quantiles the paper quotes, for one distribution.
 
     ``hottest_2pct`` etc. are fractions of accesses going to the hottest

@@ -14,6 +14,7 @@ import copy
 from dataclasses import dataclass
 
 from repro.distributed.remote import RemoteCallExpectations
+from repro.results import ReportMixin
 from repro.throughput.model import ThroughputModel, ThroughputResult
 from repro.throughput.params import CostParameters, MissRateInputs
 from repro.throughput.visits import Operation, VisitTable, single_node_visits
@@ -64,7 +65,7 @@ def distributed_visit_table(
 
 
 @dataclass(frozen=True)
-class DistributedResult:
+class DistributedResult(ReportMixin):
     """System-wide solution for an N-node configuration."""
 
     nodes: int

@@ -15,6 +15,7 @@ from repro.buffer.policy import ReplacementPolicy, make_policy
 from repro.buffer.pool import PoolStatistics
 from repro.engine.errors import InjectedFaultError
 from repro.engine.page import Page, PageId, PageStore
+from repro.obs import instruments
 
 
 class BufferManager:
@@ -43,8 +44,12 @@ class BufferManager:
             raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
         self._store = store
         if isinstance(policy, str):
+            self._policy_name = policy.lower()
             policy = make_policy(policy, capacity_pages)
+        else:
+            self._policy_name = type(policy).__name__.removesuffix("Policy").lower()
         self._policy = policy
+        self._file_names: dict[int, str] = {}
         self._frames: dict[PageId, Page] = {}
         self._dirty: set[PageId] = set()
         self._stats = PoolStatistics()
@@ -54,6 +59,13 @@ class BufferManager:
     def set_injector(self, injector) -> None:
         """Arm (or disarm with None) a fault injector at the eviction seam."""
         self._injector = injector
+
+    def name_file(self, file_id: int, name: str) -> None:
+        """Register a relation name for a file id (used as a metric label)."""
+        self._file_names[file_id] = name
+
+    def _relation(self, file_id: int) -> str:
+        return self._file_names.get(file_id, str(file_id))
 
     # -- accessors ---------------------------------------------------------------
 
@@ -95,10 +107,20 @@ class BufferManager:
             if victim is not None:
                 self._evict_victim(victim)
             self._stats.record(page_id.file_id, hit=True)
+            instruments.ENGINE_BUFFER_REQUESTS.inc(
+                relation=self._relation(page_id.file_id),
+                policy=self._policy_name,
+                outcome="hit",
+            )
         else:
             page = self._store.read(page_id)
             self._install(page_id, page)
             self._stats.record(page_id.file_id, hit=False)
+            instruments.ENGINE_BUFFER_REQUESTS.inc(
+                relation=self._relation(page_id.file_id),
+                policy=self._policy_name,
+                outcome="miss",
+            )
         if for_write:
             self._dirty.add(page_id)
         return page
@@ -161,15 +183,22 @@ class BufferManager:
         stays resident and dirty as an orphan, to be re-admitted on its
         next access or flushed at the next checkpoint.
         """
+        labels = {
+            "relation": self._relation(victim.file_id),
+            "policy": self._policy_name,
+        }
         if self._injector is not None and self._injector.fire("buffer.evict"):
             self.deferred_evictions += 1
+            instruments.ENGINE_BUFFER_EVICTIONS.inc(outcome="deferred", **labels)
             return
         try:
             self._write_back(victim)
         except InjectedFaultError:
             self.deferred_evictions += 1
+            instruments.ENGINE_BUFFER_EVICTIONS.inc(outcome="deferred", **labels)
             return
         del self._frames[victim]
+        instruments.ENGINE_BUFFER_EVICTIONS.inc(outcome="evicted", **labels)
 
     def _evict(self, page_id: PageId) -> None:
         self._write_back(page_id)

@@ -25,6 +25,7 @@ from repro.engine.locks import LockManager, LockMode
 from repro.engine.page import Page, PageStore
 from repro.engine.table import IndexSpec, Table
 from repro.engine.wal import LogRecordType, WriteAheadLog
+from repro.obs import instruments
 
 
 @dataclass
@@ -55,6 +56,17 @@ class CallCounts:
             "non_unique_selects": self.non_unique_selects,
             "joins": self.joins,
         }
+
+    def total(self) -> int:
+        """All SQL calls of the transaction."""
+        return (
+            self.selects
+            + self.updates
+            + self.inserts
+            + self.deletes
+            + self.non_unique_selects
+            + self.joins
+        )
 
 
 class _TxnState(enum.Enum):
@@ -383,6 +395,7 @@ class Database:
         table = Table(schema, heap, indexes)
         self._tables[schema.name] = table
         self._file_ids[schema.name] = file_id
+        self.buffers.name_file(file_id, schema.name)
         return table
 
     def table(self, name: str) -> Table:
@@ -428,6 +441,8 @@ class Database:
         self._census.setdefault(txn.label, CallCounts()).merge(txn.calls)
         self._finished.setdefault(txn.label, 0)
         self._finished[txn.label] += 1
+        instruments.TX_COMMITS.inc(tx=txn.label)
+        instruments.TX_OPS.observe(txn.calls.total(), tx=txn.label)
 
     def finished_count(self, label: str = "all") -> int:
         """Committed transactions recorded under a label."""
@@ -464,6 +479,8 @@ class Database:
         self.buffers = BufferManager(
             self.store, self.buffers.capacity, "lru", injector=self._injector
         )
+        for name, file_id in self._file_ids.items():
+            self.buffers.name_file(file_id, name)
         for table in self._tables.values():
             table.heap.rebind(self.buffers)
         self.locks = LockManager(
@@ -509,6 +526,7 @@ class Database:
     def _recover_locked(self) -> None:
         self._repair_torn_pages()
         for record in self.wal.change_records():
+            instruments.WAL_REPLAYS.inc(table=record.table)
             heap = self.table(record.table).heap
             if record.after is None:
                 heap.apply_clear(record.location)

@@ -17,6 +17,7 @@ from collections import defaultdict
 from typing import Callable, Hashable
 
 from repro.engine.errors import LockConflictError
+from repro.obs import instruments
 
 Resource = Hashable
 
@@ -112,18 +113,27 @@ class LockManager:
             self._try_acquire(txn_id, resource, mode)
             return
         deadline = self._clock() + budget
-        while True:
-            try:
-                self._try_acquire(txn_id, resource, mode)
-                return
-            except LockConflictError as error:
-                if self._clock() >= deadline:
-                    self.timeouts += 1
-                    raise LockConflictError(
-                        f"txn {txn_id} timed out after {budget}s waiting for "
-                        f"{mode.value} on {resource!r}: {error}"
-                    ) from error
-                self._sleep(self.poll_interval)
+        waiting = False
+        try:
+            while True:
+                try:
+                    self._try_acquire(txn_id, resource, mode)
+                    return
+                except LockConflictError as error:
+                    if self._clock() >= deadline:
+                        self.timeouts += 1
+                        instruments.LOCK_TIMEOUTS.inc(mode=mode.value)
+                        raise LockConflictError(
+                            f"txn {txn_id} timed out after {budget}s waiting for "
+                            f"{mode.value} on {resource!r}: {error}"
+                        ) from error
+                    if not waiting:
+                        waiting = True
+                        instruments.LOCK_WAIT_DEPTH.inc()
+                    self._sleep(self.poll_interval)
+        finally:
+            if waiting:
+                instruments.LOCK_WAIT_DEPTH.dec()
 
     def _try_acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> None:
         """One no-wait grant attempt (the original acquire semantics)."""
@@ -136,6 +146,7 @@ class LockManager:
         exclusive_holder = self._exclusive.get(resource)
         if exclusive_holder is not None and exclusive_holder != txn_id:
             self.conflicts += 1
+            instruments.LOCK_CONFLICTS.inc(mode=mode.value)
             raise LockConflictError(
                 f"txn {txn_id} blocked on {resource!r}: X-held by {exclusive_holder}"
             )
@@ -143,6 +154,7 @@ class LockManager:
             others = self._shared.get(resource, set()) - {txn_id}
             if others:
                 self.conflicts += 1
+                instruments.LOCK_CONFLICTS.inc(mode=mode.value)
                 raise LockConflictError(
                     f"txn {txn_id} blocked on {resource!r}: S-held by {sorted(others)}"
                 )
@@ -152,6 +164,7 @@ class LockManager:
             self._shared[resource].add(txn_id)
         self._held[txn_id].add(resource)
         self.acquisitions += 1
+        instruments.LOCK_ACQUISITIONS.inc(mode=mode.value)
 
     # -- release ------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.engine.errors import WalError
+from repro.obs import instruments
 
 
 class LogRecordType(enum.Enum):
@@ -208,4 +209,6 @@ class WriteAheadLog:
             self._injector.check("wal.append")
         self._records.append(record)
         self.bytes_written += record.size_bytes
+        instruments.WAL_APPENDS.inc(type=record.type.value)
+        instruments.WAL_BYTES.inc(record.size_bytes)
         return record.lsn

@@ -37,6 +37,10 @@ from typing import Any, TextIO
 
 from repro.exec.cache import MISSING, ResultCache, cache_key
 from repro.exec.units import SupportsSweep, WorkUnit
+from repro.obs import instruments
+from repro.obs.metrics import MetricsSnapshot, default_registry
+from repro.obs.profiling import profile_call
+from repro.results import ReportMixin
 
 
 class ExecutionError(RuntimeError):
@@ -44,8 +48,12 @@ class ExecutionError(RuntimeError):
 
 
 @dataclass
-class UnitRecord:
-    """Execution record of one work unit (one manifest row)."""
+class UnitRecord(ReportMixin):
+    """Execution record of one work unit (one manifest row).
+
+    ``profile`` holds the unit's top-N cProfile hotspot rows when the
+    run requested profiling (see :mod:`repro.obs.profiling`).
+    """
 
     experiment: str
     unit_id: str
@@ -54,6 +62,7 @@ class UnitRecord:
     wall_seconds: float
     cpu_seconds: float
     error: str | None = None
+    profile: list[dict[str, Any]] | None = None
 
     @property
     def cached(self) -> bool:
@@ -65,7 +74,7 @@ class UnitRecord:
         return self.status == "skipped"
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "experiment": self.experiment,
             "unit": self.unit_id,
             "status": self.status,
@@ -74,6 +83,9 @@ class UnitRecord:
             "cpu_seconds": round(self.cpu_seconds, 6),
             "error": self.error,
         }
+        if self.profile is not None:
+            data["profile"] = self.profile
+        return data
 
 
 @dataclass
@@ -84,6 +96,7 @@ class RunManifest:
     cache_dir: str | None
     units: list[UnitRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    metrics: MetricsSnapshot | None = None
 
     @property
     def total_units(self) -> int:
@@ -116,7 +129,7 @@ class RunManifest:
         return self.total_units > 0 and self.cache_hits == self.total_units
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "units_total": self.total_units,
@@ -128,6 +141,9 @@ class RunManifest:
             "cpu_seconds": round(self.cpu_seconds, 6),
             "units": [record.as_dict() for record in self.units],
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics.to_dict()
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2)
@@ -180,15 +196,46 @@ def load_completed_units(manifest_path: str | Path) -> set[tuple[str, str]]:
         return set()
 
 
-def _invoke(unit: WorkUnit) -> tuple[Any, float, float]:
-    """Run one unit, measuring wall and CPU time (worker-side)."""
+def _invoke(
+    unit: WorkUnit,
+    collect_metrics: bool = False,
+    profile: bool = False,
+    profile_top_n: int = 10,
+) -> tuple[Any, float, float, MetricsSnapshot | None, list[dict[str, Any]] | None]:
+    """Run one unit, measuring wall and CPU time (worker-side).
+
+    Observability options arrive as extra call arguments — never inside
+    the unit payload — so enabling them cannot change the unit's cache
+    key.  ``collect_metrics`` resets and enables the worker process's
+    registry around the unit and ships the resulting snapshot back for
+    the parent to merge; the in-process (serial) path passes False and
+    records straight into the live registry instead.
+    """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    result = unit.function(unit.payload)
+    registry = None
+    if collect_metrics:
+        registry = default_registry()
+        registry.reset()
+        registry.enable()
+    try:
+        hotspots = None
+        if profile:
+            result, hotspots = profile_call(
+                unit.function, unit.payload, top_n=profile_top_n
+            )
+        else:
+            result = unit.function(unit.payload)
+        snapshot = registry.snapshot() if registry is not None else None
+    finally:
+        if registry is not None:
+            registry.disable()
     return (
         result,
         time.perf_counter() - wall_start,
         time.process_time() - cpu_start,
+        snapshot,
+        hotspots,
     )
 
 
@@ -209,6 +256,9 @@ class ExecutionEngine:
         progress: bool = False,
         stream: TextIO | None = None,
         resume_from: str | Path | None = None,
+        collect_metrics: bool = False,
+        profile: bool = False,
+        profile_top_n: int = 10,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -216,9 +266,17 @@ class ExecutionEngine:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if unit_timeout is not None and unit_timeout <= 0:
             raise ValueError(f"unit_timeout must be positive, got {unit_timeout}")
+        if profile_top_n < 1:
+            raise ValueError(f"profile_top_n must be >= 1, got {profile_top_n}")
         self.jobs = jobs
         self.unit_timeout = unit_timeout
         self.retries = retries
+        self.collect_metrics = collect_metrics
+        self.profile = profile
+        self.profile_top_n = profile_top_n
+        #: Snapshot of the last collected run, set by
+        #: :func:`repro.exec.request.execute`; embedded into manifests.
+        self.collected_metrics: MetricsSnapshot | None = None
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self._completed: set[tuple[str, str]] = (
             load_completed_units(resume_from) if resume_from is not None else set()
@@ -281,6 +339,7 @@ class ExecutionEngine:
             cache_dir=str(self.cache.root) if self.cache else None,
             units=list(self._records),
             wall_seconds=self._wall,
+            metrics=self.collected_metrics,
         )
 
     def _record(self, record: UnitRecord) -> None:
@@ -314,6 +373,10 @@ class ExecutionEngine:
                 key = cache_key(unit.function, unit.payload)
                 keys[unit.unit_id] = key
                 value = self.cache.get(key)
+                instruments.EXEC_CACHE_LOOKUPS.inc(
+                    outcome="miss" if value is MISSING else "hit",
+                    experiment=spec.experiment,
+                )
                 if value is not MISSING:
                     resumed = (spec.experiment, unit.unit_id) in self._completed
                     status = "skipped" if resumed else "cached"
@@ -335,6 +398,12 @@ class ExecutionEngine:
                     continue
             remaining.append(unit)
 
+        registry = default_registry()
+        force_enabled = self.collect_metrics and not registry.enabled
+        if force_enabled:
+            # Direct engine use (no surrounding collecting() session):
+            # honor collect_metrics by enabling for the sweep's duration.
+            registry.enable()
         try:
             if remaining:
                 if self.jobs == 1:
@@ -347,6 +416,9 @@ class ExecutionEngine:
             self._wall += time.perf_counter() - started
             self._log(f"{spec.experiment} sweep interrupted")
             raise
+        finally:
+            if force_enabled:
+                registry.disable()
 
         self._wall += time.perf_counter() - started
         self._log(
@@ -394,8 +466,14 @@ class ExecutionEngine:
         for index, unit in enumerate(units, start=1):
             error_text = None
             for attempt in range(1, self.retries + 2):
+                if attempt > 1:
+                    instruments.EXEC_UNIT_RETRIES.inc(experiment=experiment)
                 try:
-                    result, wall, cpu = _invoke(unit)
+                    # In-process run: metrics (when enabled) record into
+                    # the live registry directly — no snapshot to merge.
+                    result, wall, cpu, _, hotspots = _invoke(
+                        unit, False, self.profile, self.profile_top_n
+                    )
                 except KeyboardInterrupt:
                     raise
                 except Exception as error:  # noqa: BLE001 - recorded + retried
@@ -407,6 +485,7 @@ class ExecutionEngine:
                     continue
                 results[unit.unit_id] = result
                 self._store(unit, result, keys)
+                instruments.EXEC_UNIT_SECONDS.observe(wall, experiment=experiment)
                 self._record(
                     UnitRecord(
                         experiment=experiment,
@@ -415,6 +494,7 @@ class ExecutionEngine:
                         attempts=attempt,
                         wall_seconds=wall,
                         cpu_seconds=cpu,
+                        profile=hotspots,
                     )
                 )
                 self._log(
@@ -456,14 +536,24 @@ class ExecutionEngine:
         while pending:
             pool = self._ensure_pool()
             futures: dict[str, Future] = {
-                unit_id: pool.submit(_invoke, unit)
+                unit_id: pool.submit(
+                    _invoke,
+                    unit,
+                    self.collect_metrics,
+                    self.profile,
+                    self.profile_top_n,
+                )
                 for unit_id, unit in pending.items()
             }
             pool_broken = False
             for unit_id, future in futures.items():
                 attempts[unit_id] += 1
+                if attempts[unit_id] > 1:
+                    instruments.EXEC_UNIT_RETRIES.inc(experiment=experiment)
                 try:
-                    result, wall, cpu = future.result(timeout=self.unit_timeout)
+                    result, wall, cpu, snapshot, hotspots = future.result(
+                        timeout=self.unit_timeout
+                    )
                 except FutureTimeoutError:
                     errors[unit_id] = (
                         f"timed out after {self.unit_timeout}s"
@@ -489,6 +579,14 @@ class ExecutionEngine:
                     self._store(pending[unit_id], result, keys)
                     del pending[unit_id]
                     errors.pop(unit_id, None)
+                    if snapshot is not None:
+                        # Fold the worker's per-unit metrics into the
+                        # parent registry, where the surrounding
+                        # collecting() session picks them up.
+                        default_registry().merge_snapshot(snapshot)
+                    instruments.EXEC_UNIT_SECONDS.observe(
+                        wall, experiment=experiment
+                    )
                     self._record(
                         UnitRecord(
                             experiment=experiment,
@@ -497,6 +595,7 @@ class ExecutionEngine:
                             attempts=attempts[unit_id],
                             wall_seconds=wall,
                             cpu_seconds=cpu,
+                            profile=hotspots,
                         )
                     )
                     self._log(

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, Any
 from repro.exec.engine import ExecutionEngine, RunManifest
 from repro.exec.units import SupportsSweep
 from repro.experiments.runner import Preset
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import tracing_to
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentResult
@@ -39,6 +41,12 @@ class RunRequest:
     ``resume_from`` points at a previous run's manifest: units it
     completed are skipped and served from the cache (requires
     ``cache_dir``).
+
+    The observability knobs (``collect_metrics``, ``trace_path``,
+    ``profile``) are strictly observe-only: they change what the run
+    *records*, never what it computes — and they are deliberately kept
+    out of work-unit payloads so cache keys are identical with and
+    without them.
     """
 
     experiment: str
@@ -51,6 +59,9 @@ class RunRequest:
     manifest_path: str | Path | None = None
     progress: bool = False
     resume_from: str | Path | None = None
+    collect_metrics: bool = False
+    trace_path: str | Path | None = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.preset, str):
@@ -100,6 +111,8 @@ def build_engine(request: RunRequest) -> ExecutionEngine:
         retries=request.retries,
         progress=request.progress,
         resume_from=request.resume_from,
+        collect_metrics=request.collect_metrics,
+        profile=request.profile,
     )
 
 
@@ -117,14 +130,37 @@ def execute(
     experiments) the caller owns its lifecycle and manifest; otherwise
     a fresh engine is built, closed afterwards, and its manifest is
     written to ``request.manifest_path`` when set.
+
+    With ``collect_metrics`` the run happens inside a metrics
+    collection session; the resulting snapshot is attached to the
+    returned :class:`ExperimentResult` and embedded into the engine's
+    manifest.  With ``trace_path`` a JSONL tracer is installed for the
+    duration.  Both are observe-only — outputs and cache keys are
+    byte-identical with and without them.
     """
+    from contextlib import ExitStack
+
     from repro.experiments.runner import resolve
 
     function = resolve(request.experiment)
     own_engine = engine is None
     engine = engine if engine is not None else build_engine(request)
+    session = None
     try:
-        result = function(RunContext(request=request, engine=engine))
+        with ExitStack() as stack:
+            if request.trace_path is not None:
+                stack.enter_context(tracing_to(request.trace_path))
+            if request.collect_metrics:
+                session = stack.enter_context(default_registry().collecting())
+            result = function(RunContext(request=request, engine=engine))
+        if session is not None:
+            snapshot = session.snapshot
+            result = result.with_metrics(snapshot)
+            engine.collected_metrics = (
+                snapshot
+                if engine.collected_metrics is None
+                else engine.collected_metrics.merge(snapshot)
+            )
     finally:
         if own_engine:
             if request.manifest_path is not None:

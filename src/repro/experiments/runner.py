@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import enum
-import functools
 import inspect
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.report import render_table
+from repro.obs.metrics import MetricsSnapshot
+from repro.results import ReportMixin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.request import RunContext
@@ -30,8 +30,13 @@ class Preset(enum.Enum):
 
 
 @dataclass(frozen=True)
-class ExperimentResult:
-    """The output of one experiment."""
+class ExperimentResult(ReportMixin):
+    """The output of one experiment.
+
+    ``metrics`` holds the observability snapshot collected while the
+    experiment ran (None unless the run requested metrics); attach one
+    with :meth:`repro.results.ReportMixin.with_metrics`.
+    """
 
     experiment: str
     title: str
@@ -39,6 +44,7 @@ class ExperimentResult:
     headline: dict[str, float] = field(default_factory=dict)
     paper_reference: dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    metrics: MetricsSnapshot | None = None
 
     def to_csv(self, path) -> None:
         """Write the data rows as CSV (for external plotting).
@@ -84,13 +90,13 @@ ExperimentFunction = Callable[["RunContext"], ExperimentResult]
 EXPERIMENTS: dict[str, ExperimentFunction] = {}
 
 
-def _adapt(experiment_id: str, function: Callable) -> ExperimentFunction:
-    """Wrap a legacy ``function(preset)`` experiment into the new contract.
+def _check_signature(experiment_id: str, function: Callable) -> None:
+    """Reject the pre-RunContext ``function(preset)`` contract.
 
-    New-style functions declare a ``RunContext`` parameter (by
-    annotation, or a first parameter named ``ctx``/``context``) and are
-    registered as-is; anything else is treated as the deprecated
-    single-``Preset`` signature and shimmed.
+    The single-``Preset`` signature was deprecated when the unified
+    run-request API landed and the shim has aged out; experiments must
+    declare a ``RunContext`` parameter (by annotation, or a first
+    parameter named ``ctx``/``context``).
     """
     parameters = list(inspect.signature(function).parameters.values())
     first = parameters[0] if parameters else None
@@ -101,35 +107,23 @@ def _adapt(experiment_id: str, function: Callable) -> ExperimentFunction:
     if first is not None and (
         "RunContext" in annotation or first.name in ("ctx", "context")
     ):
-        return function
-
-    warnings.warn(
-        f"experiment {experiment_id!r} uses the legacy single-argument "
-        "ExperimentFunction signature (bare Preset); take a RunContext "
-        "instead (its .preset attribute is the old argument)",
-        DeprecationWarning,
-        stacklevel=3,
+        return
+    raise TypeError(
+        f"experiment {experiment_id!r} must accept a RunContext as its "
+        "first parameter; the legacy single-Preset signature is no "
+        "longer supported"
     )
-
-    @functools.wraps(function)
-    def wrapper(ctx: "RunContext") -> ExperimentResult:
-        if parameters:
-            return function(ctx.preset)
-        return function()
-
-    wrapper.__legacy_preset_function__ = True  # type: ignore[attr-defined]
-    return wrapper
 
 
 def register(experiment_id: str):
     """Decorator adding an experiment function to the registry."""
 
-    def wrap(function: Callable) -> ExperimentFunction:
+    def wrap(function: ExperimentFunction) -> ExperimentFunction:
         if experiment_id in EXPERIMENTS:
             raise ValueError(f"experiment {experiment_id!r} registered twice")
-        adapted = _adapt(experiment_id, function)
-        EXPERIMENTS[experiment_id] = adapted
-        return adapted
+        _check_signature(experiment_id, function)
+        EXPERIMENTS[experiment_id] = function
+        return function
 
     return wrap
 

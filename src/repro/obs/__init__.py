@@ -1,0 +1,53 @@
+"""Observability: metrics registry, structured tracing, profiling hooks.
+
+The package instruments the repo's hot seams (buffer pools, lock
+manager, WAL, TPC-C executor, execution engine) without perturbing
+results:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms.  Disabled by default (a disabled instrument is
+  a flag check), with snapshot/diff/merge semantics so worker-process
+  metrics aggregate through the ``ProcessPoolExecutor`` fan-out.
+* :mod:`repro.obs.clock` — the deterministic :class:`LogicalClock`
+  (operation counters) that keys trace records, plus the injectable
+  :class:`WallClock` seam — the one module allowed to read the wall
+  clock (reprolint REP002 whitelists it).
+* :mod:`repro.obs.tracing` — span/event records to a JSONL sink, keyed
+  by logical time so two seeded runs trace identically.
+* :mod:`repro.obs.profiling` — cProfile wrappers whose top-N hotspot
+  tables fold into run manifests.
+
+The cardinal rule is **observe-only**: enabling any of this must never
+change an experiment's outputs, its random streams, or its cache keys.
+"""
+
+from repro.obs.clock import Clock, LogicalClock, NullWallClock, WallClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+)
+from repro.obs.profiling import profile_call
+from repro.obs.tracing import JsonlSink, NullTracer, Tracer, get_tracer, tracing_to
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LogicalClock",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullTracer",
+    "NullWallClock",
+    "Tracer",
+    "WallClock",
+    "default_registry",
+    "get_tracer",
+    "profile_call",
+    "tracing_to",
+]

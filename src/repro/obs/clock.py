@@ -1,0 +1,75 @@
+"""Clock seams for observability.
+
+Trace records are keyed by a *logical* clock — a deterministic counter
+of observed operations — so two identical seeded runs emit byte-equal
+traces.  Wall-clock timestamps are opt-in through the injectable
+:class:`WallClock` seam; this module is the single place in the package
+allowed to read the wall clock (reprolint's REP002 whitelists it, and
+only it), so every other result path stays replayable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The wall-clock seam: returns seconds since the epoch, or None.
+
+    ``None`` means "no wall time available" — the deterministic default.
+    Trace records omit their wall-time field in that case, keeping
+    output byte-stable across runs.
+    """
+
+    def wall_time(self) -> Optional[float]: ...
+
+
+class LogicalClock:
+    """A deterministic operation counter.
+
+    ``tick()`` returns the next value of a monotonically increasing
+    integer sequence starting at 1; ``now`` reads the current value
+    without advancing.  Equal sequences of operations produce equal
+    tick values, independent of host, load, or time of day.
+    """
+
+    __slots__ = ("_ticks",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._ticks = start
+
+    @property
+    def now(self) -> int:
+        """The current tick without advancing the clock."""
+        return self._ticks
+
+    def tick(self) -> int:
+        """Advance the clock and return the new tick."""
+        self._ticks += 1
+        return self._ticks
+
+    def reset(self, value: int = 0) -> None:
+        if value < 0:
+            raise ValueError(f"value must be >= 0, got {value}")
+        self._ticks = value
+
+
+class WallClock:
+    """The real wall clock (non-deterministic; opt-in only)."""
+
+    def wall_time(self) -> float:
+        return time.time()
+
+
+class NullWallClock:
+    """The deterministic default: no wall time at all."""
+
+    def wall_time(self) -> None:
+        return None
+
+
+__all__ = ["Clock", "LogicalClock", "NullWallClock", "WallClock"]

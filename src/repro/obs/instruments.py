@@ -1,0 +1,156 @@
+"""The named instruments the repo's hot seams record into.
+
+One module owns every metric name so the JSON schema, the docs table in
+``docs/paper_notes.md`` and the instrumented call sites cannot drift
+apart.  All instruments live on the process-wide
+:func:`~repro.obs.metrics.default_registry`, which starts disabled —
+recording into any of these is a single flag check until a run turns
+collection on.
+
+Naming: ``<seam>.<noun>`` with a ``_total`` suffix for counters.
+``deterministic=False`` marks wall-time-derived series, which the
+byte-identical-snapshot tests exclude.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import DURATION_BUCKETS, OP_COUNT_BUCKETS, default_registry
+
+_REGISTRY = default_registry()
+
+# -- trace-driven buffer simulation (paper Fig. 8) ---------------------------
+
+SIM_BUFFER_ACCESSES = _REGISTRY.counter(
+    "sim.buffer.accesses_total",
+    help="measured page references in the trace-driven simulation",
+)
+SIM_BUFFER_MISSES = _REGISTRY.counter(
+    "sim.buffer.misses_total",
+    help="measured buffer misses in the trace-driven simulation",
+)
+SIM_BUFFER_EVICTIONS = _REGISTRY.counter(
+    "sim.buffer.evictions_total",
+    help="pages evicted by the simulated pool's replacement policy",
+)
+SIM_TRANSACTIONS = _REGISTRY.counter(
+    "sim.transactions_total",
+    help="trace transactions generated during measurement",
+)
+SIM_TX_REFS = _REGISTRY.histogram(
+    "sim.tx.page_refs",
+    help="page references per trace transaction, by transaction type",
+    buckets=OP_COUNT_BUCKETS,
+)
+
+# -- executable engine: buffer manager ---------------------------------------
+
+ENGINE_BUFFER_REQUESTS = _REGISTRY.counter(
+    "engine.buffer.requests_total",
+    help="page requests against the engine buffer manager (outcome=hit|miss)",
+)
+ENGINE_BUFFER_EVICTIONS = _REGISTRY.counter(
+    "engine.buffer.evictions_total",
+    help="frames evicted by the engine buffer manager (outcome=evicted|deferred)",
+)
+
+# -- executable engine: lock manager -----------------------------------------
+
+LOCK_ACQUISITIONS = _REGISTRY.counter(
+    "engine.locks.acquisitions_total",
+    help="locks granted, by mode",
+)
+LOCK_CONFLICTS = _REGISTRY.counter(
+    "engine.locks.conflicts_total",
+    help="lock requests denied by a conflicting holder",
+)
+LOCK_TIMEOUTS = _REGISTRY.counter(
+    "engine.locks.timeouts_total",
+    help="lock waits abandoned at the timeout deadline",
+)
+LOCK_WAIT_DEPTH = _REGISTRY.gauge(
+    "engine.locks.wait_depth",
+    help="concurrent lock waiters (peak survives snapshot merges)",
+)
+
+# -- executable engine: write-ahead log --------------------------------------
+
+WAL_APPENDS = _REGISTRY.counter(
+    "engine.wal.appends_total",
+    help="records appended to the write-ahead log, by record type",
+)
+WAL_BYTES = _REGISTRY.counter(
+    "engine.wal.bytes_total",
+    help="bytes appended to the write-ahead log",
+)
+WAL_REPLAYS = _REGISTRY.counter(
+    "engine.wal.replays_total",
+    help="change records replayed during crash recovery",
+)
+
+# -- TPC-C executor -----------------------------------------------------------
+
+TX_COMMITS = _REGISTRY.counter(
+    "tpcc.tx.commits_total",
+    help="committed transactions, by transaction type",
+)
+TX_ABORTS = _REGISTRY.counter(
+    "tpcc.tx.aborts_total",
+    help="transactions aborted by transient errors, by transaction type",
+)
+TX_RETRIES = _REGISTRY.counter(
+    "tpcc.tx.retries_total",
+    help="retry attempts after transient aborts",
+)
+TX_OPS = _REGISTRY.histogram(
+    "tpcc.tx.ops",
+    help="SQL calls per committed transaction, by transaction type",
+    buckets=OP_COUNT_BUCKETS,
+)
+TX_SECONDS = _REGISTRY.histogram(
+    "tpcc.tx.seconds",
+    help="wall-clock latency per committed transaction (non-deterministic)",
+    deterministic=False,
+    buckets=DURATION_BUCKETS,
+)
+
+# -- execution engine (process fan-out) ---------------------------------------
+
+EXEC_CACHE_LOOKUPS = _REGISTRY.counter(
+    "exec.cache.lookups_total",
+    help="result-cache lookups, by outcome=hit|miss",
+)
+EXEC_UNIT_RETRIES = _REGISTRY.counter(
+    "exec.unit.retries_total",
+    help="work-unit attempts beyond the first",
+)
+EXEC_UNIT_SECONDS = _REGISTRY.histogram(
+    "exec.unit.seconds",
+    help="wall-clock duration per executed work unit (non-deterministic)",
+    deterministic=False,
+    buckets=DURATION_BUCKETS,
+)
+
+__all__ = [
+    "ENGINE_BUFFER_EVICTIONS",
+    "ENGINE_BUFFER_REQUESTS",
+    "EXEC_CACHE_LOOKUPS",
+    "EXEC_UNIT_RETRIES",
+    "EXEC_UNIT_SECONDS",
+    "LOCK_ACQUISITIONS",
+    "LOCK_CONFLICTS",
+    "LOCK_TIMEOUTS",
+    "LOCK_WAIT_DEPTH",
+    "SIM_BUFFER_ACCESSES",
+    "SIM_BUFFER_EVICTIONS",
+    "SIM_BUFFER_MISSES",
+    "SIM_TRANSACTIONS",
+    "SIM_TX_REFS",
+    "TX_ABORTS",
+    "TX_COMMITS",
+    "TX_OPS",
+    "TX_RETRIES",
+    "TX_SECONDS",
+    "WAL_APPENDS",
+    "WAL_BYTES",
+    "WAL_REPLAYS",
+]

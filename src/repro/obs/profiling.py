@@ -1,0 +1,58 @@
+"""Profiling hooks: cProfile around a call, hotspots as plain data.
+
+The execution engine wraps each work unit in :func:`profile_call` when
+``--profile`` is requested; the returned top-N hotspot rows are folded
+into the unit's manifest record, so a run manifest doubles as a coarse
+profile report without any external tooling.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Manifest row keys, in column order.
+HOTSPOT_FIELDS = ("function", "calls", "total_s", "cumulative_s")
+
+
+def profile_call(
+    function: Callable[..., T],
+    *args: Any,
+    top_n: int = 10,
+    **kwargs: Any,
+) -> tuple[T, list[dict[str, Any]]]:
+    """Run ``function`` under cProfile; return (result, top-N hotspots).
+
+    Hotspots are sorted by cumulative time, one dict per function with
+    ``function`` (``file:line(name)``), ``calls``, ``total_s`` (own
+    time) and ``cumulative_s``.  Exceptions propagate unprofiled-ish:
+    the profiler is disabled before re-raising, no hotspots survive.
+    """
+    if top_n < 1:
+        raise ValueError(f"top_n must be >= 1, got {top_n}")
+    profiler = cProfile.Profile()
+    result = profiler.runcall(function, *args, **kwargs)
+    return result, hotspots(profiler, top_n=top_n)
+
+
+def hotspots(profiler: cProfile.Profile, top_n: int = 10) -> list[dict[str, Any]]:
+    """Top-N rows of a finished profile, by cumulative time."""
+    statistics = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in statistics.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "calls": nc,
+                "total_s": round(tt, 6),
+                "cumulative_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumulative_s"], row["function"]))
+    return rows[:top_n]
+
+
+__all__ = ["HOTSPOT_FIELDS", "hotspots", "profile_call"]

@@ -1,0 +1,167 @@
+"""Structured tracing: span/event records to a JSONL sink.
+
+Records are dicts keyed by a deterministic :class:`~repro.obs.clock.
+LogicalClock` tick (``t``), so two identical seeded runs produce
+byte-equal trace files.  Wall-clock timestamps (``wall``) appear only
+when an explicit :class:`~repro.obs.clock.WallClock` is injected.
+
+Two record kinds::
+
+    {"kind": "event", "t": 3, "name": "exec.cache_hit", "span": 1, ...attrs}
+    {"kind": "span", "t": 1, "t_end": 9, "name": "fig8.unit", ...attrs}
+
+Spans nest via a stack; an event emitted inside a span carries the
+enclosing span's start tick as ``span``.  The module-level tracer is a
+:class:`NullTracer` until a run installs a real one (``tracing_to``),
+so instrumented call sites cost one method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional
+
+from repro.obs.clock import Clock, LogicalClock, NullWallClock
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or file-like object."""
+
+    def __init__(self, target: str | Path | IO[str]):
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle: IO[str] = path.open("w")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+class Tracer:
+    """Emits span/event records keyed by logical time."""
+
+    def __init__(
+        self,
+        sink: JsonlSink,
+        clock: LogicalClock | None = None,
+        wall: Optional[Clock] = None,
+    ):
+        self._sink = sink
+        self._clock = clock if clock is not None else LogicalClock()
+        self._wall = wall if wall is not None else NullWallClock()
+        self._span_stack: list[int] = []
+        self.records_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _stamp(self, record: dict[str, Any]) -> dict[str, Any]:
+        wall = self._wall.wall_time()
+        if wall is not None:
+            record["wall"] = wall
+        if self._span_stack:
+            record["span"] = self._span_stack[-1]
+        return record
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time occurrence."""
+        record = {"kind": "event", "t": self._clock.tick(), "name": name, **attrs}
+        self._sink.write(self._stamp(record))
+        self.records_written += 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Record an interval; nested events reference it via ``span``."""
+        start = self._clock.tick()
+        self._span_stack.append(start)
+        try:
+            yield
+        finally:
+            self._span_stack.pop()
+            record = {
+                "kind": "span",
+                "t": start,
+                "t_end": self._clock.tick(),
+                "name": name,
+                **attrs,
+            }
+            self._sink.write(self._stamp(record))
+            self.records_written += 1
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+class NullTracer:
+    """The no-op default: every call returns immediately."""
+
+    enabled = False
+    records_written = 0
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        yield
+
+    def close(self) -> None:
+        return None
+
+
+_NULL = NullTracer()
+_ACTIVE: Tracer | NullTracer = _NULL
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-local tracer instrumented modules emit through."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install a tracer (None restores the no-op); returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else _NULL
+    return previous
+
+
+@contextmanager
+def tracing_to(
+    target: str | Path | IO[str], wall: Optional[Clock] = None
+) -> Iterator[Tracer]:
+    """Install a JSONL tracer for the duration of a block.
+
+    The previous tracer is restored (and the sink closed) on exit.
+    ``wall`` opts into wall-clock timestamps; the default emits none,
+    keeping the trace deterministic.
+    """
+    tracer = Tracer(JsonlSink(target), wall=wall)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()
+
+
+__all__ = [
+    "JsonlSink",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing_to",
+]

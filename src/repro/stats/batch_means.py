@@ -13,9 +13,11 @@ from dataclasses import dataclass
 
 from scipy import stats as scipy_stats
 
+from repro.results import ReportMixin
+
 
 @dataclass(frozen=True)
-class BatchMeansSummary:
+class BatchMeansSummary(ReportMixin):
     """Point estimate and confidence interval from a batch-means run."""
 
     mean: float

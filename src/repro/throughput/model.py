@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.results import ReportMixin
 from repro.throughput.params import CostParameters, MissRateInputs
 from repro.throughput.visits import (
     VisitTable,
@@ -23,7 +24,7 @@ from repro.workload.mix import DEFAULT_MIX, TransactionMix
 
 
 @dataclass(frozen=True)
-class ThroughputResult:
+class ThroughputResult(ReportMixin):
     """Model outputs for one configuration."""
 
     throughput_tps: float

@@ -33,6 +33,9 @@ from repro.engine.errors import (
     LockConflictError,
     RecordNotFoundError,
 )
+from repro.obs import instruments
+from repro.obs.clock import WallClock
+from repro.results import ReportMixin
 from repro.workload.generator import InputGenerator, scaled_nurand_a
 from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
 from repro.core.nurand import NURand
@@ -42,6 +45,11 @@ from repro.tpcc.loader import TpccConfig, last_name
 #: Errors treated as transient: the transaction already rolled back
 #: cleanly, so the executor may retry it.
 TRANSIENT_ERRORS = (LockConflictError, InjectedFaultError)
+
+#: Latency measurement goes through the whitelisted obs clock seam, and
+#: only when metrics collection is enabled (the histogram is flagged
+#: non-deterministic, so determinism checks ignore it).
+_WALL = WallClock()
 
 
 @dataclass(frozen=True)
@@ -78,7 +86,7 @@ class RetryPolicy:
 
 
 @dataclass
-class ExecutionSummary:
+class ExecutionSummary(ReportMixin):
     """Counts of executed transactions and notable outcomes."""
 
     executed: dict[str, int] = field(default_factory=dict)
@@ -439,17 +447,26 @@ class TpccExecutor:
         inputs — the benchmark client would likewise submit a new
         request).
         """
+        timing = instruments.TX_SECONDS.enabled
         attempt = 0
         while True:
             try:
-                return work()
+                start = _WALL.wall_time() if timing else None
+                result = work()
+                if start is not None:
+                    instruments.TX_SECONDS.observe(
+                        _WALL.wall_time() - start, tx=tx_name
+                    )
+                return result
             except TRANSIENT_ERRORS:
                 self.summary.record_abort(tx_name)
+                instruments.TX_ABORTS.inc(tx=tx_name)
                 attempt += 1
                 if attempt >= self._retry_policy.max_attempts:
                     self.summary.gave_up += 1
                     raise
                 self.summary.retries += 1
+                instruments.TX_RETRIES.inc(tx=tx_name)
                 self._sleep(self._retry_policy.delay(attempt - 1, self._rng))
 
     # -- helpers -----------------------------------------------------------------------

@@ -3,7 +3,12 @@
 import json
 from pathlib import Path
 
-from repro.analysis.runner import default_target, lint_paths
+from repro.analysis.runner import (
+    RULE_WHITELIST,
+    default_target,
+    is_whitelisted,
+    lint_paths,
+)
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -20,6 +25,28 @@ class TestSelfLint:
     def test_default_target_is_repro_package(self):
         assert default_target().name == "repro"
         assert (default_target() / "cli.py").is_file()
+
+
+class TestRuleWhitelist:
+    def test_clock_seam_is_the_only_rep002_exemption(self):
+        assert RULE_WHITELIST == {"REP002": ("repro/obs/clock.py",)}
+
+    def test_suffix_matching(self):
+        assert is_whitelisted("REP002", Path("/x/src/repro/obs/clock.py"))
+        assert not is_whitelisted("REP002", Path("/x/src/repro/obs/metrics.py"))
+        assert not is_whitelisted("REP004", Path("/x/src/repro/obs/clock.py"))
+
+    def test_whitelisted_file_lints_clean_under_rep002(self):
+        clock = default_target() / "obs" / "clock.py"
+        report = lint_paths([clock], codes=["REP002"])
+        assert report.findings == []
+        assert report.files_checked == 1
+
+    def test_wall_clock_elsewhere_still_flagged(self, tmp_path):
+        offender = tmp_path / "not_clock.py"
+        offender.write_text("import time\nnow = time.time()\n")
+        report = lint_paths([offender], codes=["REP002"])
+        assert [finding.rule for finding in report.findings] == ["REP002"]
 
 
 class TestReport:

@@ -128,8 +128,10 @@ class TestExecute:
         assert data["units_total"] == 0
 
 
-class TestLegacyShim:
-    def test_old_signature_warns_and_still_runs(self, monkeypatch):
+class TestLegacyShimRemoved:
+    """The PR-1 ``function(preset)`` shim has aged out: TypeError now."""
+
+    def test_old_signature_rejected(self, monkeypatch):
         _fresh_registry(monkeypatch)
 
         def old_style(preset):
@@ -139,16 +141,11 @@ class TestLegacyShim:
                 rows=[{"preset": preset.value}],
             )
 
-        with pytest.warns(DeprecationWarning, match="legacy single-argument"):
-            adapted = register("_test_legacy")(old_style)
-        assert getattr(adapted, "__legacy_preset_function__", False)
+        with pytest.raises(TypeError, match="RunContext"):
+            register("_test_legacy")(old_style)
+        assert "_test_legacy" not in runner.EXPERIMENTS
 
-        result = execute(
-            RunRequest(experiment="_test_legacy", preset="standard")
-        )
-        assert result.rows == [{"preset": "standard"}]
-
-    def test_zero_argument_function_shimmed(self, monkeypatch):
+    def test_zero_argument_function_rejected(self, monkeypatch):
         _fresh_registry(monkeypatch)
 
         def no_args():
@@ -156,11 +153,10 @@ class TestLegacyShim:
                 experiment="_test_noargs", title="t", rows=[{"a": 1}]
             )
 
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="no longer supported"):
             register("_test_noargs")(no_args)
-        assert execute(RunRequest(experiment="_test_noargs")).rows == [{"a": 1}]
 
-    def test_new_style_does_not_warn(self, monkeypatch):
+    def test_new_style_registers_cleanly(self, monkeypatch):
         _fresh_registry(monkeypatch)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -171,12 +167,13 @@ class TestLegacyShim:
                     experiment="_test_new_style", title="t", rows=[{"a": 1}]
                 )
 
-    def test_builtin_experiments_are_new_style(self):
-        for experiment_id in runner.list_experiments():
-            function = runner.EXPERIMENTS[experiment_id]
-            assert not getattr(function, "__legacy_preset_function__", False), (
-                f"{experiment_id} still uses the legacy shim"
-            )
+        assert execute(RunRequest(experiment="_test_new_style")).rows == [{"a": 1}]
+
+    def test_builtin_experiments_register_under_strict_contract(self):
+        # Importing the registry (list_experiments) re-runs every
+        # @register with the shim gone; any leftover legacy function
+        # would raise TypeError here.
+        assert runner.list_experiments()
 
 
 class TestRunExperimentWrapper:

@@ -169,6 +169,9 @@ class TestCliResume:
             manifest="m.json",
             quiet=True,
             resume="m.json",
+            metrics=None,
+            trace=None,
+            profile=False,
         )
         request = _request_from_args(args, "fig8")
         assert request.resume_from == "m.json"

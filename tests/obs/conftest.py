@@ -1,0 +1,23 @@
+"""Fixtures for the observability tests."""
+
+import pytest
+
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Leave the process-wide registry and tracer as these tests found them.
+
+    The default registry is shared process state; a test that enables
+    or records into it must not leak counts (or the enabled flag) into
+    its neighbours.
+    """
+    registry = default_registry()
+    registry.reset()
+    registry.disable()
+    yield
+    registry.reset()
+    registry.disable()
+    set_tracer(None)

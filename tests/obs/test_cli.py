@@ -1,0 +1,168 @@
+"""CLI-level tests for --format, the observability flags and `stats`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _json_stdout(capsys):
+    out = capsys.readouterr().out
+    return json.loads(out)
+
+
+class TestFormatJson:
+    def test_run_emits_single_document(self, capsys):
+        assert main(["run", "fig5", "--format", "json", "--quiet"]) == 0
+        document = _json_stdout(capsys)
+        assert document["kind"] == "ExperimentResult"
+        assert document["experiment"] == "fig5"
+        assert document["rows"]
+
+    def test_run_embeds_metrics_with_dash(self, capsys):
+        assert (
+            main(["run", "fig5", "--metrics", "-", "--format", "json", "--quiet"])
+            == 0
+        )
+        document = _json_stdout(capsys)
+        assert document["metrics"]["kind"] == "MetricsSnapshot"
+
+    def test_run_without_metrics_flag_has_null_metrics(self, capsys):
+        assert main(["run", "fig5", "--format", "json", "--quiet"]) == 0
+        assert _json_stdout(capsys)["metrics"] is None
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        document = _json_stdout(capsys)
+        ids = [entry["experiment"] for entry in document["experiments"]]
+        assert "fig5" in ids and "fig8" in ids
+
+    def test_skew_json(self, capsys):
+        assert main(["skew", "--format", "json"]) == 0
+        document = _json_stdout(capsys)
+        assert document["kind"] == "SkewSummary"
+        assert 0 < document["gini"] < 1
+
+    def test_throughput_json(self, capsys):
+        assert main(["throughput", "--format", "json"]) == 0
+        document = _json_stdout(capsys)
+        assert document["result"]["kind"] == "ThroughputResult"
+        assert document["result"]["throughput_tps"] > 0
+
+    def test_lint_json_via_shared_seam(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", "--format", "json", str(clean)]) == 0
+        document = _json_stdout(capsys)
+        assert document["findings"] == []
+        assert document["files_checked"] == 1
+
+    def test_text_remains_the_default(self, capsys):
+        assert main(["run", "fig5", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+
+class TestMetricsFlag:
+    def test_metrics_written_to_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert (
+            main(["run", "fig5", "--metrics", str(target), "--quiet"]) == 0
+        )
+        snapshot = json.loads(target.read_text())
+        assert snapshot["kind"] == "MetricsSnapshot"
+        assert "metrics snapshot written" in capsys.readouterr().out
+
+    def test_metrics_dash_prints_snapshot_in_text_mode(self, capsys):
+        assert main(["run", "fig5", "--metrics", "-", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "MetricsSnapshot"' in out
+
+    def test_trace_flag_writes_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(["run", "fig8", "--trace", str(trace), "--quiet"]) == 0
+        )
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records
+        assert all("t" in record and "name" in record for record in records)
+
+    def test_profile_lands_in_manifest(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "run", "fig8", "--profile",
+                    "--manifest", str(manifest_path), "--quiet",
+                ]
+            )
+            == 0
+        )
+        manifest = json.loads(manifest_path.read_text())
+        profiled = [unit for unit in manifest["units"] if unit.get("profile")]
+        assert profiled
+        row = profiled[0]["profile"][0]
+        assert set(row) == {"function", "calls", "total_s", "cumulative_s"}
+
+
+class TestStatsSubcommand:
+    @pytest.fixture
+    def snapshot_file(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("sim.buffer.misses_total").inc(7, relation="stock")
+        path = tmp_path / "snapshot.json"
+        path.write_text(registry.snapshot().to_json())
+        return path
+
+    def test_renders_table(self, snapshot_file, capsys):
+        assert main(["stats", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.buffer.misses_total" in out
+        assert "relation=stock" in out
+
+    def test_json_format_reemits_snapshot(self, snapshot_file, capsys):
+        assert main(["stats", str(snapshot_file), "--format", "json"]) == 0
+        document = _json_stdout(capsys)
+        assert document["kind"] == "MetricsSnapshot"
+
+    def test_reads_embedded_metrics_from_result_document(self, tmp_path, capsys):
+        result_path = tmp_path / "result.json"
+        assert (
+            main(["run", "fig8", "--format", "json", "--metrics", "-", "--quiet"])
+            == 0
+        )
+        result_path.write_text(capsys.readouterr().out)
+        assert main(["stats", str(result_path)]) == 0
+        assert "sim.buffer.misses_total" in capsys.readouterr().out
+
+    def test_deterministic_only_drops_wall_series(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("det").inc(1)
+        registry.counter("wall", deterministic=False).inc(1)
+        path = tmp_path / "snapshot.json"
+        path.write_text(registry.snapshot().to_json())
+        assert main(["stats", str(path), "--deterministic-only"]) == 0
+        out = capsys.readouterr().out
+        assert "det" in out and "wall" not in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["stats", "/no/such/file.json"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_document_without_metrics_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"kind": "ExperimentResult", "metrics": None}))
+        assert main(["stats", str(path)]) == 2
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+    def test_garbage_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["stats", str(path)]) == 2
+        assert "not JSON" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""The observe-only invariant and snapshot determinism.
+
+Observability must never change what an experiment computes: identical
+seeded runs yield byte-identical deterministic snapshots, enabling
+tracing or metrics leaves every output value untouched, and requests
+that differ only in observability flags hit the same cache entries.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.exec.request import RunRequest, execute
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import tracing_to
+from repro.workload.trace import TraceConfig
+
+
+@pytest.fixture
+def small_sim_config() -> SimulationConfig:
+    return SimulationConfig(
+        trace=TraceConfig(warehouses=2, seed=7),
+        buffer_mb=0.5,
+        batches=2,
+        batch_size=2000,
+        warmup_references=1000,
+    )
+
+
+class TestSnapshotDeterminism:
+    def test_two_identical_seeded_runs_byte_identical_snapshots(
+        self, small_sim_config
+    ):
+        def run() -> str:
+            registry = default_registry()
+            registry.reset()
+            with registry.collecting() as session:
+                BufferSimulation(small_sim_config).run()
+            return session.snapshot.deterministic_only().to_json()
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self, small_sim_config):
+        def run(seed: int) -> str:
+            registry = default_registry()
+            registry.reset()
+            with registry.collecting() as session:
+                BufferSimulation(
+                    small_sim_config.replace(trace_seed=seed)
+                ).run()
+            return session.snapshot.deterministic_only().to_json()
+
+        assert run(7) != run(8)
+
+
+class TestObservabilityChangesNoOutputs:
+    def test_metrics_collection_leaves_report_identical(self, small_sim_config):
+        plain = BufferSimulation(small_sim_config).run()
+        with default_registry().collecting():
+            observed = BufferSimulation(small_sim_config).run()
+        assert observed == plain
+
+    def test_tracing_leaves_report_identical(self, small_sim_config):
+        plain = BufferSimulation(small_sim_config).run()
+        sink = io.StringIO()
+        with tracing_to(sink):
+            traced = BufferSimulation(small_sim_config).run()
+        assert traced == plain
+        assert sink.getvalue()  # the trace itself was written
+
+    def test_experiment_rows_identical_with_full_observability(self, tmp_path):
+        plain = execute(RunRequest(experiment="fig5"))
+        observed = execute(
+            RunRequest(
+                experiment="fig5",
+                collect_metrics=True,
+                trace_path=tmp_path / "trace.jsonl",
+                profile=True,
+            )
+        )
+        assert observed.rows == plain.rows
+        assert observed.headline == plain.headline
+
+
+class TestCacheKeysUnaffected:
+    """ISSUE regression test: obs flags must not enter cache keys."""
+
+    def test_observed_run_reuses_plain_runs_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold_manifest = tmp_path / "cold.json"
+        warm_manifest = tmp_path / "warm.json"
+        base = RunRequest(
+            experiment="fig8",
+            cache_dir=cache_dir,
+            manifest_path=cold_manifest,
+        )
+        plain = execute(base)
+        observed = execute(
+            base.replace(
+                manifest_path=warm_manifest,
+                collect_metrics=True,
+                trace_path=tmp_path / "trace.jsonl",
+                profile=True,
+            )
+        )
+        assert observed.rows == plain.rows
+
+        cold = json.loads(cold_manifest.read_text())
+        warm = json.loads(warm_manifest.read_text())
+        assert cold["cache_hits"] == 0
+        assert cold["units_total"] > 0
+        # Every unit of the observed run was served from the plain
+        # run's cache: the keys are identical with and without obs.
+        assert warm["units_total"] == cold["units_total"]
+        assert warm["cache_hits"] == warm["units_total"]
+
+    def test_observed_manifest_embeds_metrics(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        result = execute(
+            RunRequest(
+                experiment="fig8",
+                collect_metrics=True,
+                manifest_path=manifest_path,
+            )
+        )
+        assert result.metrics is not None
+        assert not result.metrics.empty
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["metrics"]["kind"] == "MetricsSnapshot"
+        assert manifest["metrics"]["series"]

@@ -1,0 +1,48 @@
+"""Unit tests for the cProfile hooks."""
+
+import pytest
+
+from repro.obs.profiling import HOTSPOT_FIELDS, profile_call
+
+
+def _workload(n: int) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_hotspots(self):
+        result, rows = profile_call(_workload, 1000)
+        assert result == _workload(1000)
+        assert rows
+        for row in rows:
+            assert set(row) == set(HOTSPOT_FIELDS)
+            assert row["calls"] >= 1
+            assert row["cumulative_s"] >= 0
+        assert "_workload" in "".join(row["function"] for row in rows)
+
+    def test_rows_sorted_by_cumulative_time(self):
+        _, rows = profile_call(_workload, 1000)
+        cumulative = [row["cumulative_s"] for row in rows]
+        assert cumulative == sorted(cumulative, reverse=True)
+
+    def test_top_n_caps_row_count(self):
+        _, rows = profile_call(_workload, 1000, top_n=2)
+        assert len(rows) <= 2
+
+    def test_top_n_validated(self):
+        with pytest.raises(ValueError, match="top_n"):
+            profile_call(_workload, 10, top_n=0)
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError, match="nope"):
+            profile_call(boom)
+
+    def test_kwargs_forwarded(self):
+        def f(a, b=0):
+            return a + b
+
+        result, _ = profile_call(f, 1, b=2)
+        assert result == 3

@@ -1,0 +1,131 @@
+"""Unit tests for the logical clock and the JSONL tracer."""
+
+import io
+import json
+
+from repro.obs.clock import LogicalClock, NullWallClock, WallClock
+from repro.obs.tracing import (
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing_to,
+)
+
+
+def _records(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestClocks:
+    def test_logical_clock_ticks_monotonically(self):
+        clock = LogicalClock()
+        assert [clock.tick(), clock.tick(), clock.tick()] == [1, 2, 3]
+        assert clock.now == 3
+        clock.reset()
+        assert clock.tick() == 1
+
+    def test_null_wall_clock_returns_none(self):
+        assert NullWallClock().wall_time() is None
+
+    def test_wall_clock_returns_seconds(self):
+        now = WallClock().wall_time()
+        assert isinstance(now, float)
+        assert now > 0
+
+
+class TestTracer:
+    def test_event_record_shape(self):
+        buffer = io.StringIO()
+        tracer = Tracer(JsonlSink(buffer))
+        tracer.event("cache.hit", unit="fig8/2MB")
+        (record,) = _records(buffer)
+        assert record == {
+            "kind": "event",
+            "t": 1,
+            "name": "cache.hit",
+            "unit": "fig8/2MB",
+        }
+
+    def test_span_records_interval_and_nests_events(self):
+        buffer = io.StringIO()
+        tracer = Tracer(JsonlSink(buffer))
+        with tracer.span("sim.run", policy="lru"):
+            tracer.event("inner")
+        events = _records(buffer)
+        inner, span = events
+        assert inner["kind"] == "event"
+        assert inner["span"] == span["t"]  # references the enclosing span
+        assert span == {
+            "kind": "span",
+            "t": 1,
+            "t_end": 3,
+            "name": "sim.run",
+            "policy": "lru",
+        }
+
+    def test_no_wall_field_without_wall_clock(self):
+        buffer = io.StringIO()
+        Tracer(JsonlSink(buffer)).event("e")
+        (record,) = _records(buffer)
+        assert "wall" not in record
+
+    def test_wall_field_with_injected_clock(self):
+        class FixedClock:
+            def wall_time(self):
+                return 123.5
+
+        buffer = io.StringIO()
+        Tracer(JsonlSink(buffer), wall=FixedClock()).event("e")
+        (record,) = _records(buffer)
+        assert record["wall"] == 123.5
+
+    def test_two_identical_runs_produce_byte_equal_traces(self):
+        def run() -> str:
+            buffer = io.StringIO()
+            tracer = Tracer(JsonlSink(buffer))
+            with tracer.span("outer", x=1):
+                tracer.event("a")
+                with tracer.span("inner"):
+                    tracer.event("b", n=2)
+            return buffer.getvalue()
+
+        assert run() == run()
+
+    def test_records_written_counter(self):
+        tracer = Tracer(JsonlSink(io.StringIO()))
+        tracer.event("a")
+        with tracer.span("s"):
+            pass
+        assert tracer.records_written == 2
+
+
+class TestModuleTracer:
+    def test_default_is_null(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        tracer.event("ignored")
+        with tracer.span("ignored"):
+            pass
+        assert tracer.records_written == 0
+
+    def test_set_tracer_returns_previous(self):
+        buffer = io.StringIO()
+        tracer = Tracer(JsonlSink(buffer))
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(previous) is tracer
+
+    def test_tracing_to_writes_file_and_restores(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        before = get_tracer()
+        with tracing_to(path) as tracer:
+            assert get_tracer() is tracer
+            tracer.event("e", k="v")
+        assert get_tracer() is before
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record["name"] == "e"
+        assert record["k"] == "v"
