@@ -1,0 +1,71 @@
+"""Array-kernel vs object-pool simulator: parity and speedup.
+
+Runs the same reduced-scale Figure 8 style simulation through both
+implementations, asserts the reports are bit-identical, and benchmarks
+the array path.  The full-scale numbers (paper-default trace, both wall
+time and per-reference processing rate) are produced by
+``scripts/bench_fig8.py`` and committed as ``BENCH_fig8.json``.
+"""
+
+import dataclasses
+import time
+
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.workload.trace import TraceConfig
+
+
+def bench_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        trace=TraceConfig(warehouses=4, seed=11),
+        buffer_mb=16.0,
+        batches=4,
+        batch_size=25_000,
+        warmup_references=50_000,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def reports_match(a, b) -> bool:
+    if a.config.replace(kernel="auto") != b.config.replace(kernel="auto"):
+        return False
+    return all(
+        getattr(a, field.name) == getattr(b, field.name)
+        for field in dataclasses.fields(a)
+        if field.name != "config"
+    )
+
+
+def test_kernel_parity_at_bench_scale():
+    array = BufferSimulation(bench_config(kernel="array")).run()
+    obj = BufferSimulation(bench_config(kernel="object")).run()
+    assert reports_match(array, obj)
+
+
+def test_array_kernel_speedup():
+    """The array path must be at least 2x faster than the object path.
+
+    Interleaved best-of-2 wall times: single-run timings on a loaded
+    box vary by ~25%, and taking each implementation's best of
+    alternating runs keeps the ratio stable.
+    """
+    array_best = float("inf")
+    object_best = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        BufferSimulation(bench_config(kernel="array")).run()
+        array_best = min(array_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        BufferSimulation(bench_config(kernel="object")).run()
+        object_best = min(object_best, time.perf_counter() - start)
+    speedup = object_best / array_best
+    print(f"\narray {array_best:.2f}s  object {object_best:.2f}s  "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= 2.0
+
+
+def test_array_kernel_wall_time(run_once):
+    report = run_once(
+        lambda: BufferSimulation(bench_config(kernel="array")).run()
+    )
+    assert report.total_references >= 4 * 25_000

@@ -5,9 +5,21 @@ FIFO/CLOCK/LFU/2Q extensions), a simulated buffer pool with per-relation
 hit statistics, the trace-driven miss-rate simulation with batch-means
 confidence intervals, and an analytic LRU approximation for
 cross-checking.
+
+Two interchangeable simulator implementations are provided: the
+reference object pool (:class:`SimulatedBufferPool` + a policy object)
+and the dense array kernels of :mod:`repro.buffer.kernels`
+(:func:`make_kernel`), selected per run via ``SimulationConfig.kernel``.
+They are bit-identical; the array path is several times faster.
 """
 
 from repro.buffer.analytic import che_characteristic_time, che_miss_rates
+from repro.buffer.kernels import (
+    ARRAY_KERNEL_POLICIES,
+    ArrayKernel,
+    make_kernel,
+    supports_array_kernel,
+)
 from repro.buffer.policy import (
     ClockPolicy,
     FifoPolicy,
@@ -27,6 +39,8 @@ from repro.buffer.simulator import (
 )
 
 __all__ = [
+    "ARRAY_KERNEL_POLICIES",
+    "ArrayKernel",
     "BufferSimulation",
     "ClockPolicy",
     "FifoPolicy",
@@ -42,5 +56,7 @@ __all__ = [
     "TwoQPolicy",
     "che_characteristic_time",
     "che_miss_rates",
+    "make_kernel",
     "make_policy",
+    "supports_array_kernel",
 ]

@@ -1,0 +1,455 @@
+"""Dense array kernels for the trace-driven buffer simulator.
+
+The object policies in :mod:`repro.buffer.policy` pay per-reference
+Python overhead: a ``pool.access`` call on a ``(relation, page)`` tuple
+key, an ``OrderedDict`` move-to-end, and dict-based accounting.  The
+kernels here run the same replacement algorithms over preallocated
+arrays indexed by the dense page ids of
+:class:`~repro.workload.trace.PageIdSpace`, consuming whole
+transactions of int-encoded references at a time:
+
+* :class:`LruArrayKernel` — an intrusive doubly-linked list over int
+  slots (``next``/``prev`` arrays plus a sentinel), mirroring
+  ``LruPolicy``'s OrderedDict recency order.
+* :class:`FifoArrayKernel` — a circular buffer of slots in admission
+  order, mirroring ``FifoPolicy``'s deque.
+* :class:`ClockArrayKernel` — a ring of frames with reference bits and
+  a clock hand, mirroring ``ClockPolicy`` exactly (frames fill in slot
+  order before the hand ever moves; a newly admitted page starts with
+  its reference bit clear; the hand advances past each victim).
+
+The contract is **exact parity**: for any reference stream, a kernel
+produces the same hit/miss outcome and the same eviction victim on
+every reference as its object-policy counterpart (property-tested in
+``tests/property/test_kernel_parity.py``).  Every reference is
+processed — there is no sampling, batching across state, or reordering
+inside a kernel, only cheaper data structures.
+
+Counters are flat lists — per-relation misses for the current batch,
+cumulative per-``(transaction, relation)`` misses at stride 16, and
+cumulative per-relation eviction tallies — folded into a
+:class:`~repro.buffer.simulator.MissRateReport` at batch boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, ClassVar
+
+from repro.workload.trace import RELATION_NAMES, REF_PID_SHIFT, PageIdSpace
+
+#: Stride of the per-transaction miss counters: transaction ``t`` and
+#: relation ``r`` share index ``(t << TX_STRIDE_SHIFT) + r``.
+TX_STRIDE_SHIFT = 4
+
+#: Headroom added whenever the dense page-id -> slot table must grow to
+#: cover newly written growing-relation pages.
+_SLOT_TABLE_GROWTH = 4096
+
+
+class ArrayKernel:
+    """Shared state of the dense-array replacement kernels.
+
+    ``slots`` maps a dense page id to its buffer slot (or ``-1`` when
+    the page is not resident); it covers the static id range up front
+    and grows lazily as the append-only relations extend the id space.
+    Subclasses implement :meth:`process_block` (one transaction's
+    references) and :meth:`resident_page_ids` (current contents in
+    eviction order, for parity tests).
+    """
+
+    policy_name: ClassVar[str] = ""
+
+    def __init__(
+        self, capacity: int, space: PageIdSpace, transaction_types: int
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._space = space
+        self._slots: list[int] = [-1] * (space.static_total + _SLOT_TABLE_GROWTH)
+        n_relations = len(RELATION_NAMES)
+        self.batch_misses: list[int] = [0] * n_relations
+        self.tx_misses: list[int] = [0] * (transaction_types << TX_STRIDE_SHIFT)
+        self.eviction_counts: list[int] = [0] * n_relations
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def space(self) -> PageIdSpace:
+        return self._space
+
+    def _grow_slots(self, highest_page_id: int) -> None:
+        """Extend the page-id table to cover ``highest_page_id``."""
+        table = self._slots
+        table.extend([-1] * (highest_page_id + _SLOT_TABLE_GROWTH - len(table)))
+
+    def ensure_page_capacity(self, highest_page_id: int) -> None:
+        """Pre-size the page-id table to cover ``highest_page_id``.
+
+        The simulator calls this once per batch with the trace's current
+        growing-relation extent (:meth:`TraceGenerator.highest_page_id`)
+        so :meth:`process_many` can skip the per-block ``max`` scan.
+        """
+        if highest_page_id >= len(self._slots):
+            self._grow_slots(highest_page_id)
+
+    def begin_batch(self) -> None:
+        """Zero the per-batch miss counters (residency is untouched)."""
+        for index in range(len(self.batch_misses)):
+            self.batch_misses[index] = 0
+
+    def reset_counters(self) -> None:
+        """Zero every counter (after warm-up); residency is untouched."""
+        self.begin_batch()
+        for index in range(len(self.tx_misses)):
+            self.tx_misses[index] = 0
+        for index in range(len(self.eviction_counts)):
+            self.eviction_counts[index] = 0
+
+    def evictions_by_relation(self) -> dict[int, int]:
+        """Cumulative eviction tallies keyed by relation index.
+
+        Matches :attr:`repro.buffer.pool.PoolStatistics.evictions`'s
+        shape: relations that never lost a page are absent.
+        """
+        return {
+            relation: count
+            for relation, count in enumerate(self.eviction_counts)
+            if count
+        }
+
+    def process_block(self, refs: list[int], tx_base: int) -> None:
+        """Run one transaction's encoded references through the kernel.
+
+        ``tx_base`` is the transaction's index shifted by
+        :data:`TX_STRIDE_SHIFT`, addressing its row in ``tx_misses``.
+        """
+        self.process_many(((refs, tx_base),))
+
+    def process_many(self, blocks, highest_page_id: int = -1) -> None:
+        """Run many ``(refs, tx_base)`` transaction blocks in one call.
+
+        This is the hot entry point: the simulator hands over a whole
+        batch of transactions at once so the kernel binds its state to
+        locals once instead of once per transaction.  When the caller
+        knows an upper bound on the page ids in ``blocks`` it passes it
+        as ``highest_page_id`` and the kernel sizes its table once;
+        otherwise each block is scanned for its maximum id first.
+        """
+        raise NotImplementedError
+
+    def resident_page_ids(self) -> list[int]:
+        """Resident dense page ids, victims first (for parity tests)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LruArrayKernel(ArrayKernel):
+    """Least-recently-used over an intrusive doubly-linked slot list.
+
+    Slot ``capacity`` is the list's sentinel: ``next[sentinel]`` is the
+    LRU victim, ``prev[sentinel]`` the MRU.  A hit splices the slot to
+    the MRU end; a miss admits into a free slot or recycles the victim.
+    """
+
+    policy_name = "lru"
+
+    def __init__(
+        self, capacity: int, space: PageIdSpace, transaction_types: int
+    ) -> None:
+        super().__init__(capacity, space, transaction_types)
+        sentinel = capacity
+        self._next = [0] * (capacity + 1)
+        self._prev = [0] * (capacity + 1)
+        self._next[sentinel] = sentinel
+        self._prev[sentinel] = sentinel
+        self._page_of = [0] * capacity
+        self._relation_of = bytearray(capacity)
+        self._used = 0
+
+    def __len__(self) -> int:
+        return self._used
+
+    def resident_page_ids(self) -> list[int]:
+        out = []
+        sentinel = self._capacity
+        slot = self._next[sentinel]
+        while slot != sentinel:
+            out.append(self._page_of[slot])
+            slot = self._next[slot]
+        return out
+
+    def process_many(self, blocks, highest_page_id: int = -1) -> None:
+        if highest_page_id >= 0:
+            self.ensure_page_capacity(highest_page_id)
+        slots = self._slots
+        nxt = self._next
+        prv = self._prev
+        page_of = self._page_of
+        relation_of = self._relation_of
+        batch_misses = self.batch_misses
+        tx_misses = self.tx_misses
+        evictions = self.eviction_counts
+        sentinel = self._capacity
+        used = self._used
+        mru = prv[sentinel]
+        presized = highest_page_id >= 0
+        table_size = len(slots)
+        for refs, tx_base in blocks:
+            if not refs:
+                continue
+            if not presized:
+                highest = max(refs) >> REF_PID_SHIFT
+                if highest >= table_size:
+                    self._grow_slots(highest)
+                    table_size = len(slots)
+            for ref in refs:
+                page_id = ref >> 5
+                slot = slots[page_id]
+                if slot >= 0:
+                    if slot != mru:
+                        before = prv[slot]
+                        after = nxt[slot]
+                        nxt[before] = after
+                        prv[after] = before
+                        nxt[mru] = slot
+                        prv[slot] = mru
+                        nxt[slot] = sentinel
+                        mru = slot
+                    continue
+                relation = (ref >> 1) & 15
+                batch_misses[relation] += 1
+                tx_misses[tx_base + relation] += 1
+                if used < sentinel:
+                    slot = used
+                    used += 1
+                else:
+                    slot = nxt[sentinel]
+                    slots[page_of[slot]] = -1
+                    evictions[relation_of[slot]] += 1
+                    after = nxt[slot]
+                    nxt[sentinel] = after
+                    prv[after] = sentinel
+                    if slot == mru:  # single-frame pool: list is now empty
+                        mru = sentinel
+                page_of[slot] = page_id
+                relation_of[slot] = relation
+                slots[page_id] = slot
+                nxt[mru] = slot
+                prv[slot] = mru
+                nxt[slot] = sentinel
+                mru = slot
+        prv[sentinel] = mru
+        self._used = used
+
+
+class FifoArrayKernel(ArrayKernel):
+    """First-in-first-out over a circular slot buffer.
+
+    Hits never reorder; a full pool overwrites the slot at the head,
+    which always holds the oldest admission.
+    """
+
+    policy_name = "fifo"
+
+    def __init__(
+        self, capacity: int, space: PageIdSpace, transaction_types: int
+    ) -> None:
+        super().__init__(capacity, space, transaction_types)
+        self._page_of = [0] * capacity
+        self._relation_of = bytearray(capacity)
+        self._count = 0
+        self._head = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def resident_page_ids(self) -> list[int]:
+        if self._count < self._capacity:
+            return list(self._page_of[: self._count])
+        return list(self._page_of[self._head :] + self._page_of[: self._head])
+
+    def process_many(self, blocks, highest_page_id: int = -1) -> None:
+        if highest_page_id >= 0:
+            self.ensure_page_capacity(highest_page_id)
+        slots = self._slots
+        page_of = self._page_of
+        relation_of = self._relation_of
+        batch_misses = self.batch_misses
+        tx_misses = self.tx_misses
+        evictions = self.eviction_counts
+        capacity = self._capacity
+        count = self._count
+        head = self._head
+        presized = highest_page_id >= 0
+        table_size = len(slots)
+        for refs, tx_base in blocks:
+            if not refs:
+                continue
+            if not presized:
+                highest = max(refs) >> REF_PID_SHIFT
+                if highest >= table_size:
+                    self._grow_slots(highest)
+                    table_size = len(slots)
+            for ref in refs:
+                page_id = ref >> 5
+                if slots[page_id] >= 0:
+                    continue
+                relation = (ref >> 1) & 15
+                batch_misses[relation] += 1
+                tx_misses[tx_base + relation] += 1
+                if count < capacity:
+                    slot = count
+                    count += 1
+                else:
+                    slot = head
+                    slots[page_of[slot]] = -1
+                    evictions[relation_of[slot]] += 1
+                    head += 1
+                    if head == capacity:
+                        head = 0
+                page_of[slot] = page_id
+                relation_of[slot] = relation
+                slots[page_id] = slot
+        self._count = count
+        self._head = head
+
+
+class ClockArrayKernel(ArrayKernel):
+    """Second-chance CLOCK over a frame ring with reference bits.
+
+    Mirrors ``ClockPolicy``: frames fill in index order before the hand
+    ever moves; a hit sets the frame's reference bit; the hand clears
+    set bits as it sweeps, evicts at the first clear frame, installs the
+    new page there with its bit clear, and steps past it.
+    """
+
+    policy_name = "clock"
+
+    def __init__(
+        self, capacity: int, space: PageIdSpace, transaction_types: int
+    ) -> None:
+        super().__init__(capacity, space, transaction_types)
+        self._page_of = [0] * capacity
+        self._relation_of = bytearray(capacity)
+        self._referenced = bytearray(capacity)
+        self._count = 0
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def resident_page_ids(self) -> list[int]:
+        count = self._count
+        if count == 0:
+            return []
+        hand = self._hand if count == self._capacity else 0
+        return [self._page_of[(hand + i) % count] for i in range(count)]
+
+    def process_many(self, blocks, highest_page_id: int = -1) -> None:
+        if highest_page_id >= 0:
+            self.ensure_page_capacity(highest_page_id)
+        slots = self._slots
+        page_of = self._page_of
+        relation_of = self._relation_of
+        referenced = self._referenced
+        batch_misses = self.batch_misses
+        tx_misses = self.tx_misses
+        evictions = self.eviction_counts
+        capacity = self._capacity
+        count = self._count
+        hand = self._hand
+        presized = highest_page_id >= 0
+        table_size = len(slots)
+        for refs, tx_base in blocks:
+            if not refs:
+                continue
+            if not presized:
+                highest = max(refs) >> REF_PID_SHIFT
+                if highest >= table_size:
+                    self._grow_slots(highest)
+                    table_size = len(slots)
+            for ref in refs:
+                page_id = ref >> 5
+                frame = slots[page_id]
+                if frame >= 0:
+                    referenced[frame] = 1
+                    continue
+                relation = (ref >> 1) & 15
+                batch_misses[relation] += 1
+                tx_misses[tx_base + relation] += 1
+                if count < capacity:
+                    frame = count
+                    count += 1
+                else:
+                    while referenced[hand]:
+                        referenced[hand] = 0
+                        hand += 1
+                        if hand == capacity:
+                            hand = 0
+                    slots[page_of[hand]] = -1
+                    evictions[relation_of[hand]] += 1
+                    frame = hand
+                    hand += 1
+                    if hand == capacity:
+                        hand = 0
+                page_of[frame] = page_id
+                relation_of[frame] = relation
+                referenced[frame] = 0
+                slots[page_id] = frame
+        self._count = count
+        self._hand = hand
+
+
+#: Policy name -> kernel class, for the policies with an array fast path.
+KERNEL_FACTORIES: dict[
+    str, Callable[[int, PageIdSpace, int], ArrayKernel]
+] = {
+    "lru": LruArrayKernel,
+    "fifo": FifoArrayKernel,
+    "clock": ClockArrayKernel,
+}
+
+#: Policies the array kernel supports (``kernel="auto"`` picks the
+#: array path exactly for these).
+ARRAY_KERNEL_POLICIES = tuple(sorted(KERNEL_FACTORIES))
+
+
+def supports_array_kernel(policy: str) -> bool:
+    """Whether ``policy`` has an array-kernel implementation."""
+    return policy in KERNEL_FACTORIES
+
+
+def make_kernel(
+    policy: str, capacity: int, space: PageIdSpace, transaction_types: int
+) -> ArrayKernel:
+    """Build the array kernel for a policy name.
+
+    Raises ``ValueError`` for policies without an array fast path
+    (lfu/2q/lru-k run through the object pool only).
+    """
+    try:
+        factory = KERNEL_FACTORIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"no array kernel for policy {policy!r}; available: "
+            f"{ARRAY_KERNEL_POLICIES}"
+        ) from None
+    return factory(capacity, space, transaction_types)
+
+
+__all__ = [
+    "ARRAY_KERNEL_POLICIES",
+    "ArrayKernel",
+    "ClockArrayKernel",
+    "FifoArrayKernel",
+    "KERNEL_FACTORIES",
+    "LruArrayKernel",
+    "TX_STRIDE_SHIFT",
+    "make_kernel",
+    "supports_array_kernel",
+]

@@ -17,14 +17,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as _dataclass_replace
 
+from repro.buffer.kernels import (
+    TX_STRIDE_SHIFT,
+    ArrayKernel,
+    make_kernel,
+    supports_array_kernel,
+)
 from repro.buffer.policy import make_policy
 from repro.buffer.pool import SimulatedBufferPool
 from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import InvariantViolationError
 from repro.obs import instruments
 from repro.obs.tracing import get_tracer
 from repro.stats.batch_means import BatchMeans, BatchMeansSummary
-from repro.workload.mix import TransactionType
+from repro.workload.mix import TRANSACTION_ORDER, TransactionType
 from repro.workload.trace import RELATION_NAMES, TraceConfig, TraceGenerator
+
+#: Valid kernel selections: ``auto`` picks the array fast path whenever
+#: the policy has one and falls back to the object pool otherwise.
+KERNEL_KINDS = ("auto", "array", "object")
 
 
 def pages_for_megabytes(megabytes: float, page_size: int = DEFAULT_PAGE_SIZE) -> int:
@@ -44,6 +55,14 @@ class SimulationConfig:
     churn the buffer (four times its capacity, at least one batch).
     Derive sweep points from a base config with :meth:`replace` instead
     of re-spelling every field.
+
+    ``kernel`` selects the simulator implementation: ``"array"`` runs
+    the dense int kernels of :mod:`repro.buffer.kernels`, ``"object"``
+    the reference object pool, and ``"auto"`` (default) the array path
+    whenever the policy has one.  Both produce bit-identical reports,
+    so the field is excluded from cache fingerprints (the
+    ``cache_fingerprint`` metadata below) — results cached under one
+    kernel are valid for the other.
     """
 
     trace: TraceConfig = field(default_factory=TraceConfig)
@@ -53,12 +72,22 @@ class SimulationConfig:
     batch_size: int = 100_000
     warmup_references: int | None = None
     confidence: float = 0.90
+    kernel: str = field(default="auto", metadata={"cache_fingerprint": False})
 
     def __post_init__(self) -> None:
         if self.batches < 2:
             raise ValueError(f"need at least 2 batches, got {self.batches}")
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.kernel not in KERNEL_KINDS:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_KINDS}, got {self.kernel!r}"
+            )
+        if self.kernel == "array" and not supports_array_kernel(self.policy):
+            raise ValueError(
+                f"policy {self.policy!r} has no array kernel; "
+                f"use kernel='object' or 'auto'"
+            )
 
     def replace(self, **overrides) -> "SimulationConfig":
         """A copy with the given fields replaced (validation re-runs).
@@ -85,6 +114,13 @@ class SimulationConfig:
         if self.warmup_references is not None:
             return self.warmup_references
         return max(self.batch_size, 4 * self.buffer_pages)
+
+    @property
+    def resolved_kernel(self) -> str:
+        """The implementation that will actually run: array or object."""
+        if self.kernel != "auto":
+            return self.kernel
+        return "array" if supports_array_kernel(self.policy) else "object"
 
 
 @dataclass(frozen=True)
@@ -161,6 +197,291 @@ class MissRateReport:
         return rows
 
 
+class _MeasurementState:
+    """A warmed-up simulation that can run batches incrementally.
+
+    Owns the trace, the replacement-policy state (array kernel or
+    object pool), and all accounting.  ``run_batches`` extends the
+    measurement without restarting anything, so
+    :meth:`BufferSimulation.run_until_precise` only pays for the
+    *additional* batches on each doubling — and because the trace
+    stream continues deterministically, an incremental run is
+    bit-identical to a fresh run of the final length.
+
+    Per-``(transaction, relation)`` tallies live in flat stride-16
+    lists indexed by ``(tx_index << TX_STRIDE_SHIFT) + relation``
+    (no per-reference dict lookups on either path).
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self._config = config
+        self._trace = TraceGenerator(config.trace)
+        self._n_relations = len(RELATION_NAMES)
+        self._tx_names = tuple(tx_type.value for tx_type in TRANSACTION_ORDER)
+        self._kernel: ArrayKernel | None = None
+        self._pool: SimulatedBufferPool | None = None
+        if config.resolved_kernel == "array":
+            self._kernel = make_kernel(
+                config.policy,
+                config.buffer_pages,
+                self._trace.page_id_space,
+                len(TRANSACTION_ORDER),
+            )
+        else:
+            self._pool = SimulatedBufferPool(
+                make_policy(config.policy, config.buffer_pages)
+            )
+        stride = len(self._tx_names) << TX_STRIDE_SHIFT
+        self._tx_accesses = [0] * stride
+        self._tx_misses = [0] * stride
+        self._tx_base_of = {
+            tx_type: index << TX_STRIDE_SHIFT
+            for index, tx_type in enumerate(TRANSACTION_ORDER)
+        }
+        self._total_accesses = [0] * self._n_relations
+        self._total_misses = [0] * self._n_relations
+        self._batch_stats = [
+            BatchMeans(config.confidence) for _ in range(self._n_relations)
+        ]
+        self._total_references = 0
+        self._total_transactions = 0
+        self.batches_run = 0
+        self._warm_up()
+
+    def _require_pool(self) -> SimulatedBufferPool:
+        """The object pool (the constructor builds exactly one backend)."""
+        pool = self._pool
+        if pool is None:
+            raise InvariantViolationError(
+                "object simulator path entered without a pool"
+            )
+        return pool
+
+    def _warm_up(self) -> None:
+        """Run references through the buffer until the warmup is spent."""
+        trace = self._trace
+        target = self._config.effective_warmup
+        seen = 0
+        kernel = self._kernel
+        if kernel is not None:
+            transaction = trace.transaction_encoded
+            blocks: list[tuple[list[int], int]] = []
+            append = blocks.append
+            while seen < target:
+                _, refs, _ = transaction()
+                append((refs, 0))
+                seen += len(refs)
+                if len(blocks) >= 8192:
+                    kernel.process_many(blocks, trace.highest_page_id())
+                    blocks.clear()
+            kernel.process_many(blocks, trace.highest_page_id())
+            kernel.reset_counters()
+        else:
+            pool = self._require_pool()
+            access = pool.access
+            while seen < target:
+                _, refs = trace.transaction()
+                for relation, page, write in refs:
+                    access(relation, page, write)
+                seen += len(refs)
+            pool.reset_stats()
+
+    def run_batches(self, count: int) -> None:
+        """Measure ``count`` additional batches."""
+        kernel = self._kernel
+        if kernel is not None:
+            for _ in range(count):
+                self._run_batch_array(kernel)
+        else:
+            pool = self._require_pool()
+            for _ in range(count):
+                self._run_batch_object(pool)
+        self.batches_run += count
+
+    def _run_batch_array(self, kernel: ArrayKernel) -> None:
+        trace = self._trace
+        batch_size = self._config.batch_size
+        batch_accesses = [0] * self._n_relations
+        kernel.begin_batch()
+        transaction = trace.transaction_encoded
+        tx_accesses = self._tx_accesses
+        tx_names = self._tx_names
+        sim_transactions = instruments.SIM_TRANSACTIONS
+        sim_tx_refs = instruments.SIM_TX_REFS
+        # The per-transaction instruments are observe-only; when the
+        # registry is disabled the calls are no-ops, so skipping them
+        # entirely is output-identical and keeps them off the hot path.
+        observing = sim_transactions.enabled or sim_tx_refs.enabled
+        blocks: list[tuple[list[int], int]] = []
+        append_block = blocks.append
+        # Access counts are folded per distinct counts object, not per
+        # transaction: the fixed-shape transactions return shared cached
+        # tuples, so a batch sees only a handful of distinct objects
+        # plus one short list per variable-shape transaction.  Keeping
+        # each object in the dict also keeps its id stable as a key.
+        count_groups: dict[int, list] = {}
+        get_group = count_groups.get
+        references = 0
+        transactions = 0
+        while references < batch_size:
+            tx_index, refs, counts = transaction()
+            transactions += 1
+            if observing:
+                tx_name = tx_names[tx_index]
+                sim_transactions.inc(tx=tx_name)
+                sim_tx_refs.observe(len(refs), tx=tx_name)
+            base = tx_index << TX_STRIDE_SHIFT
+            append_block((refs, base))
+            key = id(counts)
+            group = get_group(key)
+            if group is None:
+                count_groups[key] = [base, counts, 1]
+            else:
+                group[2] += 1
+            references += len(refs)
+        for base, counts, occurrences in count_groups.values():
+            relation = 0
+            for accessed in counts:
+                if accessed:
+                    total = accessed * occurrences
+                    batch_accesses[relation] += total
+                    tx_accesses[base + relation] += total
+                relation += 1
+        kernel.process_many(blocks, trace.highest_page_id())
+        self._total_references += references
+        self._total_transactions += transactions
+        self._fold_batch(batch_accesses, kernel.batch_misses)
+
+    def _run_batch_object(self, pool: SimulatedBufferPool) -> None:
+        trace = self._trace
+        batch_size = self._config.batch_size
+        n_relations = self._n_relations
+        batch_accesses = [0] * n_relations
+        batch_misses = [0] * n_relations
+        tx_accesses = self._tx_accesses
+        tx_misses = self._tx_misses
+        tx_base_of = self._tx_base_of
+        access = pool.access
+        references = 0
+        transactions = 0
+        while references < batch_size:
+            tx_type, refs = trace.transaction()
+            transactions += 1
+            tx_name = tx_type.value
+            instruments.SIM_TRANSACTIONS.inc(tx=tx_name)
+            instruments.SIM_TX_REFS.observe(len(refs), tx=tx_name)
+            base = tx_base_of[tx_type]
+            for relation, page, write in refs:
+                hit = access(relation, page, write)
+                batch_accesses[relation] += 1
+                tx_accesses[base + relation] += 1
+                if not hit:
+                    batch_misses[relation] += 1
+                    tx_misses[base + relation] += 1
+            references += len(refs)
+        self._total_references += references
+        self._total_transactions += transactions
+        self._fold_batch(batch_accesses, batch_misses)
+
+    def _fold_batch(
+        self, batch_accesses: list[int], batch_misses: list[int]
+    ) -> None:
+        for relation in range(self._n_relations):
+            accesses = batch_accesses[relation]
+            if accesses:
+                self._batch_stats[relation].add_batch(
+                    batch_misses[relation] / accesses
+                )
+            self._total_accesses[relation] += accesses
+            self._total_misses[relation] += batch_misses[relation]
+
+    def meets_precision(self, relation: str, relative_half_width: float) -> bool:
+        """Whether a relation's CI meets the target (vacuously true when
+        the relation was never accessed or has fewer than two batches)."""
+        try:
+            index = RELATION_NAMES.index(relation)
+        except ValueError:
+            return True
+        if self._total_accesses[index] == 0:
+            return True
+        stats = self._batch_stats[index]
+        if stats.batches < 2:
+            return True
+        return stats.summary().meets_precision(relative_half_width)
+
+    def build_report(self, config: SimulationConfig) -> MissRateReport:
+        """Fold the accumulated tallies into a report (and obs counters)."""
+        relations = {}
+        for index, name in enumerate(RELATION_NAMES):
+            if self._total_accesses[index] == 0:
+                continue
+            stats = self._batch_stats[index]
+            summary = stats.summary() if stats.batches >= 2 else None
+            relations[name] = RelationMissRate(
+                relation=name,
+                accesses=self._total_accesses[index],
+                misses=self._total_misses[index],
+                summary=summary,
+            )
+
+        kernel = self._kernel
+        tx_misses = kernel.tx_misses if kernel is not None else self._tx_misses
+        tx_accesses = self._tx_accesses
+        by_transaction = {}
+        for tx_index, tx_name in enumerate(self._tx_names):
+            base = tx_index << TX_STRIDE_SHIFT
+            for relation, relation_name in enumerate(RELATION_NAMES):
+                accesses = tx_accesses[base + relation]
+                if accesses:
+                    by_transaction[(tx_name, relation_name)] = (
+                        tx_misses[base + relation] / accesses
+                    )
+
+        if kernel is not None:
+            evictions = kernel.evictions_by_relation()
+        else:
+            evictions = self._require_pool().stats.evictions
+        self._fold_counters(config, evictions)
+        return MissRateReport(
+            config=config,
+            relations=relations,
+            by_transaction=by_transaction,
+            total_references=self._total_references,
+            total_transactions=self._total_transactions,
+        )
+
+    def _fold_counters(
+        self, config: SimulationConfig, evictions: dict[int, int]
+    ) -> None:
+        """Fold the run's exact measured totals into the obs counters.
+
+        Folding the same tallies the report is built from (rather than
+        counting each reference again on the hot path) guarantees the
+        snapshot reconciles exactly with the reported miss rates.
+        """
+        if not instruments.SIM_BUFFER_ACCESSES.enabled:
+            return
+        run_labels = {
+            "policy": config.policy,
+            "packing": config.trace.packing,
+            "buffer_mb": f"{config.buffer_mb:g}",
+        }
+        for index, name in enumerate(RELATION_NAMES):
+            if self._total_accesses[index]:
+                instruments.SIM_BUFFER_ACCESSES.inc(
+                    self._total_accesses[index], relation=name, **run_labels
+                )
+            if self._total_misses[index]:
+                instruments.SIM_BUFFER_MISSES.inc(
+                    self._total_misses[index], relation=name, **run_labels
+                )
+            evicted = evictions.get(index, 0)
+            if evicted:
+                instruments.SIM_BUFFER_EVICTIONS.inc(
+                    evicted, relation=name, **run_labels
+                )
+
+
 class BufferSimulation:
     """Runs a :class:`SimulationConfig` to a :class:`MissRateReport`."""
 
@@ -182,159 +503,46 @@ class BufferSimulation:
         The paper requires every reported miss rate to have a relative
         confidence-interval half-width of at most 5% at 90% confidence.
         Batches are added (beyond the configured count) until the named
-        relations meet the target or ``max_batches`` is reached.
+        relations meet the target or ``max_batches`` is reached.  The
+        measurement state is kept across doublings, so each round only
+        simulates the additional batches; the result is bit-identical
+        to a fresh run of the final batch count.
         """
         if not 0 < relative_half_width < 1:
             raise ValueError(
                 f"relative_half_width must be in (0, 1), got {relative_half_width}"
             )
-        batches = self._config.batches
-        while True:
-            report = BufferSimulation(self._config.replace(batches=batches)).run()
-            imprecise = [
-                relation
-                for relation in relations
-                if relation in report.relations
-                and report.relations[relation].summary is not None
-                and not report.relations[relation].summary.meets_precision(
-                    relative_half_width
+        config = self._config
+        with get_tracer().span(
+            "sim.run_until_precise",
+            policy=config.policy,
+            buffer_mb=config.buffer_mb,
+            packing=config.trace.packing,
+        ):
+            state = _MeasurementState(config)
+            state.run_batches(config.batches)
+            while True:
+                batches = state.batches_run
+                precise = all(
+                    state.meets_precision(relation, relative_half_width)
+                    for relation in relations
                 )
-            ]
-            if not imprecise or batches >= max_batches:
-                return report
-            batches = min(max_batches, batches * 2)
+                if precise or batches >= max_batches:
+                    return state.build_report(config.replace(batches=batches))
+                state.run_batches(min(max_batches, batches * 2) - batches)
 
     def run(self) -> MissRateReport:
         """Warm up, then measure ``batches`` batches of references."""
         config = self._config
-        trace = TraceGenerator(config.trace)
-        pool = SimulatedBufferPool(make_policy(config.policy, config.buffer_pages))
-
         with get_tracer().span(
             "sim.run",
             policy=config.policy,
             buffer_mb=config.buffer_mb,
             packing=config.trace.packing,
         ):
-            return self._measure(config, trace, pool)
-
-    def _measure(
-        self,
-        config: SimulationConfig,
-        trace: TraceGenerator,
-        pool: SimulatedBufferPool,
-    ) -> MissRateReport:
-        self._warm_up(trace, pool, config.effective_warmup)
-
-        n_relations = len(RELATION_NAMES)
-        total_accesses = [0] * n_relations
-        total_misses = [0] * n_relations
-        tx_accesses: dict[tuple[str, int], int] = {}
-        tx_misses: dict[tuple[str, int], int] = {}
-        batch_stats = [BatchMeans(config.confidence) for _ in range(n_relations)]
-
-        total_references = 0
-        total_transactions = 0
-        for _ in range(config.batches):
-            batch_accesses = [0] * n_relations
-            batch_misses = [0] * n_relations
-            references = 0
-            while references < config.batch_size:
-                tx_type, refs = trace.transaction()
-                total_transactions += 1
-                tx_name = tx_type.value
-                instruments.SIM_TRANSACTIONS.inc(tx=tx_name)
-                instruments.SIM_TX_REFS.observe(len(refs), tx=tx_name)
-                for relation, page, write in refs:
-                    hit = pool.access(relation, page, write)
-                    batch_accesses[relation] += 1
-                    key = (tx_name, relation)
-                    tx_accesses[key] = tx_accesses.get(key, 0) + 1
-                    if not hit:
-                        batch_misses[relation] += 1
-                        tx_misses[key] = tx_misses.get(key, 0) + 1
-                references += len(refs)
-            total_references += references
-            for relation in range(n_relations):
-                accesses = batch_accesses[relation]
-                if accesses:
-                    batch_stats[relation].add_batch(batch_misses[relation] / accesses)
-                total_accesses[relation] += accesses
-                total_misses[relation] += batch_misses[relation]
-
-        relations = {}
-        for index, name in enumerate(RELATION_NAMES):
-            if total_accesses[index] == 0:
-                continue
-            stats = batch_stats[index]
-            summary = stats.summary() if stats.batches >= 2 else None
-            relations[name] = RelationMissRate(
-                relation=name,
-                accesses=total_accesses[index],
-                misses=total_misses[index],
-                summary=summary,
-            )
-
-        by_transaction = {
-            (tx_name, RELATION_NAMES[relation]): tx_misses.get((tx_name, relation), 0)
-            / accesses
-            for (tx_name, relation), accesses in tx_accesses.items()
-            if accesses
-        }
-        self._fold_counters(config, pool, total_accesses, total_misses)
-        return MissRateReport(
-            config=config,
-            relations=relations,
-            by_transaction=by_transaction,
-            total_references=total_references,
-            total_transactions=total_transactions,
-        )
-
-    @staticmethod
-    def _fold_counters(
-        config: SimulationConfig,
-        pool: SimulatedBufferPool,
-        total_accesses: list[int],
-        total_misses: list[int],
-    ) -> None:
-        """Fold the run's exact measured totals into the obs counters.
-
-        Folding the same tallies the report is built from (rather than
-        counting each reference again on the hot path) guarantees the
-        snapshot reconciles exactly with the reported miss rates.
-        """
-        if not instruments.SIM_BUFFER_ACCESSES.enabled:
-            return
-        run_labels = {
-            "policy": config.policy,
-            "packing": config.trace.packing,
-            "buffer_mb": f"{config.buffer_mb:g}",
-        }
-        for index, name in enumerate(RELATION_NAMES):
-            if total_accesses[index]:
-                instruments.SIM_BUFFER_ACCESSES.inc(
-                    total_accesses[index], relation=name, **run_labels
-                )
-            if total_misses[index]:
-                instruments.SIM_BUFFER_MISSES.inc(
-                    total_misses[index], relation=name, **run_labels
-                )
-            evicted = pool.stats.evictions.get(index, 0)
-            if evicted:
-                instruments.SIM_BUFFER_EVICTIONS.inc(
-                    evicted, relation=name, **run_labels
-                )
-
-    @staticmethod
-    def _warm_up(trace: TraceGenerator, pool: SimulatedBufferPool, target: int) -> None:
-        """Run references through the pool until the warmup budget is spent."""
-        seen = 0
-        while seen < target:
-            _, refs = trace.transaction()
-            for relation, page, write in refs:
-                pool.access(relation, page, write)
-            seen += len(refs)
-        pool.reset_stats()
+            state = _MeasurementState(config)
+            state.run_batches(config.batches)
+            return state.build_report(config)
 
 
 def run_simulation_config(config: SimulationConfig) -> MissRateReport:

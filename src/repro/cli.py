@@ -138,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="cProfile each work unit; top hotspots land in the manifest",
         )
+        subparser.add_argument(
+            "--kernel",
+            choices=["auto", "array", "object"],
+            default="auto",
+            help="buffer-simulator implementation: dense array kernels, "
+            "the reference object pool, or auto (array when the policy "
+            "has one); results are bit-identical either way",
+        )
         add_format_argument(subparser)
 
     run = commands.add_parser("run", help="regenerate one table or figure")
@@ -297,6 +305,7 @@ def _request_from_args(args, experiment: str):
         collect_metrics=args.metrics is not None,
         trace_path=args.trace,
         profile=args.profile,
+        kernel=args.kernel,
     )
 
 

@@ -47,6 +47,12 @@ class RunRequest:
     *records*, never what it computes — and they are deliberately kept
     out of work-unit payloads so cache keys are identical with and
     without them.
+
+    ``kernel`` selects the buffer-simulator implementation for
+    simulation-backed experiments (``"auto"``/``"array"``/``"object"``,
+    see :class:`repro.buffer.simulator.SimulationConfig`).  Both
+    implementations are bit-identical, so the choice does not affect
+    cache keys either.
     """
 
     experiment: str
@@ -62,10 +68,16 @@ class RunRequest:
     collect_metrics: bool = False
     trace_path: str | Path | None = None
     profile: bool = False
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if isinstance(self.preset, str):
             object.__setattr__(self, "preset", Preset(self.preset))
+        if self.kernel not in ("auto", "array", "object"):
+            raise ValueError(
+                f"kernel must be one of ('auto', 'array', 'object'), "
+                f"got {self.kernel!r}"
+            )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.retries < 0:

@@ -118,6 +118,7 @@ def _fig8_sweep(ctx: RunContext, packing: str):
         buffer_mb=settings["sizes_mb"][0],
         batches=settings["batches"],
         batch_size=settings["batch_size"],
+        kernel=ctx.request.kernel,
     )
     spec = simulation_sweep_spec("fig8", base, settings["sizes_mb"])
     results = ctx.run_sweep(spec)

@@ -46,22 +46,94 @@ from repro.workload.transactions import (
 
 
 class _BufferedSampler:
-    """Refillable block of draws from one NURand sampler."""
+    """Refillable block of draws from one NURand sampler.
+
+    The buffer is converted to a plain list once per refill so ``draw``
+    hands out Python ints without per-call numpy scalar boxing.
+    """
 
     def __init__(self, sampler: NURand, rng: np.random.Generator, block: int = 8192):
         self._sampler = sampler
         self._rng = rng
         self._block = block
-        self._buffer = sampler.sample_array(rng, block)
+        self._buffer: list[int] = sampler.sample_array(rng, block).tolist()
         self._next = 0
 
     def draw(self) -> int:
-        if self._next >= self._buffer.size:
-            self._buffer = self._sampler.sample_array(self._rng, self._block)
-            self._next = 0
-        value = int(self._buffer[self._next])
-        self._next += 1
-        return value
+        index = self._next
+        if index >= len(self._buffer):
+            self._buffer = self._sampler.sample_array(self._rng, self._block).tolist()
+            index = 0
+        self._next = index + 1
+        return self._buffer[index]
+
+    def draw_many(self, count: int) -> list[int]:
+        """``count`` sequential draws (same stream as ``draw`` repeated)."""
+        index = self._next
+        buffer = self._buffer
+        if index + count <= len(buffer):
+            self._next = index + count
+            return buffer[index : index + count]
+        return [self.draw() for _ in range(count)]
+
+
+class _UniformBlock:
+    """Buffered uniform integer draws over ``[lo, hi)`` from a shared rng.
+
+    Scalar ``rng.integers`` calls cost microseconds each; drawing blocks
+    of 4096 and handing them out one by one keeps the marginal
+    distribution identical while amortizing the numpy call.  The buffer
+    fills lazily so a primitive that is never used consumes no draws.
+    """
+
+    __slots__ = ("_rng", "_lo", "_hi", "_block", "_buffer", "_next")
+
+    def __init__(self, rng: np.random.Generator, lo: int, hi: int, block: int = 4096):
+        self._rng = rng
+        self._lo = lo
+        self._hi = hi
+        self._block = block
+        self._buffer: list[int] = []
+        self._next = 0
+
+    def draw(self) -> int:
+        index = self._next
+        if index >= len(self._buffer):
+            self._buffer = self._rng.integers(
+                self._lo, self._hi, size=self._block
+            ).tolist()
+            index = 0
+        self._next = index + 1
+        return self._buffer[index]
+
+
+class _FloatBlock:
+    """Buffered uniform ``[0, 1)`` floats from a shared rng (lazy refill)."""
+
+    __slots__ = ("_rng", "_block", "_buffer", "_next")
+
+    def __init__(self, rng: np.random.Generator, block: int = 4096):
+        self._rng = rng
+        self._block = block
+        self._buffer: list[float] = []
+        self._next = 0
+
+    def draw(self) -> float:
+        index = self._next
+        if index >= len(self._buffer):
+            self._buffer = self._rng.random(self._block).tolist()
+            index = 0
+        self._next = index + 1
+        return self._buffer[index]
+
+    def draw_many(self, count: int) -> list[float]:
+        """``count`` sequential draws (same stream as ``draw`` repeated)."""
+        index = self._next
+        buffer = self._buffer
+        if index + count <= len(buffer):
+            self._next = index + count
+            return buffer[index : index + count]
+        return [self.draw() for _ in range(count)]
 
 
 class InputGenerator:
@@ -136,6 +208,18 @@ class InputGenerator:
             )
             for band in range(TUPLES_PER_NAME_SELECT)
         ]
+        self._warehouse_block = _UniformBlock(self._rng, 1, warehouses + 1)
+        self._district_block = _UniformBlock(
+            self._rng, 1, DISTRICTS_PER_WAREHOUSE + 1
+        )
+        # [1, warehouses) — only meaningful (and only constructible) when
+        # there is more than one warehouse to pick a remote one from.
+        self._remote_block = (
+            _UniformBlock(self._rng, 1, warehouses) if warehouses > 1 else None
+        )
+        self._band_block = _UniformBlock(self._rng, 0, len(self._name_samplers))
+        self._threshold_block = _UniformBlock(self._rng, 10, 21)
+        self._float_block = _FloatBlock(self._rng)
 
     # -- shared helpers -----------------------------------------------------
 
@@ -149,17 +233,17 @@ class InputGenerator:
 
     def uniform_warehouse(self) -> int:
         """A warehouse id in ``[1 .. warehouses]``."""
-        return int(self._rng.integers(1, self._warehouses + 1))
+        return self._warehouse_block.draw()
 
     def uniform_district(self) -> int:
         """A district id in ``[1 .. 10]``."""
-        return int(self._rng.integers(1, DISTRICTS_PER_WAREHOUSE + 1))
+        return self._district_block.draw()
 
     def remote_warehouse(self, home: int) -> int:
         """A warehouse id uniform over all warehouses except ``home``."""
-        if self._warehouses == 1:
+        if self._remote_block is None:
             return home
-        other = int(self._rng.integers(1, self._warehouses))
+        other = self._remote_block.draw()
         return other if other < home else other + 1
 
     def customer_id(self) -> int:
@@ -181,44 +265,118 @@ class InputGenerator:
         across the 3000 tuples", not adjacent (the executable engine in
         :mod:`repro.tpcc` resolves real last names instead).
         """
-        if self._rng.random() >= SELECT_BY_NAME_PROBABILITY:
+        if self._float_block.draw() >= SELECT_BY_NAME_PROBABILITY:
             return False, (self._customer_sampler.draw(),)
-        band = int(self._rng.integers(0, len(self._name_samplers)))
-        sampler = self._name_samplers[band]
-        ids = tuple(sampler.draw() for _ in range(TUPLES_PER_NAME_SELECT))
-        return True, ids
+        sampler = self._name_samplers[self._band_block.draw()]
+        return True, tuple(sampler.draw_many(TUPLES_PER_NAME_SELECT))
+
+    # -- raw per-transaction emitters ---------------------------------------
+    #
+    # The ``*_raw`` methods return plain ints/tuples instead of the
+    # ``*Params`` dataclasses.  The trace generator's hot path consumes
+    # these directly; the public ``*Params`` constructors below are thin
+    # wrappers that draw from the same stream in the same order.
+
+    def new_order_raw(
+        self,
+    ) -> tuple[int, int, int, list[int], tuple[int, ...] | None]:
+        """``(warehouse, district, customer, item_ids, supply)`` for New-Order.
+
+        ``supply`` is ``None`` in the common all-local case; otherwise a
+        tuple of per-line supply warehouses.
+        """
+        warehouse = self._warehouse_block.draw()
+        count = self._items_per_order
+        items = self._item_sampler.draw_many(count)
+        remote_flags = self._float_block.draw_many(count)
+        p_remote = self._remote_stock_probability
+        supply: list[int] | None = None
+        for index, flag in enumerate(remote_flags):
+            if flag < p_remote:
+                if supply is None:
+                    supply = [warehouse] * index
+                supply.append(self.remote_warehouse(warehouse))
+            elif supply is not None:
+                supply.append(warehouse)
+        district = self._district_block.draw()
+        customer = self._customer_sampler.draw()
+        return (
+            warehouse,
+            district,
+            customer,
+            items,
+            tuple(supply) if supply is not None else None,
+        )
+
+    def payment_raw(self) -> tuple[int, int, int, int, bool, tuple[int, ...]]:
+        """``(w, d, customer_w, customer_d, by_name, tuples)`` for Payment."""
+        warehouse = self._warehouse_block.draw()
+        district = self._district_block.draw()
+        if self._float_block.draw() < self._remote_payment_probability:
+            customer_warehouse = self.remote_warehouse(warehouse)
+            customer_district = self._district_block.draw()
+        else:
+            customer_warehouse = warehouse
+            customer_district = district
+        by_name, tuples = self.customer_tuples()
+        return (
+            warehouse,
+            district,
+            customer_warehouse,
+            customer_district,
+            by_name,
+            tuples,
+        )
+
+    def order_status_raw(self) -> tuple[int, int, bool, tuple[int, ...]]:
+        """``(warehouse, district, by_name, tuples)`` for Order-Status."""
+        by_name, tuples = self.customer_tuples()
+        return self._warehouse_block.draw(), self._district_block.draw(), by_name, tuples
+
+    def delivery_raw(self) -> int:
+        """The carrier's warehouse for a Delivery transaction."""
+        return self._warehouse_block.draw()
+
+    def stock_level_raw(self) -> tuple[int, int, int]:
+        """``(warehouse, district, threshold)`` for Stock-Level."""
+        return (
+            self._warehouse_block.draw(),
+            self._district_block.draw(),
+            self._threshold_block.draw(),
+        )
 
     # -- per-transaction generators ----------------------------------------
 
     def new_order(self) -> NewOrderParams:
         """Inputs for one New-Order transaction."""
-        warehouse = self.uniform_warehouse()
-        lines = []
-        for _ in range(self._items_per_order):
-            item = self._item_sampler.draw()
-            if self._rng.random() < self._remote_stock_probability:
-                supply = self.remote_warehouse(warehouse)
-            else:
-                supply = warehouse
-            lines.append(OrderLineRequest(item_id=item, supply_warehouse=supply))
+        warehouse, district, customer, items, supply = self.new_order_raw()
+        if supply is None:
+            lines = tuple(
+                OrderLineRequest(item_id=item, supply_warehouse=warehouse)
+                for item in items
+            )
+        else:
+            lines = tuple(
+                OrderLineRequest(item_id=item, supply_warehouse=via)
+                for item, via in zip(items, supply)
+            )
         return NewOrderParams(
             warehouse=warehouse,
-            district=self.uniform_district(),
-            customer=self._customer_sampler.draw(),
-            lines=tuple(lines),
+            district=district,
+            customer=customer,
+            lines=lines,
         )
 
     def payment(self) -> PaymentParams:
         """Inputs for one Payment transaction."""
-        warehouse = self.uniform_warehouse()
-        district = self.uniform_district()
-        if self._rng.random() < self._remote_payment_probability:
-            customer_warehouse = self.remote_warehouse(warehouse)
-            customer_district = self.uniform_district()
-        else:
-            customer_warehouse = warehouse
-            customer_district = district
-        by_name, tuples = self.customer_tuples()
+        (
+            warehouse,
+            district,
+            customer_warehouse,
+            customer_district,
+            by_name,
+            tuples,
+        ) = self.payment_raw()
         return PaymentParams(
             warehouse=warehouse,
             district=district,
@@ -230,22 +388,23 @@ class InputGenerator:
 
     def order_status(self) -> OrderStatusParams:
         """Inputs for one Order-Status transaction."""
-        by_name, tuples = self.customer_tuples()
+        warehouse, district, by_name, tuples = self.order_status_raw()
         return OrderStatusParams(
-            warehouse=self.uniform_warehouse(),
-            district=self.uniform_district(),
+            warehouse=warehouse,
+            district=district,
             by_name=by_name,
             customer_tuples=tuples,
         )
 
     def delivery(self) -> DeliveryParams:
         """Inputs for one Delivery transaction."""
-        return DeliveryParams(warehouse=self.uniform_warehouse())
+        return DeliveryParams(warehouse=self.delivery_raw())
 
     def stock_level(self) -> StockLevelParams:
         """Inputs for one Stock-Level transaction."""
+        warehouse, district, threshold = self.stock_level_raw()
         return StockLevelParams(
-            warehouse=self.uniform_warehouse(),
-            district=self.uniform_district(),
-            threshold=int(self._rng.integers(10, 21)),
+            warehouse=warehouse,
+            district=district,
+            threshold=threshold,
         )

@@ -13,12 +13,12 @@ and History relations so appended tuples can be mapped to pages.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.constants import DISTRICTS_PER_WAREHOUSE, STOCK_LEVEL_ORDERS
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False, slots=True)
 class OrderRecord:
     """One placed order, with the append positions of its tuples.
 
@@ -27,6 +27,11 @@ class OrderRecord:
     tuples-per-page geometry they determine which pages the order's
     tuples occupy.  ``new_order_seq`` is the position of the pending
     entry in the New-Order relation (None once delivered).
+
+    Records compare by identity: each represents one concrete insertion
+    event, and the trace generator caches derived page encodings on the
+    instance (``ol_pages``/``sl_refs``), so two records are never
+    interchangeable.  The positional fields are never mutated.
     """
 
     warehouse: int
@@ -36,6 +41,15 @@ class OrderRecord:
     line_start: int
     item_ids: tuple[int, ...]
     new_order_seq: int | None
+    #: Lazy cache (filled by the trace generator): per-line Order-Line
+    #: page term ``page << growing_shift``, untagged so every reader
+    #: (insert, delivery write, status/stock-level read) can add its own
+    #: relation/write tag.
+    ol_pages: list[int] | None = field(default=None, repr=False)
+    #: Lazy cache: Stock-Level's interleaved (Order-Line, Stock)
+    #: reference pairs for this order, fully tagged.  Stable because an
+    #: order is only ever scanned by its own district's Stock-Level.
+    sl_refs: list[int] | None = field(default=None, repr=False)
 
     @property
     def line_count(self) -> int:

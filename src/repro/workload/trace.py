@@ -12,7 +12,7 @@ so the buffer pool can key pages with cheap ``(relation, page)`` tuples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, NamedTuple
+from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -84,6 +84,97 @@ class PageReference(NamedTuple):
     @property
     def relation_name(self) -> str:
         return RELATION_NAMES[self.relation]
+
+
+#: Number of statically sized relations (the first five of
+#: :data:`RELATION_NAMES`); their page counts are fixed by the layouts.
+N_STATIC_RELATIONS = 5
+
+#: Number of append-only relations (order, new_order, order_line,
+#: history); their page counts grow without bound as the trace runs.
+N_GROWING_RELATIONS = len(RELATION_NAMES) - N_STATIC_RELATIONS
+
+#: Bit layout of an int-encoded reference:
+#: ``ref = (page_id << REF_PID_SHIFT) | (relation << REF_REL_SHIFT) | write``.
+REF_WRITE_MASK = 0x1
+REF_REL_SHIFT = 1
+REF_REL_MASK = 0xF
+REF_PID_SHIFT = 5
+
+
+class PageIdSpace:
+    """Dense int interning of ``(relation, page)`` keys.
+
+    The five static relations get contiguous page-id ranges laid out
+    back to back (``static_bases[rel] + page``).  The four growing
+    relations are interleaved above ``static_total`` —
+    ``static_total + page * N_GROWING_RELATIONS + (rel - N_STATIC_RELATIONS)``
+    — so each stays dense no matter how far it grows and the whole id
+    space stays compact (ids only exist for pages actually referenced).
+
+    A full reference additionally carries the relation index and the
+    write flag in its low five bits (see ``REF_*``), so the simulator
+    kernels can bucket misses by relation without a reverse lookup.
+    """
+
+    __slots__ = ("static_bases", "static_total")
+
+    def __init__(self, static_pages: Sequence[int]):
+        if len(static_pages) != N_STATIC_RELATIONS:
+            raise ValueError(
+                f"expected {N_STATIC_RELATIONS} static page counts, "
+                f"got {len(static_pages)}"
+            )
+        bases = []
+        total = 0
+        for pages in static_pages:
+            if pages <= 0:
+                raise ValueError(f"static relation page counts must be positive, got {pages}")
+            bases.append(total)
+            total += pages
+        self.static_bases: tuple[int, ...] = tuple(bases)
+        self.static_total: int = total
+
+    def encode(self, relation: int, page: int) -> int:
+        """The dense page id of ``(relation, page)``."""
+        if relation < N_STATIC_RELATIONS:
+            return self.static_bases[relation] + page
+        return (
+            self.static_total
+            + page * N_GROWING_RELATIONS
+            + (relation - N_STATIC_RELATIONS)
+        )
+
+    def decode(self, page_id: int) -> tuple[int, int]:
+        """The ``(relation, page)`` key behind a dense page id."""
+        if page_id < self.static_total:
+            for relation in range(N_STATIC_RELATIONS - 1, -1, -1):
+                base = self.static_bases[relation]
+                if page_id >= base:
+                    return relation, page_id - base
+        offset = page_id - self.static_total
+        return (
+            N_STATIC_RELATIONS + offset % N_GROWING_RELATIONS,
+            offset // N_GROWING_RELATIONS,
+        )
+
+    def encode_ref(self, relation: int, page: int, write: bool) -> int:
+        """The full int encoding of one reference."""
+        return (
+            (self.encode(relation, page) << REF_PID_SHIFT)
+            | (relation << REF_REL_SHIFT)
+            | (1 if write else 0)
+        )
+
+    def decode_ref(self, ref: int) -> PageReference:
+        """The :class:`PageReference` behind an int-encoded reference."""
+        relation = (ref >> REF_REL_SHIFT) & REF_REL_MASK
+        page_id = ref >> REF_PID_SHIFT
+        if relation < N_STATIC_RELATIONS:
+            page = page_id - self.static_bases[relation]
+        else:
+            page = (page_id - self.static_total) // N_GROWING_RELATIONS
+        return PageReference(relation, page, bool(ref & REF_WRITE_MASK))
 
 
 #: Valid packing selections for the skewed relations.
@@ -250,6 +341,95 @@ class TraceGenerator:
         self._mix_buffer: list[int] = []
         self._mix_next = 0
 
+        # Int-encoded reference plumbing.  A reference is
+        # ``(page << shift) + tag`` where the tag folds together the
+        # relation's base page id, the relation index, and the write
+        # flag — one add and one shift per reference in the hot loops.
+        self._space = PageIdSpace(
+            (
+                self._warehouse_layout.n_pages,
+                self._district_layout.n_pages,
+                self._customer_layout.n_pages,
+                self._stock_layout.n_pages,
+                self._item_layout.n_pages,
+            )
+        )
+        space = self._space
+
+        def static_tag(relation: int, write: bool) -> int:
+            return (
+                (space.static_bases[relation] << REF_PID_SHIFT)
+                | (relation << REF_REL_SHIFT)
+                | (1 if write else 0)
+            )
+
+        def growing_tag(relation: int, write: bool) -> int:
+            slot = relation - N_STATIC_RELATIONS
+            return (
+                ((space.static_total + slot) << REF_PID_SHIFT)
+                | (relation << REF_REL_SHIFT)
+                | (1 if write else 0)
+            )
+
+        self._tag_warehouse_r = static_tag(_WAREHOUSE, False)
+        self._tag_warehouse_w = static_tag(_WAREHOUSE, True)
+        self._tag_district_r = static_tag(_DISTRICT, False)
+        self._tag_district_w = static_tag(_DISTRICT, True)
+        self._tag_customer_r = static_tag(_CUSTOMER, False)
+        self._tag_customer_w = static_tag(_CUSTOMER, True)
+        self._tag_stock_r = static_tag(_STOCK, False)
+        self._tag_stock_w = static_tag(_STOCK, True)
+        self._tag_item_r = static_tag(_ITEM, False)
+        self._tag_order_r = growing_tag(_ORDER, False)
+        self._tag_order_w = growing_tag(_ORDER, True)
+        self._tag_new_order_w = growing_tag(_NEW_ORDER, True)
+        self._tag_order_line_r = growing_tag(_ORDER_LINE, False)
+        self._tag_order_line_w = growing_tag(_ORDER_LINE, True)
+        self._tag_history_w = growing_tag(_HISTORY, True)
+        # For a growing relation, page * N_GROWING_RELATIONS << REF_PID_SHIFT
+        # collapses into one shift by this amount (N_GROWING_RELATIONS = 4).
+        self._growing_shift = REF_PID_SHIFT + 2
+
+        # Per-tuple encoded-reference tables: the full reference for
+        # tuple ``t`` is ``(block_base << 5) + table[t - 1]``, turning
+        # the hot emitters' page lookup + shift + tag into one indexed
+        # add.  (Item needs no block base; its table holds full refs.)
+        self._item_ref_r = [
+            (page << REF_PID_SHIFT) + self._tag_item_r for page in self._item_local
+        ]
+        self._stock_off_r = [
+            (page << REF_PID_SHIFT) + self._tag_stock_r for page in self._stock_local
+        ]
+        self._stock_off_w = [
+            (page << REF_PID_SHIFT) + self._tag_stock_w for page in self._stock_local
+        ]
+        self._customer_off_r = [
+            (page << REF_PID_SHIFT) + self._tag_customer_r
+            for page in self._customer_local
+        ]
+        self._customer_off_w = [
+            (page << REF_PID_SHIFT) + self._tag_customer_w
+            for page in self._customer_local
+        ]
+
+        # Per-transaction access counts by relation index; the fixed-shape
+        # transactions share cached tuples, the variable ones build lists.
+        lines = config.items_per_order
+        self._counts_new_order = (1, 1, 1, lines, lines, 1, 1, lines, 0)
+        self._counts_payment_one = (1, 1, 1, 0, 0, 0, 0, 0, 1)
+        self._counts_payment_many = (1, 1, 3, 0, 0, 0, 0, 0, 1)
+
+        encoder_by_type = {
+            TransactionType.NEW_ORDER: self._new_order_encoded,
+            TransactionType.PAYMENT: self._payment_encoded,
+            TransactionType.ORDER_STATUS: self._order_status_encoded,
+            TransactionType.DELIVERY: self._delivery_encoded,
+            TransactionType.STOCK_LEVEL: self._stock_level_encoded,
+        }
+        self._encoders = tuple(
+            encoder_by_type[tx_type] for tx_type in TRANSACTION_ORDER
+        )
+
         self._prime_state()
 
     # -- public accessors -----------------------------------------------------
@@ -261,6 +441,11 @@ class TraceGenerator:
     @property
     def state(self) -> WorkloadState:
         return self._state
+
+    @property
+    def page_id_space(self) -> PageIdSpace:
+        """The dense page-id interning this trace encodes references with."""
+        return self._space
 
     def total_static_pages(self) -> dict[str, int]:
         """Pages occupied by the non-growing relations (diagnostics)."""
@@ -309,6 +494,16 @@ class TraceGenerator:
         config = self._config
         items_per_order = config.items_per_order
         per_district = config.customers_per_district
+        # One vectorized draw for every primed order's item ids: the
+        # scalar equivalent costs tens of microseconds per order, which
+        # dominates generator construction at paper scale.
+        n_primed = (
+            config.warehouses * DISTRICTS_PER_WAREHOUSE * config.prime_orders
+        )
+        item_draws = self._rng.integers(
+            1, config.items + 1, size=(n_primed, items_per_order)
+        ).tolist()
+        next_draw = 0
         for warehouse in range(1, config.warehouses + 1):
             for district in range(1, DISTRICTS_PER_WAREHOUSE + 1):
                 district_index = (warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (
@@ -324,12 +519,8 @@ class TraceGenerator:
                         )
                     else:
                         new_order_seq = None
-                    items = tuple(
-                        int(value)
-                        for value in self._rng.integers(
-                            1, config.items + 1, size=items_per_order
-                        )
-                    )
+                    items = tuple(item_draws[next_draw])
+                    next_draw += 1
                     self._state.register_initial_order(
                         OrderRecord(
                             warehouse=warehouse,
@@ -346,13 +537,29 @@ class TraceGenerator:
 
     def transaction(self) -> tuple[TransactionType, list[PageReference]]:
         """Draw one transaction and return its type and page references."""
-        if self._mix_next >= len(self._mix_buffer):
+        tx_index, encoded, _ = self.transaction_encoded()
+        decode = self._space.decode_ref
+        return _TRANSACTION_BY_INDEX[tx_index], [decode(ref) for ref in encoded]
+
+    def transaction_encoded(self) -> tuple[int, list[int], Sequence[int]]:
+        """Draw one transaction in int-encoded form (the fast path).
+
+        Returns ``(tx_index, refs, counts)``: the transaction's position
+        in :data:`TRANSACTION_ORDER`, its references encoded as
+        ``(page_id << 5) | (relation << 1) | write`` ints, and its
+        access counts indexed by relation — precomputed here so the
+        simulator does nine adds per transaction instead of a dict
+        update per reference.  :meth:`transaction` consumes the same
+        stream, so both forms of one config are the identical trace.
+        """
+        index = self._mix_next
+        if index >= len(self._mix_buffer):
             self._mix_buffer = self._mix.sample_array(self._rng, 8192).tolist()
-            self._mix_next = 0
-        tx_type = _TRANSACTION_BY_INDEX[self._mix_buffer[self._mix_next]]
-        self._mix_next += 1
-        refs = self._dispatch(tx_type)
-        return tx_type, refs
+            index = 0
+        tx_index: int = self._mix_buffer[index]
+        self._mix_next = index + 1
+        refs, counts = self._encoders[tx_index]()
+        return tx_index, refs, counts
 
     def references(self, transactions: int) -> Iterator[PageReference]:
         """Flat stream of references over ``transactions`` transactions."""
@@ -360,112 +567,209 @@ class TraceGenerator:
             _, refs = self.transaction()
             yield from refs
 
-    def _dispatch(self, tx_type: TransactionType) -> list[PageReference]:
-        if tx_type is TransactionType.NEW_ORDER:
-            return self._new_order_refs()
-        if tx_type is TransactionType.PAYMENT:
-            return self._payment_refs()
-        if tx_type is TransactionType.ORDER_STATUS:
-            return self._order_status_refs()
-        if tx_type is TransactionType.DELIVERY:
-            return self._delivery_refs()
-        return self._stock_level_refs()
+    def highest_page_id(self) -> int:
+        """Upper bound on the dense page ids emitted so far.
 
-    def _new_order_refs(self) -> list[PageReference]:
-        params = self._generator.new_order()
-        refs = [
-            PageReference(_WAREHOUSE, self._warehouse_page(params.warehouse), False),
-            PageReference(
-                _DISTRICT, self._district_page(params.warehouse, params.district), True
-            ),
-            PageReference(
-                _CUSTOMER,
-                self._customer_page(params.warehouse, params.district, params.customer),
-                False,
-            ),
-        ]
-        record = self._state.place_order(
-            params.warehouse, params.district, params.customer, params.item_ids
+        The static relations are bounded by construction; the growing
+        relations' extent follows from the workload state's insertion
+        counters, so this is O(1).  The simulator calls it once per
+        batch to pre-size the kernels' page tables.
+        """
+        state = self._state
+        growing = max(
+            (state.orders_placed // self._tpp_order) * N_GROWING_RELATIONS
+            + (_ORDER - N_STATIC_RELATIONS),
+            (state.new_order_inserts // self._tpp_new_order) * N_GROWING_RELATIONS
+            + (_NEW_ORDER - N_STATIC_RELATIONS),
+            (state.order_lines_inserted // self._tpp_order_line)
+            * N_GROWING_RELATIONS
+            + (_ORDER_LINE - N_STATIC_RELATIONS),
+            (state.history_rows // self._tpp_history) * N_GROWING_RELATIONS
+            + (_HISTORY - N_STATIC_RELATIONS),
         )
-        refs.append(PageReference(_ORDER, record.order_seq // self._tpp_order, True))
+        return self._space.static_total + growing
+
+    def _ol_pages_of(self, record: OrderRecord) -> list[int]:
+        """Per-line Order-Line page terms ``page << growing_shift``.
+
+        Built once per record and cached on it: an order's lines are
+        touched by its New-Order insert, at most one Delivery, and any
+        number of Order-Status and Stock-Level scans — all reading the
+        same pages, each adding its own relation/write tag.
+        """
+        pages = record.ol_pages
+        if pages is None:
+            line_tpp = self._tpp_order_line
+            gshift = self._growing_shift
+            page, rem = divmod(record.line_start, line_tpp)
+            count = len(record.item_ids)
+            if rem + count <= line_tpp:
+                # Common case: all lines land on one Order-Line page.
+                pages = [page << gshift] * count
+            else:
+                pages = []
+                append = pages.append
+                value = page << gshift
+                for _ in range(count):
+                    append(value)
+                    rem += 1
+                    if rem == line_tpp:
+                        rem = 0
+                        page += 1
+                        value = page << gshift
+            record.ol_pages = pages
+        return pages
+
+    def _new_order_encoded(self) -> tuple[list[int], Sequence[int]]:
+        warehouse, district, customer, items, supply = (
+            self._generator.new_order_raw()
+        )
+        customer_base5 = (
+            ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (district - 1))
+            * self._customer_ppb
+        ) << 5
+        refs = [
+            (((warehouse - 1) // self._warehouse_tpp) << 5) + self._tag_warehouse_r,
+            (
+                (
+                    ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + district - 1)
+                    // self._district_tpp
+                )
+                << 5
+            )
+            + self._tag_district_w,
+            customer_base5 + self._customer_off_r[customer - 1],
+        ]
+        record = self._state.place_order(warehouse, district, customer, tuple(items))
+        gshift = self._growing_shift
+        refs.append((record.order_seq // self._tpp_order << gshift) + self._tag_order_w)
         if record.new_order_seq is None:
             raise InvariantViolationError(
                 "place_order returned a record without a new-order sequence"
             )
         refs.append(
-            PageReference(
-                _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True
-            )
+            (record.new_order_seq // self._tpp_new_order << gshift)
+            + self._tag_new_order_w
         )
-        for line, line_seq in zip(params.lines, record.line_seqs()):
-            refs.append(PageReference(_ITEM, self._item_page(line.item_id), False))
-            refs.append(
-                PageReference(
-                    _STOCK, self._stock_page(line.supply_warehouse, line.item_id), True
-                )
-            )
-            refs.append(
-                PageReference(_ORDER_LINE, line_seq // self._tpp_order_line, True)
-            )
-        return refs
+        append = refs.append
+        item_ref = self._item_ref_r
+        stock_off = self._stock_off_w
+        line_tpp = self._tpp_order_line
+        # One divmod locates the first line's page; the loop then steps
+        # by remainder, so the common whole-order-on-one-page case costs
+        # one add and one compare per line instead of a division.
+        page, rem = divmod(record.line_start, line_tpp)
+        ol_ref = (page << gshift) + self._tag_order_line_w
+        if supply is None:
+            stock_base5 = ((warehouse - 1) * self._stock_ppb) << 5
+            for item in items:
+                append(item_ref[item - 1])
+                append(stock_base5 + stock_off[item - 1])
+                append(ol_ref)
+                rem += 1
+                if rem == line_tpp:
+                    rem = 0
+                    page += 1
+                    ol_ref = (page << gshift) + self._tag_order_line_w
+        else:
+            stock_ppb = self._stock_ppb
+            for item, via in zip(items, supply):
+                append(item_ref[item - 1])
+                append((((via - 1) * stock_ppb) << 5) + stock_off[item - 1])
+                append(ol_ref)
+                rem += 1
+                if rem == line_tpp:
+                    rem = 0
+                    page += 1
+                    ol_ref = (page << gshift) + self._tag_order_line_w
+        return refs, self._counts_new_order
 
-    def _payment_refs(self) -> list[PageReference]:
-        params = self._generator.payment()
+    def _payment_encoded(self) -> tuple[list[int], Sequence[int]]:
+        (
+            warehouse,
+            district,
+            customer_warehouse,
+            customer_district,
+            _by_name,
+            tuples,
+        ) = self._generator.payment_raw()
         refs = [
-            PageReference(_WAREHOUSE, self._warehouse_page(params.warehouse), True),
-            PageReference(
-                _DISTRICT, self._district_page(params.warehouse, params.district), True
-            ),
-        ]
-        selected = params.selected_customer
-        update_pending = True  # the selected tuple is written exactly once
-        for customer in params.customer_tuples:
-            is_update = customer == selected and update_pending
-            if is_update:
-                update_pending = False
-            refs.append(
-                PageReference(
-                    _CUSTOMER,
-                    self._customer_page(
-                        params.customer_warehouse, params.customer_district, customer
-                    ),
-                    is_update,
+            (((warehouse - 1) // self._warehouse_tpp) << 5) + self._tag_warehouse_w,
+            (
+                (
+                    ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + district - 1)
+                    // self._district_tpp
                 )
+                << 5
             )
-        history_seq = self._state.record_payment()
-        refs.append(PageReference(_HISTORY, history_seq // self._tpp_history, True))
-        return refs
-
-    def _order_status_refs(self) -> list[PageReference]:
-        params = self._generator.order_status()
-        refs = [
-            PageReference(
-                _CUSTOMER,
-                self._customer_page(params.warehouse, params.district, customer),
-                False,
-            )
-            for customer in params.customer_tuples
+            + self._tag_district_w,
         ]
-        record = self._state.last_order_of(
-            params.warehouse, params.district, params.selected_customer
+        customer_base5 = (
+            (
+                (customer_warehouse - 1) * DISTRICTS_PER_WAREHOUSE
+                + (customer_district - 1)
+            )
+            * self._customer_ppb
+        ) << 5
+        if len(tuples) == 1:
+            refs.append(customer_base5 + self._customer_off_w[tuples[0] - 1])
+            counts: Sequence[int] = self._counts_payment_one
+        else:
+            # The selected tuple (the median, as in Params.selected_customer)
+            # is written exactly once, at its first occurrence.
+            selected = sorted(tuples)[len(tuples) // 2]
+            update_pending = True
+            off_read = self._customer_off_r
+            off_write = self._customer_off_w
+            for customer in tuples:
+                if update_pending and customer == selected:
+                    update_pending = False
+                    refs.append(customer_base5 + off_write[customer - 1])
+                else:
+                    refs.append(customer_base5 + off_read[customer - 1])
+            counts = self._counts_payment_many
+        refs.append(
+            (self._state.record_payment() // self._tpp_history << self._growing_shift)
+            + self._tag_history_w
         )
+        return refs, counts
+
+    def _order_status_encoded(self) -> tuple[list[int], Sequence[int]]:
+        warehouse, district, _by_name, tuples = self._generator.order_status_raw()
+        customer_base5 = (
+            ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (district - 1))
+            * self._customer_ppb
+        ) << 5
+        customer_off = self._customer_off_r
+        refs = [
+            customer_base5 + customer_off[customer - 1] for customer in tuples
+        ]
+        counts = [0, 0, len(tuples), 0, 0, 0, 0, 0, 0]
+        selected = sorted(tuples)[len(tuples) // 2]
+        record = self._state.last_order_of(warehouse, district, selected)
         if record is not None:
+            gshift = self._growing_shift
             refs.append(
-                PageReference(_ORDER, record.order_seq // self._tpp_order, False)
+                (record.order_seq // self._tpp_order << gshift) + self._tag_order_r
             )
-            for line_seq in record.line_seqs():
-                refs.append(
-                    PageReference(
-                        _ORDER_LINE, line_seq // self._tpp_order_line, False
-                    )
-                )
-        return refs
+            tag_line = self._tag_order_line_r
+            refs += [page + tag_line for page in self._ol_pages_of(record)]
+            counts[_ORDER] = 1
+            counts[_ORDER_LINE] = len(record.item_ids)
+        return refs, counts
 
-    def _delivery_refs(self) -> list[PageReference]:
-        params = self._generator.delivery()
-        refs: list[PageReference] = []
+    def _delivery_encoded(self) -> tuple[list[int], Sequence[int]]:
+        warehouse = self._generator.delivery_raw()
+        refs: list[int] = []
+        append = refs.append
+        gshift = self._growing_shift
+        tag_line = self._tag_order_line_w
+        customer_ppb = self._customer_ppb
+        customer_off = self._customer_off_w
+        delivered = 0
+        lines = 0
         for district in range(1, DISTRICTS_PER_WAREHOUSE + 1):
-            record = self._state.deliver_oldest(params.warehouse, district)
+            record = self._state.deliver_oldest(warehouse, district)
             if record is None:
                 continue
             if record.new_order_seq is None:
@@ -473,44 +777,60 @@ class TraceGenerator:
                     "deliver_oldest returned a record without a new-order "
                     "sequence"
                 )
-            refs.append(
-                PageReference(
-                    _NEW_ORDER, record.new_order_seq // self._tpp_new_order, True
-                )
+            delivered += 1
+            append(
+                (record.new_order_seq // self._tpp_new_order << gshift)
+                + self._tag_new_order_w
             )
-            refs.append(PageReference(_ORDER, record.order_seq // self._tpp_order, True))
-            for line_seq in record.line_seqs():
-                refs.append(
-                    PageReference(_ORDER_LINE, line_seq // self._tpp_order_line, True)
+            append((record.order_seq // self._tpp_order << gshift) + self._tag_order_w)
+            refs += [page + tag_line for page in self._ol_pages_of(record)]
+            lines += len(record.item_ids)
+            customer_base5 = (
+                (
+                    (record.warehouse - 1) * DISTRICTS_PER_WAREHOUSE
+                    + (record.district - 1)
                 )
-            refs.append(
-                PageReference(
-                    _CUSTOMER,
-                    self._customer_page(
-                        record.warehouse, record.district, record.customer
-                    ),
-                    True,
-                )
-            )
-        return refs
+                * customer_ppb
+            ) << 5
+            append(customer_base5 + customer_off[record.customer - 1])
+        counts = [0] * 9
+        counts[_CUSTOMER] = delivered
+        counts[_ORDER] = delivered
+        counts[_NEW_ORDER] = delivered
+        counts[_ORDER_LINE] = lines
+        return refs, counts
 
-    def _stock_level_refs(self) -> list[PageReference]:
-        params = self._generator.stock_level()
+    def _stock_level_encoded(self) -> tuple[list[int], Sequence[int]]:
+        warehouse, district, _threshold = self._generator.stock_level_raw()
         refs = [
-            PageReference(
-                _DISTRICT, self._district_page(params.warehouse, params.district), False
+            (
+                (
+                    ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + district - 1)
+                    // self._district_tpp
+                )
+                << 5
             )
+            + self._tag_district_r
         ]
-        for record in self._state.recent_orders(params.warehouse, params.district):
-            for line_seq, item_id in zip(record.line_seqs(), record.item_ids):
-                refs.append(
-                    PageReference(
-                        _ORDER_LINE, line_seq // self._tpp_order_line, False
-                    )
-                )
-                refs.append(
-                    PageReference(
-                        _STOCK, self._stock_page(params.warehouse, item_id), False
-                    )
-                )
-        return refs
+        stock_base5 = ((warehouse - 1) * self._stock_ppb) << 5
+        stock_off = self._stock_off_r
+        tag_line = self._tag_order_line_r
+        lines = 0
+        for record in self._state.recent_orders(warehouse, district):
+            pairs = record.sl_refs
+            if pairs is None:
+                pairs = []
+                append = pairs.append
+                for ol_page, item_id in zip(
+                    self._ol_pages_of(record), record.item_ids
+                ):
+                    append(ol_page + tag_line)
+                    append(stock_base5 + stock_off[item_id - 1])
+                record.sl_refs = pairs
+            refs += pairs
+            lines += len(record.item_ids)
+        counts = [0] * 9
+        counts[_DISTRICT] = 1
+        counts[_ORDER_LINE] = lines
+        counts[_STOCK] = lines
+        return refs, counts

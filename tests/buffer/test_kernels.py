@@ -1,0 +1,271 @@
+"""Unit tests for the dense array kernels (repro.buffer.kernels).
+
+The exhaustive stream-level parity checks live in
+``tests/property/test_kernel_parity.py``; here we test the kernel
+registry, the dense page-id interning, table growth, the simulator's
+kernel selection, and full-report parity between the two simulator
+implementations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.buffer.kernels import (
+    ARRAY_KERNEL_POLICIES,
+    ClockArrayKernel,
+    FifoArrayKernel,
+    LruArrayKernel,
+    make_kernel,
+    supports_array_kernel,
+)
+from repro.buffer.simulator import BufferSimulation, SimulationConfig
+from repro.workload.trace import (
+    N_GROWING_RELATIONS,
+    N_STATIC_RELATIONS,
+    RELATION_NAMES,
+    PageIdSpace,
+    TraceConfig,
+    TraceGenerator,
+)
+
+
+def small_space() -> PageIdSpace:
+    return PageIdSpace([7, 11, 13, 17, 19])
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        trace=TraceConfig(warehouses=2, seed=21),
+        buffer_mb=8,
+        batches=3,
+        batch_size=8_000,
+        warmup_references=10_000,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def reports_equal(a, b) -> bool:
+    """Full-report equality modulo the kernel-selector config field.
+
+    The kernel choice is the one config field allowed to differ between
+    the two implementations (it is excluded from cache fingerprints for
+    the same reason); every result field must match exactly.
+    """
+    if a.config.replace(kernel="auto") != b.config.replace(kernel="auto"):
+        return False
+    for field in dataclasses.fields(a):
+        if field.name == "config":
+            continue
+        if getattr(a, field.name) != getattr(b, field.name):
+            return False
+    return True
+
+
+class TestPageIdSpace:
+    def test_static_ids_contiguous(self):
+        space = small_space()
+        assert space.static_bases == (0, 7, 18, 31, 48)
+        assert space.static_total == 67
+
+    def test_roundtrip_static(self):
+        space = small_space()
+        for relation, pages in enumerate([7, 11, 13, 17, 19]):
+            for page in range(pages):
+                assert space.decode(space.encode(relation, page)) == (relation, page)
+
+    def test_roundtrip_growing(self):
+        space = small_space()
+        for relation in range(N_STATIC_RELATIONS, len(RELATION_NAMES)):
+            for page in (0, 1, 5, 1000):
+                page_id = space.encode(relation, page)
+                assert page_id >= space.static_total
+                assert space.decode(page_id) == (relation, page)
+
+    def test_growing_ids_interleave_densely(self):
+        space = small_space()
+        ids = sorted(
+            space.encode(relation, page)
+            for relation in range(N_STATIC_RELATIONS, len(RELATION_NAMES))
+            for page in range(3)
+        )
+        expected = list(
+            range(space.static_total, space.static_total + 3 * N_GROWING_RELATIONS)
+        )
+        assert ids == expected
+
+    def test_ref_roundtrip(self):
+        space = small_space()
+        for relation, page, write in [(0, 3, False), (4, 18, True), (7, 42, True)]:
+            ref = space.encode_ref(relation, page, write)
+            assert space.decode_ref(ref) == (relation, page, write)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError, match="static page counts"):
+            PageIdSpace([1, 2, 3])
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError, match="positive"):
+            PageIdSpace([4, 4, 0, 4, 4])
+
+
+class TestRegistry:
+    def test_supported_policies(self):
+        assert ARRAY_KERNEL_POLICIES == ("clock", "fifo", "lru")
+        for name in ARRAY_KERNEL_POLICIES:
+            assert supports_array_kernel(name)
+        assert not supports_array_kernel("lfu")
+
+    def test_make_kernel_types(self):
+        space = small_space()
+        assert isinstance(make_kernel("lru", 4, space, 5), LruArrayKernel)
+        assert isinstance(make_kernel("fifo", 4, space, 5), FifoArrayKernel)
+        assert isinstance(make_kernel("clock", 4, space, 5), ClockArrayKernel)
+
+    def test_make_kernel_unknown_policy(self):
+        with pytest.raises(ValueError, match="no array kernel"):
+            make_kernel("2q", 4, small_space(), 5)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make_kernel("lru", 0, small_space(), 5)
+
+
+class TestSlotTable:
+    def test_grows_for_high_page_ids(self):
+        space = small_space()
+        kernel = make_kernel("lru", 4, space, 5)
+        page_id = space.encode(N_STATIC_RELATIONS, 50_000)
+        kernel.ensure_page_capacity(page_id)
+        ref = space.encode_ref(N_STATIC_RELATIONS, 50_000, True)
+        kernel.process_block([ref], 0)
+        assert kernel.resident_page_ids() == [page_id]
+
+    def test_process_block_grows_without_presizing(self):
+        space = small_space()
+        kernel = make_kernel("fifo", 4, space, 5)
+        ref = space.encode_ref(N_STATIC_RELATIONS + 1, 9_999, True)
+        kernel.process_block([ref], 0)
+        assert len(kernel) == 1
+
+    def test_counter_reset_keeps_residency(self):
+        space = small_space()
+        kernel = make_kernel("lru", 4, space, 5)
+        kernel.process_block([space.encode_ref(0, 1, False)], 0)
+        assert kernel.batch_misses[0] == 1
+        kernel.reset_counters()
+        assert kernel.batch_misses[0] == 0
+        assert kernel.tx_misses == [0] * len(kernel.tx_misses)
+        assert len(kernel) == 1  # residency survives the reset
+
+    def test_capacity_one(self):
+        space = small_space()
+        kernel = make_kernel("lru", 1, space, 5)
+        a = space.encode_ref(0, 1, False)
+        b = space.encode_ref(1, 2, False)
+        kernel.process_block([a, b, a], 0)
+        assert kernel.batch_misses[0] == 2  # a missed twice (evicted by b)
+        assert kernel.batch_misses[1] == 1
+        assert kernel.evictions_by_relation() == {0: 1, 1: 1}
+        assert len(kernel) == 1
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_name(self):
+        with pytest.raises(ValueError, match="kernel"):
+            quick_config(kernel="vectorized")
+
+    def test_array_kernel_requires_supported_policy(self):
+        with pytest.raises(ValueError, match="no array kernel"):
+            quick_config(policy="lfu", kernel="array")
+
+    def test_auto_resolution(self):
+        assert quick_config(policy="lru").resolved_kernel == "array"
+        assert quick_config(policy="clock").resolved_kernel == "array"
+        assert quick_config(policy="lfu").resolved_kernel == "object"
+        assert quick_config(policy="lru", kernel="object").resolved_kernel == "object"
+
+
+class TestReportParity:
+    @pytest.mark.parametrize("policy", ARRAY_KERNEL_POLICIES)
+    def test_array_matches_object(self, policy):
+        array = BufferSimulation(
+            quick_config(policy=policy, kernel="array")
+        ).run()
+        obj = BufferSimulation(
+            quick_config(policy=policy, kernel="object")
+        ).run()
+        assert reports_equal(array, obj)
+
+    def test_parity_across_packings_and_seeds(self):
+        for packing, seed in [("sequential", 3), ("optimized", 21), ("random", 8)]:
+            config = quick_config(
+                trace=TraceConfig(warehouses=2, seed=seed, packing=packing)
+            )
+            array = BufferSimulation(config.replace(kernel="array")).run()
+            obj = BufferSimulation(config.replace(kernel="object")).run()
+            assert reports_equal(array, obj)
+
+    def test_eviction_counters_match(self):
+        """The obs eviction tallies agree between implementations."""
+        from repro.obs.metrics import default_registry
+
+        totals = {}
+        for kernel in ("array", "object"):
+            with default_registry().collecting() as session:
+                BufferSimulation(quick_config(kernel=kernel)).run()
+            totals[kernel] = {
+                tuple(sorted(sample["labels"].items())): sample["value"]
+                for entry in session.snapshot.series
+                if entry["name"] == "sim.buffer.evictions_total"
+                for sample in entry["samples"]
+            }
+        assert totals["array"] and totals["array"] == totals["object"]
+
+
+class TestIncrementalPrecision:
+    def test_incremental_equals_fresh_run(self):
+        """run_until_precise's incremental batches match a fresh full run.
+
+        The loose precision target forces at least one doubling beyond
+        the configured batch count, so the test exercises the
+        keep-state-and-extend path, then replays the final batch count
+        from scratch and demands bit-identical reports.
+        """
+        config = quick_config(batches=2, batch_size=4_000)
+        incremental = BufferSimulation(config).run_until_precise(
+            relative_half_width=0.001,
+            relations=("customer",),
+            max_batches=8,
+        )
+        batches_run = incremental.config.batches
+        assert batches_run > config.batches  # the doubling path actually ran
+        fresh = BufferSimulation(config.replace(batches=batches_run)).run()
+        assert reports_equal(incremental, fresh)
+
+    def test_incremental_object_path(self):
+        config = quick_config(batches=2, batch_size=4_000, kernel="object")
+        incremental = BufferSimulation(config).run_until_precise(
+            relative_half_width=0.001,
+            relations=("customer",),
+            max_batches=8,
+        )
+        fresh = BufferSimulation(
+            config.replace(batches=incremental.config.batches)
+        ).run()
+        assert reports_equal(incremental, fresh)
+
+
+class TestHighestPageId:
+    def test_tracks_growing_relations(self):
+        config = TraceConfig(warehouses=1, seed=5)
+        trace = TraceGenerator(config)
+        space = trace.page_id_space
+        before = trace.highest_page_id()
+        assert before >= space.static_total
+        seen = before
+        for _ in range(400):
+            _, refs, _ = trace.transaction_encoded()
+            seen = max(seen, max(refs) >> 5)
+            assert trace.highest_page_id() >= seen

@@ -98,6 +98,32 @@ class TestCacheKey:
         assert reference not in keys
         assert len(keys) == len(variants)
 
+    def test_kernel_choice_shares_cache_entries(self):
+        """``SimulationConfig.kernel`` is an implementation selector with
+        bit-identical results, so all three choices must map to the same
+        cache key — an entry computed by one kernel serves the others."""
+        base = _reference_config()
+        keys = {
+            cache_key(run_simulation_config, base.replace(kernel=kernel))
+            for kernel in ("auto", "array", "object")
+        }
+        assert len(keys) == 1
+
+    def test_fingerprint_skips_opted_out_fields(self):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Payload:
+            value: int
+            scratch: str = dataclasses.field(
+                default="", metadata={"cache_fingerprint": False}
+            )
+
+        assert stable_fingerprint(Payload(1, "a")) == stable_fingerprint(
+            Payload(1, "b")
+        )
+        assert stable_fingerprint(Payload(1)) != stable_fingerprint(Payload(2))
+
     def test_changes_with_function(self):
         def other(config):
             return None

@@ -40,6 +40,13 @@ class TestRunRequest:
             RunRequest(experiment="fig8", retries=-1)
         with pytest.raises(ValueError, match="unit_timeout"):
             RunRequest(experiment="fig8", unit_timeout=-2.0)
+        with pytest.raises(ValueError, match="kernel"):
+            RunRequest(experiment="fig8", kernel="simd")
+
+    def test_kernel_default_and_choices(self):
+        assert RunRequest(experiment="fig8").kernel == "auto"
+        for kernel in ("auto", "array", "object"):
+            assert RunRequest(experiment="fig8", kernel=kernel).kernel == kernel
 
     def test_frozen(self):
         request = RunRequest(experiment="fig8")

@@ -172,6 +172,7 @@ class TestCliResume:
             metrics=None,
             trace=None,
             profile=False,
+            kernel="auto",
         )
         request = _request_from_args(args, "fig8")
         assert request.resume_from == "m.json"

@@ -32,6 +32,15 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "fig5", "--preset", "galactic"])
 
+    def test_kernel_flag(self, capsys):
+        for kernel in ("array", "object"):
+            assert main(["run", "table1", "--kernel", kernel]) == 0
+        capsys.readouterr()
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--kernel", "simd"])
+
 
 class TestRunEngineFlags:
     def test_jobs_cache_and_manifest(self, tmp_path, capsys):
