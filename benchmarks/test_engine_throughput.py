@@ -20,9 +20,11 @@ def test_engine_transaction_rate(benchmark):
         seed=51,
     )
     db = load_tpcc(config)
-    executor = TpccExecutor(db, config, seed=7)
+    executor = TpccExecutor(db=db, config=config, seed=7)
 
-    benchmark.pedantic(executor.run_mix, args=(200,), rounds=3, iterations=1)
+    benchmark.pedantic(
+        executor.run_mix, kwargs={"transactions": 200}, rounds=3, iterations=1
+    )
 
     rates = buffer_miss_rates(db)
     print()

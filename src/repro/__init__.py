@@ -17,6 +17,9 @@ an executable storage engine underneath:
 * :mod:`repro.engine` / :mod:`repro.tpcc` — a real page-based storage
   engine (heap files, B+ trees, buffer manager, locks, WAL) running
   executable TPC-C transactions that cross-validate the models;
+* :mod:`repro.driver` — a concurrent multi-terminal TPC-C driver over
+  that engine (deterministic virtual time or real worker threads),
+  validated against the exact MVA solution;
 * :mod:`repro.experiments` — regenerates every table and figure.
 
 Quickstart::
@@ -54,6 +57,12 @@ from repro.distributed import (
     RemoteCallExpectations,
     scaleup_curve,
 )
+from repro.driver import (
+    BenchmarkSpec,
+    DriverReport,
+    run_benchmark,
+    validate_against_mva,
+)
 from repro.exec import (
     ExecutionEngine,
     RunContext,
@@ -83,10 +92,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticMissRateProvider",
+    "BenchmarkSpec",
     "BufferSimulation",
     "CostParameters",
     "DEFAULT_MIX",
     "DistributedThroughputModel",
+    "DriverReport",
     "ExecutionEngine",
     "ExperimentResult",
     "HottestFirstPacking",
@@ -117,7 +128,9 @@ __all__ = [
     "nurand",
     "page_access_distribution",
     "price_performance_sweep",
+    "run_benchmark",
     "run_experiment",
     "scaleup_curve",
+    "validate_against_mva",
     "__version__",
 ]

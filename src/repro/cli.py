@@ -11,6 +11,8 @@ Subcommands::
     python -m repro stats out.json             # pretty-print a snapshot
     python -m repro skew                       # Section 3 headline numbers
     python -m repro throughput --buffer-mb 52  # Section 5 at one point
+    python -m repro bench --terminals 200      # concurrent TPC-C driver
+    python -m repro bench --validate --terminal-counts 1,8,32,128
     python -m repro lint                       # reprolint over src/repro
     python -m repro lint --format json path/   # machine-readable findings
 
@@ -229,6 +231,88 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     throughput.add_argument("--mips", type=float, default=10.0)
     add_format_argument(throughput)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the concurrent multi-terminal TPC-C driver "
+        "(virtual time by default; deterministic per seed)",
+    )
+    bench.add_argument(
+        "--terminals", type=int, default=8, help="emulated terminals (default: 8)"
+    )
+    group = bench.add_mutually_exclusive_group()
+    group.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N transactions have started (default: 400)",
+    )
+    group.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run for a fixed virtual (or wall) duration instead",
+    )
+    bench.add_argument(
+        "--think",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="mean exponential think time per terminal (default: 1.0)",
+    )
+    bench.add_argument(
+        "--keying",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="constant keying time per terminal (default: 0.0)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--scheduler",
+        choices=["virtual", "threads"],
+        default="virtual",
+        help="virtual = deterministic discrete-event time; "
+        "threads = real worker pool with wall-clock latencies",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads for --scheduler threads (default: 4)",
+    )
+    bench.add_argument(
+        "--warehouses",
+        type=int,
+        default=None,
+        help="TPC-C scale (default: max(2, terminals // 20))",
+    )
+    bench.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="retry budget per transaction before giving up",
+    )
+    bench.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="admission cap on concurrently open transactions",
+    )
+    bench.add_argument(
+        "--validate",
+        action="store_true",
+        help="run at several terminal counts and compare against exact MVA",
+    )
+    bench.add_argument(
+        "--terminal-counts",
+        metavar="N,N,...",
+        default="1,4,16,64",
+        help="populations for --validate (default: 1,4,16,64)",
+    )
+    add_format_argument(bench)
 
     lint = commands.add_parser(
         "lint", help="run the reprolint static-analysis rules (REP001..REP006)"
@@ -594,6 +678,63 @@ def _command_throughput(args) -> int:
     return 0
 
 
+def _command_bench(args) -> int:
+    from repro.driver import BenchmarkSpec, run_benchmark, validate_against_mva
+    from repro.tpcc.executor import RetryPolicy
+    from repro.tpcc.loader import TpccConfig
+
+    warehouses = args.warehouses
+    if warehouses is None:
+        warehouses = max(2, args.terminals // 20)
+    transactions = args.transactions
+    if transactions is None and args.duration is None:
+        transactions = 400
+    retry = RetryPolicy()
+    if args.max_attempts is not None:
+        retry = RetryPolicy(max_attempts=args.max_attempts)
+    try:
+        spec = BenchmarkSpec(
+            terminals=args.terminals,
+            duration_seconds=args.duration,
+            transactions=transactions,
+            think_time_seconds=args.think,
+            keying_time_seconds=args.keying,
+            retry=retry,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            workers=args.workers,
+            max_in_flight=args.max_in_flight,
+            tpcc=TpccConfig(warehouses=warehouses),
+        )
+    except ValueError as error:
+        print(f"invalid benchmark spec: {error}", file=sys.stderr)
+        return 2
+    if args.validate:
+        try:
+            counts = [
+                int(token)
+                for token in args.terminal_counts.split(",")
+                if token.strip()
+            ]
+        except ValueError:
+            print(
+                f"bad --terminal-counts: {args.terminal_counts!r} "
+                "(expected comma-separated integers)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            validation = validate_against_mva(spec, counts)
+        except ValueError as error:
+            print(f"validation rejected the spec: {error}", file=sys.stderr)
+            return 2
+        _emit(args, validation.render(), validation.to_dict())
+        return 0
+    report = run_benchmark(spec)
+    _emit(args, report.render(), report.to_dict())
+    return 0
+
+
 def _command_lint(args) -> int:
     from repro.analysis.runner import describe_rules, lint_paths
 
@@ -626,6 +767,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _command_trace,
         "skew": _command_skew,
         "throughput": _command_throughput,
+        "bench": _command_bench,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,118 @@
+"""The real-thread worker pool (wall-clock, nondeterministic) driver.
+
+Where :class:`~repro.driver.scheduler.VirtualScheduler` answers "what
+does the paper's closed network predict when the real engine is in the
+loop", the pool answers "does the engine actually survive concurrent
+threads": terminals are partitioned round-robin over worker threads
+(the noisepage benchmark-runner pattern), transaction inputs are
+precomputed into per-terminal queues off the hot path, and the workers
+hammer the engine back-to-back — no think-time sleeps, so this mode is
+a stress/correctness harness, not a throughput model.  Latencies come
+from ``time.perf_counter`` and are flagged nondeterministic in the
+report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.driver.scheduler import RunOutcome
+from repro.driver.spec import BenchmarkSpec
+from repro.engine.database import Database
+from repro.tpcc.executor import TRANSIENT_ERRORS, PreparedTransaction, TpccExecutor
+
+
+class WorkerPool:
+    """Executes a spec with ``min(workers, terminals)`` real threads."""
+
+    def __init__(self, db: Database, spec: BenchmarkSpec):
+        self._db = db
+        self._spec = spec
+
+    def run(self, executors: list[TpccExecutor]) -> RunOutcome:
+        spec = self._spec
+        workers = min(spec.workers, spec.terminals)
+        # Per-terminal transaction quotas (tx-count mode) and prepared
+        # input queues, drawn single-threaded before the clock starts.
+        queues: list[list[PreparedTransaction] | None]
+        if spec.transactions is not None:
+            base, extra = divmod(spec.transactions, spec.terminals)
+            quotas = [
+                base + (1 if terminal < extra else 0)
+                for terminal in range(spec.terminals)
+            ]
+            queues = [
+                [executors[t].prepare(mix=spec.mix) for _ in range(quotas[t])]
+                for t in range(spec.terminals)
+            ]
+        else:
+            queues = [None] * spec.terminals
+
+        deadline: float | None = None
+        started = time.perf_counter()
+        if spec.duration_seconds is not None:
+            deadline = started + spec.duration_seconds
+
+        lock = threading.Lock()
+        latencies: dict[str, list[float]] = {}
+        counts = {"started": 0, "completed": 0}
+        errors: list[BaseException] = []
+
+        def work(worker: int) -> None:
+            mine = list(range(worker, spec.terminals, workers))
+            local_lat: dict[str, list[float]] = {}
+            local_started = 0
+            local_completed = 0
+            try:
+                active = list(mine)
+                while active:
+                    for terminal in list(active):
+                        if deadline is not None and time.perf_counter() >= deadline:
+                            active = []
+                            break
+                        q = queues[terminal]
+                        if q is not None:
+                            if not q:
+                                active.remove(terminal)
+                                continue
+                            prepared = q.pop(0)
+                        else:
+                            prepared = executors[terminal].prepare(mix=spec.mix)
+                        local_started += 1
+                        begun = time.perf_counter()
+                        try:
+                            executors[terminal].execute_prepared(prepared)
+                        except TRANSIENT_ERRORS:
+                            local_completed += 1
+                            continue  # gave up; summary already counted it
+                        local_completed += 1
+                        local_lat.setdefault(prepared.tx.value, []).append(
+                            time.perf_counter() - begun
+                        )
+            except BaseException as error:
+                with lock:
+                    errors.append(error)
+            finally:
+                with lock:
+                    for tx, values in local_lat.items():
+                        latencies.setdefault(tx, []).extend(values)
+                    counts["started"] += local_started
+                    counts["completed"] += local_completed
+
+        threads = [
+            threading.Thread(target=work, args=(worker,), daemon=True)
+            for worker in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return RunOutcome(
+            elapsed_seconds=time.perf_counter() - started,
+            latencies=latencies,
+            started=counts["started"],
+            completed=counts["completed"],
+        )

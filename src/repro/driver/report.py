@@ -1,0 +1,133 @@
+"""The driver's result shape: tpmC, latency percentiles, contention.
+
+:class:`DriverReport` is the eighth member of the repo's unified
+:class:`~repro.results.Report` family — ``to_dict``/``from_dict``
+round-trip through JSON, a ``metrics`` field carries an optional
+observability snapshot, and ``render()`` produces the text table the
+CLI emits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.driver.spec import BenchmarkSpec
+from repro.obs.metrics import MetricsSnapshot
+from repro.results import ReportMixin
+from repro.tpcc.executor import ExecutionSummary
+from repro.workload.mix import TRANSACTION_ORDER
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class TxStats(ReportMixin):
+    """Latency and outcome statistics of one transaction type."""
+
+    committed: int = 0
+    aborted: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+
+    @classmethod
+    def from_latencies(
+        cls, latencies_seconds: list[float], aborted: int = 0
+    ) -> "TxStats":
+        """Summarize a sample of per-transaction latencies (seconds)."""
+        ordered = sorted(latencies_seconds)
+        mean = sum(ordered) / len(ordered) if ordered else 0.0
+        return cls(
+            committed=len(ordered),
+            aborted=aborted,
+            p50_ms=percentile(ordered, 0.50) * 1000.0,
+            p95_ms=percentile(ordered, 0.95) * 1000.0,
+            p99_ms=percentile(ordered, 0.99) * 1000.0,
+            mean_ms=mean * 1000.0,
+        )
+
+
+@dataclass(frozen=True)
+class DriverReport(ReportMixin):
+    """Measured outcome of one :class:`BenchmarkSpec` run."""
+
+    spec: BenchmarkSpec
+    elapsed_seconds: float
+    committed: int
+    tpmc: float
+    throughput_tps: float
+    per_tx: dict[str, TxStats]
+    aborts: int
+    retries: int
+    gave_up: int
+    lock_conflicts: int
+    lock_timeouts: int
+    lock_waits: int
+    cpu_busy_seconds: float
+    disk_busy_seconds: float
+    cpu_utilization: float
+    disk_utilization: float
+    cpu_demand_seconds: float
+    disk_demand_seconds: float
+    deterministic: bool
+    summary: ExecutionSummary
+    metrics: MetricsSnapshot | None = field(default=None)
+
+    @property
+    def response_seconds(self) -> float:
+        """Committed-transaction mean residence time (all types pooled)."""
+        total = sum(
+            stats.mean_ms * stats.committed for stats in self.per_tx.values()
+        )
+        return (total / self.committed / 1000.0) if self.committed else 0.0
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Per-transaction-type rows for the text table."""
+        rows = []
+        for tx in TRANSACTION_ORDER:
+            stats = self.per_tx.get(tx.value)
+            if stats is None:
+                continue
+            rows.append(
+                {
+                    "tx": tx.value,
+                    "committed": stats.committed,
+                    "aborted": stats.aborted,
+                    "p50 ms": round(stats.p50_ms, 3),
+                    "p95 ms": round(stats.p95_ms, 3),
+                    "p99 ms": round(stats.p99_ms, 3),
+                    "mean ms": round(stats.mean_ms, 3),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """The CLI's text form: headline figures plus the per-tx table."""
+        from repro.experiments.report import render_table
+
+        clock = "virtual" if self.deterministic else "wall-clock"
+        lines = [
+            f"terminals={self.spec.terminals} scheduler={self.spec.scheduler} "
+            f"({clock} time)",
+            f"elapsed {self.elapsed_seconds:.3f} s, "
+            f"{self.committed} committed, "
+            f"tpmC {self.tpmc:.1f}, throughput {self.throughput_tps:.2f} tx/s",
+            f"aborts {self.aborts}, retries {self.retries}, "
+            f"gave up {self.gave_up}; lock conflicts {self.lock_conflicts}, "
+            f"timeouts {self.lock_timeouts}, waits {self.lock_waits}",
+            f"cpu util {self.cpu_utilization:.3f}, "
+            f"disk util {self.disk_utilization:.3f}",
+            "",
+            render_table(self.as_rows(), title="per-transaction latency"),
+        ]
+        return "\n".join(lines)

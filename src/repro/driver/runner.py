@@ -1,0 +1,122 @@
+"""Run a :class:`BenchmarkSpec` end to end and build the report.
+
+``run_benchmark`` is the public entry point behind ``python -m repro
+bench``; ``run_benchmark_unit`` is its picklable work-unit form so
+benchmark points cache and fan out through
+:class:`repro.exec.ExecutionEngine` exactly like experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Mapping
+
+from repro.driver.pool import WorkerPool
+from repro.driver.report import DriverReport, TxStats
+from repro.driver.scheduler import RunOutcome, VirtualScheduler
+from repro.driver.spec import BenchmarkSpec
+from repro.engine.database import Database
+from repro.results import _deserialize, _serialize
+from repro.tpcc.executor import ExecutionSummary, TpccExecutor
+from repro.tpcc.loader import load_tpcc
+
+
+def build_executors(
+    db: Database, spec: BenchmarkSpec, sleep: Any
+) -> list[TpccExecutor]:
+    """One executor per terminal with collision-free seeds and h_ids."""
+    return [
+        TpccExecutor(
+            db=db,
+            config=spec.tpcc,
+            seed=[spec.seed, 1, terminal],
+            retry_policy=spec.retry,
+            sleep=sleep,
+            history_offset=terminal,
+            history_stride=spec.terminals,
+        )
+        for terminal in range(spec.terminals)
+    ]
+
+
+def run_benchmark(spec: BenchmarkSpec, db: Database | None = None) -> DriverReport:
+    """Load (unless given), drive, and summarize one benchmark run."""
+    if db is None:
+        db = load_tpcc(spec.tpcc)
+    locks_before = db.locks.contention()
+
+    outcome: RunOutcome
+    if spec.scheduler == "virtual":
+        scheduler = VirtualScheduler(db, spec)
+        executors = build_executors(db, spec, sleep=scheduler.gate.sleep)
+        outcome = scheduler.run(executors)
+    else:
+        executors = build_executors(db, spec, sleep=time.sleep)
+        outcome = WorkerPool(db, spec).run(executors)
+
+    merged = ExecutionSummary()
+    for executor in executors:
+        merged = merged.merge(executor.summary)
+
+    locks_after = db.locks.contention()
+    conflicts = locks_after["conflicts"] - locks_before["conflicts"]
+    timeouts = locks_after["timeouts"] - locks_before["timeouts"]
+    waits = locks_after["waits"] - locks_before["waits"]
+
+    committed = merged.total
+    elapsed = outcome.elapsed_seconds
+    per_tx = {
+        tx: TxStats.from_latencies(
+            outcome.latencies.get(tx, []), aborted=merged.aborted.get(tx, 0)
+        )
+        for tx in sorted(set(outcome.latencies) | set(merged.executed))
+    }
+    new_orders = merged.executed.get("new_order", 0)
+    cpu_demand = outcome.cpu_busy_seconds / committed if committed else 0.0
+    disk_demand = outcome.disk_busy_seconds / committed if committed else 0.0
+    return DriverReport(
+        spec=spec,
+        elapsed_seconds=elapsed,
+        committed=committed,
+        tpmc=new_orders / elapsed * 60.0 if elapsed > 0 else 0.0,
+        throughput_tps=committed / elapsed if elapsed > 0 else 0.0,
+        per_tx=per_tx,
+        aborts=merged.total_aborted,
+        retries=merged.retries,
+        gave_up=merged.gave_up,
+        lock_conflicts=conflicts,
+        lock_timeouts=timeouts,
+        lock_waits=waits,
+        cpu_busy_seconds=outcome.cpu_busy_seconds,
+        disk_busy_seconds=outcome.disk_busy_seconds,
+        cpu_utilization=outcome.cpu_busy_seconds / elapsed if elapsed > 0 else 0.0,
+        disk_utilization=outcome.disk_busy_seconds / elapsed if elapsed > 0 else 0.0,
+        cpu_demand_seconds=cpu_demand,
+        disk_demand_seconds=disk_demand,
+        deterministic=spec.scheduler == "virtual",
+        summary=merged,
+    )
+
+
+def spec_to_dict(spec: BenchmarkSpec) -> dict[str, Any]:
+    """JSON-serializable form of a spec (for work-unit payloads)."""
+    return {
+        f.name: _serialize(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+    }
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> BenchmarkSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output."""
+    return _deserialize(dict(data), BenchmarkSpec)
+
+
+def run_benchmark_unit(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Picklable work-unit entry point: payload is ``{"spec": {...}}``.
+
+    Returns the report as a dict so the execution engine's JSON result
+    cache can fingerprint and store it like any sweep unit.
+    """
+    spec = spec_from_dict(payload["spec"])
+    return run_benchmark(spec).to_dict()

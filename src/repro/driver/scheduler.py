@@ -1,0 +1,363 @@
+"""Deterministic virtual-time scheduling of concurrent terminals.
+
+The paper's closed model (Figures 9–10) is a queueing network: N
+terminals cycle through a think delay, a CPU station and a disk
+station.  :class:`VirtualScheduler` is that network made executable
+with the *real* engine in the loop: every transaction runs the actual
+``TpccExecutor`` code — real tuple locks, real WAL, real buffer pool —
+but time is virtual and costs come from the paper's Table 4 parameters,
+so runs are deterministic, byte-identical per seed, and directly
+comparable with exact MVA.
+
+How it works: each in-flight transaction runs on its own task thread,
+but the scheduler admits exactly **one** statement at a time.  A
+*statement gate* (installed via :meth:`Database.set_statement_gate`)
+meters each SQL call — CPU K-instructions from the transaction's call
+census, disk demand from buffer misses — then parks the thread and
+reports the cost.  The scheduler serves the cost through FCFS CPU and
+disk stations, advances the virtual clock, and resumes whichever task
+finishes next.  Because only one thread is ever runnable, the engine
+sees a deterministic serialized statement order; locks still conflict
+across in-flight transactions exactly as they would under a real
+concurrent driver (statements of different transactions interleave at
+statement granularity).
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.driver.spec import BenchmarkSpec
+from repro.engine.database import Database, Transaction
+from repro.obs import instruments
+from repro.tpcc.executor import TRANSIENT_ERRORS, TpccExecutor
+
+
+@dataclass
+class RunOutcome:
+    """What a scheduler run measured (shared by both drivers)."""
+
+    elapsed_seconds: float
+    latencies: dict[str, list[float]]
+    started: int
+    completed: int
+    cpu_busy_seconds: float = 0.0
+    disk_busy_seconds: float = 0.0
+
+
+class _Station:
+    """One FCFS queueing station in virtual time."""
+
+    __slots__ = ("free_at", "busy_seconds")
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+
+    def serve(self, arrival: float, demand: float) -> float:
+        """Serve a request arriving at ``arrival``; returns completion."""
+        start = max(arrival, self.free_at)
+        end = start + demand
+        self.free_at = end
+        self.busy_seconds += demand
+        return end
+
+
+class _Task:
+    """One in-flight transaction bound to a terminal."""
+
+    __slots__ = (
+        "terminal",
+        "prepared",
+        "start_time",
+        "thread",
+        "resume_event",
+        "last_txn_id",
+        "outcome",
+        "error",
+    )
+
+    def __init__(self, terminal: int, prepared: object, start_time: float):
+        self.terminal = terminal
+        self.prepared = prepared
+        self.start_time = start_time
+        self.thread: threading.Thread | None = None
+        self.resume_event: threading.Event | None = None
+        self.last_txn_id = -1
+        self.outcome = "running"
+        self.error: BaseException | None = None
+
+
+@dataclass
+class _StatementSnapshot:
+    """Call-census and buffer state at statement entry."""
+
+    selects: int = 0
+    updates: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    non_unique_selects: int = 0
+    joins: int = 0
+    misses: int = 0
+    locks_held: int = 0
+
+
+class StatementGate:
+    """The turnstile between executor threads and the scheduler.
+
+    Installed on the database for the duration of a virtual run; every
+    statement body passes through :meth:`statement`, which meters the
+    statement's Table 4 cost and parks the thread until the scheduler
+    has served that cost through the stations.  ``sleep`` gives the
+    executor's retry backoff the same treatment (virtual, not real,
+    delay).
+    """
+
+    def __init__(self, scheduler: "VirtualScheduler", db: Database):
+        self._scheduler = scheduler
+        self._db = db
+        self._params = scheduler.spec.params
+        self._local = threading.local()
+
+    def bind(self, task: _Task) -> None:
+        """Associate the calling thread with a task (thread start)."""
+        self._local.task = task
+
+    def _current(self) -> _Task | None:
+        return getattr(self._local, "task", None)
+
+    def _total_misses(self) -> int:
+        return sum(self._db.buffers.stats.misses.values())
+
+    @contextmanager
+    def statement(self, txn: Transaction, kind: str) -> Iterator[None]:
+        task = self._current()
+        if task is None:  # not a driver thread (e.g. setup code)
+            yield
+            return
+        snap = _StatementSnapshot(
+            selects=txn.calls.selects,
+            updates=txn.calls.updates,
+            inserts=txn.calls.inserts,
+            deletes=txn.calls.deletes,
+            non_unique_selects=txn.calls.non_unique_selects,
+            joins=txn.calls.joins,
+            misses=self._total_misses(),
+            locks_held=self._db.locks.locks_held(txn.txn_id),
+        )
+        try:
+            yield
+        finally:
+            cpu_k, misses = self._cost(task, txn, kind, snap)
+            instruments.DRIVER_STATEMENTS.inc(kind=kind)
+            self._scheduler.pause(task, ("stmt", task, (cpu_k, misses)))
+
+    def sleep(self, seconds: float) -> None:
+        """Virtual sleep (retry backoff) for the calling task thread."""
+        task = self._current()
+        if task is None:
+            return
+        self._scheduler.pause(task, ("sleep", task, seconds))
+
+    def _cost(
+        self, task: _Task, txn: Transaction, kind: str, snap: _StatementSnapshot
+    ) -> tuple[float, int]:
+        """Table 4 cost of the statement just executed (K-instr, misses)."""
+        p = self._params
+        calls = txn.calls
+        misses = self._total_misses() - snap.misses
+        cpu_k = (
+            (calls.selects - snap.selects) * p.select_k
+            + (calls.updates - snap.updates) * p.update_k
+            + (calls.inserts - snap.inserts) * p.insert_k
+            + (calls.deletes - snap.deletes) * p.delete_k
+            + (calls.non_unique_selects - snap.non_unique_selects)
+            * p.non_unique_select_k
+            + (calls.joins - snap.joins) * p.join_k
+            + p.application_k  # application code between SQL calls
+            + misses * p.init_io_k  # I/O initiation per buffer miss
+        )
+        if task.last_txn_id != txn.txn_id:
+            task.last_txn_id = txn.txn_id
+            cpu_k += p.init_transaction_k + p.application_k
+        if kind == "commit":
+            # Commit log write plus one lock release per held lock.
+            cpu_k += p.commit_k + p.init_io_k
+            cpu_k += snap.locks_held * p.release_lock_k
+        elif kind == "abort":
+            cpu_k += snap.locks_held * p.release_lock_k
+        return cpu_k, misses
+
+
+class VirtualScheduler:
+    """Discrete-event execution of a :class:`BenchmarkSpec`.
+
+    Events are ``(time, seq, kind, payload)`` on a heap: ``start``
+    launches a terminal's next transaction (spawning a task thread),
+    ``resume`` unparks a task whose statement or backoff completed.
+    After every grant the scheduler blocks until the granted task's
+    next message, so exactly one thread runs at any moment and the
+    whole run is deterministic.
+    """
+
+    def __init__(self, db: Database, spec: BenchmarkSpec):
+        self._db = db
+        self.spec = spec
+        self.gate = StatementGate(self, db)
+        self._cpu = _Station()
+        self._disk = _Station()
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = 0
+        self._inbox: "queue.Queue[tuple[str, _Task, object]]" = queue.Queue()
+        self._now = 0.0
+        self._started = 0
+        self._completed = 0
+        self._in_flight = 0
+        self._waiting: list[int] = []
+        self._latencies: dict[str, list[float]] = {}
+        self._errors: list[BaseException] = []
+        self._terminal_rngs = [
+            np.random.default_rng([spec.seed, 7, terminal])
+            for terminal in range(spec.terminals)
+        ]
+        self._executors: list[TpccExecutor] = []
+        self._deadline = spec.duration_seconds
+        self._quota = spec.transactions
+
+    # -- scheduling primitives -------------------------------------------------
+
+    def _push(self, time_: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time_, self._seq, kind, payload))
+        self._seq += 1
+
+    def pause(self, task: _Task, message: tuple[str, _Task, object]) -> None:
+        """Park the calling task thread until the scheduler resumes it."""
+        event = threading.Event()
+        task.resume_event = event
+        self._inbox.put(message)
+        event.wait()
+
+    def _cycle_delay(self, terminal: int) -> float:
+        """Think (exponential) plus keying (constant) time for a terminal."""
+        rng = self._terminal_rngs[terminal]
+        think = 0.0
+        if self.spec.think_time_seconds > 0:
+            think = float(rng.exponential(self.spec.think_time_seconds))
+        return think + self.spec.keying_time_seconds
+
+    # -- run loop ---------------------------------------------------------------
+
+    def run(self, executors: list[TpccExecutor]) -> RunOutcome:
+        """Execute the spec to completion; returns the measurements."""
+        self._executors = executors
+        self._db.set_statement_gate(self.gate)
+        try:
+            for terminal in range(self.spec.terminals):
+                self._push(self._cycle_delay(terminal), "start", terminal)
+            while self._events:
+                time_, _, kind, payload = heapq.heappop(self._events)
+                if time_ > self._now:
+                    self._now = time_
+                if kind == "start":
+                    self._handle_start(int(payload))  # type: ignore[arg-type]
+                else:
+                    task = payload
+                    if not isinstance(task, _Task) or task.resume_event is None:
+                        raise RuntimeError("resume event without a parked task")
+                    task.resume_event.set()
+                    self._process_one_message()
+        finally:
+            self._db.set_statement_gate(None)
+        if self._errors:
+            raise self._errors[0]
+        return RunOutcome(
+            elapsed_seconds=self._now,
+            latencies=self._latencies,
+            started=self._started,
+            completed=self._completed,
+            cpu_busy_seconds=self._cpu.busy_seconds,
+            disk_busy_seconds=self._disk.busy_seconds,
+        )
+
+    def _handle_start(self, terminal: int) -> None:
+        if self._deadline is not None and self._now >= self._deadline:
+            return  # terminal retires; in-flight work drains
+        if self._quota is not None and self._started >= self._quota:
+            return
+        if (
+            self.spec.max_in_flight is not None
+            and self._in_flight >= self.spec.max_in_flight
+        ):
+            self._waiting.append(terminal)
+            return
+        self._spawn(terminal)
+
+    def _spawn(self, terminal: int) -> None:
+        self._started += 1
+        self._in_flight += 1
+        prepared = self._executors[terminal].prepare(mix=self.spec.mix)
+        task = _Task(terminal, prepared, self._now)
+        thread = threading.Thread(
+            target=self._task_body, args=(task,), daemon=True
+        )
+        task.thread = thread
+        thread.start()
+        self._process_one_message()
+
+    def _task_body(self, task: _Task) -> None:
+        self.gate.bind(task)
+        try:
+            self._executors[task.terminal].execute_prepared(task.prepared)  # type: ignore[arg-type]
+            task.outcome = "committed"
+        except TRANSIENT_ERRORS:
+            task.outcome = "gave_up"
+        except BaseException as error:  # fatal: surfaced after the run
+            task.outcome = "error"
+            task.error = error
+        finally:
+            self._inbox.put(("done", task, None))
+
+    def _process_one_message(self) -> None:
+        kind, task, arg = self._inbox.get()
+        if kind == "stmt":
+            cpu_k, misses = arg  # type: ignore[misc]
+            cpu_seconds = cpu_k / self.spec.params.k_instructions_per_second
+            disk_seconds = (
+                misses
+                * self.spec.params.disk_service_ms
+                / 1000.0
+                / self.spec.disk_arms
+            )
+            after_cpu = self._cpu.serve(self._now, cpu_seconds)
+            done_at = self._disk.serve(after_cpu, disk_seconds)
+            self._push(done_at, "resume", task)
+        elif kind == "sleep":
+            self._push(self._now + float(arg), "resume", task)  # type: ignore[arg-type]
+        else:  # done
+            self._complete(task)
+
+    def _complete(self, task: _Task) -> None:
+        if task.thread is not None:
+            task.thread.join()
+        self._in_flight -= 1
+        self._completed += 1
+        tx = task.prepared.tx.value  # type: ignore[attr-defined]
+        instruments.DRIVER_TX_COMPLETIONS.inc(tx=tx, outcome=task.outcome)
+        if task.outcome == "committed":
+            latency = self._now - task.start_time
+            self._latencies.setdefault(tx, []).append(latency)
+            instruments.DRIVER_TX_VIRTUAL_SECONDS.observe(latency, tx=tx)
+        elif task.outcome == "error" and task.error is not None:
+            self._errors.append(task.error)
+        self._push(
+            self._now + self._cycle_delay(task.terminal), "start", task.terminal
+        )
+        if self._waiting:
+            self._push(self._now, "start", self._waiting.pop(0))

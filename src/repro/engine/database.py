@@ -8,12 +8,27 @@ locks and logging before/after images so abort and crash recovery work.
 
 Per-transaction call counters mirror the census of paper Table 2, so
 the executable engine can *measure* what the model assumes.
+
+Concurrency: the engine was built single-threaded; the concurrent
+driver (:mod:`repro.driver`) runs statements from many threads, so
+every statement body executes under ``Database.latch`` — a global
+statement-level latch (the SQLite approach) that makes the compound
+heap/WAL/buffer updates of one SQL call atomic with respect to other
+threads.  Tuple *locks* still provide transaction-level isolation; the
+latch only protects physical structures.  Lock acquisition under the
+latch never sleeps because the driver keeps the no-wait conflict
+policy (timeout 0).  A *statement gate* may additionally be installed
+(:meth:`Database.set_statement_gate`): the deterministic virtual-time
+scheduler uses it to observe each statement's cost and pause the
+executing thread at statement boundaries, with the pause taken after
+the latch is released.
 """
 
 from __future__ import annotations
 
 import enum
-from contextlib import nullcontext
+import threading
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, ContextManager, Iterator
 
@@ -84,6 +99,10 @@ class Transaction:
         self._label = label
         self._state = _TxnState.ACTIVE
         self.calls = CallCounts()
+        #: Slots freed by this transaction's deletes, reserved in their
+        #: heaps until commit/abort so concurrent inserts cannot reuse
+        #: a slot an abort would need to restore into.
+        self._freed_slots: list[tuple[str, RecordId]] = []
         db.wal.log_begin(txn_id)
 
     @property
@@ -99,15 +118,20 @@ class Transaction:
     def is_active(self) -> bool:
         return self._state is _TxnState.ACTIVE
 
+    def _statement(self, kind: str) -> ContextManager[None]:
+        """Latch (and gate, when installed) scope for one SQL call."""
+        return self._db.statement_scope(self, kind)
+
     # -- reads ---------------------------------------------------------------------
 
     def select(self, table: str, key: tuple) -> dict:
         """Fetch one row by primary key under an S lock."""
         self._check_active()
-        target = self._db.table(table)
-        self._db.locks.acquire(self._id, (table, key), LockMode.SHARED)
-        self.calls.selects += 1
-        return target.get(key)
+        with self._statement("select"):
+            target = self._db.table(table)
+            self._db.locks.acquire(self._id, (table, key), LockMode.SHARED)
+            self.calls.selects += 1
+            return target.get(key)
 
     def select_by_index(self, table: str, index: str, key: tuple) -> list[dict]:
         """Equality lookup on a secondary index (S locks each row).
@@ -116,17 +140,18 @@ class Transaction:
         returned, the paper's costing of the customer-name lookup.
         """
         self._check_active()
-        target = self._db.table(table)
-        rows = []
-        for rid in target.lookup(index, key):
-            row = target.read(rid)
-            self._db.locks.acquire(
-                self._id, (table, target.schema.key_of(row)), LockMode.SHARED
-            )
-            rows.append(row)
-        self.calls.non_unique_selects += 1
-        self.calls.selects += len(rows)
-        return rows
+        with self._statement("select_by_index"):
+            target = self._db.table(table)
+            rows = []
+            for rid in target.lookup(index, key):
+                row = target.read(rid)
+                self._db.locks.acquire(
+                    self._id, (table, target.schema.key_of(row)), LockMode.SHARED
+                )
+                rows.append(row)
+            self.calls.non_unique_selects += 1
+            self.calls.selects += len(rows)
+            return rows
 
     def select_min(self, table: str, index: str, prefix: tuple) -> dict | None:
         """Smallest row under an ordered-index prefix (Delivery's Min)."""
@@ -140,33 +165,44 @@ class Transaction:
         self, table: str, index: str, prefix: tuple, smallest: bool
     ) -> dict | None:
         self._check_active()
-        target = self._db.table(table)
-        entry = (
-            target.btree_min(index, prefix) if smallest else target.btree_max(index, prefix)
-        )
-        self.calls.selects += 1
-        if entry is None:
-            return None
-        _, rid = entry
-        row = target.read(rid)
-        self._db.locks.acquire(
-            self._id, (table, target.schema.key_of(row)), LockMode.SHARED
-        )
-        return row
-
-    def range_select(
-        self, table: str, index: str, low: tuple, high: tuple
-    ) -> Iterator[dict]:
-        """Ordered range scan, one select counted per row returned."""
-        self._check_active()
-        target = self._db.table(table)
-        for _, rid in target.btree_range(index, low, high):
+        with self._statement("select"):
+            target = self._db.table(table)
+            entry = (
+                target.btree_min(index, prefix)
+                if smallest
+                else target.btree_max(index, prefix)
+            )
+            self.calls.selects += 1
+            if entry is None:
+                return None
+            _, rid = entry
             row = target.read(rid)
             self._db.locks.acquire(
                 self._id, (table, target.schema.key_of(row)), LockMode.SHARED
             )
-            self.calls.selects += 1
-            yield row
+            return row
+
+    def range_select(
+        self, table: str, index: str, low: tuple, high: tuple
+    ) -> list[dict]:
+        """Ordered range scan, one select counted per row returned.
+
+        Materialized eagerly (not a generator): a lazy scan would hold
+        statement-boundary state across arbitrary caller code, which
+        the statement latch/gate cannot span safely.
+        """
+        self._check_active()
+        with self._statement("range_select"):
+            target = self._db.table(table)
+            rows = []
+            for _, rid in target.btree_range(index, low, high):
+                row = target.read(rid)
+                self._db.locks.acquire(
+                    self._id, (table, target.schema.key_of(row)), LockMode.SHARED
+                )
+                self.calls.selects += 1
+                rows.append(row)
+            return rows
 
     # -- writes ---------------------------------------------------------------------
 
@@ -178,25 +214,26 @@ class Transaction:
         either the row exists and is logged, or neither happened.
         """
         self._check_active()
-        target = self._db.table(table)
-        key = target.schema.key_of(row)
-        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
-        rid = target.insert(row)
-        try:
-            self._db.wal.log_change(
-                self._id,
-                LogRecordType.INSERT,
-                table,
-                rid,
-                before=None,
-                after=target.schema.pack(row),
-            )
-        except BaseException:
-            with self._db.fault_exemption():
-                target.delete(rid)
-            raise
-        self.calls.inserts += 1
-        return rid
+        with self._statement("insert"):
+            target = self._db.table(table)
+            key = target.schema.key_of(row)
+            self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+            rid = target.insert(row)
+            try:
+                self._db.wal.log_change(
+                    self._id,
+                    LogRecordType.INSERT,
+                    table,
+                    rid,
+                    before=None,
+                    after=target.schema.pack(row),
+                )
+            except BaseException:
+                with self._db.fault_exemption():
+                    target.delete(rid)
+                raise
+            self.calls.inserts += 1
+            return rid
 
     def update(
         self, table: str, key: tuple, changes: dict | Callable[[dict], dict]
@@ -207,67 +244,76 @@ class Transaction:
         mapping the old row to the new one.
         """
         self._check_active()
-        target = self._db.table(table)
-        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
-        rid = target.rid_of(key)
-        old_row = target.read(rid)
-        if callable(changes):
-            new_row = changes(dict(old_row))
-        else:
-            new_row = {**old_row, **changes}
-        target.update(rid, new_row)
-        try:
-            self._db.wal.log_change(
-                self._id,
-                LogRecordType.UPDATE,
-                table,
-                rid,
-                before=target.schema.pack(old_row),
-                after=target.schema.pack(new_row),
-            )
-        except BaseException:
-            with self._db.fault_exemption():
-                target.update(rid, old_row)
-            raise
-        self.calls.updates += 1
-        return new_row
+        with self._statement("update"):
+            target = self._db.table(table)
+            self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+            rid = target.rid_of(key)
+            old_row = target.read(rid)
+            if callable(changes):
+                new_row = changes(dict(old_row))
+            else:
+                new_row = {**old_row, **changes}
+            target.update(rid, new_row)
+            try:
+                self._db.wal.log_change(
+                    self._id,
+                    LogRecordType.UPDATE,
+                    table,
+                    rid,
+                    before=target.schema.pack(old_row),
+                    after=target.schema.pack(new_row),
+                )
+            except BaseException:
+                with self._db.fault_exemption():
+                    target.update(rid, old_row)
+                raise
+            self.calls.updates += 1
+            return new_row
 
     def delete(self, table: str, key: tuple) -> dict:
         """Delete one row by primary key; returns it."""
         self._check_active()
-        target = self._db.table(table)
-        self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
-        rid = target.rid_of(key)
-        row = target.delete(rid)
-        try:
-            self._db.wal.log_change(
-                self._id,
-                LogRecordType.DELETE,
-                table,
-                rid,
-                before=target.schema.pack(row),
-                after=None,
-            )
-        except BaseException:
-            with self._db.fault_exemption():
-                target.restore(rid, row)
-            raise
-        self.calls.deletes += 1
-        return row
+        with self._statement("delete"):
+            target = self._db.table(table)
+            self._db.locks.acquire(self._id, (table, key), LockMode.EXCLUSIVE)
+            rid = target.rid_of(key)
+            row = target.delete(rid)
+            try:
+                self._db.wal.log_change(
+                    self._id,
+                    LogRecordType.DELETE,
+                    table,
+                    rid,
+                    before=target.schema.pack(row),
+                    after=None,
+                )
+            except BaseException:
+                with self._db.fault_exemption():
+                    target.restore(rid, row)
+                raise
+            target.heap.reserve(rid)
+            self._freed_slots.append((table, rid))
+            self.calls.deletes += 1
+            return row
 
     def count_join(self) -> None:
         """Record that the transaction performed a join (census only)."""
-        self.calls.joins += 1
+        with self._statement("join"):
+            self.calls.joins += 1
 
     # -- termination -------------------------------------------------------------------
 
     def commit(self) -> None:
         """Make the transaction durable and release its locks."""
         self._check_active()
-        self._db.wal.log_commit(self._id)
-        self._db.locks.release_all(self._id)
-        self._state = _TxnState.COMMITTED
-        self._db.record_finished(self)
+        with self._statement("commit"):
+            self._db.wal.log_commit(self._id)
+            for table_name, rid in self._freed_slots:
+                self._db.table(table_name).heap.release(rid, freed=True)
+            self._freed_slots.clear()
+            self._db.locks.release_all(self._id)
+            self._state = _TxnState.COMMITTED
+            self._db.record_finished(self)
 
     def abort(self) -> None:
         """Undo all changes (via before-images) and release locks.
@@ -279,10 +325,15 @@ class Transaction:
         reuse of the same slot.
         """
         self._check_active()
-        with self._db.fault_exemption():
-            self._undo_all()
-        self._db.locks.release_all(self._id)
-        self._state = _TxnState.ABORTED
+        with self._statement("abort"):
+            with self._db.fault_exemption():
+                self._undo_all()
+            for table_name, rid in self._freed_slots:
+                # The undo restored the record into its slot.
+                self._db.table(table_name).heap.release(rid, freed=False)
+            self._freed_slots.clear()
+            self._db.locks.release_all(self._id)
+            self._state = _TxnState.ABORTED
 
     def _undo_all(self) -> None:
         """Walk undo records newest-first, logging compensations."""
@@ -346,6 +397,11 @@ class Database:
         self.buffers = BufferManager(self.store, buffer_pages, policy)
         self.locks = LockManager(default_timeout=lock_timeout)
         self.wal = WriteAheadLog()
+        #: Statement-level latch: every SQL-call body (and begin /
+        #: commit / abort) runs while holding it, making the engine's
+        #: compound structures safe under multi-threaded drivers.
+        self.latch = threading.RLock()
+        self._statement_gate: Any = None
         self._tables: dict[str, Table] = {}
         self._file_ids: dict[str, int] = {}
         self._next_file_id = 0
@@ -355,6 +411,31 @@ class Database:
         self._injector = None
         if injector is not None:
             self.attach_injector(injector)
+
+    # -- statement scope ----------------------------------------------------------
+
+    def set_statement_gate(self, gate: Any) -> None:
+        """Install (or clear with None) a statement gate.
+
+        A gate exposes ``statement(txn, kind)`` returning a context
+        manager; the virtual-time scheduler uses it to meter each
+        statement's cost and to pause the executing thread at statement
+        boundaries.  The gate wraps *outside* the latch, so its pause
+        never blocks other threads' statements.
+        """
+        self._statement_gate = gate
+
+    @contextmanager
+    def statement_scope(self, txn: "Transaction", kind: str) -> Iterator[None]:
+        """Gate + latch scope for one statement body."""
+        gate = self._statement_gate
+        if gate is None:
+            with self.latch:
+                yield
+            return
+        with gate.statement(txn, kind):
+            with self.latch:
+                yield
 
     # -- fault injection ---------------------------------------------------------
 
@@ -420,9 +501,10 @@ class Database:
 
     def begin(self, label: str = "all") -> Transaction:
         """Start a new transaction, optionally labeled for the census."""
-        txn = Transaction(self, self._next_txn_id, label)
-        self._next_txn_id += 1
-        return txn
+        with self.latch:
+            txn = Transaction(self, self._next_txn_id, label)
+            self._next_txn_id += 1
+            return txn
 
     def run(self, work: Callable[[Transaction], Any], label: str = "all") -> Any:
         """Run ``work`` in a transaction: commit on return, abort on raise."""
@@ -438,9 +520,10 @@ class Database:
 
     def record_finished(self, txn: Transaction) -> None:
         """Aggregate a committed transaction's call census under its label."""
-        self._census.setdefault(txn.label, CallCounts()).merge(txn.calls)
-        self._finished.setdefault(txn.label, 0)
-        self._finished[txn.label] += 1
+        with self.latch:
+            self._census.setdefault(txn.label, CallCounts()).merge(txn.calls)
+            self._finished.setdefault(txn.label, 0)
+            self._finished[txn.label] += 1
         instruments.TX_COMMITS.inc(tx=txn.label)
         instruments.TX_OPS.observe(txn.calls.total(), tx=txn.label)
 

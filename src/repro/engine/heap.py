@@ -48,6 +48,11 @@ class HeapFile:
             record_size, buffers.store.page_size
         ).capacity
         self._live = 0
+        # Slots freed by not-yet-resolved deletes: the page is withheld
+        # from allocation so a concurrent insert cannot reuse a slot the
+        # deleter's abort may need to restore.  Maps page_no to the
+        # reserved slot set plus a count of committed (permanent) frees.
+        self._reservations: dict[int, tuple[set[int], list[int]]] = {}
 
     # -- accessors --------------------------------------------------------------
 
@@ -134,11 +139,51 @@ class HeapFile:
         page.update(rid.slot, record)
 
     def delete(self, rid: RecordId) -> None:
-        """Free a record's slot."""
+        """Free a record's slot.
+
+        A page with unresolved reservations stays out of the free-page
+        set even as more slots free up on it — the page rejoins when
+        its last reservation resolves (see :meth:`release`).
+        """
         page = self._buffers.get_page(PageId(self._file_id, rid.page_no), for_write=True)
         page.delete(rid.slot)
-        self._free_pages.add(rid.page_no)
+        if rid.page_no not in self._reservations:
+            self._free_pages.add(rid.page_no)
         self._live -= 1
+
+    def reserve(self, rid: RecordId) -> None:
+        """Withhold a freed slot from reuse until its delete resolves.
+
+        Called by a transaction right after it frees the slot.  The
+        whole page leaves the free-page set, so allocation cannot hand
+        the slot (or its neighbours, conservatively) to another
+        transaction while the deleter might still abort and restore the
+        record into its original slot.
+        """
+        slots, _ = self._reservations.setdefault(rid.page_no, (set(), [0]))
+        slots.add(rid.slot)
+        self._free_pages.discard(rid.page_no)
+
+    def release(self, rid: RecordId, freed: bool) -> None:
+        """Resolve a reservation: the delete committed (``freed=True``)
+        or aborted with the record restored (``freed=False``).
+
+        When a page's last reservation resolves, it rejoins the
+        free-page set if at least one resolved delete left a slot
+        genuinely free — tracked without touching the page, so releases
+        never perturb buffer statistics.
+        """
+        entry = self._reservations.get(rid.page_no)
+        if entry is None:
+            return
+        slots, committed_frees = entry
+        slots.discard(rid.slot)
+        if freed:
+            committed_frees[0] += 1
+        if not slots:
+            if committed_frees[0]:
+                self._free_pages.add(rid.page_no)
+            del self._reservations[rid.page_no]
 
     def apply_put(self, rid: RecordId, record: bytes) -> None:
         """Recovery hook: force a record into a slot, growing if needed."""
@@ -163,6 +208,7 @@ class HeapFile:
         """Recount live records and free pages after recovery."""
         self._live = 0
         self._free_pages.clear()
+        self._reservations.clear()  # crash resolves every in-flight delete
         for page_no in range(self._page_count):
             page = self._buffers.get_page(PageId(self._file_id, page_no))
             self._live += page.live_records

@@ -2,16 +2,25 @@
 
 The throughput model charges 1K instructions per lock release and the
 distributed discussion hinges on which concurrency-control protocol is
-assumed; the executable engine therefore takes real tuple locks.  The
-engine runs transactions one at a time, so conflicts cannot deadlock —
-a conflicting request from a different transaction fails fast with
-:class:`~repro.engine.errors.LockConflictError` (no-wait policy), which
-is also the easiest policy to test.
+assumed; the executable engine therefore takes real tuple locks.
+Conflicting requests fail fast with
+:class:`~repro.engine.errors.LockConflictError` (no-wait policy) by
+default; a positive timeout polls instead.
+
+Thread-safety audit (for the concurrent driver in
+:mod:`repro.driver`): the lock tables (``_shared`` / ``_exclusive`` /
+``_held``) are compound state — a grant reads and writes all three —
+so every grant, release and query takes an internal mutex.  The mutex
+lives *inside* :meth:`_try_acquire` / :meth:`release_all` rather than
+in :meth:`acquire` so class-level monkeypatching (the invariant
+sanitizer) keeps wrapping the guarded bodies, and so the polling loop
+in :meth:`acquire` never sleeps while holding it.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from collections import defaultdict
 from typing import Callable, Hashable
@@ -58,6 +67,7 @@ class LockManager:
         self._shared: dict[Resource, set[int]] = defaultdict(set)
         self._exclusive: dict[Resource, int] = {}
         self._held: dict[int, set[Resource]] = defaultdict(set)
+        self._mutex = threading.RLock()
         self.default_timeout = default_timeout
         self.poll_interval = poll_interval
         self._clock = clock
@@ -67,6 +77,7 @@ class LockManager:
         self.releases = 0
         self.conflicts = 0
         self.timeouts = 0
+        self.waits = 0
 
     def set_injector(self, injector) -> None:
         """Arm (or disarm with None) a fault injector at the acquire seam."""
@@ -76,19 +87,36 @@ class LockManager:
 
     def holders(self, resource: Resource) -> tuple[set[int], int | None]:
         """(shared holders, exclusive holder) of a resource."""
-        return set(self._shared.get(resource, ())), self._exclusive.get(resource)
+        with self._mutex:
+            return set(self._shared.get(resource, ())), self._exclusive.get(resource)
 
     def locks_held(self, txn_id: int) -> int:
         """Number of resources a transaction currently locks."""
-        return len(self._held.get(txn_id, ()))
+        with self._mutex:
+            return len(self._held.get(txn_id, ()))
 
     def mode_held(self, txn_id: int, resource: Resource) -> LockMode | None:
         """The strongest mode a transaction holds on a resource."""
+        with self._mutex:
+            return self._mode_held_locked(txn_id, resource)
+
+    def _mode_held_locked(self, txn_id: int, resource: Resource) -> LockMode | None:
         if self._exclusive.get(resource) == txn_id:
             return LockMode.EXCLUSIVE
         if txn_id in self._shared.get(resource, ()):
             return LockMode.SHARED
         return None
+
+    def contention(self) -> dict[str, int]:
+        """The contention counters as one dict (for driver reports)."""
+        with self._mutex:
+            return {
+                "acquisitions": self.acquisitions,
+                "releases": self.releases,
+                "conflicts": self.conflicts,
+                "timeouts": self.timeouts,
+                "waits": self.waits,
+            }
 
     # -- acquisition -----------------------------------------------------------------
 
@@ -129,6 +157,8 @@ class LockManager:
                         ) from error
                     if not waiting:
                         waiting = True
+                        with self._mutex:
+                            self.waits += 1
                         instruments.LOCK_WAIT_DEPTH.inc()
                     self._sleep(self.poll_interval)
         finally:
@@ -137,47 +167,51 @@ class LockManager:
 
     def _try_acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> None:
         """One no-wait grant attempt (the original acquire semantics)."""
-        current = self.mode_held(txn_id, resource)
-        if current is LockMode.EXCLUSIVE:
-            return  # already as strong as possible
-        if current is LockMode.SHARED and mode is LockMode.SHARED:
-            return
+        with self._mutex:
+            current = self._mode_held_locked(txn_id, resource)
+            if current is LockMode.EXCLUSIVE:
+                return  # already as strong as possible
+            if current is LockMode.SHARED and mode is LockMode.SHARED:
+                return
 
-        exclusive_holder = self._exclusive.get(resource)
-        if exclusive_holder is not None and exclusive_holder != txn_id:
-            self.conflicts += 1
-            instruments.LOCK_CONFLICTS.inc(mode=mode.value)
-            raise LockConflictError(
-                f"txn {txn_id} blocked on {resource!r}: X-held by {exclusive_holder}"
-            )
-        if mode is LockMode.EXCLUSIVE:
-            others = self._shared.get(resource, set()) - {txn_id}
-            if others:
+            exclusive_holder = self._exclusive.get(resource)
+            if exclusive_holder is not None and exclusive_holder != txn_id:
                 self.conflicts += 1
                 instruments.LOCK_CONFLICTS.inc(mode=mode.value)
                 raise LockConflictError(
-                    f"txn {txn_id} blocked on {resource!r}: S-held by {sorted(others)}"
+                    f"txn {txn_id} blocked on {resource!r}: "
+                    f"X-held by {exclusive_holder}"
                 )
-            self._shared.get(resource, set()).discard(txn_id)
-            self._exclusive[resource] = txn_id
-        else:
-            self._shared[resource].add(txn_id)
-        self._held[txn_id].add(resource)
-        self.acquisitions += 1
+            if mode is LockMode.EXCLUSIVE:
+                others = self._shared.get(resource, set()) - {txn_id}
+                if others:
+                    self.conflicts += 1
+                    instruments.LOCK_CONFLICTS.inc(mode=mode.value)
+                    raise LockConflictError(
+                        f"txn {txn_id} blocked on {resource!r}: "
+                        f"S-held by {sorted(others)}"
+                    )
+                self._shared.get(resource, set()).discard(txn_id)
+                self._exclusive[resource] = txn_id
+            else:
+                self._shared[resource].add(txn_id)
+            self._held[txn_id].add(resource)
+            self.acquisitions += 1
         instruments.LOCK_ACQUISITIONS.inc(mode=mode.value)
 
     # -- release ------------------------------------------------------------------------
 
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of a transaction (commit/abort); returns count."""
-        resources = self._held.pop(txn_id, set())
-        for resource in resources:
-            if self._exclusive.get(resource) == txn_id:
-                del self._exclusive[resource]
-            holders = self._shared.get(resource)
-            if holders is not None:
-                holders.discard(txn_id)
-                if not holders:
-                    del self._shared[resource]
-        self.releases += len(resources)
+        with self._mutex:
+            resources = self._held.pop(txn_id, set())
+            for resource in resources:
+                if self._exclusive.get(resource) == txn_id:
+                    del self._exclusive[resource]
+                holders = self._shared.get(resource)
+                if holders is not None:
+                    holders.discard(txn_id)
+                    if not holders:
+                        del self._shared[resource]
+            self.releases += len(resources)
         return len(resources)

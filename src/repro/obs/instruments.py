@@ -113,6 +113,22 @@ TX_SECONDS = _REGISTRY.histogram(
     buckets=DURATION_BUCKETS,
 )
 
+# -- concurrent benchmark driver ----------------------------------------------
+
+DRIVER_TX_COMPLETIONS = _REGISTRY.counter(
+    "driver.tx.completions_total",
+    help="terminal requests finished by the driver, by tx and outcome",
+)
+DRIVER_TX_VIRTUAL_SECONDS = _REGISTRY.histogram(
+    "driver.tx.virtual_seconds",
+    help="virtual-time latency per committed transaction, by transaction type",
+    buckets=DURATION_BUCKETS,
+)
+DRIVER_STATEMENTS = _REGISTRY.counter(
+    "driver.statements_total",
+    help="statements serialized through the virtual scheduler, by kind",
+)
+
 # -- execution engine (process fan-out) ---------------------------------------
 
 EXEC_CACHE_LOOKUPS = _REGISTRY.counter(
@@ -131,6 +147,9 @@ EXEC_UNIT_SECONDS = _REGISTRY.histogram(
 )
 
 __all__ = [
+    "DRIVER_STATEMENTS",
+    "DRIVER_TX_COMPLETIONS",
+    "DRIVER_TX_VIRTUAL_SECONDS",
     "ENGINE_BUFFER_EVICTIONS",
     "ENGINE_BUFFER_REQUESTS",
     "EXEC_CACHE_LOOKUPS",

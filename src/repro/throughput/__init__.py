@@ -14,7 +14,7 @@ from repro.throughput.capacity import (
     static_storage_bytes,
 )
 from repro.throughput.model import ThroughputModel, ThroughputResult
-from repro.throughput.mva import ClosedSystemModel, MvaPoint
+from repro.throughput.mva import ClosedSystemModel, MvaPoint, mva_curve
 from repro.throughput.response import ResponseTimeModel, ResponseTimes
 from repro.throughput.params import CostParameters, MissRateInputs
 from repro.throughput.pricing import (
@@ -33,6 +33,7 @@ __all__ = [
     "CostParameters",
     "InterpolatingMissRateProvider",
     "MvaPoint",
+    "mva_curve",
     "ResponseTimeModel",
     "ResponseTimes",
     "optimal_point",

@@ -56,6 +56,48 @@ class MvaPoint:
         }
 
 
+def mva_curve(
+    cpu_demand_seconds: float,
+    disk_demand_seconds: float,
+    think_time_seconds: float,
+    max_population: int,
+) -> list[MvaPoint]:
+    """Exact MVA for populations 1..max_population over raw demands.
+
+    The driver's validation harness calls this directly with *measured*
+    service demands; :meth:`ClosedSystemModel.curve` delegates here with
+    the analytic ones.
+    """
+    if max_population < 1:
+        raise ValueError(f"population must be >= 1, got {max_population}")
+    if cpu_demand_seconds < 0 or disk_demand_seconds < 0:
+        raise ValueError("service demands must be non-negative")
+    if think_time_seconds < 0:
+        raise ValueError(
+            f"think_time_seconds must be non-negative, got {think_time_seconds}"
+        )
+    cpu_queue = 0.0
+    disk_queue = 0.0
+    points = []
+    for n in range(1, max_population + 1):
+        cpu_response = cpu_demand_seconds * (1.0 + cpu_queue)
+        disk_response = disk_demand_seconds * (1.0 + disk_queue)
+        cycle = cpu_response + disk_response + think_time_seconds
+        throughput = n / cycle
+        cpu_queue = throughput * cpu_response
+        disk_queue = throughput * disk_response
+        points.append(
+            MvaPoint(
+                population=n,
+                throughput_tps=throughput,
+                response_seconds=cpu_response + disk_response,
+                cpu_utilization=throughput * cpu_demand_seconds,
+                disk_utilization=throughput * disk_demand_seconds,
+            )
+        )
+    return points
+
+
 class ClosedSystemModel:
     """Exact MVA over CPU + disk + think-time stations."""
 
@@ -121,28 +163,9 @@ class ClosedSystemModel:
 
     def curve(self, max_population: int) -> list[MvaPoint]:
         """Exact MVA for populations 1..max_population."""
-        if max_population < 1:
-            raise ValueError(f"population must be >= 1, got {max_population}")
-        cpu_queue = 0.0
-        disk_queue = 0.0
-        points = []
-        for n in range(1, max_population + 1):
-            cpu_response = self._cpu_demand * (1.0 + cpu_queue)
-            disk_response = self._disk_demand * (1.0 + disk_queue)
-            cycle = cpu_response + disk_response + self._think
-            throughput = n / cycle
-            cpu_queue = throughput * cpu_response
-            disk_queue = throughput * disk_response
-            points.append(
-                MvaPoint(
-                    population=n,
-                    throughput_tps=throughput,
-                    response_seconds=cpu_response + disk_response,
-                    cpu_utilization=throughput * self._cpu_demand,
-                    disk_utilization=throughput * self._disk_demand,
-                )
-            )
-        return points
+        return mva_curve(
+            self._cpu_demand, self._disk_demand, self._think, max_population
+        )
 
     def population_for_utilization(
         self, cpu_utilization: float, max_population: int = 10_000

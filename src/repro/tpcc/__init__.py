@@ -8,7 +8,12 @@ patterns of Section 2.2, producing measured SQL-call censuses and
 buffer statistics that cross-validate the analytic models.
 """
 
-from repro.tpcc.executor import ExecutionSummary, RetryPolicy, TpccExecutor
+from repro.tpcc.executor import (
+    ExecutionSummary,
+    PreparedTransaction,
+    RetryPolicy,
+    TpccExecutor,
+)
 from repro.tpcc.loader import TpccConfig, load_tpcc
 from repro.tpcc.rows import TPCC_SCHEMAS, tpcc_index_specs
 

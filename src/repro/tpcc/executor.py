@@ -14,8 +14,9 @@ specification requires.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable
+import warnings
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Any, Callable, Sequence, cast
 
 import numpy as np
 
@@ -38,6 +39,13 @@ from repro.obs.clock import WallClock
 from repro.results import ReportMixin
 from repro.workload.generator import InputGenerator, scaled_nurand_a
 from repro.workload.mix import DEFAULT_MIX, TransactionMix, TransactionType
+from repro.workload.transactions import (
+    DeliveryParams,
+    NewOrderParams,
+    OrderStatusParams,
+    PaymentParams,
+    StockLevelParams,
+)
 from repro.core.nurand import NURand
 from repro.tpcc.loader import TpccConfig, last_name
 
@@ -78,11 +86,17 @@ class RetryPolicy:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, attempt: int, rng: np.random.Generator) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
+        """Backoff before retry number ``attempt`` (0-based).
+
+        The result is clamped to ``[0, max_delay * (1 + jitter)]``: with
+        ``jitter == 1.0`` the scale factor's lower edge touches 0, and
+        the clamp keeps floating-point round-off from ever producing a
+        negative sleep.
+        """
         raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
         if self.jitter:
             raw *= 1.0 - self.jitter + 2.0 * self.jitter * float(rng.random())
-        return raw
+        return min(max(raw, 0.0), self.max_delay * (1.0 + self.jitter))
 
 
 @dataclass
@@ -110,21 +124,115 @@ class ExecutionSummary(ReportMixin):
     def total_aborted(self) -> int:
         return sum(self.aborted.values())
 
+    def merge(self, other: "ExecutionSummary") -> "ExecutionSummary":
+        """A new summary folding ``other`` into this one.
+
+        Dict keys come out sorted so merging per-worker summaries in any
+        order yields byte-identical serialized reports (like
+        ``MetricsRegistry`` snapshot merging).
+        """
+        return ExecutionSummary(
+            executed={
+                name: self.executed.get(name, 0) + other.executed.get(name, 0)
+                for name in sorted(set(self.executed) | set(other.executed))
+            },
+            rolled_back=self.rolled_back + other.rolled_back,
+            skipped_deliveries=self.skipped_deliveries + other.skipped_deliveries,
+            aborted={
+                name: self.aborted.get(name, 0) + other.aborted.get(name, 0)
+                for name in sorted(set(self.aborted) | set(other.aborted))
+            },
+            retries=self.retries + other.retries,
+            gave_up=self.gave_up + other.gave_up,
+        )
+
+
+@dataclass(frozen=True)
+class PreparedTransaction:
+    """One terminal input drawn off the hot path (type + parameters).
+
+    The concurrent driver precomputes these into per-terminal queues so
+    the worker threads spend their time in the engine, not in the input
+    generator (the noisepage benchmark-runner pattern).
+    """
+
+    tx: TransactionType
+    params: object
+
+
+#: Positional-parameter order of the pre-kw-only ``TpccExecutor``
+#: signature, used by the deprecation shim.
+_INIT_POSITIONAL = (
+    "db",
+    "config",
+    "seed",
+    "remote_stock_probability",
+    "remote_payment_probability",
+    "rollback_probability",
+    "retry_policy",
+    "sleep",
+)
+
 
 class TpccExecutor:
-    """Drives the five transactions against a loaded database."""
+    """Drives the five transactions against a loaded database.
+
+    All constructor parameters are keyword-only (REP003, like the
+    ``*Config`` dataclasses); the old positional form still works but
+    emits a :class:`DeprecationWarning`.
+
+    ``history_offset``/``history_stride`` partition the history-id
+    sequence so several executors inserting concurrently never collide:
+    executor ``i`` of ``n`` uses ``history_offset=i, history_stride=n``.
+    """
 
     def __init__(
         self,
-        db: Database,
-        config: TpccConfig,
-        seed: int = 0,
+        *args: object,
+        db: Database | None = None,
+        config: TpccConfig | None = None,
+        seed: int | Sequence[int] = 0,
         remote_stock_probability: float = REMOTE_STOCK_PROBABILITY,
         remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY,
         rollback_probability: float = 0.0,
         retry_policy: RetryPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        history_offset: int = 0,
+        history_stride: int = 1,
     ):
+        if args:
+            warnings.warn(
+                "positional TpccExecutor(...) arguments are deprecated; "
+                "pass keyword arguments (TpccExecutor(db=..., config=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_INIT_POSITIONAL):
+                raise TypeError(
+                    f"TpccExecutor takes at most {len(_INIT_POSITIONAL)} "
+                    f"positional arguments, got {len(args)}"
+                )
+            shim = cast("dict[str, Any]", dict(zip(_INIT_POSITIONAL, args)))
+            db = shim.get("db", db)
+            config = shim.get("config", config)
+            seed = shim.get("seed", seed)
+            remote_stock_probability = shim.get(
+                "remote_stock_probability", remote_stock_probability
+            )
+            remote_payment_probability = shim.get(
+                "remote_payment_probability", remote_payment_probability
+            )
+            rollback_probability = shim.get(
+                "rollback_probability", rollback_probability
+            )
+            retry_policy = shim.get("retry_policy", retry_policy)
+            sleep = shim.get("sleep", sleep)
+        if db is None or config is None:
+            raise TypeError("TpccExecutor requires db= and config=")
+        if history_offset < 0:
+            raise ValueError(f"history_offset must be >= 0, got {history_offset}")
+        if history_stride < 1:
+            raise ValueError(f"history_stride must be >= 1, got {history_stride}")
         self._db = db
         self._config = config
         self._rng = np.random.default_rng(seed)
@@ -144,7 +252,8 @@ class TpccExecutor:
         self._rollback_probability = rollback_probability
         self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._sleep = sleep
-        self._history_seq = db.table("history").row_count
+        self._history_next = db.table("history").row_count + 1 + history_offset
+        self._history_stride = history_stride
         self.summary = ExecutionSummary()
 
     @property
@@ -153,13 +262,16 @@ class TpccExecutor:
 
     # -- transaction implementations ------------------------------------------
 
-    def new_order(self) -> dict | None:
+    def new_order(self, *, params: NewOrderParams | None = None) -> dict | None:
         """Place an order; returns {o_id, warehouse, district, customer}.
 
         Returns None when the transaction was rolled back (the
         benchmark's 1% simulated entry errors, off by default).
+        ``params=None`` draws fresh inputs inline (the historical
+        stream); a prepared ``params`` skips the generator entirely.
         """
-        params = self._inputs.new_order()
+        if params is None:
+            params = self._inputs.new_order()
         txn = self._db.begin("new_order")
         try:
             txn.select("warehouse", (params.warehouse,))
@@ -245,10 +357,13 @@ class TpccExecutor:
             "customer": params.customer,
         }
 
-    def payment(self) -> dict:
+    def payment(self, *, params: PaymentParams | None = None) -> dict:
         """Process a payment; returns {customer, amount}."""
-        params = self._inputs.payment()
-        amount = float(self._rng.uniform(1.0, 5000.0))
+        if params is None:
+            params = self._inputs.payment()
+            amount = float(self._rng.uniform(1.0, 5000.0))
+        else:
+            amount = params.amount
         txn = self._db.begin("payment")
         try:
             warehouse = txn.select("warehouse", (params.warehouse,))
@@ -276,11 +391,12 @@ class TpccExecutor:
                     "c_payment_cnt": row["c_payment_cnt"] + 1,
                 },
             )
-            self._history_seq += 1
+            h_id = self._history_next
+            self._history_next += self._history_stride
             txn.insert(
                 "history",
                 {
-                    "h_id": self._history_seq,
+                    "h_id": h_id,
                     "h_c_id": customer["c_id"],
                     "h_c_d_id": customer["c_d_id"],
                     "h_c_w_id": customer["c_w_id"],
@@ -299,10 +415,14 @@ class TpccExecutor:
         self.summary.record("payment")
         return {"customer": customer["c_id"], "amount": amount}
 
-    def order_status(self) -> dict | None:
+    def order_status(self, *, params: OrderStatusParams | None = None) -> dict | None:
         """Report a customer's last order; returns its line count or None."""
-        warehouse = self._inputs.uniform_warehouse()
-        district = self._inputs.uniform_district()
+        if params is None:
+            warehouse = self._inputs.uniform_warehouse()
+            district = self._inputs.uniform_district()
+        else:
+            warehouse = params.warehouse
+            district = params.district
         txn = self._db.begin("order_status")
         try:
             customer = self._locate_customer(txn, warehouse, district)
@@ -329,9 +449,20 @@ class TpccExecutor:
             return None
         return {"o_id": order["o_id"], "lines": len(lines)}
 
-    def delivery(self) -> dict:
-        """Deliver the oldest pending order of each district."""
-        warehouse = self._inputs.uniform_warehouse()
+    def delivery(self, *, params: DeliveryParams | None = None) -> dict:
+        """Deliver the oldest pending order of each district.
+
+        The inline path draws a fresh carrier per district (the
+        historical rng stream); a prepared ``params`` carries one
+        carrier id for the whole transaction, as a real terminal's
+        input screen would.
+        """
+        if params is None:
+            warehouse = self._inputs.uniform_warehouse()
+            carrier_id: int | None = None
+        else:
+            warehouse = params.warehouse
+            carrier_id = params.carrier_id
         delivered = 0
         txn = self._db.begin("delivery")
         try:
@@ -348,7 +479,13 @@ class TpccExecutor:
                 txn.update(
                     "order",
                     (warehouse, district, order_id),
-                    {"o_carrier_id": int(self._rng.integers(1, 11))},
+                    {
+                        "o_carrier_id": (
+                            int(self._rng.integers(1, 11))
+                            if carrier_id is None
+                            else carrier_id
+                        )
+                    },
                 )
                 total = 0.0
                 lines = list(
@@ -385,11 +522,16 @@ class TpccExecutor:
         self.summary.record("delivery")
         return {"warehouse": warehouse, "delivered": delivered}
 
-    def stock_level(self) -> dict:
+    def stock_level(self, *, params: StockLevelParams | None = None) -> dict:
         """Count low-stock items among the district's last 20 orders."""
-        warehouse = self._inputs.uniform_warehouse()
-        district = self._inputs.uniform_district()
-        threshold = int(self._rng.integers(10, 21))
+        if params is None:
+            warehouse = self._inputs.uniform_warehouse()
+            district = self._inputs.uniform_district()
+            threshold = int(self._rng.integers(10, 21))
+        else:
+            warehouse = params.warehouse
+            district = params.district
+            threshold = params.threshold
         txn = self._db.begin("stock_level")
         try:
             district_row = txn.select("district", (warehouse, district))
@@ -418,26 +560,85 @@ class TpccExecutor:
     # -- driver ---------------------------------------------------------------------
 
     def run_mix(
-        self, transactions: int, mix: TransactionMix = DEFAULT_MIX
+        self,
+        *args: object,
+        transactions: int | None = None,
+        mix: TransactionMix = DEFAULT_MIX,
     ) -> ExecutionSummary:
         """Execute ``transactions`` draws from the mix.
 
         Transient failures (lock conflicts, injected faults) abort the
         transaction and retry it under the executor's
         :class:`RetryPolicy`; a transaction that exhausts its attempts
-        counts as ``gave_up`` and re-raises.
+        counts as ``gave_up`` and re-raises.  Arguments are keyword-only;
+        the old positional form warns.
         """
-        dispatch = {
+        if args:
+            warnings.warn(
+                "positional run_mix(transactions, mix) is deprecated; "
+                "pass keyword arguments (run_mix(transactions=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"run_mix takes at most 2 positional arguments, got {len(args)}"
+                )
+            transactions = cast(int, args[0])
+            if len(args) == 2:
+                mix = cast(TransactionMix, args[1])
+        if transactions is None:
+            raise TypeError("run_mix() missing required argument: 'transactions'")
+        dispatch = self._dispatch()
+        for _ in range(transactions):
+            tx_type = mix.sample(self._rng)
+            self._run_with_retry(tx_type.value, dispatch[tx_type])
+        return self.summary
+
+    def _dispatch(self) -> dict[TransactionType, Callable[..., object]]:
+        return {
             TransactionType.NEW_ORDER: self.new_order,
             TransactionType.PAYMENT: self.payment,
             TransactionType.ORDER_STATUS: self.order_status,
             TransactionType.DELIVERY: self.delivery,
             TransactionType.STOCK_LEVEL: self.stock_level,
         }
-        for _ in range(transactions):
-            tx_type = mix.sample(self._rng)
-            self._run_with_retry(tx_type.value, dispatch[tx_type])
-        return self.summary
+
+    def prepare(self, *, mix: TransactionMix = DEFAULT_MIX) -> PreparedTransaction:
+        """Draw one terminal input (type + parameters) off the hot path.
+
+        Samples the transaction type and every input the terminal would
+        key in, so :meth:`execute_prepared` touches only the engine.
+        The prepared stream draws differently from :meth:`run_mix`'s
+        inline stream (amounts, carriers and thresholds are fixed at
+        preparation time), but is itself fully deterministic per seed.
+        """
+        tx = mix.sample(self._rng)
+        params: object
+        if tx is TransactionType.NEW_ORDER:
+            params = self._inputs.new_order()
+        elif tx is TransactionType.PAYMENT:
+            params = dataclass_replace(
+                self._inputs.payment(),
+                amount=float(self._rng.uniform(1.0, 5000.0)),
+            )
+        elif tx is TransactionType.ORDER_STATUS:
+            params = self._inputs.order_status()
+        elif tx is TransactionType.DELIVERY:
+            params = dataclass_replace(
+                self._inputs.delivery(),
+                carrier_id=int(self._rng.integers(1, 11)),
+            )
+        else:
+            params = self._inputs.stock_level()
+        return PreparedTransaction(tx=tx, params=params)
+
+    def execute_prepared(self, prepared: PreparedTransaction) -> object:
+        """Run one prepared transaction under the retry policy."""
+        method = self._dispatch()[prepared.tx]
+        return self._run_with_retry(
+            prepared.tx.value, lambda: method(params=prepared.params)
+        )
 
     def _run_with_retry(self, tx_name: str, work: Callable[[], object]) -> object:
         """Run one transaction, retrying transient failures with backoff.

@@ -1,0 +1,72 @@
+"""No lost updates under the concurrent driver.
+
+After a driver run every transaction has resolved, so the live heap
+must equal the state implied by the WAL (atomicity: aborted work fully
+compensated) and TPC-C consistency condition 1 must hold: each
+warehouse's ``w_ytd`` delta equals the sum of its districts' ``d_ytd``
+deltas, i.e. no payment was half-applied or applied twice despite
+lock conflicts, aborts and retries.
+"""
+
+import pytest
+
+from repro.driver import BenchmarkSpec, run_benchmark
+from repro.faults.invariants import check_recovery_invariants
+from repro.tpcc import TpccConfig, load_tpcc
+
+DISTRICTS_PER_WAREHOUSE = 10
+
+
+def _ytd_state(db, warehouses):
+    """Per-warehouse (w_ytd, sum of d_ytd) pairs, read transactionally."""
+    txn = db.begin("ytd-audit")
+    try:
+        state = {}
+        for warehouse in range(1, warehouses + 1):
+            w_ytd = txn.select("warehouse", (warehouse,))["w_ytd"]
+            d_total = sum(
+                txn.select("district", (warehouse, district))["d_ytd"]
+                for district in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+            )
+            state[warehouse] = (w_ytd, d_total)
+    finally:
+        txn.commit()
+    return state
+
+
+@pytest.mark.parametrize("terminals", [2, 16, 256])
+def test_no_lost_updates(terminals):
+    config = TpccConfig(
+        warehouses=2,
+        customers_per_district=60,
+        items=300,
+        initial_orders_per_district=25,
+        pending_orders_per_district=8,
+        buffer_pages=400,
+        seed=99,
+    )
+    spec = BenchmarkSpec(
+        terminals=terminals,
+        transactions=max(60, terminals),
+        think_time_seconds=0.25,
+        tpcc=config,
+    )
+    db = load_tpcc(config)
+    before = _ytd_state(db, config.warehouses)
+
+    report = run_benchmark(spec, db=db)
+
+    assert report.committed + report.gave_up == spec.transactions
+    after = _ytd_state(db, config.warehouses)
+    for warehouse, (w_before, d_before) in before.items():
+        w_after, d_after = after[warehouse]
+        w_delta = w_after - w_before
+        d_delta = d_after - d_before
+        assert w_delta == pytest.approx(d_delta), (
+            f"warehouse {warehouse}: w_ytd moved {w_delta} but districts "
+            f"moved {d_delta} — a payment was lost or double-applied"
+        )
+
+    # Atomicity: the live heap equals backup + WAL history, so every
+    # aborted or retried transaction was fully compensated.
+    check_recovery_invariants(db).raise_if_violated()

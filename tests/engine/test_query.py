@@ -242,7 +242,7 @@ class TestStockLevelPlan:
         from repro.engine.query import execute, stock_level_plan
         from repro.tpcc import TpccExecutor
 
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=99)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=99)
         # Compute via the hand-coded transaction for a fixed district.
         for _ in range(5):
             result = executor.stock_level()

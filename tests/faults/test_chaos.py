@@ -82,13 +82,13 @@ def chaos_run(plan: FaultPlan, transactions: int = 60):
     injector = FaultInjector(plan)
     db.attach_injector(injector)
     executor = TpccExecutor(
-        db,
-        CONFIG,
+        db=db,
+        config=CONFIG,
         seed=5,
         retry_policy=RetryPolicy(max_attempts=8),
         sleep=lambda _: None,  # no real backoff delay in tests
     )
-    executor.run_mix(transactions)
+    executor.run_mix(transactions=transactions)
     return db, executor, injector
 
 
@@ -144,14 +144,14 @@ class TestChaosOutcomes:
             )
         )
         executor = TpccExecutor(
-            db,
-            CONFIG,
+            db=db,
+            config=CONFIG,
             seed=5,
             retry_policy=RetryPolicy(max_attempts=3),
             sleep=lambda _: None,
         )
         with pytest.raises(LockConflictError):
-            executor.run_mix(5)
+            executor.run_mix(transactions=5)
         assert executor.summary.gave_up == 1
         assert executor.summary.total_aborted == 3  # one per attempt
         assert executor.summary.retries == 2

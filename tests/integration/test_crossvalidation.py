@@ -38,10 +38,10 @@ def engine_db():
         seed=61,
     )
     db = load_tpcc(config)
-    executor = TpccExecutor(db, config, seed=62)
-    executor.run_mix(300)  # warm up
+    executor = TpccExecutor(db=db, config=config, seed=62)
+    executor.run_mix(transactions=300)  # warm up
     db.buffers.reset_stats()
-    executor.run_mix(MEASURED_TRANSACTIONS)
+    executor.run_mix(transactions=MEASURED_TRANSACTIONS)
     return db
 
 

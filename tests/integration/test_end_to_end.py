@@ -70,8 +70,8 @@ class TestEngineModelCrossValidation:
         from repro.workload.access import transaction_call_counts
         from repro.workload.mix import TransactionType
 
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=13)
-        executor.run_mix(250)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=13)
+        executor.run_mix(transactions=250)
         expected = transaction_call_counts()
 
         # New-Order and Delivery have deterministic call counts.
@@ -102,8 +102,8 @@ class TestEngineModelCrossValidation:
 
         config = replace(small_tpcc_config, buffer_pages=120, seed=3)
         db = load_tpcc(config)
-        executor = TpccExecutor(db, config, seed=17)
-        executor.run_mix(400)
+        executor = TpccExecutor(db=db, config=config, seed=17)
+        executor.run_mix(transactions=400)
         rates = buffer_miss_rates(db)
         assert rates["warehouse"] < 0.05
         assert rates["district"] < 0.05
@@ -115,7 +115,7 @@ class TestEngineModelCrossValidation:
         """The model charges ~46 lock releases per New-Order."""
         from repro.tpcc import TpccExecutor
 
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=23)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=23)
         before = small_tpcc_db.locks.releases
         executor.new_order()
         released = small_tpcc_db.locks.releases - before
@@ -126,7 +126,7 @@ class TestEngineModelCrossValidation:
     def test_engine_log_traffic_positive(self, small_tpcc_db, small_tpcc_config):
         from repro.tpcc import TpccExecutor
 
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=29)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=29)
         before = small_tpcc_db.wal.bytes_written
         executor.new_order()
         assert small_tpcc_db.wal.bytes_written > before

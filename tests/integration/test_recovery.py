@@ -33,8 +33,8 @@ def snapshot(db):
 class TestCrashDuringWorkload:
     def test_committed_workload_survives(self, loaded):
         db, config = loaded
-        executor = TpccExecutor(db, config, seed=1)
-        executor.run_mix(60)
+        executor = TpccExecutor(db=db, config=config, seed=1)
+        executor.run_mix(transactions=60)
         expected = snapshot(db)
         db.simulate_crash()
         db.recover()
@@ -42,8 +42,8 @@ class TestCrashDuringWorkload:
 
     def test_repeated_crashes_idempotent(self, loaded):
         db, config = loaded
-        executor = TpccExecutor(db, config, seed=2)
-        executor.run_mix(30)
+        executor = TpccExecutor(db=db, config=config, seed=2)
+        executor.run_mix(transactions=30)
         expected = snapshot(db)
         for _ in range(3):
             db.simulate_crash()
@@ -52,8 +52,8 @@ class TestCrashDuringWorkload:
 
     def test_in_flight_transaction_rolled_back(self, loaded):
         db, config = loaded
-        executor = TpccExecutor(db, config, seed=3)
-        executor.run_mix(20)
+        executor = TpccExecutor(db=db, config=config, seed=3)
+        executor.run_mix(transactions=20)
         expected = snapshot(db)
 
         # Start a transaction by hand and crash mid-flight.
@@ -80,18 +80,18 @@ class TestCrashDuringWorkload:
 
     def test_workload_continues_after_recovery(self, loaded):
         db, config = loaded
-        executor = TpccExecutor(db, config, seed=4)
-        executor.run_mix(30)
+        executor = TpccExecutor(db=db, config=config, seed=4)
+        executor.run_mix(transactions=30)
         db.simulate_crash()
         db.recover()
         # A fresh executor must be able to keep processing.
-        executor2 = TpccExecutor(db, config, seed=5)
-        summary = executor2.run_mix(30)
+        executor2 = TpccExecutor(db=db, config=config, seed=5)
+        summary = executor2.run_mix(transactions=30)
         assert summary.total == 30
 
     def test_aborted_work_stays_aborted_through_crash(self, loaded):
         db, config = loaded
-        executor = TpccExecutor(db, config, seed=6, rollback_probability=1.0)
+        executor = TpccExecutor(db=db, config=config, seed=6, rollback_probability=1.0)
         orders_before = db.table("order").row_count
         executor.new_order()  # rolls back
         assert db.table("order").row_count == orders_before

@@ -87,7 +87,7 @@ class TestEngineSeams:
     def test_tpcc_run_populates_engine_counters(
         self, small_tpcc_db, small_tpcc_config
     ):
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=5)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=5)
         with default_registry().collecting() as session:
             executor.new_order()
             executor.payment()
@@ -109,7 +109,7 @@ class TestEngineSeams:
     def test_commit_counters_label_each_transaction_type(
         self, small_tpcc_db, small_tpcc_config
     ):
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=5)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=5)
         with default_registry().collecting() as session:
             executor.new_order()
             executor.payment()
@@ -125,7 +125,7 @@ class TestEngineSeams:
     def test_buffer_requests_labeled_by_relation_name(
         self, small_tpcc_db, small_tpcc_config
     ):
-        executor = TpccExecutor(small_tpcc_db, small_tpcc_config, seed=5)
+        executor = TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=5)
         with default_registry().collecting() as session:
             executor.new_order()
         assert (

@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.distributed.model import DistributedResult
+from repro.driver import BenchmarkSpec, DriverReport, TxStats
 from repro.exec.engine import UnitRecord
 from repro.experiments.runner import ExperimentResult
 from repro.obs.metrics import MetricsRegistry
@@ -72,6 +73,40 @@ SAMPLES = [
     SkewSummary(hottest_2pct=0.39, hottest_10pct=0.71, hottest_20pct=0.84,
                 gini=0.81),
     DistributedResult(nodes=4, per_node=THROUGHPUT, item_replicated=True),
+    TxStats(committed=9, aborted=2, p50_ms=14.0, p95_ms=55.0, p99_ms=61.0,
+            mean_ms=19.5),
+    DriverReport(
+        spec=BenchmarkSpec(terminals=2, transactions=20),
+        elapsed_seconds=12.5,
+        committed=19,
+        tpmc=41.3,
+        throughput_tps=1.52,
+        per_tx={
+            "new_order": TxStats(committed=9, aborted=1, p50_ms=120.0,
+                                 p95_ms=300.0, p99_ms=310.0, mean_ms=150.0),
+            "payment": TxStats(committed=10, p50_ms=40.0, p95_ms=90.0,
+                               p99_ms=95.0, mean_ms=48.0),
+        },
+        aborts=1,
+        retries=1,
+        gave_up=0,
+        lock_conflicts=1,
+        lock_timeouts=0,
+        lock_waits=0,
+        cpu_busy_seconds=2.4,
+        disk_busy_seconds=0.3,
+        cpu_utilization=0.19,
+        disk_utilization=0.02,
+        cpu_demand_seconds=0.126,
+        disk_demand_seconds=0.016,
+        deterministic=True,
+        summary=ExecutionSummary(
+            executed={"new_order": 10, "payment": 10},
+            aborted={"new_order": 1},
+            retries=1,
+        ),
+        metrics=_sample_snapshot(),
+    ),
 ]
 
 

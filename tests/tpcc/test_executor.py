@@ -8,7 +8,7 @@ from repro.tpcc.executor import buffer_miss_rates
 
 @pytest.fixture
 def executor(small_tpcc_db, small_tpcc_config):
-    return TpccExecutor(small_tpcc_db, small_tpcc_config, seed=5)
+    return TpccExecutor(db=small_tpcc_db, config=small_tpcc_config, seed=5)
 
 
 class TestNewOrder:
@@ -66,7 +66,10 @@ class TestNewOrder:
         self, small_tpcc_db, small_tpcc_config
     ):
         executor = TpccExecutor(
-            small_tpcc_db, small_tpcc_config, seed=5, rollback_probability=1.0
+            db=small_tpcc_db,
+            config=small_tpcc_config,
+            seed=5,
+            rollback_probability=1.0,
         )
         before = small_tpcc_db.table("order").row_count
         assert executor.new_order() is None
@@ -159,7 +162,7 @@ class TestStockLevel:
 
 class TestRunMix:
     def test_mix_dispatches_all_types(self, executor):
-        summary = executor.run_mix(250)
+        summary = executor.run_mix(transactions=250)
         assert summary.total == 250
         assert set(summary.executed) == {
             "new_order",
@@ -170,13 +173,13 @@ class TestRunMix:
         }
 
     def test_buffer_miss_rates_shape(self, executor):
-        executor.run_mix(150)
+        executor.run_mix(transactions=150)
         rates = buffer_miss_rates(executor.db)
         assert set(rates) == set(executor.db.table_names())
         assert all(0.0 <= rate <= 1.0 for rate in rates.values())
 
     def test_warehouse_district_always_hot(self, executor):
-        executor.run_mix(150)
+        executor.run_mix(transactions=150)
         rates = buffer_miss_rates(executor.db)
         assert rates["warehouse"] < 0.05
         assert rates["district"] < 0.05
