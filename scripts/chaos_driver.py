@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Chaos gate: crash / deadlock / overload scenarios under the driver.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_driver.py               # full scale
+    PYTHONPATH=src python scripts/chaos_driver.py --scale smoke # CI smoke
+    PYTHONPATH=src python scripts/chaos_driver.py -o chaos.json
+
+Runs a matrix of chaos scenarios through the virtual-time driver —
+a mid-benchmark crash with a crowd in flight, injected deadlock victim
+picks, and an overload phase behind the admission gate and circuit
+breaker — and gates on the robustness contracts of the chaos PR:
+
+* **zero lost updates** — after every scenario the heap equals its
+  WAL-implied state and TPC-C consistency condition 1 holds (each
+  warehouse's ``w_ytd`` delta equals the sum of its districts'
+  ``d_ytd`` deltas);
+* **determinism** — each scenario, replayed with the same seed,
+  serializes to a byte-identical :class:`DriverReport`;
+* **graceful degradation** — the overload scenario actually sheds
+  (admission drops > 0) and its worst p99 stays below the same
+  workload run without the gate;
+* every scenario's chaos actually happened (crash recovered, injected
+  deadlocks counted), so the gate cannot pass vacuously.
+
+The virtual clock makes the whole document deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.driver import BenchmarkSpec, run_benchmark
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.faults.invariants import check_recovery_invariants
+from repro.tpcc import TpccConfig, load_tpcc
+from repro.tpcc.executor import BreakerPolicy, RetryPolicy
+
+DISTRICTS_PER_WAREHOUSE = 10
+
+#: Scenario scales.  ``paper`` exercises a larger crowd; ``smoke`` is
+#: the CI configuration (a few seconds end to end).
+SCALES = {
+    "paper": dict(terminals=32, transactions=400, overload_terminals=64),
+    "smoke": dict(terminals=20, transactions=150, overload_terminals=48),
+}
+
+CONFIG = TpccConfig(
+    warehouses=2,
+    customers_per_district=60,
+    items=300,
+    initial_orders_per_district=25,
+    pending_orders_per_district=8,
+    buffer_pages=400,
+    seed=99,
+)
+
+
+def ytd_state(db, warehouses: int) -> dict[int, tuple[float, float]]:
+    """Per-warehouse (w_ytd, sum d_ytd), read in one transaction."""
+    txn = db.begin("ytd-audit")
+    try:
+        state = {}
+        for warehouse in range(1, warehouses + 1):
+            w_ytd = txn.select("warehouse", (warehouse,))["w_ytd"]
+            d_total = sum(
+                txn.select("district", (warehouse, district))["d_ytd"]
+                for district in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+            )
+            state[warehouse] = (w_ytd, d_total)
+    finally:
+        txn.commit()
+    return state
+
+
+def check_invariants(db, before, warehouses: int) -> list[str]:
+    """End-state violations: WAL consistency plus TPC-C condition 1."""
+    violations = list(check_recovery_invariants(db).violations)
+    after = ytd_state(db, warehouses)
+    for warehouse, (w_before, d_before) in before.items():
+        w_delta = after[warehouse][0] - w_before
+        d_delta = after[warehouse][1] - d_before
+        if abs(w_delta - d_delta) > 1e-6 * max(1.0, abs(w_delta)):
+            violations.append(
+                f"warehouse {warehouse}: w_ytd moved {w_delta} but its "
+                f"districts moved {d_delta}"
+            )
+    return violations
+
+
+def scenarios(scale: str, seed: int) -> dict[str, BenchmarkSpec]:
+    params = SCALES[scale]
+    base = dict(
+        think_time_seconds=0.25,
+        retry=RetryPolicy(max_attempts=6),
+        seed=seed,
+        tpcc=CONFIG,
+    )
+    breaker = BreakerPolicy(
+        failure_threshold=8, window_seconds=1.0, cooldown_seconds=2.0
+    )
+    return {
+        "crash-mid-benchmark": BenchmarkSpec(
+            terminals=params["terminals"],
+            transactions=params["transactions"],
+            crash_at_seconds=2.0,
+            faults=FaultPlan(
+                rules=(
+                    FaultRule(FaultKind.WAL_APPEND, probability=0.002, max_fires=4),
+                ),
+                seed=seed + 1,
+                name="crash-noise",
+            ),
+            **base,
+        ),
+        "injected-deadlocks": BenchmarkSpec(
+            terminals=params["terminals"],
+            transactions=params["transactions"],
+            faults=FaultPlan(
+                rules=(FaultRule(FaultKind.DEADLOCK, every=40, max_fires=3),),
+                seed=seed + 2,
+                name="deadlock-storm",
+            ),
+            **base,
+        ),
+        "overload-shed": BenchmarkSpec(
+            terminals=params["overload_terminals"],
+            transactions=params["transactions"],
+            max_in_flight=8,
+            queue_deadline_seconds=0.5,
+            breaker=breaker,
+            **{**base, "think_time_seconds": 0.05},
+        ),
+        "everything-at-once": BenchmarkSpec(
+            terminals=params["terminals"],
+            transactions=params["transactions"],
+            crash_at_seconds=2.0,
+            max_in_flight=8,
+            queue_deadline_seconds=0.5,
+            breaker=breaker,
+            faults=FaultPlan(
+                rules=(
+                    FaultRule(FaultKind.DEADLOCK, every=40, max_fires=3),
+                    FaultRule(FaultKind.WAL_APPEND, probability=0.002, max_fires=4),
+                ),
+                seed=seed + 3,
+                name="everything",
+            ),
+            **base,
+        ),
+    }
+
+
+def worst_p99(report) -> float:
+    return max(
+        (stats.p99_ms for stats in report.per_tx.values()), default=0.0
+    )
+
+
+def run_matrix(scale: str, seed: int) -> dict:
+    results = {}
+    failures: list[str] = []
+    for name, spec in scenarios(scale, seed).items():
+        db = load_tpcc(spec.tpcc)
+        before = ytd_state(db, spec.tpcc.warehouses)
+        report = run_benchmark(spec, db=db)
+        replay = run_benchmark(spec)  # fresh load, same seed
+        identical = json.dumps(report.to_dict(), sort_keys=True) == json.dumps(
+            replay.to_dict(), sort_keys=True
+        )
+        violations = check_invariants(db, before, spec.tpcc.warehouses)
+        results[name] = {
+            "terminals": spec.terminals,
+            "committed": report.committed,
+            "gave_up": report.gave_up,
+            "deadlocks": report.deadlocks.to_dict(),
+            "recovery": (
+                report.recovery.to_dict() if report.recovery else None
+            ),
+            "shed": report.shed.to_dict(),
+            "faults_fired": report.faults_fired,
+            "worst_p99_ms": round(worst_p99(report), 3),
+            "replay_identical": identical,
+            "invariant_violations": violations,
+        }
+        print(
+            f"{name:22s}: {report.committed} committed, "
+            f"{report.deadlocks.injected} injected deadlocks, "
+            f"shed {report.shed.admission}, "
+            f"replay {'=' if identical else '!='}"
+        )
+        failures.extend(f"{name}: {violation}" for violation in violations)
+        if not identical:
+            failures.append(f"{name}: replay was not byte-identical")
+        if report.committed + report.gave_up != spec.transactions:
+            failures.append(
+                f"{name}: {report.committed} committed + {report.gave_up} "
+                f"gave up != {spec.transactions} started"
+            )
+
+    # Scenario-specific non-vacuity and degradation gates.
+    crash = results["crash-mid-benchmark"]
+    if crash["recovery"] is None or crash["recovery"]["in_flight_aborted"] == 0:
+        failures.append("crash-mid-benchmark: crash landed with nothing in flight")
+    if results["injected-deadlocks"]["deadlocks"]["injected"] == 0:
+        failures.append("injected-deadlocks: no deadlock fault fired")
+    overload = results["overload-shed"]
+    if overload["shed"]["admission"] == 0:
+        failures.append("overload-shed: the admission gate never shed")
+    ungated_spec = scenarios(scale, seed)["overload-shed"].replace(
+        max_in_flight=None, queue_deadline_seconds=None, breaker=None
+    )
+    ungated = run_benchmark(ungated_spec)
+    ungated_p99 = worst_p99(ungated)
+    results["overload-shed"]["ungated_worst_p99_ms"] = round(ungated_p99, 3)
+    if overload["worst_p99_ms"] >= ungated_p99:
+        failures.append(
+            f"overload-shed: shedding did not bound p99 "
+            f"({overload['worst_p99_ms']} >= ungated {ungated_p99})"
+        )
+
+    return {
+        "benchmark": "chaos matrix: crash / deadlock / overload (virtual time)",
+        "scale": scale,
+        "seed": seed,
+        "scenarios": results,
+        "failures": failures,
+        "timing_method": "deterministic virtual clock (Table 4 demands)",
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="paper",
+        help="matrix size (default: paper)",
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the JSON document here (default: stdout summary only)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_matrix(args.scale, args.seed)
+    if args.output is not None:
+        args.output.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if document["failures"]:
+        for failure in document["failures"]:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"all chaos gates passed ({len(document['scenarios'])} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

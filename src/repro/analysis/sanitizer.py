@@ -6,8 +6,14 @@ checks it *dynamically*: the test suite installs it around every test
 
 * a transaction finishes (``commit``/``abort`` returns) while still
   holding locks — a leak the two-phase protocol forbids;
-* the waits-for graph develops a cycle — a true deadlock, every party
-  polling for a lock held by another member of the cycle;
+* the waits-for graph develops a cycle under the *no-wait* conflict
+  policy — a true deadlock with nothing to resolve it (in blocking
+  mode the lock manager's own waits-for detector resolves cycles by
+  aborting a victim, so there a cycle is expected operation);
+* any :meth:`LockManager.contention` counter ever decreases — the
+  counters are documented monotone for the manager's lifetime (and
+  across ``Database.crash()``, which carries them forward), so a dip
+  means an increment raced outside the manager mutex;
 * a buffer pool ever tracks more frames than its capacity.
 
 It also records the resource acquisition-order graph for diagnostics.
@@ -25,6 +31,7 @@ mask the test's own assertion — and surfaced by :meth:`check`.
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from typing import Any, Callable
 
@@ -46,6 +53,12 @@ class InvariantSanitizer:
         self._last_resource: dict[tuple[int, int], Any] = {}
         #: acquisition-order edges (resource -> resources acquired after it).
         self.order_graph: dict[Any, set[Any]] = defaultdict(set)
+        #: last contention() snapshot per live lock manager
+        #: (monotonicity); weak keys so a freed manager's id cannot be
+        #: recycled into a stale comparison.
+        self._last_contention: "weakref.WeakKeyDictionary[Any, dict[str, int]]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._originals: dict[str, Callable[..., Any]] = {}
         self._installed = False
 
@@ -72,13 +85,17 @@ class InvariantSanitizer:
                 sanitizer._originals["try_acquire"](mgr, txn_id, resource, mode)
             except Exception:
                 sanitizer._record_wait(mgr, txn_id, resource)
+                sanitizer._check_monotone(mgr)
                 raise
             sanitizer._record_grant(mgr, txn_id, resource)
+            sanitizer._check_monotone(mgr)
 
         def release_all(mgr: Any, txn_id: int) -> int:
             sanitizer._waits_for[id(mgr)].pop(txn_id, None)
             sanitizer._last_resource.pop((id(mgr), txn_id), None)
-            return sanitizer._originals["release_all"](mgr, txn_id)
+            released = sanitizer._originals["release_all"](mgr, txn_id)
+            sanitizer._check_monotone(mgr)
+            return released
 
         def commit(txn: Any) -> None:
             sanitizer._originals["commit"](txn)
@@ -157,12 +174,39 @@ class InvariantSanitizer:
             return
         waits = self._waits_for[id(mgr)]
         waits[txn_id] = blockers
+        if getattr(mgr, "default_timeout", 0) > 0:
+            # Blocking mode: the manager's own waits-for detector dooms
+            # a victim, so a cycle here is resolved, not stuck.
+            return
         cycle = self._find_cycle(waits, txn_id)
         if cycle:
             chain = " -> ".join(str(txn) for txn in cycle)
             self.violations.append(
                 f"waits-for cycle (deadlock): {chain} on resource {resource!r}"
             )
+
+    def _check_monotone(self, mgr: Any) -> None:
+        """Assert the manager's contention counters never decrease.
+
+        Snapshot and comparison both run under the manager's mutex, so
+        concurrent wrapper calls cannot store snapshots out of order
+        and fake a regression.
+        """
+        mutex = getattr(mgr, "_mutex", None)
+        if mutex is None:
+            return
+        with mutex:
+            snapshot = mgr.contention()
+            last = self._last_contention.get(mgr)
+            if last is not None:
+                for name, value in snapshot.items():
+                    before = last.get(name, 0)
+                    if value < before:
+                        self.violations.append(
+                            f"lock counter {name!r} decreased "
+                            f"{before} -> {value} (non-monotone accounting)"
+                        )
+            self._last_contention[mgr] = snapshot
 
     def _check_leak(self, txn: Any, action: str) -> None:
         held = txn._db.locks.locks_held(txn._id)

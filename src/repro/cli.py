@@ -302,6 +302,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="admission cap on concurrently open transactions",
     )
     bench.add_argument(
+        "--crash-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="crash and recover the database at this virtual instant "
+        "(virtual scheduler only)",
+    )
+    bench.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="block on lock conflicts up to this budget instead of "
+        "no-wait aborts (threads scheduler; enables waits-for "
+        "deadlock detection)",
+    )
+    bench.add_argument(
+        "--victim-policy",
+        choices=["youngest", "oldest", "fewest_locks"],
+        default="youngest",
+        help="which member of a waits-for cycle to abort (default: youngest)",
+    )
+    bench.add_argument(
+        "--queue-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shed admission-queue arrivals older than this "
+        "(requires --max-in-flight)",
+    )
+    bench.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="open the retry circuit breaker after N transient failures "
+        "inside its window",
+    )
+    bench.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how long an open breaker short-circuits retries "
+        "(default: 2.0; only with --breaker-failures)",
+    )
+    bench.add_argument(
+        "--faults",
+        metavar="KIND=PROB[,KIND=PROB...]",
+        default=None,
+        help="per-operation fault probabilities; kinds: wal_append, "
+        "torn_write, eviction, lock_conflict, deadlock",
+    )
+    bench.add_argument(
+        "--faults-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="fault-plan RNG seed (default: the benchmark --seed)",
+    )
+    bench.add_argument(
         "--validate",
         action="store_true",
         help="run at several terminal counts and compare against exact MVA",
@@ -678,9 +739,32 @@ def _command_throughput(args) -> int:
     return 0
 
 
+def _parse_fault_plan(text: str, seed: int):
+    """``KIND=PROB,...`` -> FaultPlan via :meth:`FaultPlan.chaos` kwargs."""
+    from repro.faults import FaultPlan
+
+    kinds = {"wal_append", "torn_write", "eviction", "lock_conflict", "deadlock"}
+    probabilities: dict[str, float] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        kind, _, raw = token.partition("=")
+        kind = kind.strip()
+        if kind not in kinds:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (expected one of "
+                f"{', '.join(sorted(kinds))})"
+            )
+        probabilities[kind] = float(raw)
+    if not probabilities:
+        raise ValueError("empty --faults spec")
+    return FaultPlan.chaos(seed, **probabilities)
+
+
 def _command_bench(args) -> int:
     from repro.driver import BenchmarkSpec, run_benchmark, validate_against_mva
-    from repro.tpcc.executor import RetryPolicy
+    from repro.tpcc.executor import BreakerPolicy, RetryPolicy
     from repro.tpcc.loader import TpccConfig
 
     warehouses = args.warehouses
@@ -692,6 +776,20 @@ def _command_bench(args) -> int:
     retry = RetryPolicy()
     if args.max_attempts is not None:
         retry = RetryPolicy(max_attempts=args.max_attempts)
+    faults = None
+    if args.faults is not None:
+        faults_seed = args.faults_seed if args.faults_seed is not None else args.seed
+        try:
+            faults = _parse_fault_plan(args.faults, faults_seed)
+        except ValueError as error:
+            print(f"bad --faults: {error}", file=sys.stderr)
+            return 2
+    breaker = None
+    if args.breaker_failures is not None:
+        breaker = BreakerPolicy(
+            failure_threshold=args.breaker_failures,
+            cooldown_seconds=args.breaker_cooldown,
+        )
     try:
         spec = BenchmarkSpec(
             terminals=args.terminals,
@@ -705,6 +803,12 @@ def _command_bench(args) -> int:
             workers=args.workers,
             max_in_flight=args.max_in_flight,
             tpcc=TpccConfig(warehouses=warehouses),
+            faults=faults,
+            crash_at_seconds=args.crash_at,
+            lock_timeout_seconds=args.lock_timeout,
+            victim_policy=args.victim_policy,
+            queue_deadline_seconds=args.queue_deadline,
+            breaker=breaker,
         )
     except ValueError as error:
         print(f"invalid benchmark spec: {error}", file=sys.stderr)

@@ -10,7 +10,14 @@ against exact MVA.
 """
 
 from repro.driver.pool import WorkerPool
-from repro.driver.report import DriverReport, TxStats, percentile
+from repro.driver.report import (
+    DeadlockStats,
+    DriverReport,
+    RecoveryWindow,
+    ShedStats,
+    TxStats,
+    percentile,
+)
 from repro.driver.runner import (
     build_executors,
     run_benchmark,
@@ -31,9 +38,12 @@ from repro.driver.validate import (
 __all__ = [
     "SCHEDULERS",
     "BenchmarkSpec",
+    "DeadlockStats",
     "DriverReport",
     "DriverValidation",
+    "RecoveryWindow",
     "RunOutcome",
+    "ShedStats",
     "StatementGate",
     "TxStats",
     "ValidationPoint",

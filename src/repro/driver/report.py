@@ -58,8 +58,59 @@ class TxStats(ReportMixin):
 
 
 @dataclass(frozen=True)
+class DeadlockStats(ReportMixin):
+    """Waits-for deadlock activity of one run."""
+
+    #: Cycles found by the waits-for detector.
+    detected: int = 0
+    #: Deadlock faults fired by the injector (virtual-mode chaos).
+    injected: int = 0
+    #: Transactions aborted as victims.
+    victims: int = 0
+    #: Longest waits-for cycle resolved (members).
+    wait_chain_max: int = 0
+    #: Victim policy the run used.
+    policy: str = "youngest"
+
+
+@dataclass(frozen=True)
+class RecoveryWindow(ReportMixin):
+    """One mid-benchmark crash()/recover() cycle as the driver saw it."""
+
+    #: Virtual instant the crash fired.
+    at_seconds: float = 0.0
+    #: Modeled outage: WAL replay served sequentially by the disk arms.
+    duration_seconds: float = 0.0
+    #: Change records replayed by recovery.
+    replayed_records: int = 0
+    #: Transactions in flight at the crash (all rolled back).
+    in_flight_aborted: int = 0
+
+
+@dataclass(frozen=True)
+class ShedStats(ReportMixin):
+    """Load shed under overload instead of queued into livelock."""
+
+    #: Requests dropped at the admission gate's queue deadline.
+    admission: int = 0
+    #: Peak admission-queue depth behind the max_in_flight gate.
+    max_queue_depth: int = 0
+    #: Retries short-circuited by the open circuit breaker.
+    retry_short_circuits: int = 0
+    #: Times the circuit breaker opened.
+    breaker_opens: int = 0
+
+
+@dataclass(frozen=True)
 class DriverReport(ReportMixin):
-    """Measured outcome of one :class:`BenchmarkSpec` run."""
+    """Measured outcome of one :class:`BenchmarkSpec` run.
+
+    Schema version 2 added the chaos blocks: ``deadlocks``,
+    ``recovery``, ``shed`` and ``faults_fired`` (all defaulted, so v1
+    payloads still deserialize).
+    """
+
+    schema_version = 2
 
     spec: BenchmarkSpec
     elapsed_seconds: float
@@ -81,6 +132,10 @@ class DriverReport(ReportMixin):
     disk_demand_seconds: float
     deterministic: bool
     summary: ExecutionSummary
+    deadlocks: DeadlockStats = field(default_factory=DeadlockStats)
+    recovery: RecoveryWindow | None = field(default=None)
+    shed: ShedStats = field(default_factory=ShedStats)
+    faults_fired: int = 0
     metrics: MetricsSnapshot | None = field(default=None)
 
     @property
@@ -127,6 +182,40 @@ class DriverReport(ReportMixin):
             f"timeouts {self.lock_timeouts}, waits {self.lock_waits}",
             f"cpu util {self.cpu_utilization:.3f}, "
             f"disk util {self.disk_utilization:.3f}",
+        ]
+        if (
+            self.deadlocks.detected
+            or self.deadlocks.injected
+            or self.deadlocks.victims
+        ):
+            lines.append(
+                f"deadlocks {self.deadlocks.detected} detected "
+                f"+ {self.deadlocks.injected} injected, "
+                f"{self.deadlocks.victims} victims "
+                f"(policy {self.deadlocks.policy}, "
+                f"longest chain {self.deadlocks.wait_chain_max})"
+            )
+        if self.recovery is not None:
+            lines.append(
+                f"crash at {self.recovery.at_seconds:.3f} s: replayed "
+                f"{self.recovery.replayed_records} records in "
+                f"{self.recovery.duration_seconds:.3f} s, aborted "
+                f"{self.recovery.in_flight_aborted} in-flight"
+            )
+        if (
+            self.shed.admission
+            or self.shed.retry_short_circuits
+            or self.shed.breaker_opens
+        ):
+            lines.append(
+                f"shed {self.shed.admission} at admission "
+                f"(peak queue {self.shed.max_queue_depth}), "
+                f"{self.shed.retry_short_circuits} retries short-circuited "
+                f"({self.shed.breaker_opens} breaker opens)"
+            )
+        if self.faults_fired:
+            lines.append(f"faults fired {self.faults_fired}")
+        lines += [
             "",
             render_table(self.as_rows(), title="per-transaction latency"),
         ]

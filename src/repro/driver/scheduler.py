@@ -34,6 +34,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.driver.report import RecoveryWindow
 from repro.driver.spec import BenchmarkSpec
 from repro.engine.database import Database, Transaction
 from repro.obs import instruments
@@ -50,6 +51,9 @@ class RunOutcome:
     completed: int
     cpu_busy_seconds: float = 0.0
     disk_busy_seconds: float = 0.0
+    shed_admission: int = 0
+    max_queue_depth: int = 0
+    recovery: RecoveryWindow | None = None
 
 
 class _Station:
@@ -220,7 +224,12 @@ class VirtualScheduler:
         self._started = 0
         self._completed = 0
         self._in_flight = 0
-        self._waiting: list[int] = []
+        #: Admission queue: (terminal, arrival time) FIFO behind the
+        #: max_in_flight gate.
+        self._waiting: list[tuple[int, float]] = []
+        self._shed_admission = 0
+        self._max_queue_depth = 0
+        self._recovery: RecoveryWindow | None = None
         self._latencies: dict[str, list[float]] = {}
         self._errors: list[BaseException] = []
         self._terminal_rngs = [
@@ -230,6 +239,11 @@ class VirtualScheduler:
         self._executors: list[TpccExecutor] = []
         self._deadline = spec.duration_seconds
         self._quota = spec.transactions
+
+    @property
+    def now(self) -> float:
+        """The current virtual time (the injector/breaker clock seam)."""
+        return self._now
 
     # -- scheduling primitives -------------------------------------------------
 
@@ -261,12 +275,18 @@ class VirtualScheduler:
         try:
             for terminal in range(self.spec.terminals):
                 self._push(self._cycle_delay(terminal), "start", terminal)
+            if self.spec.crash_at_seconds is not None:
+                self._push(self.spec.crash_at_seconds, "crash", None)
             while self._events:
                 time_, _, kind, payload = heapq.heappop(self._events)
                 if time_ > self._now:
                     self._now = time_
                 if kind == "start":
                     self._handle_start(int(payload))  # type: ignore[arg-type]
+                elif kind == "crash":
+                    self._handle_crash()
+                elif kind == "shed":
+                    self._handle_shed(payload)  # type: ignore[arg-type]
                 else:
                     task = payload
                     if not isinstance(task, _Task) or task.resume_event is None:
@@ -284,6 +304,9 @@ class VirtualScheduler:
             completed=self._completed,
             cpu_busy_seconds=self._cpu.busy_seconds,
             disk_busy_seconds=self._disk.busy_seconds,
+            shed_admission=self._shed_admission,
+            max_queue_depth=self._max_queue_depth,
+            recovery=self._recovery,
         )
 
     def _handle_start(self, terminal: int) -> None:
@@ -295,15 +318,68 @@ class VirtualScheduler:
             self.spec.max_in_flight is not None
             and self._in_flight >= self.spec.max_in_flight
         ):
-            self._waiting.append(terminal)
+            entry = (terminal, self._now)
+            self._waiting.append(entry)
+            self._max_queue_depth = max(self._max_queue_depth, len(self._waiting))
+            if self.spec.queue_deadline_seconds is not None:
+                self._push(
+                    self._now + self.spec.queue_deadline_seconds, "shed", entry
+                )
             return
         self._spawn(terminal)
 
-    def _spawn(self, terminal: int) -> None:
+    def _handle_shed(self, entry: tuple[int, float]) -> None:
+        """Admission deadline passed: shed the request if still queued.
+
+        A stale shed event (its terminal was admitted meanwhile) is a
+        no-op — the (terminal, arrival) pair identifies the exact
+        queued request.  The shed terminal keys in a *new* request
+        after a fresh think cycle, as a human would after an error
+        screen.
+        """
+        if entry not in self._waiting:
+            return
+        self._waiting.remove(entry)
+        terminal, _arrival = entry
+        self._shed_admission += 1
+        instruments.DRIVER_SHED.inc(reason="admission")
+        self._push(self._now + self._cycle_delay(terminal), "start", terminal)
+
+    def _handle_crash(self) -> None:
+        """Mid-benchmark crash()/recover() with in-flight terminals.
+
+        The event fires from the event loop, so every task thread is
+        parked at a statement boundary and none holds the latch.
+        Recovery's WAL replay is charged to both stations as a service
+        outage (sequential log reads on every disk arm), and every
+        in-flight transaction's next statement aborts transiently via
+        the database epoch bump.
+        """
+        replayed = sum(1 for _ in self._db.wal.change_records())
+        in_flight = self._in_flight
+        self._db.crash()
+        self._db.recover()
+        duration = (
+            replayed * self.spec.params.disk_service_ms / 1000.0 / self.spec.disk_arms
+        )
+        outage_end = self._now + duration
+        self._cpu.free_at = max(self._cpu.free_at, outage_end)
+        self._disk.free_at = max(self._disk.free_at, outage_end)
+        self._recovery = RecoveryWindow(
+            at_seconds=self._now,
+            duration_seconds=duration,
+            replayed_records=replayed,
+            in_flight_aborted=in_flight,
+        )
+        instruments.DRIVER_RECOVERIES.inc()
+
+    def _spawn(self, terminal: int, start_time: float | None = None) -> None:
         self._started += 1
         self._in_flight += 1
         prepared = self._executors[terminal].prepare(mix=self.spec.mix)
-        task = _Task(terminal, prepared, self._now)
+        task = _Task(
+            terminal, prepared, self._now if start_time is None else start_time
+        )
         thread = threading.Thread(
             target=self._task_body, args=(task,), daemon=True
         )
@@ -360,4 +436,10 @@ class VirtualScheduler:
             self._now + self._cycle_delay(task.terminal), "start", task.terminal
         )
         if self._waiting:
-            self._push(self._now, "start", self._waiting.pop(0))
+            # Admit the longest-queued request; its latency clock has
+            # been running since it arrived at the gate.
+            terminal, arrival = self._waiting.pop(0)
+            over = self._deadline is not None and self._now >= self._deadline
+            exhausted = self._quota is not None and self._started >= self._quota
+            if not over and not exhausted:
+                self._spawn(terminal, start_time=arrival)

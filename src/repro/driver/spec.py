@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as dataclass_replace
 
+from repro.engine.deadlock import VICTIM_POLICIES
+from repro.faults.plan import FaultPlan
 from repro.throughput.params import CostParameters
-from repro.tpcc.executor import RetryPolicy
+from repro.tpcc.executor import BreakerPolicy, RetryPolicy
 from repro.tpcc.loader import TpccConfig
 from repro.workload.mix import DEFAULT_MIX, TransactionMix
 
@@ -46,6 +48,22 @@ class BenchmarkSpec:
     tpcc: TpccConfig = field(default_factory=TpccConfig)
     params: CostParameters = field(default_factory=CostParameters)
     disk_arms: int = 8
+    #: Seeded fault schedule armed after loading (None = no chaos).
+    faults: FaultPlan | None = None
+    #: Virtual instant of a mid-benchmark crash()/recover() cycle
+    #: (virtual scheduler only).
+    crash_at_seconds: float | None = None
+    #: Lock-conflict policy: 0 keeps no-wait; > 0 enables blocking
+    #: waits with waits-for deadlock detection (threads scheduler only
+    #: — the virtual scheduler's determinism requires no-wait).
+    lock_timeout_seconds: float = 0.0
+    #: Deadlock victim policy: youngest | oldest | fewest_locks.
+    victim_policy: str = "youngest"
+    #: Admission gate: longest a terminal may queue behind
+    #: ``max_in_flight`` before being shed (None = wait forever).
+    queue_deadline_seconds: float | None = None
+    #: Retry-storm circuit breaker (None = retries never short-circuit).
+    breaker: BreakerPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.terminals < 1:
@@ -76,6 +94,42 @@ class BenchmarkSpec:
             )
         if self.disk_arms < 1:
             raise ValueError(f"disk_arms must be >= 1, got {self.disk_arms}")
+        if self.crash_at_seconds is not None:
+            if self.scheduler != "virtual":
+                raise ValueError(
+                    "crash_at_seconds requires the virtual scheduler "
+                    "(a wall-clock crash instant is not reproducible)"
+                )
+            if self.crash_at_seconds <= 0:
+                raise ValueError(
+                    f"crash_at_seconds must be positive, got {self.crash_at_seconds}"
+                )
+        if self.lock_timeout_seconds < 0:
+            raise ValueError(
+                f"lock_timeout_seconds must be >= 0, got {self.lock_timeout_seconds}"
+            )
+        if self.lock_timeout_seconds > 0 and self.scheduler == "virtual":
+            raise ValueError(
+                "lock_timeout_seconds requires scheduler='threads': the "
+                "virtual scheduler serializes statements, so blocking "
+                "waits cannot make progress (keep the no-wait default)"
+            )
+        if self.victim_policy not in VICTIM_POLICIES:
+            raise ValueError(
+                f"victim_policy must be one of {VICTIM_POLICIES}, "
+                f"got {self.victim_policy!r}"
+            )
+        if self.queue_deadline_seconds is not None:
+            if self.max_in_flight is None:
+                raise ValueError(
+                    "queue_deadline_seconds requires max_in_flight "
+                    "(there is no admission queue without a gate)"
+                )
+            if self.queue_deadline_seconds <= 0:
+                raise ValueError(
+                    "queue_deadline_seconds must be positive, "
+                    f"got {self.queue_deadline_seconds}"
+                )
         self.mix.validate()
 
     def replace(self, **overrides: object) -> "BenchmarkSpec":

@@ -34,7 +34,11 @@ from typing import Any, Callable, ContextManager, Iterator
 
 from repro.engine.bufferpool import BufferManager
 from repro.engine.catalog import TableSchema
-from repro.engine.errors import TableNotFoundError, TransactionStateError
+from repro.engine.errors import (
+    TableNotFoundError,
+    TransactionAbortedByCrashError,
+    TransactionStateError,
+)
 from repro.engine.heap import HeapFile, RecordId
 from repro.engine.locks import LockManager, LockMode
 from repro.engine.page import Page, PageStore
@@ -98,6 +102,9 @@ class Transaction:
         self._id = txn_id
         self._label = label
         self._state = _TxnState.ACTIVE
+        #: Database epoch at begin; a crash bumps the epoch, making this
+        #: transaction stale (recovery already rolled it back via WAL).
+        self._epoch = db.epoch
         self.calls = CallCounts()
         #: Slots freed by this transaction's deletes, reserved in their
         #: heaps until commit/abort so concurrent inserts cannot reuse
@@ -323,7 +330,16 @@ class Transaction:
         reproduces the abort — without compensations, recovery could
         not distinguish an aborted insert's slot from a later committed
         reuse of the same slot.
+
+        Aborting a transaction orphaned by a crash is a no-op state
+        transition: recovery already rolled its changes back (with
+        compensations) and the replacement lock manager holds nothing
+        for it, so there is nothing left to undo or release.
         """
+        if self._state is _TxnState.ACTIVE and self._epoch != self._db.epoch:
+            self._freed_slots.clear()
+            self._state = _TxnState.ABORTED
+            return
         self._check_active()
         with self._statement("abort"):
             with self._db.fault_exemption():
@@ -376,6 +392,18 @@ class Transaction:
         wal.log_abort(self._id)
 
     def _check_active(self) -> None:
+        if self._state is _TxnState.ACTIVE and self._epoch != self._db.epoch:
+            # The database crashed since this transaction began;
+            # recovery rolled its work back, so any further statement
+            # must fail.  Marked ABORTED here (no undo needed) and
+            # raised as a *transient* error so retry seams re-run it.
+            self._freed_slots.clear()
+            self._state = _TxnState.ABORTED
+            raise TransactionAbortedByCrashError(
+                f"transaction {self._id} was rolled back by crash recovery "
+                f"(began in epoch {self._epoch}, database is at epoch "
+                f"{self._db.epoch})"
+            )
         if self._state is not _TxnState.ACTIVE:
             raise TransactionStateError(
                 f"transaction {self._id} is {self._state.value}"
@@ -392,11 +420,18 @@ class Database:
         page_size: int = 4096,
         lock_timeout: float = 0.0,
         injector=None,
+        victim_policy: str = "youngest",
     ):
         self.store = PageStore(page_size)
         self.buffers = BufferManager(self.store, buffer_pages, policy)
-        self.locks = LockManager(default_timeout=lock_timeout)
+        self.locks = LockManager(
+            default_timeout=lock_timeout, victim_policy=victim_policy
+        )
+        self.locks.set_wait_scope(self._latch_pause)
         self.wal = WriteAheadLog()
+        #: Crash epoch: bumped by every :meth:`crash`, so transactions
+        #: that began before the crash can tell they were rolled back.
+        self.epoch = 0
         #: Statement-level latch: every SQL-call body (and begin /
         #: commit / abort) runs while holding it, making the engine's
         #: compound structures safe under multi-threaded drivers.
@@ -436,6 +471,30 @@ class Database:
         with gate.statement(txn, kind):
             with self.latch:
                 yield
+
+    @contextmanager
+    def _latch_pause(self) -> Iterator[None]:
+        """Release the statement latch around a blocking lock-wait sleep.
+
+        Statement bodies hold :attr:`latch` while acquiring tuple
+        locks; if a blocking wait slept while holding it, the lock's
+        current holder could never run its releasing statement — an
+        instant latch-level deadlock the waits-for graph cannot see.
+        The lock manager enters this scope around every poll sleep.
+        Callers outside any statement (standalone lock tests) simply
+        don't hold the latch; the release attempt is then skipped.
+        """
+        released = False
+        try:
+            self.latch.release()
+            released = True
+        except RuntimeError:
+            pass  # caller did not hold the latch; nothing to pause
+        try:
+            yield
+        finally:
+            if released:
+                self.latch.acquire()
 
     # -- fault injection ---------------------------------------------------------
 
@@ -558,7 +617,12 @@ class Database:
         Call :meth:`recover` afterwards.  In-flight transactions are
         rolled back (with logged compensations) by recovery; the page
         store keeps whatever images — including torn ones — reached it.
+        The crash epoch is bumped, so transactions that began earlier
+        fail their next statement with
+        :class:`TransactionAbortedByCrashError` instead of silently
+        writing against recovered state.
         """
+        self.epoch += 1
         self.buffers = BufferManager(
             self.store, self.buffers.capacity, "lru", injector=self._injector
         )
@@ -566,11 +630,19 @@ class Database:
             self.buffers.name_file(file_id, name)
         for table in self._tables.values():
             table.heap.rebind(self.buffers)
-        self.locks = LockManager(
+        replacement = LockManager(
             default_timeout=self.locks.default_timeout,
             poll_interval=self.locks.poll_interval,
             injector=self._injector,
+            victim_policy=self.locks.victim_policy,
         )
+        # Lock *state* is volatile, but the run's contention accounting
+        # is not: the replacement carries the predecessor's counters so
+        # driver reports (and the sanitizer's monotonicity check) span
+        # the crash.
+        replacement.adopt_counters(self.locks)
+        replacement.set_wait_scope(self._latch_pause)
+        self.locks = replacement
 
     def simulate_crash(self) -> None:
         """Backwards-compatible alias for :meth:`crash`."""

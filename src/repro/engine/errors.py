@@ -29,6 +29,25 @@ class LockConflictError(EngineError):
     """A lock request conflicts with a lock held by another transaction."""
 
 
+class DeadlockError(LockConflictError):
+    """A waits-for cycle was found and this transaction is the victim.
+
+    Subclasses :class:`LockConflictError` so every abort-and-retry
+    seam (the executor's ``TRANSIENT_ERRORS``, the driver's retry
+    policy) treats a deadlock abort like any other transient conflict.
+    """
+
+
+class TransactionAbortedByCrashError(EngineError):
+    """The transaction's database crashed; recovery rolled it back.
+
+    Raised when a still-open :class:`~repro.engine.database.Transaction`
+    touches the database after a ``crash()``/``recover()`` cycle bumped
+    the database epoch.  Transient by contract: the terminal retries
+    the whole transaction against the recovered state.
+    """
+
+
 class TransactionStateError(EngineError):
     """An operation was attempted in an invalid transaction state."""
 
@@ -65,6 +84,7 @@ class BufferEvictionError(InjectedFaultError):
 __all__ = [
     "BufferEvictionError",
     "CorruptPageError",
+    "DeadlockError",
     "DuplicateKeyError",
     "EngineError",
     "InjectedFaultError",
@@ -74,6 +94,7 @@ __all__ = [
     "RecordNotFoundError",
     "TableNotFoundError",
     "TornPageWriteError",
+    "TransactionAbortedByCrashError",
     "TransactionStateError",
     "WalAppendFaultError",
     "WalError",

@@ -14,6 +14,7 @@ transaction survived and no aborted or in-flight one did.
 from repro.engine.errors import (
     BufferEvictionError,
     CorruptPageError,
+    DeadlockError,
     InjectedFaultError,
     TornPageWriteError,
     WalAppendFaultError,
@@ -38,6 +39,7 @@ from repro.faults.plan import (
 __all__ = [
     "BufferEvictionError",
     "CorruptPageError",
+    "DeadlockError",
     "ERROR_OF_KIND",
     "FaultEvent",
     "FaultInjector",

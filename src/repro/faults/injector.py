@@ -11,15 +11,26 @@ sequence can be compared across replays.
 Determinism: probability triggers draw from one ``random.Random``
 seeded by the plan; given the same plan and the same workload, the
 sequence of ``fire``/``check`` calls — and therefore every draw and
-every firing — is identical.
+every firing — is identical.  Under the deterministic virtual-time
+driver the scheduler serializes the call sequence itself, so a seeded
+plan fires at the same virtual instant every run.
+
+Thread-safety (for ``scheduler="threads"`` runs): all trigger
+bookkeeping — per-site operation counts, per-rule fire counts, the
+seeded stream, and the event log — mutates under one internal lock, so
+``at_ops`` / ``every`` / ``max_fires`` semantics hold exactly even
+when many worker threads hit the same seam.  The *scope* (which
+terminal / transaction type is operating) and the exemption depth are
+thread-local, so one thread's context never leaks into another's.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from collections import Counter
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, error_for
 
@@ -37,7 +48,9 @@ class FaultInjector:
             self._rules_by_site.setdefault(rule.site, []).append((index, rule))
         self.events: list[FaultEvent] = []
         self.armed = armed
-        self._exempt_depth = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._clock: Callable[[], float] | None = None
 
     # -- configuration -------------------------------------------------------
 
@@ -51,6 +64,15 @@ class FaultInjector:
     def disarm(self) -> None:
         self.armed = False
 
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        """Install the clock ``after_seconds`` scopes are judged against.
+
+        The driver wires the virtual scheduler's clock here, so a
+        time-scoped rule arms at the same *virtual* instant every run.
+        Without a clock, time-scoped rules never arm.
+        """
+        self._clock = clock
+
     @contextmanager
     def exempt(self) -> Iterator[None]:
         """Suppress firing (and operation counting) inside the block.
@@ -58,28 +80,58 @@ class FaultInjector:
         Used by the engine around paths that must not fail mid-way —
         transaction abort (undo) and crash recovery — mirroring real
         systems, where rollback I/O is not allowed to fail the rollback.
+        Exemption is per-thread: one worker's rollback does not shield
+        the operations of other workers.
         """
-        self._exempt_depth += 1
+        self._local.exempt_depth = self._exempt_depth() + 1
         try:
             yield
         finally:
-            self._exempt_depth -= 1
+            self._local.exempt_depth = self._exempt_depth() - 1
+
+    @contextmanager
+    def scoped(
+        self, *, terminal: int | None = None, tx_type: str | None = None
+    ) -> Iterator[None]:
+        """Declare on whose behalf this thread's operations run.
+
+        The driver's executor enters this scope around each transaction
+        attempt; rules carrying ``terminals`` / ``tx_types`` scopes
+        match only operations performed inside a matching scope.
+        Scopes nest (inner values shadow outer ones) and are
+        thread-local.
+        """
+        previous = (
+            getattr(self._local, "terminal", None),
+            getattr(self._local, "tx_type", None),
+        )
+        if terminal is not None:
+            self._local.terminal = terminal
+        if tx_type is not None:
+            self._local.tx_type = tx_type
+        try:
+            yield
+        finally:
+            self._local.terminal, self._local.tx_type = previous
 
     # -- introspection -------------------------------------------------------
 
     def operations(self, site: str) -> int:
         """Operations observed at a site so far."""
-        return self._site_ops[site]
+        with self._lock:
+            return self._site_ops[site]
 
     def fired(self, kind: FaultKind | None = None) -> int:
         """Total faults fired (optionally of one kind)."""
-        if kind is None:
-            return len(self.events)
-        return sum(1 for event in self.events if event.kind is kind)
+        with self._lock:
+            if kind is None:
+                return len(self.events)
+            return sum(1 for event in self.events if event.kind is kind)
 
     def event_summary(self) -> tuple[tuple[int, str, str, int], ...]:
         """Comparable firing log (asserting replay determinism)."""
-        return tuple(event.as_tuple() for event in self.events)
+        with self._lock:
+            return tuple(event.as_tuple() for event in self.events)
 
     # -- the seams -----------------------------------------------------------
 
@@ -89,22 +141,28 @@ class FaultInjector:
         At most one rule fires per operation (the first matching one in
         plan order); the caller decides what failing means.
         """
-        if not self.armed or self._exempt_depth:
+        if not self.armed or self._exempt_depth():
             return None
-        self._site_ops[site] += 1
-        op_index = self._site_ops[site]
-        for rule_index, rule in self._rules_by_site.get(site, ()):
-            if not self._rule_fires_now(rule_index, rule, op_index):
-                continue
-            self._rule_fires[rule_index] += 1
-            event = FaultEvent(
-                sequence=len(self.events) + 1,
-                kind=rule.kind,
-                site=site,
-                op_index=op_index,
-            )
-            self.events.append(event)
-            return event
+        terminal = getattr(self._local, "terminal", None)
+        tx_type = getattr(self._local, "tx_type", None)
+        now = self._clock() if self._clock is not None else None
+        with self._lock:
+            self._site_ops[site] += 1
+            op_index = self._site_ops[site]
+            for rule_index, rule in self._rules_by_site.get(site, ()):
+                if not self._in_scope(rule, terminal, tx_type, now):
+                    continue
+                if not self._rule_fires_now(rule_index, rule, op_index):
+                    continue
+                self._rule_fires[rule_index] += 1
+                event = FaultEvent(
+                    sequence=len(self.events) + 1,
+                    kind=rule.kind,
+                    site=site,
+                    op_index=op_index,
+                )
+                self.events.append(event)
+                return event
         return None
 
     def check(self, site: str) -> None:
@@ -114,6 +172,28 @@ class FaultInjector:
             raise error_for(event.kind, event.op_index)
 
     # -- internal ------------------------------------------------------------
+
+    def _exempt_depth(self) -> int:
+        return getattr(self._local, "exempt_depth", 0)
+
+    @staticmethod
+    def _in_scope(
+        rule, terminal: int | None, tx_type: str | None, now: float | None
+    ) -> bool:
+        """Whether the operation falls inside the rule's scope.
+
+        Out-of-scope operations skip the rule *before* any probability
+        draw, so narrowing a rule's scope never perturbs the seeded
+        stream consumed by operations that remain in scope.
+        """
+        if rule.terminals and (terminal is None or terminal not in rule.terminals):
+            return False
+        if rule.tx_types and (tx_type is None or tx_type not in rule.tx_types):
+            return False
+        if rule.after_seconds is not None:
+            if now is None or now < rule.after_seconds:
+                return False
+        return True
 
     def _rule_fires_now(self, rule_index: int, rule, op_index: int) -> bool:
         if rule.max_fires is not None and self._rule_fires[rule_index] >= rule.max_fires:

@@ -4,18 +4,23 @@ A :class:`FaultPlan` is a seeded, declarative description of *which*
 faults fire *when*: each :class:`FaultRule` names a fault kind (and
 thereby the engine seam it arms) and a trigger — explicit operation
 indexes, a periodic stride, or a per-operation probability drawn from
-the plan's seeded stream.  Two runs of the same workload under the
-same plan observe the identical fault sequence, which is what lets the
-chaos suite assert byte-identical recovery outcomes across replays.
+the plan's seeded stream.  Rules can additionally be *scoped* to
+specific driver terminals, transaction types, or a start time, so a
+concurrent benchmark can aim chaos at part of the workload.  Two runs
+of the same workload under the same plan observe the identical fault
+sequence, which is what lets the chaos suite assert byte-identical
+recovery outcomes across replays.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.engine.errors import (
     BufferEvictionError,
+    DeadlockError,
     InjectedFaultError,
     LockConflictError,
     TornPageWriteError,
@@ -30,6 +35,7 @@ class FaultKind(enum.Enum):
     TORN_PAGE_WRITE = "torn_page_write"
     BUFFER_EVICTION = "buffer_eviction"
     LOCK_CONFLICT = "lock_conflict"
+    DEADLOCK = "deadlock"
 
 
 #: Engine seam (injector site name) armed by each fault kind.
@@ -38,6 +44,7 @@ SITE_OF_KIND: dict[FaultKind, str] = {
     FaultKind.TORN_PAGE_WRITE: "store.write",
     FaultKind.BUFFER_EVICTION: "buffer.evict",
     FaultKind.LOCK_CONFLICT: "lock.acquire",
+    FaultKind.DEADLOCK: "lock.acquire",
 }
 
 #: Exception type raised (or recorded) when each kind fires.
@@ -46,6 +53,7 @@ ERROR_OF_KIND: dict[FaultKind, type[Exception]] = {
     FaultKind.TORN_PAGE_WRITE: TornPageWriteError,
     FaultKind.BUFFER_EVICTION: BufferEvictionError,
     FaultKind.LOCK_CONFLICT: LockConflictError,
+    FaultKind.DEADLOCK: DeadlockError,
 }
 
 
@@ -58,6 +66,17 @@ class FaultRule:
     ``every``-th operation, and independently with ``probability`` per
     operation (drawn from the plan's seeded stream).  ``max_fires``
     caps the total firings of the rule.
+
+    Scopes combine with AND and narrow *whether the rule is considered
+    at all* for an operation: ``terminals`` restricts it to operations
+    performed on behalf of the listed driver terminals, ``tx_types`` to
+    the listed TPC-C transaction types, and ``after_seconds`` arms the
+    rule only once the injector's clock (virtual time under the
+    deterministic scheduler) has reached that instant.  Operations
+    outside a rule's scope neither fire it nor consume a probability
+    draw — but they still advance the site's operation count, so
+    ``at_ops``/``every`` indexes mean the same thing with or without
+    scoped rules in the plan.
     """
 
     kind: FaultKind
@@ -65,8 +84,17 @@ class FaultRule:
     every: int | None = None
     probability: float = 0.0
     max_fires: int | None = None
+    terminals: tuple[int, ...] = ()
+    tx_types: tuple[str, ...] = ()
+    after_seconds: float | None = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.at_ops, tuple):
+            object.__setattr__(self, "at_ops", tuple(self.at_ops))
+        if not isinstance(self.terminals, tuple):
+            object.__setattr__(self, "terminals", tuple(self.terminals))
+        if not isinstance(self.tx_types, tuple):
+            object.__setattr__(self, "tx_types", tuple(self.tx_types))
         if not self.at_ops and self.every is None and self.probability == 0.0:
             raise ValueError(
                 f"rule for {self.kind.value} has no trigger "
@@ -82,6 +110,12 @@ class FaultRule:
             )
         if self.max_fires is not None and self.max_fires < 1:
             raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+        if any(terminal < 0 for terminal in self.terminals):
+            raise ValueError(f"terminals must be >= 0, got {self.terminals}")
+        if self.after_seconds is not None and self.after_seconds < 0:
+            raise ValueError(
+                f"after_seconds must be >= 0, got {self.after_seconds}"
+            )
 
     @property
     def site(self) -> str:
@@ -90,6 +124,32 @@ class FaultRule:
     @property
     def uses_randomness(self) -> bool:
         return self.probability > 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (enum flattened to its value)."""
+        return {
+            "kind": self.kind.value,
+            "at_ops": list(self.at_ops),
+            "every": self.every,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+            "terminals": list(self.terminals),
+            "tx_types": list(self.tx_types),
+            "after_seconds": self.after_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultRule":
+        return cls(
+            kind=FaultKind(payload["kind"]),
+            at_ops=tuple(payload.get("at_ops", ())),
+            every=payload.get("every"),
+            probability=payload.get("probability", 0.0),
+            max_fires=payload.get("max_fires"),
+            terminals=tuple(payload.get("terminals", ())),
+            tx_types=tuple(payload.get("tx_types", ())),
+            after_seconds=payload.get("after_seconds"),
+        )
 
 
 @dataclass(frozen=True)
@@ -130,6 +190,7 @@ class FaultPlan:
         torn_write: float = 0.0,
         eviction: float = 0.0,
         lock_conflict: float = 0.0,
+        deadlock: float = 0.0,
         name: str = "chaos",
     ) -> "FaultPlan":
         """A probability-per-operation plan over any subset of seams."""
@@ -138,6 +199,7 @@ class FaultPlan:
             FaultKind.TORN_PAGE_WRITE: torn_write,
             FaultKind.BUFFER_EVICTION: eviction,
             FaultKind.LOCK_CONFLICT: lock_conflict,
+            FaultKind.DEADLOCK: deadlock,
         }
         rules = tuple(
             FaultRule(kind=kind, probability=probability)
@@ -147,6 +209,24 @@ class FaultPlan:
         if not rules:
             raise ValueError("chaos plan needs at least one non-zero probability")
         return cls(rules=rules, seed=seed, name=name)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (used by spec/report serialization)."""
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            rules=tuple(
+                FaultRule.from_dict(rule) for rule in payload.get("rules", ())
+            ),
+            seed=payload.get("seed", 0),
+            name=payload.get("name", "plan"),
+        )
 
 
 def error_for(kind: FaultKind, op_index: int) -> Exception:

@@ -71,6 +71,19 @@ LOCK_WAIT_DEPTH = _REGISTRY.gauge(
     "engine.locks.wait_depth",
     help="concurrent lock waiters (peak survives snapshot merges)",
 )
+LOCK_DEADLOCKS = _REGISTRY.counter(
+    "engine.locks.deadlocks_total",
+    help="waits-for cycles resolved, by kind=detected|injected",
+)
+LOCK_VICTIMS = _REGISTRY.counter(
+    "engine.locks.victims_total",
+    help="transactions doomed as deadlock victims, by victim policy",
+)
+LOCK_WAIT_CHAIN = _REGISTRY.histogram(
+    "engine.locks.wait_chain",
+    help="members per resolved waits-for cycle",
+    buckets=OP_COUNT_BUCKETS,
+)
 
 # -- executable engine: write-ahead log --------------------------------------
 
@@ -128,6 +141,14 @@ DRIVER_STATEMENTS = _REGISTRY.counter(
     "driver.statements_total",
     help="statements serialized through the virtual scheduler, by kind",
 )
+DRIVER_SHED = _REGISTRY.counter(
+    "driver.shed_total",
+    help="terminal requests shed under overload, by reason=admission|retry",
+)
+DRIVER_RECOVERIES = _REGISTRY.counter(
+    "driver.recoveries_total",
+    help="mid-benchmark crash/recover cycles completed by the driver",
+)
 
 # -- execution engine (process fan-out) ---------------------------------------
 
@@ -147,6 +168,8 @@ EXEC_UNIT_SECONDS = _REGISTRY.histogram(
 )
 
 __all__ = [
+    "DRIVER_RECOVERIES",
+    "DRIVER_SHED",
     "DRIVER_STATEMENTS",
     "DRIVER_TX_COMPLETIONS",
     "DRIVER_TX_VIRTUAL_SECONDS",
@@ -157,7 +180,10 @@ __all__ = [
     "EXEC_UNIT_SECONDS",
     "LOCK_ACQUISITIONS",
     "LOCK_CONFLICTS",
+    "LOCK_DEADLOCKS",
     "LOCK_TIMEOUTS",
+    "LOCK_VICTIMS",
+    "LOCK_WAIT_CHAIN",
     "LOCK_WAIT_DEPTH",
     "SIM_BUFFER_ACCESSES",
     "SIM_BUFFER_EVICTIONS",

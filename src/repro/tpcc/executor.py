@@ -13,8 +13,11 @@ specification requires.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
+from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any, Callable, Sequence, cast
 
@@ -33,6 +36,7 @@ from repro.engine.errors import (
     InjectedFaultError,
     LockConflictError,
     RecordNotFoundError,
+    TransactionAbortedByCrashError,
 )
 from repro.obs import instruments
 from repro.obs.clock import WallClock
@@ -51,8 +55,13 @@ from repro.tpcc.loader import TpccConfig, last_name
 
 
 #: Errors treated as transient: the transaction already rolled back
-#: cleanly, so the executor may retry it.
-TRANSIENT_ERRORS = (LockConflictError, InjectedFaultError)
+#: cleanly (crash-aborted ones were rolled back by recovery itself),
+#: so the executor may retry it.
+TRANSIENT_ERRORS = (
+    LockConflictError,
+    InjectedFaultError,
+    TransactionAbortedByCrashError,
+)
 
 #: Latency measurement goes through the whitelisted obs clock seam, and
 #: only when metrics collection is enabled (the histogram is flagged
@@ -97,6 +106,110 @@ class RetryPolicy:
         if self.jitter:
             raw *= 1.0 - self.jitter + 2.0 * self.jitter * float(rng.random())
         return min(max(raw, 0.0), self.max_delay * (1.0 + self.jitter))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Parameters of the retry-storm circuit breaker.
+
+    The breaker *opens* when ``failure_threshold`` transient failures
+    land within a trailing ``window_seconds``; while open, retry
+    attempts are short-circuited (the transaction gives up immediately
+    instead of sleeping and re-contending).  After ``cooldown_seconds``
+    the breaker goes *half-open*: one trial retry is admitted, and its
+    outcome either closes the breaker or re-opens it for another
+    cooldown.  Layered on :class:`RetryPolicy`, it turns a retry storm
+    past the throughput knee into bounded-latency load shedding.
+    """
+
+    failure_threshold: int = 16
+    window_seconds: float = 1.0
+    cooldown_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be positive, got {self.cooldown_seconds}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe closed / open / half-open breaker over a failure window.
+
+    One instance is shared by every executor of a benchmark run, so the
+    failure window sees the *global* transient-failure rate.  All time
+    arrives as an explicit ``now`` argument — the virtual driver feeds
+    virtual time, keeping breaker transitions deterministic per seed.
+    """
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self._mutex = threading.Lock()
+        self._failures: deque[float] = deque()
+        self._opened_at: float | None = None
+        self._half_open_trial = False
+        self.opens = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open`` (as of the last call)."""
+        with self._mutex:
+            if self._opened_at is None:
+                return "closed"
+            return "half_open" if self._half_open_trial else "open"
+
+    def allow(self, now: float) -> bool:
+        """Whether a retry may proceed at ``now``; counts short-circuits."""
+        with self._mutex:
+            if self._opened_at is None:
+                return True
+            if self._half_open_trial:
+                # Another thread's trial is already probing.
+                self.short_circuits += 1
+                return False
+            if now >= self._opened_at + self.policy.cooldown_seconds:
+                self._half_open_trial = True
+                return True
+            self.short_circuits += 1
+            return False
+
+    def record_failure(self, now: float) -> None:
+        """Note one transient failure; may open (or re-open) the breaker."""
+        with self._mutex:
+            if self._half_open_trial:
+                # The half-open trial failed: back to a full cooldown.
+                self._half_open_trial = False
+                self._opened_at = now
+                self.opens += 1
+                return
+            if self._opened_at is not None:
+                return  # already open; in-flight stragglers change nothing
+            window_start = now - self.policy.window_seconds
+            self._failures.append(now)
+            while self._failures and self._failures[0] < window_start:
+                self._failures.popleft()
+            if len(self._failures) >= self.policy.failure_threshold:
+                self._opened_at = now
+                self._half_open_trial = False
+                self._failures.clear()
+                self.opens += 1
+
+    def record_success(self) -> None:
+        """Note a completed transaction; a half-open success closes."""
+        with self._mutex:
+            if self._opened_at is not None and self._half_open_trial:
+                self._opened_at = None
+                self._half_open_trial = False
+                self._failures.clear()
 
 
 @dataclass
@@ -199,6 +312,9 @@ class TpccExecutor:
         sleep: Callable[[float], None] = time.sleep,
         history_offset: int = 0,
         history_stride: int = 1,
+        terminal: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if args:
             warnings.warn(
@@ -254,6 +370,10 @@ class TpccExecutor:
         self._sleep = sleep
         self._history_next = db.table("history").row_count + 1 + history_offset
         self._history_stride = history_stride
+        #: Driver terminal this executor acts for (fault-scope identity).
+        self._terminal = terminal
+        self._breaker = breaker
+        self._clock = clock
         self.summary = ExecutionSummary()
 
     @property
@@ -646,24 +766,46 @@ class TpccExecutor:
         The transaction methods roll themselves back before re-raising,
         so each retry starts from a clean slate (with freshly drawn
         inputs — the benchmark client would likewise submit a new
-        request).
+        request).  Every attempt runs inside the fault injector's
+        terminal/tx-type scope, so driver-aware fault rules can target
+        this terminal or transaction type.  With a shared
+        :class:`CircuitBreaker` installed, transient failures feed its
+        window and retries are short-circuited while it is open — the
+        transaction gives up at once instead of joining a retry storm.
         """
         timing = instruments.TX_SECONDS.enabled
+        injector = self._db.injector
         attempt = 0
         while True:
             try:
                 start = _WALL.wall_time() if timing else None
-                result = work()
+                scope = (
+                    injector.scoped(terminal=self._terminal, tx_type=tx_name)
+                    if injector is not None
+                    else nullcontext()
+                )
+                with scope:
+                    result = work()
                 if start is not None:
                     instruments.TX_SECONDS.observe(
                         _WALL.wall_time() - start, tx=tx_name
                     )
+                if self._breaker is not None:
+                    self._breaker.record_success()
                 return result
             except TRANSIENT_ERRORS:
                 self.summary.record_abort(tx_name)
                 instruments.TX_ABORTS.inc(tx=tx_name)
                 attempt += 1
+                if self._breaker is not None:
+                    self._breaker.record_failure(self._clock())
                 if attempt >= self._retry_policy.max_attempts:
+                    self.summary.gave_up += 1
+                    raise
+                if self._breaker is not None and not self._breaker.allow(
+                    self._clock()
+                ):
+                    instruments.DRIVER_SHED.inc(reason="retry")
                     self.summary.gave_up += 1
                     raise
                 self.summary.retries += 1

@@ -1,0 +1,243 @@
+"""Unit tests for blocking-mode lock waits and deadlock resolution.
+
+Most cases drive the LockManager single-threaded with fake clock/sleep
+hooks (the sleep hook doubles as the "concurrent holder" that releases
+or blocks mid-wait); the final class stages a genuine two-thread
+deadlock and checks exactly one side dies as the victim.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.errors import DeadlockError, LockConflictError
+from repro.engine.locks import LockManager, LockMode
+
+
+class FakeTime:
+    """Manual clock + sleep pair for deterministic wait loops."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.on_sleep = None
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+        if self.on_sleep is not None:
+            self.on_sleep()
+
+
+@pytest.fixture
+def faketime():
+    return FakeTime()
+
+
+@pytest.fixture
+def locks(faketime):
+    return LockManager(
+        default_timeout=1.0,
+        poll_interval=0.01,
+        clock=faketime.clock,
+        sleep=faketime.sleep,
+    )
+
+
+class TestBlockingWaits:
+    def test_wait_until_holder_releases(self, locks, faketime):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        faketime.on_sleep = lambda: locks.release_all(1)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert locks.mode_held(2, "r") is LockMode.EXCLUSIVE
+        stats = locks.contention()
+        assert stats["waits"] == 1 and stats["timeouts"] == 0
+
+    def test_timeout_when_holder_never_releases(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError, match="timed out"):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE, timeout=0.05)
+        stats = locks.contention()
+        assert stats["timeouts"] == 1
+        # The waiter deregistered itself on the way out.
+        assert locks.waits_for() == {}
+
+    def test_zero_timeout_is_no_wait(self, faketime):
+        locks = LockManager(clock=faketime.clock, sleep=faketime.sleep)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert locks.contention()["waits"] == 0
+
+    def test_waits_for_graph_shape(self, locks, faketime):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+        def snapshot_then_release():
+            assert locks.waits_for() == {2: {1}}
+            locks.release_all(1)
+
+        faketime.on_sleep = snapshot_then_release
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert locks.waits_for() == {}
+
+
+class TestDeadlockResolution:
+    def _stage_cycle(self, locks):
+        """txn 1 holds a, txn 2 holds b; then 2 blocks on a, 1 on b."""
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+
+    def test_waiter_victimized_when_it_closes_the_cycle(self, locks, faketime):
+        self._stage_cycle(locks)
+        # Simulate txn 1 already waiting on b, then txn 2 arrives on a
+        # and closes the cycle; with policy=youngest txn 2 dies.
+        faketime.on_sleep = pytest.fail  # the cycle must resolve pre-sleep
+        with locks._mutex:
+            locks._waiting[1] = "b"
+            locks.waits += 1
+        with pytest.raises(DeadlockError, match="waits-for cycle"):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        stats = locks.contention()
+        assert stats["deadlocks"] == 1 and stats["victims"] == 1
+        assert stats["wait_chain_max"] == 2
+        assert stats["timeouts"] == 0
+
+    def test_oldest_policy_dooms_the_other_side(self, faketime):
+        locks = LockManager(
+            default_timeout=1.0,
+            poll_interval=0.01,
+            clock=faketime.clock,
+            sleep=faketime.sleep,
+            victim_policy="oldest",
+        )
+        self._stage_cycle(locks)
+        with locks._mutex:
+            locks._waiting[1] = "b"
+            locks.waits += 1
+
+        def holder_aborts_when_doomed():
+            # txn 1 is the chosen victim; model its abort releasing a.
+            with locks._mutex:
+                doomed = dict(locks._doomed)
+            assert 1 in doomed
+            locks.release_all(1)
+
+        faketime.on_sleep = holder_aborts_when_doomed
+        # txn 2 closes the cycle; the *other* (oldest) member is doomed,
+        # so txn 2 keeps waiting and wins once 1 releases.
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        assert locks.mode_held(2, "a") is LockMode.EXCLUSIVE
+        stats = locks.contention()
+        assert stats["deadlocks"] == 1 and stats["victims"] == 1
+
+    def test_fewest_locks_picks_smallest_footprint(self, faketime):
+        locks = LockManager(
+            default_timeout=1.0,
+            poll_interval=0.01,
+            clock=faketime.clock,
+            sleep=faketime.sleep,
+            victim_policy="fewest_locks",
+        )
+        # txn 1 has the bigger footprint (a + extra), txn 2 just b.
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "extra", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        with locks._mutex:
+            locks._waiting[1] = "b"
+            locks.waits += 1
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+
+    def test_cycle_not_recounted_while_victim_pending(self, locks, faketime):
+        """A second detection of the same cycle must not pick a second victim."""
+        self._stage_cycle(locks)
+        with locks._mutex:
+            locks._waiting[1] = "b"
+            locks.waits += 1
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        before = locks.contention()
+        # Re-stage the same waits-for shape with the doomed flag still set.
+        with locks._mutex:
+            locks._doomed[2] = "1 -> 2"
+            locks._waiting[2] = "a"
+        with locks._mutex:
+            assert locks._resolve_deadlock(1) is None
+        after = locks.contention()
+        assert after["deadlocks"] == before["deadlocks"]
+        assert after["victims"] == before["victims"]
+
+    def test_injected_deadlock_counts(self, faketime):
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.DEADLOCK, every=1),), seed=7
+        )
+        locks = LockManager(
+            clock=faketime.clock, sleep=faketime.sleep,
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(DeadlockError):
+            locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        stats = locks.contention()
+        assert stats["deadlocks"] == 1 and stats["victims"] == 1
+
+
+class TestCounterContinuity:
+    def test_adopt_counters(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE, timeout=0)
+        replacement = LockManager()
+        replacement.adopt_counters(locks)
+        assert replacement.contention() == locks.contention()
+        assert replacement.locks_held(1) == 0  # locks themselves are volatile
+
+    def test_counters_monotone_through_mixed_traffic(self, locks, faketime):
+        snapshots = [locks.contention()]
+        locks.acquire(1, "r", LockMode.SHARED)
+        snapshots.append(locks.contention())
+        faketime.on_sleep = lambda: locks.release_all(1)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        snapshots.append(locks.contention())
+        locks.release_all(2)
+        snapshots.append(locks.contention())
+        for before, after in zip(snapshots, snapshots[1:]):
+            for name, value in after.items():
+                assert value >= before[name], name
+
+
+class TestRealThreads:
+    def test_two_thread_deadlock_resolves(self):
+        """A genuine AB/BA deadlock: exactly one thread dies, one wins."""
+        locks = LockManager(default_timeout=5.0, poll_interval=0.001)
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        barrier = threading.Barrier(2)
+        outcomes: dict[int, str] = {}
+
+        def contend(txn_id, first_held, then_wanted):
+            barrier.wait()
+            try:
+                locks.acquire(txn_id, then_wanted, LockMode.EXCLUSIVE)
+                outcomes[txn_id] = "granted"
+            except DeadlockError:
+                outcomes[txn_id] = "victim"
+                locks.release_all(txn_id)
+
+        threads = [
+            threading.Thread(target=contend, args=(1, "a", "b")),
+            threading.Thread(target=contend, args=(2, "b", "a")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "deadlock was not resolved"
+        assert sorted(outcomes.values()) == ["granted", "victim"]
+        # Policy youngest: txn 2 is the victim.
+        assert outcomes[2] == "victim" and outcomes[1] == "granted"
+        stats = locks.contention()
+        assert stats["deadlocks"] >= 1 and stats["victims"] >= 1
+        assert stats["wait_chain_max"] == 2
