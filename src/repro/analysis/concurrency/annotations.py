@@ -1,0 +1,162 @@
+"""The ``# guarded-by:`` / ``# requires-lock:`` annotation conventions.
+
+A class declares which lock protects a shared attribute by trailing the
+attribute's assignment with a comment::
+
+    class LockManager:
+        def __init__(self) -> None:
+            self._mutex = threading.RLock()
+            self.acquisitions = 0  # guarded-by: _mutex
+
+The guard names a lock *attribute* — usually of the same class, but a
+component owned by another object may name its owner's lock (the buffer
+manager's structures are guarded by ``Database.latch``, so its fields
+say ``# guarded-by: latch``).
+
+A function declares a lock its *caller* must hold by trailing its
+``def`` line (anywhere in the signature, for multi-line signatures)
+with::
+
+    def get_page(self, page_id: PageId) -> Page:  # requires-lock: latch
+        ...
+
+Inside an annotated function the lock is assumed held (it joins the
+function's entry set); at every resolvable call site the static
+analysis checks the caller actually holds it — the same split as
+Clang thread-safety analysis' ``REQUIRES``.
+
+Two consumers share this parser:
+
+* the static REP008 rule (:mod:`repro.analysis.rules.rep008_guarded_by`)
+  reads annotations from the linted :class:`~repro.analysis.findings.
+  ModuleSource` trees and proves, interprocedurally, that every write
+  happens with the guard held;
+* the dynamic lockset race detector (:mod:`repro.analysis.concurrency.
+  locksets`) reads the same annotations from live classes (via
+  ``inspect.getsource``) to know which attributes to instrument.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+
+#: Trailing annotation: ``# guarded-by: <lock-attr>``.
+GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Trailing annotation on a ``def``: ``# requires-lock: <lock-attr>``.
+REQUIRES_LOCK = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Runtime annotation cache: class -> {attr: guard attr}.
+_RUNTIME_CACHE: dict[type, dict[str, str]] = {}
+
+
+def _assigned_self_attrs(stmt: ast.stmt) -> list[str]:
+    """Attribute names a statement assigns on ``self`` (or declares in a
+    class body as a bare name)."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Tuple):
+            names.extend(
+                elt.attr
+                for elt in target.elts
+                if isinstance(elt, ast.Attribute)
+                and isinstance(elt.value, ast.Name)
+                and elt.value.id == "self"
+            )
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+def guarded_fields_of_node(
+    cls_node: ast.ClassDef, lines: list[str]
+) -> dict[str, str]:
+    """``{attr: guard}`` declared by guarded-by comments in a class body.
+
+    ``lines`` are the 0-indexed source lines of the module (or source
+    fragment) the class node was parsed from; comments live in the text,
+    not the AST, so both are needed.  The first declaration of an
+    attribute wins.
+    """
+    guards: dict[str, str] = {}
+    for stmt in ast.walk(cls_node):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        line_index = stmt.lineno - 1
+        if not 0 <= line_index < len(lines):
+            continue
+        match = GUARDED_BY.search(lines[line_index])
+        if match is None:
+            continue
+        for attr in _assigned_self_attrs(stmt):
+            guards.setdefault(attr, match.group(1))
+    return guards
+
+
+def required_locks_of_node(
+    func_node: ast.FunctionDef | ast.AsyncFunctionDef, lines: list[str]
+) -> tuple[str, ...]:
+    """Lock attributes a function's requires-lock comments name.
+
+    The annotation may sit on any line of the signature (from the
+    ``def`` keyword to the line before the first body statement), so
+    multi-line signatures can carry it on whichever line fits.
+    """
+    if not func_node.body:
+        return ()
+    first = func_node.lineno - 1
+    last = func_node.body[0].lineno - 1  # exclusive: the first body line
+    found: list[str] = []
+    for line in lines[first:last]:
+        for match in REQUIRES_LOCK.finditer(line):
+            name = match.group(1)
+            if name not in found:
+                found.append(name)
+    return tuple(found)
+
+
+def guarded_fields(cls: type) -> dict[str, str]:
+    """Runtime view of a class's guarded-by declarations (cached).
+
+    Classes whose source is unavailable (builtins, REPL definitions)
+    declare nothing.
+    """
+    cached = _RUNTIME_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    guards: dict[str, str] = {}
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        tree = None
+    if tree is not None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                guards = guarded_fields_of_node(node, source.splitlines())
+                break
+    _RUNTIME_CACHE[cls] = guards
+    return guards
+
+
+__all__ = [
+    "GUARDED_BY",
+    "REQUIRES_LOCK",
+    "guarded_fields",
+    "guarded_fields_of_node",
+    "required_locks_of_node",
+]

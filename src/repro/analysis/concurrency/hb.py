@@ -1,0 +1,124 @@
+"""Vector-clock happens-before checking for the virtual scheduler.
+
+The deterministic scheduler's correctness story rests on one claim:
+the statement gate admits **one statement at a time**, with every
+admission causally ordered after the previous statement's completion
+through real synchronization (queue hand-off to the event loop, then
+an ``Event`` resume).  This module checks that claim instead of
+assuming it.
+
+Mechanics: every thread carries a vector clock.  The scheduler calls
+:meth:`HappensBeforeChecker.send` just before each synchronization
+hand-off (posting an inbox message, setting a resume event, starting a
+task thread) and :meth:`recv` just after the matching receipt; tokens
+are the ``id`` of the handed-off object, which both sides hold by
+construction.  Around each admitted statement the gate calls
+:meth:`statement_enter` / :meth:`statement_exit`, and the checker
+verifies two properties per admission:
+
+* **mutual exclusion** — no other statement is currently between
+  enter and exit;
+* **causal ordering** — the entering thread's clock dominates the
+  clock recorded at the previous statement's exit, i.e. the admission
+  is connected to that exit by actual send/recv edges, not by lucky
+  timing.
+
+Violations are collected (not raised mid-run, which would wedge task
+threads) and surfaced by the scheduler as :class:`HBViolation` after
+the run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class HBViolation(AssertionError):
+    """The virtual scheduler admitted statements without a causal chain."""
+
+
+def _dominates(a: dict[int, int], b: dict[int, int]) -> bool:
+    """Whether clock ``a`` happens-after (or equals) clock ``b``."""
+    return all(a.get(thread, 0) >= tick for thread, tick in b.items())
+
+
+class HappensBeforeChecker:
+    """Vector clocks over scheduler hand-offs + statement admission checks."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._clocks: dict[int, dict[int, int]] = {}
+        self._in_flight: dict[int, dict[int, int]] = {}
+        self._current: tuple[str, int] | None = None
+        self._last_exit: dict[int, int] | None = None
+        self.statements = 0
+        self.violations: list[str] = []
+
+    def _tick(self) -> dict[int, int]:
+        """Advance the calling thread's clock (mutex held by caller)."""
+        thread = threading.get_ident()
+        clock = self._clocks.setdefault(thread, {})
+        clock[thread] = clock.get(thread, 0) + 1
+        return clock
+
+    # -- synchronization edges -----------------------------------------------
+
+    def send(self, token: object) -> None:
+        """Record a hand-off about to happen, keyed by the object's id."""
+        with self._mutex:
+            clock = self._tick()
+            self._in_flight[id(token)] = dict(clock)
+
+    def recv(self, token: object) -> None:
+        """Join the sender's clock into the receiver's."""
+        with self._mutex:
+            clock = self._tick()
+            sent = self._in_flight.pop(id(token), None)
+            if sent is not None:
+                for thread, tick in sent.items():
+                    clock[thread] = max(clock.get(thread, 0), tick)
+
+    # -- statement admission --------------------------------------------------
+
+    def statement_enter(self, label: str) -> None:
+        with self._mutex:
+            clock = self._tick()
+            if self._current is not None:
+                self.violations.append(
+                    f"statement {label!r} admitted while {self._current[0]!r} "
+                    "is still executing (gate overlap)"
+                )
+            if self._last_exit is not None and not _dominates(
+                clock, self._last_exit
+            ):
+                self.violations.append(
+                    f"statement {label!r} admitted without a happens-before "
+                    "chain from the previous statement's exit"
+                )
+            self._current = (label, threading.get_ident())
+            self.statements += 1
+
+    def statement_exit(self, label: str) -> None:
+        with self._mutex:
+            clock = self._tick()
+            if self._current is not None and self._current[0] != label:
+                self.violations.append(
+                    f"statement exit {label!r} does not match the entered "
+                    f"statement {self._current[0]!r}"
+                )
+            self._current = None
+            self._last_exit = dict(clock)
+
+    def raise_on_violations(self) -> None:
+        if self.violations:
+            summary = "; ".join(self.violations[:5])
+            more = len(self.violations) - 5
+            if more > 0:
+                summary += f"; and {more} more"
+            raise HBViolation(
+                f"happens-before check failed after {self.statements} "
+                f"statements: {summary}"
+            )
+
+
+__all__ = ["HBViolation", "HappensBeforeChecker"]

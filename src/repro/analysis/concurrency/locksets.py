@@ -1,0 +1,261 @@
+"""Eraser-style dynamic lockset race detection.
+
+The classic algorithm (Savage et al., "Eraser: a dynamic data race
+detector for multithreaded programs", TOCS 1997): every shared field
+``v`` carries a candidate lock set ``C(v)``; each access intersects
+``C(v)`` with the locks the accessing thread holds; an empty ``C(v)``
+once two threads have written means no single lock protected every
+access — a candidate race — regardless of whether this particular
+interleaving lost an update.
+
+Scope here, matched to the ``# guarded-by:`` convention
+(:mod:`repro.analysis.concurrency.annotations`):
+
+* **what is instrumented** — attribute *rebinding* (``self.x = ...``,
+  ``self.x += 1``) on guard-annotated classes, via a patched
+  ``__setattr__`` installed by :class:`RaceDetector.instrument`.
+  In-place container mutation (``self._frames[k] = v``) does not pass
+  through ``__setattr__``; those sites are covered statically by
+  REP008, and every annotated class also rebinds counters on its hot
+  paths, so a missing guard still surfaces dynamically;
+* **how locks are observed** — the guard locks of instrumented objects
+  are wrapped in :class:`TrackedLock` proxies (at construction, via a
+  patched ``__init__``, or for pre-existing objects via
+  :meth:`RaceDetector.adopt`) that push/pop the *inner* lock's ``id``
+  on a per-thread lockset, so any number of proxies over one lock
+  agree on its identity;
+* **state machine** — per ``(object, field)``: virgin → exclusive
+  (first thread only) → shared-modified once a second thread writes;
+  since only writes are observed there is no read-only "shared"
+  detour.  First empty-lockset write reports once per field.
+
+The detector is created inactive and does nothing until
+:meth:`activate`; with ``race_detection=False`` (the default) the
+sanitizer never instantiates it, so normal runs pay zero overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.concurrency.annotations import guarded_fields
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One candidate race: a guarded field written with no common lock."""
+
+    cls: str
+    attr: str
+    guard: str
+    threads: tuple[int, int]
+
+    def render(self) -> str:
+        return (
+            f"candidate race on {self.cls}.{self.attr} "
+            f"(declared guarded-by {self.guard}): written by threads "
+            f"{self.threads[0]} and {self.threads[1]} with no lock in common"
+        )
+
+
+class TrackedLock:
+    """A lock proxy maintaining the owning detector's per-thread lockset.
+
+    Wraps ``threading.Lock``/``RLock`` (anything with ``acquire``/
+    ``release``).  Lockset membership is keyed on ``id(inner)`` so
+    several proxies over the same lock are one identity.  Reentrant
+    acquires push one entry per level; release pops one.
+    """
+
+    def __init__(self, inner: Any, detector: "RaceDetector") -> None:
+        self.inner = inner
+        self._detector = detector
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = bool(self.inner.acquire(blocking, timeout))
+        if acquired:
+            self._detector.push_lock(id(self.inner))
+        return acquired
+
+    def release(self) -> None:
+        self.inner.release()
+        self._detector.pop_lock(id(self.inner))
+
+    def locked(self) -> bool:
+        locked = self.inner.locked
+        return bool(locked()) if callable(locked) else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrackedLock({self.inner!r})"
+
+
+class _FieldState:
+    """Eraser per-field state: owning thread, then candidate lockset."""
+
+    __slots__ = ("exclusive_to", "lockset", "reported", "first_writer")
+
+    def __init__(self, thread_id: int) -> None:
+        self.exclusive_to: int | None = thread_id
+        self.first_writer = thread_id
+        self.lockset: frozenset[int] | None = None
+        self.reported = False
+
+
+class RaceDetector:
+    """Instrument guard-annotated classes and collect candidate races."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self.races: list[RaceReport] = []
+        self._mutex = threading.Lock()
+        self._held = threading.local()
+        self._states: "weakref.WeakKeyDictionary[Any, dict[str, _FieldState]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: (cls, attr, original-or-None) for every patched class slot.
+        self._patched: list[tuple[type, str, Any]] = []
+        #: (obj, guard attr, inner lock) for every adopted lock.
+        self._adopted: list[tuple[Any, str, Any]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def activate(self) -> None:
+        self.active = True
+
+    def deactivate(self) -> None:
+        """Stop recording; lingering proxies become pass-through."""
+        self.active = False
+
+    def instrument(self, classes: tuple[type, ...]) -> None:
+        """Patch annotated classes: track field writes, adopt guard locks.
+
+        Classes without ``# guarded-by:`` declarations are skipped.
+        ``__init__`` is patched so objects constructed *after*
+        instrumentation (including the replacement managers a
+        ``Database.crash()`` builds mid-run) get their guard locks
+        wrapped automatically.
+        """
+        for cls in classes:
+            guards = guarded_fields(cls)
+            if not guards:
+                continue
+            self._patch_setattr(cls, guards)
+            self._patch_init(cls)
+
+    def restore(self) -> None:
+        """Undo every class patch and lock adoption."""
+        self.deactivate()
+        for obj, attr, inner in reversed(self._adopted):
+            object.__setattr__(obj, attr, inner)
+        self._adopted.clear()
+        for cls, attr, original in reversed(self._patched):
+            if original is None:
+                delattr(cls, attr)
+            else:
+                setattr(cls, attr, original)
+        self._patched.clear()
+
+    # -- instrumentation internals -------------------------------------------
+
+    def _patch_setattr(self, cls: type, guards: dict[str, str]) -> None:
+        original = cls.__dict__.get("__setattr__")
+        inherited = cls.__setattr__  # MRO-resolved, chains to base patches
+        detector = self
+
+        def tracked_setattr(obj: Any, name: str, value: Any) -> None:
+            guard = guards.get(name)
+            if guard is not None and detector.active:
+                detector.record_write(obj, name, guard)
+            inherited(obj, name, value)
+
+        setattr(cls, "__setattr__", tracked_setattr)
+        self._patched.append((cls, "__setattr__", original))
+
+    def _patch_init(self, cls: type) -> None:
+        original = cls.__dict__.get("__init__")
+        inherited = cls.__init__
+        detector = self
+
+        def tracked_init(obj: Any, *args: Any, **kwargs: Any) -> None:
+            inherited(obj, *args, **kwargs)
+            if detector.active and type(obj) is cls:
+                detector.adopt(obj)
+
+        setattr(cls, "__init__", tracked_init)
+        self._patched.append((cls, "__init__", original))
+
+    def adopt(self, obj: Any) -> None:
+        """Wrap the guard locks of one live object in tracked proxies."""
+        guards = guarded_fields(type(obj))
+        for guard_attr in sorted(set(guards.values())):
+            lock = getattr(obj, guard_attr, None)
+            if lock is None or isinstance(lock, TrackedLock):
+                continue
+            if not (hasattr(lock, "acquire") and hasattr(lock, "release")):
+                continue
+            object.__setattr__(obj, guard_attr, TrackedLock(lock, self))
+            self._adopted.append((obj, guard_attr, lock))
+
+    # -- per-thread locksets -------------------------------------------------
+
+    def push_lock(self, lock_id: int) -> None:
+        self._thread_locks().append(lock_id)
+
+    def pop_lock(self, lock_id: int) -> None:
+        held = self._thread_locks()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == lock_id:
+                del held[index]
+                return
+
+    def _thread_locks(self) -> list[int]:
+        held = getattr(self._held, "locks", None)
+        if held is None:
+            held = []
+            self._held.locks = held
+        return held
+
+    # -- the lockset algorithm -----------------------------------------------
+
+    def record_write(self, obj: Any, attr: str, guard: str) -> None:
+        thread_id = threading.get_ident()
+        held = frozenset(self._thread_locks())
+        with self._mutex:
+            try:
+                fields = self._states.setdefault(obj, {})
+            except TypeError:
+                return  # unhashable/unweakrefable: nothing to track
+            state = fields.get(attr)
+            if state is None:
+                fields[attr] = _FieldState(thread_id)
+                return
+            if state.exclusive_to == thread_id:
+                return  # still single-threaded
+            if state.exclusive_to is not None or state.lockset is None:
+                # Second thread: the field is now shared-modified.
+                state.exclusive_to = None
+                state.lockset = held
+            else:
+                state.lockset = state.lockset & held
+            if not state.lockset and not state.reported:
+                state.reported = True
+                self.races.append(
+                    RaceReport(
+                        cls=type(obj).__name__,
+                        attr=attr,
+                        guard=guard,
+                        threads=(state.first_writer, thread_id),
+                    )
+                )
+
+
+__all__ = ["RaceDetector", "RaceReport", "TrackedLock"]

@@ -13,8 +13,11 @@ from repro.analysis.rules import (
     rep004_bare_assert,
     rep005_lock_pairing,
     rep006_wal_discipline,
+    rep007_lock_order,
+    rep008_guarded_by,
+    rep009_blocking_hold,
 )
-from repro.analysis.rules.base import REGISTRY, Rule
+from repro.analysis.rules.base import REGISTRY, ProjectContext, ProjectRule, Rule
 
 #: Importing a rule module registers its rule; this tuple keeps the
 #: imports load-bearing (and is the one place listing all of them).
@@ -25,6 +28,9 @@ RULE_MODULES = (
     rep004_bare_assert,
     rep005_lock_pairing,
     rep006_wal_discipline,
+    rep007_lock_order,
+    rep008_guarded_by,
+    rep009_blocking_hold,
 )
 
 
@@ -45,4 +51,12 @@ def make_rules(codes: tuple[str, ...] | list[str] | None = None) -> list[Rule]:
     return [REGISTRY[code]() for code in selected]
 
 
-__all__ = ["REGISTRY", "RULE_MODULES", "Rule", "all_rule_codes", "make_rules"]
+__all__ = [
+    "REGISTRY",
+    "RULE_MODULES",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "all_rule_codes",
+    "make_rules",
+]

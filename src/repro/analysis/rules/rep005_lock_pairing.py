@@ -3,20 +3,30 @@
 AST-level (the runtime sanitizer does the precise dynamic check):
 
 * a class (or module-level function soup) that calls
-  ``<lockish>.acquire(...)`` must somewhere also call
-  ``<lockish>.release(...)`` or ``<lockish>.release_all(...)`` — a
+  ``<lockish>.acquire(...)`` must — somewhere it can *reach* — call
+  ``<lockish>.release(...)`` or ``<lockish>.release_all(...)``: a
   component that only ever takes locks leaks them by construction;
-* a function that calls ``<anything>.pin(...)`` must call ``.unpin``
-  in the same function body — pins are frame-local by contract.
+* a function that calls ``<anything>.pin(...)`` must reach ``.unpin``
+  from the same function — pins are frame-local by contract.
+
+"Reach" is the fix for the old per-scope blind spot: releases (and
+unpins) that live in helper functions now count, via the transitive
+call graph of :class:`~repro.analysis.concurrency.project.
+ProjectIndex`, so delegating cleanup to a helper no longer trips the
+rule.  A scope that neither contains nor can reach a release is still
+flagged.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.analysis.findings import Finding, ModuleSource
-from repro.analysis.rules.base import Rule, attr_chain, register
+from repro.analysis.rules.base import ProjectRule, attr_chain, register
+
+if TYPE_CHECKING:
+    from repro.analysis.concurrency.project import FunctionInfo
 
 _RELEASE_NAMES = frozenset({"release", "release_all"})
 
@@ -28,9 +38,9 @@ def _is_lockish(receiver: str) -> bool:
 
 
 @register
-class LockPairingRule(Rule):
+class LockPairingRule(ProjectRule):
     code = "REP005"
-    summary = "lock acquire needs a matching release; pin needs unpin in-function"
+    summary = "lock acquire needs a reachable release; pin needs a reachable unpin"
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         yield from self._check_lock_pairing(module)
@@ -44,9 +54,10 @@ class LockPairingRule(Rule):
         ]
         class_bodies = groups[1:]
         for group in groups:
+            exclude = class_bodies if group is module.tree else ()
             acquires: list[ast.Call] = []
             releases = 0
-            for node in _group_walk(group, exclude=class_bodies if group is module.tree else ()):
+            for node in _group_walk(group, exclude=exclude):
                 if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
                     continue
                 receiver = attr_chain(node.func.value)
@@ -57,18 +68,35 @@ class LockPairingRule(Rule):
                 elif node.func.attr in _RELEASE_NAMES:
                     releases += 1
             if acquires and not releases:
+                if self._reaches_release(self._group_functions(group, exclude)):
+                    continue
                 where = group.name if isinstance(group, ast.ClassDef) else "module"
                 for call in acquires:
                     yield self.finding(
                         module,
                         call,
-                        f"lock acquired but {where} never calls release/"
-                        "release_all on a lock manager",
+                        f"lock acquired but {where} never calls (or reaches) "
+                        "release/release_all on a lock manager",
                     )
+
+    def _group_functions(
+        self, group: ast.AST, exclude: Iterable[ast.AST]
+    ) -> list["FunctionInfo"]:
+        index = self.project.index
+        return [
+            info
+            for node in _group_walk(group, exclude=tuple(exclude))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and (info := index.by_node.get(id(node))) is not None
+        ]
+
+    def _reaches_release(self, roots: list["FunctionInfo"]) -> bool:
+        return _reaches(roots, lambda func: func.releases_lockish)
 
     # -- pins: paired per function ---------------------------------------------
 
     def _check_pin_pairing(self, module: ModuleSource) -> Iterator[Finding]:
+        index = self.project.index
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -84,13 +112,36 @@ class LockPairingRule(Rule):
                 elif inner.func.attr == "unpin":
                     unpins += 1
             if pins and not unpins:
+                info = index.by_node.get(id(node))
+                if info is not None and _reaches(
+                    [info], lambda func: func.calls_unpin
+                ):
+                    continue
                 for call in pins:
                     yield self.finding(
                         module,
                         call,
-                        f"page pinned but {node.name}() never unpins; pins are "
-                        "function-local by contract",
+                        f"page pinned but {node.name}() never unpins (nor calls "
+                        "a helper that does); pins are function-local by contract",
                     )
+
+
+def _reaches(
+    roots: "list[FunctionInfo]",
+    predicate: "Callable[[FunctionInfo], bool]",
+) -> bool:
+    """Whether any transitive callee of the roots satisfies the predicate."""
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        func = stack.pop()
+        if id(func) in seen:
+            continue
+        seen.add(id(func))
+        if predicate(func):
+            return True
+        stack.extend(edge.callee for edge in func.call_edges)
+    return False
 
 
 def _group_walk(group: ast.AST, exclude: tuple[ast.AST, ...] | list[ast.AST] = ()) -> Iterator[ast.AST]:

@@ -1,0 +1,59 @@
+"""REP007 — inconsistent lock acquisition order (potential ABBA deadlock).
+
+Every acquisition site in the project contributes directed edges
+``held → acquired`` for each lock (lexically or interprocedurally) held
+when a new one is taken.  Two edges ``A → B`` and ``B → A`` mean two
+threads can each hold one lock while waiting for the other — the
+classic ABBA deadlock — so both sites are flagged, each naming the
+other.  Reentrant re-acquisition of the *same* lock (``RLock``) is not
+an edge.
+
+Held sets come from :class:`~repro.analysis.concurrency.project.
+ProjectIndex`: the lexical ``with``/``acquire()`` nesting plus the
+*may*-held entry set propagated through the call graph, so an ABBA pair
+split across helper functions is still caught.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import ProjectRule, register
+
+
+@register
+class LockOrderRule(ProjectRule):
+    code = "REP007"
+    summary = "locks must be acquired in one global order (ABBA deadlock risk)"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.analysis.concurrency.project import same_lock
+
+        edges = self.project.index.lock_order_edges()
+        reported: set[int] = set()
+        for held, acquired, site in edges:
+            if str(site.func.module.path) != str(module.path):
+                continue
+            if id(site.node) in reported:
+                continue
+            for other_held, other_acquired, other in edges:
+                if other is site:
+                    continue
+                if same_lock(held, other_acquired) and same_lock(
+                    acquired, other_held
+                ):
+                    reported.add(id(site.node))
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"acquires {acquired.render()} while holding "
+                        f"{held.render()}, but {other.func.qual} "
+                        f"({other.func.module.path.name}:{other.node.lineno}) "
+                        "acquires them in the opposite order — potential "
+                        "ABBA deadlock",
+                    )
+                    break
+
+
+__all__ = ["LockOrderRule"]

@@ -1,0 +1,101 @@
+"""REP008 — shared attribute written without its declared guard.
+
+A class opts its fields into checking with the ``# guarded-by:``
+convention (see :mod:`repro.analysis.concurrency.annotations`)::
+
+    class LockManager:
+        def __init__(self) -> None:
+            self._mutex = threading.RLock()
+            self.acquisitions = 0  # guarded-by: _mutex
+
+Every write to a guarded field outside ``__init__`` — plain and
+augmented assignment, ``del``, subscript stores, and in-place mutator
+calls (``.append``, ``.update``, ...) — must happen while the guard is
+held.  "Held" is the *must*-analysis of :class:`~repro.analysis.
+concurrency.project.ProjectIndex`: locks lexically held at the write
+plus those provably held on entry via **every** call path, so a private
+helper whose callers all take the lock is fine, while one reachable
+lock-free path is a finding.
+
+A function may instead shift the proof to its callers with a
+``# requires-lock: <attr>`` signature comment (Clang thread-safety's
+``REQUIRES``): inside the function the lock counts as held, and this
+rule checks the obligation at every resolvable call site — a call to
+an annotated function without the named lock provably held is a
+finding at the call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import ProjectRule, register
+
+
+@register
+class GuardedByRule(ProjectRule):
+    code = "REP008"
+    summary = "guarded-by fields must only be written with their lock held"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.analysis.concurrency.project import holds_attr
+
+        index = self.project.index
+        for func in index.functions:
+            if str(func.module.path) != str(module.path):
+                continue
+            yield from self._call_obligations(module, index, func)
+            if func.name == "__init__":
+                continue  # construction precedes sharing
+            info = index.class_of(func.cls_name)
+            if info is None or not info.guarded:
+                continue
+            for site in func.write_sites:
+                guard = info.guarded.get(site.attr)
+                if guard is None:
+                    continue
+                owner = (
+                    info.name
+                    if guard in info.lock_attrs
+                    else _sole_owner(index.lock_owners.get(guard))
+                )
+                effective = set(site.held) | func.must_entry_set()
+                if holds_attr(effective, guard, owner):
+                    continue
+                yield self.finding(
+                    module,
+                    site.node,
+                    f"{info.name}.{site.attr} is declared guarded-by "
+                    f"{guard} but is written here without it held on "
+                    "every path",
+                )
+
+    def _call_obligations(self, module, index, func) -> Iterator[Finding]:
+        """Findings for calls into requires-lock functions without it."""
+        from repro.analysis.concurrency.project import holds
+
+        for edge in func.call_edges:
+            if not edge.callee.requires:
+                continue
+            effective = set(edge.held) | func.must_entry_set()
+            for key in sorted(
+                index.required_keys(edge.callee),
+                key=lambda k: (k.cls or "", k.attr),
+            ):
+                if holds(effective, key):
+                    continue
+                yield self.finding(
+                    module,
+                    edge.node,
+                    f"call to {edge.callee.qual}() requires lock "
+                    f"{key.attr} held, but it is not provably held on "
+                    "every path to this call",
+                )
+
+
+def _sole_owner(owners: set[str] | None) -> str | None:
+    return next(iter(owners)) if owners is not None and len(owners) == 1 else None
+
+
+__all__ = ["GuardedByRule"]

@@ -1,0 +1,44 @@
+"""REP009 — blocking call while holding a lock.
+
+Sleeping, joining a thread, waiting on an event/condition, or a
+blocking queue ``get``/``put`` while a mutex or the statement latch is
+held serializes every other thread behind a wait that is not a critical
+section — and under the statement latch it stalls the whole engine.
+
+Sites come from :class:`~repro.analysis.concurrency.project.
+ProjectIndex`: the lock set is the lexical holds at the call plus the
+*may*-held entry set through the call graph, so a helper that sleeps is
+flagged when any caller can reach it with a lock held.  Code that
+deliberately parks while holding a lock (e.g. a wait loop that first
+releases the latch through a scope object) must carry an inline
+justified suppression.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import ProjectRule, register
+
+
+@register
+class BlockingHoldRule(ProjectRule):
+    code = "REP009"
+    summary = "no sleep/join/wait/queue-blocking while holding a lock"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for site, held in self.project.index.blocking_sites():
+            if str(site.func.module.path) != str(module.path):
+                continue
+            locks = ", ".join(key.render() for key in held)
+            yield self.finding(
+                module,
+                site.node,
+                f"blocking call {site.label}() may run while holding "
+                f"{locks}; release the lock first or justify with an "
+                "inline suppression",
+            )
+
+
+__all__ = ["BlockingHoldRule"]

@@ -64,6 +64,10 @@ class LintReport:
     rules_run: tuple[str, ...] = ()
     suppressed: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: The findings silenced by inline suppressions (``len`` ==
+    #: :attr:`suppressed`) — surfaced by ``lint --show-suppressed`` so
+    #: CI can track the suppression count instead of letting it creep.
+    suppressed_findings: list[Finding] = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -94,6 +98,13 @@ class LintReport:
         )
         return "\n".join(lines)
 
+    def render_suppressed(self) -> str:
+        """One line per surviving suppression, plus a count."""
+        lines = [finding.render() for finding in self.suppressed_findings]
+        noun = "suppression" if self.suppressed == 1 else "suppressions"
+        lines.append(f"reprolint: {self.suppressed} surviving {noun}")
+        return "\n".join(lines)
+
 
 def lint_paths(
     paths: Sequence[str | Path] | None = None,
@@ -101,25 +112,36 @@ def lint_paths(
     codes: Sequence[str] | None = None,
 ) -> LintReport:
     """Run the selected rules over the given paths (repro package by default)."""
+    from repro.analysis.rules.base import ProjectContext, ProjectRule
+
     targets = [Path(p) for p in paths] if paths else [default_target()]
     rules = make_rules(tuple(codes) if codes is not None else None)
     report = LintReport(rules_run=tuple(rule.code for rule in rules))
+    modules: list[ModuleSource] = []
     for path in iter_python_files(targets):
         try:
-            module = ModuleSource(path)
+            modules.append(ModuleSource(path))
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             report.parse_errors.append(f"{path}: {exc}")
-            continue
-        report.files_checked += 1
+    report.files_checked = len(modules)
+    # Project rules see every module of the run before any per-module
+    # check: the call graph and lock model are whole-program facts.
+    context = ProjectContext(modules)
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            rule.prepare(context)
+    for module in modules:
         for rule in rules:
-            if is_whitelisted(rule.code, path):
+            if is_whitelisted(rule.code, module.path):
                 continue
             for finding in rule.check(module):
                 if module.is_suppressed(finding):
                     report.suppressed += 1
+                    report.suppressed_findings.append(finding)
                 else:
                     report.findings.append(finding)
     report.findings.sort(key=Finding.sort_key)
+    report.suppressed_findings.sort(key=Finding.sort_key)
     return report
 
 

@@ -7,14 +7,25 @@ checks it *dynamically*: the test suite installs it around every test
 * a transaction finishes (``commit``/``abort`` returns) while still
   holding locks — a leak the two-phase protocol forbids;
 * the waits-for graph develops a cycle under the *no-wait* conflict
-  policy — a true deadlock with nothing to resolve it (in blocking
-  mode the lock manager's own waits-for detector resolves cycles by
-  aborting a victim, so there a cycle is expected operation);
+  policy that is still unresolved at :meth:`check` — a deadlock with
+  nothing to break it.  A cycle observed mid-run is only a *candidate*:
+  under no-wait every participant has already been told "conflict" and
+  is normally mid-abort, so concurrent drivers transiently show mutual
+  wait edges that dissolve as soon as the aborts release.  A candidate
+  is withdrawn when any participant releases its locks or acquires
+  another resource; one that survives to ``check()`` means somebody
+  observed a conflict and then neither aborted nor progressed.  (In
+  blocking mode the lock manager's own waits-for detector resolves
+  cycles by aborting a victim, so there a cycle is expected operation);
 * any :meth:`LockManager.contention` counter ever decreases — the
   counters are documented monotone for the manager's lifetime (and
   across ``Database.crash()``, which carries them forward), so a dip
   means an increment raced outside the manager mutex;
-* a buffer pool ever tracks more frames than its capacity.
+* a buffer pool ever tracks more frames than its capacity;
+* (with ``race_detection=True``) a guard-annotated attribute is
+  written by two threads without a common lock — the Eraser lockset
+  discipline, enforced by :class:`~repro.analysis.concurrency.
+  locksets.RaceDetector` over every ``# guarded-by:``-annotated class.
 
 It also records the resource acquisition-order graph for diagnostics.
 Order-graph cycles are *not* failures: TPC-C legitimately acquires
@@ -45,10 +56,16 @@ class SanitizerViolation(InvariantViolationError):
 class InvariantSanitizer:
     """Monkeypatch-based monitor over LockManager/Transaction/BufferManager."""
 
-    def __init__(self) -> None:
+    def __init__(self, race_detection: bool = False) -> None:
+        from repro.analysis.concurrency.locksets import RaceDetector
+
+        self.race_detector = RaceDetector() if race_detection else None
         self.violations: list[str] = []
         #: waits-for edges per lock manager: txn -> txns it waits on.
         self._waits_for: dict[int, dict[int, set[int]]] = defaultdict(dict)
+        #: candidate no-wait deadlocks: (mgr id, cycle members, chain,
+        #: resource), withdrawn when any member releases or progresses.
+        self._pending_cycles: list[tuple[int, frozenset[int], str, Any]] = []
         #: last resource each txn acquired, for the order graph.
         self._last_resource: dict[tuple[int, int], Any] = {}
         #: acquisition-order edges (resource -> resources acquired after it).
@@ -80,7 +97,9 @@ class InvariantSanitizer:
         }
         sanitizer = self
 
-        def try_acquire(mgr: Any, txn_id: int, resource: Any, mode: Any) -> None:
+        def patched_try_acquire(
+            mgr: Any, txn_id: int, resource: Any, mode: Any
+        ) -> None:
             try:
                 sanitizer._originals["try_acquire"](mgr, txn_id, resource, mode)
             except Exception:
@@ -90,22 +109,25 @@ class InvariantSanitizer:
             sanitizer._record_grant(mgr, txn_id, resource)
             sanitizer._check_monotone(mgr)
 
-        def release_all(mgr: Any, txn_id: int) -> int:
+        def patched_release_all(mgr: Any, txn_id: int) -> int:
             sanitizer._waits_for[id(mgr)].pop(txn_id, None)
             sanitizer._last_resource.pop((id(mgr), txn_id), None)
+            sanitizer._withdraw_cycles(mgr, txn_id)
             released = sanitizer._originals["release_all"](mgr, txn_id)
             sanitizer._check_monotone(mgr)
             return released
 
-        def commit(txn: Any) -> None:
+        def patched_commit(txn: Any) -> None:
             sanitizer._originals["commit"](txn)
             sanitizer._check_leak(txn, "commit")
 
-        def abort(txn: Any) -> None:
+        def patched_abort(txn: Any) -> None:
             sanitizer._originals["abort"](txn)
             sanitizer._check_leak(txn, "abort")
 
-        def get_page(mgr: Any, page_id: Any, for_write: bool = False) -> Any:
+        def patched_get_page(
+            mgr: Any, page_id: Any, for_write: bool = False
+        ) -> Any:
             page = sanitizer._originals["get_page"](mgr, page_id, for_write)
             # Orphaned frames (failed eviction write-backs) may keep
             # _frames above capacity by design; the policy itself must
@@ -117,13 +139,55 @@ class InvariantSanitizer:
                 )
             return page
 
-        LockManager._try_acquire = try_acquire
-        LockManager.release_all = release_all
-        Transaction.commit = commit
-        Transaction.abort = abort
-        BufferManager.get_page = get_page
+        LockManager._try_acquire = patched_try_acquire
+        LockManager.release_all = patched_release_all
+        Transaction.commit = patched_commit
+        Transaction.abort = patched_abort
+        BufferManager.get_page = patched_get_page
         self._installed = True
+        if self.race_detector is not None:
+            self._install_race_detection()
         return self
+
+    def _install_race_detection(self) -> None:
+        """Instrument every guard-annotated class and adopt live objects.
+
+        Classes constructed after installation self-adopt through the
+        detector's patched ``__init__``; the long-lived default metrics
+        registry predates installation, so its instruments are adopted
+        explicitly here.
+        """
+        from repro.driver.pool import WorkerPool
+        from repro.engine.bufferpool import BufferManager
+        from repro.engine.database import Database
+        from repro.engine.heap import HeapFile
+        from repro.engine.locks import LockManager
+        from repro.engine.wal import WriteAheadLog
+        from repro.faults.injector import FaultInjector
+        from repro.obs.metrics import Counter, Gauge, Histogram, default_registry
+        from repro.tpcc.executor import CircuitBreaker
+
+        detector = self.race_detector
+        if detector is None:  # caller gates on race_detector; belt-and-braces
+            return
+        detector.instrument(
+            (
+                Database,
+                LockManager,
+                BufferManager,
+                HeapFile,
+                WriteAheadLog,
+                FaultInjector,
+                WorkerPool,
+                CircuitBreaker,
+                Counter,
+                Gauge,
+                Histogram,
+            )
+        )
+        for instrument in default_registry()._instruments.values():
+            detector.adopt(instrument)
+        detector.activate()
 
     def uninstall(self) -> None:
         if not self._installed:
@@ -132,12 +196,24 @@ class InvariantSanitizer:
         from repro.engine.database import Transaction
         from repro.engine.locks import LockManager
 
+        if self.race_detector is not None:
+            self._harvest_races()
+            self.race_detector.restore()
         LockManager._try_acquire = self._originals["try_acquire"]
         LockManager.release_all = self._originals["release_all"]
         Transaction.commit = self._originals["commit"]
         Transaction.abort = self._originals["abort"]
         BufferManager.get_page = self._originals["get_page"]
         self._installed = False
+
+    def _harvest_races(self) -> None:
+        """Fold candidate races into the violation list (deduplicated)."""
+        if self.race_detector is None:
+            return
+        for race in self.race_detector.races:
+            message = race.render()
+            if message not in self.violations:
+                self.violations.append(message)
 
     def __enter__(self) -> InvariantSanitizer:
         return self.install()
@@ -147,6 +223,7 @@ class InvariantSanitizer:
 
     def check(self) -> None:
         """Raise if any invariant failed since installation."""
+        self._fold_pending_cycles()
         if self.violations:
             summary = "\n  ".join(self.violations)
             raise SanitizerViolation(
@@ -158,6 +235,7 @@ class InvariantSanitizer:
     def _record_grant(self, mgr: Any, txn_id: int, resource: Any) -> None:
         waits = self._waits_for[id(mgr)]
         waits.pop(txn_id, None)
+        self._withdraw_cycles(mgr, txn_id)
         key = (id(mgr), txn_id)
         previous = self._last_resource.get(key)
         if previous is not None and previous != resource:
@@ -180,10 +258,35 @@ class InvariantSanitizer:
             return
         cycle = self._find_cycle(waits, txn_id)
         if cycle:
-            chain = " -> ".join(str(txn) for txn in cycle)
+            # A candidate only: under no-wait every member has already
+            # seen its conflict raised and is normally mid-abort, so a
+            # concurrent driver shows this transiently.  Reported by
+            # check() only if no member ever releases or progresses.
+            members = frozenset(cycle)
+            if not any(
+                mgr_id == id(mgr) and pending == members
+                for mgr_id, pending, _, _ in self._pending_cycles
+            ):
+                chain = " -> ".join(str(txn) for txn in cycle)
+                self._pending_cycles.append(
+                    (id(mgr), members, chain, resource)
+                )
+
+    def _withdraw_cycles(self, mgr: Any, txn_id: int) -> None:
+        """Drop pending cycles a releasing/progressing txn was part of."""
+        self._pending_cycles = [
+            entry
+            for entry in self._pending_cycles
+            if entry[0] != id(mgr) or txn_id not in entry[1]
+        ]
+
+    def _fold_pending_cycles(self) -> None:
+        """Surface cycles still unresolved when the region is checked."""
+        for _, _, chain, resource in self._pending_cycles:
             self.violations.append(
                 f"waits-for cycle (deadlock): {chain} on resource {resource!r}"
             )
+        self._pending_cycles = []
 
     def _check_monotone(self, mgr: Any) -> None:
         """Assert the manager's contention counters never decrease.

@@ -376,7 +376,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_format_argument(bench)
 
     lint = commands.add_parser(
-        "lint", help="run the reprolint static-analysis rules (REP001..REP006)"
+        "lint", help="run the reprolint static-analysis rules (REP001..REP009)"
     )
     lint.add_argument(
         "paths",
@@ -394,6 +394,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print every rule code with its summary and exit",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline suppressions "
+        "(so CI can track the surviving count)",
     )
     return parser
 
@@ -854,7 +860,14 @@ def _command_lint(args) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
-    _emit(args, report.render_text(), report.as_dict())
+    data = report.as_dict()
+    text = report.render_text()
+    if args.show_suppressed:
+        text = f"{text}\n{report.render_suppressed()}"
+        data["suppressed_findings"] = [
+            finding.as_dict() for finding in report.suppressed_findings
+        ]
+    _emit(args, text, data)
     return report.exit_code
 
 

@@ -29,6 +29,14 @@ class WorkerPool:
     def __init__(self, db: Database, spec: BenchmarkSpec):
         self._db = db
         self._spec = spec
+        #: Merge point for per-worker results.  Workers accumulate into
+        #: thread-local structures and fold them in under this mutex, so
+        #: the hot path takes no shared lock.
+        self._mutex = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}  # guarded-by: _mutex
+        self._started = 0  # guarded-by: _mutex
+        self._completed = 0  # guarded-by: _mutex
+        self._errors: list[BaseException] = []  # guarded-by: _mutex
 
     def run(self, executors: list[TpccExecutor]) -> RunOutcome:
         spec = self._spec
@@ -54,10 +62,11 @@ class WorkerPool:
         if spec.duration_seconds is not None:
             deadline = started + spec.duration_seconds
 
-        lock = threading.Lock()
-        latencies: dict[str, list[float]] = {}
-        counts = {"started": 0, "completed": 0}
-        errors: list[BaseException] = []
+        with self._mutex:
+            self._latencies = {}
+            self._started = 0
+            self._completed = 0
+            self._errors = []
 
         def work(worker: int) -> None:
             mine = list(range(worker, spec.terminals, workers))
@@ -91,14 +100,14 @@ class WorkerPool:
                             time.perf_counter() - begun
                         )
             except BaseException as error:
-                with lock:
-                    errors.append(error)
+                with self._mutex:
+                    self._errors.append(error)
             finally:
-                with lock:
+                with self._mutex:
                     for tx, values in local_lat.items():
-                        latencies.setdefault(tx, []).extend(values)
-                    counts["started"] += local_started
-                    counts["completed"] += local_completed
+                        self._latencies.setdefault(tx, []).extend(values)
+                    self._started += local_started
+                    self._completed += local_completed
 
         threads = [
             threading.Thread(target=work, args=(worker,), daemon=True)
@@ -108,11 +117,13 @@ class WorkerPool:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
+        # All workers have joined, so the merged state is quiescent and
+        # safe to read without the mutex.
+        if self._errors:
+            raise self._errors[0]
         return RunOutcome(
             elapsed_seconds=time.perf_counter() - started,
-            latencies=latencies,
-            started=counts["started"],
-            completed=counts["completed"],
+            latencies=self._latencies,
+            started=self._started,
+            completed=self._completed,
         )

@@ -34,6 +34,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis.concurrency.hb import HappensBeforeChecker
 from repro.driver.report import RecoveryWindow
 from repro.driver.spec import BenchmarkSpec
 from repro.engine.database import Database, Transaction
@@ -146,6 +147,10 @@ class StatementGate:
         if task is None:  # not a driver thread (e.g. setup code)
             yield
             return
+        checker = self._scheduler.hb
+        label = f"terminal{task.terminal}:{kind}"
+        if checker is not None:
+            checker.statement_enter(label)
         snap = _StatementSnapshot(
             selects=txn.calls.selects,
             updates=txn.calls.updates,
@@ -161,6 +166,8 @@ class StatementGate:
         finally:
             cpu_k, misses = self._cost(task, txn, kind, snap)
             instruments.DRIVER_STATEMENTS.inc(kind=kind)
+            if checker is not None:
+                checker.statement_exit(label)
             self._scheduler.pause(task, ("stmt", task, (cpu_k, misses)))
 
     def sleep(self, seconds: float) -> None:
@@ -239,6 +246,11 @@ class VirtualScheduler:
         self._executors: list[TpccExecutor] = []
         self._deadline = spec.duration_seconds
         self._quota = spec.transactions
+        #: Optional vector-clock audit of the one-statement-at-a-time
+        #: claim; every hand-off below reports its send/recv edges.
+        self.hb: HappensBeforeChecker | None = (
+            HappensBeforeChecker() if spec.verify_admission else None
+        )
 
     @property
     def now(self) -> float:
@@ -255,8 +267,12 @@ class VirtualScheduler:
         """Park the calling task thread until the scheduler resumes it."""
         event = threading.Event()
         task.resume_event = event
+        if self.hb is not None:
+            self.hb.send(message)
         self._inbox.put(message)
         event.wait()
+        if self.hb is not None:
+            self.hb.recv(event)
 
     def _cycle_delay(self, terminal: int) -> float:
         """Think (exponential) plus keying (constant) time for a terminal."""
@@ -291,12 +307,16 @@ class VirtualScheduler:
                     task = payload
                     if not isinstance(task, _Task) or task.resume_event is None:
                         raise RuntimeError("resume event without a parked task")
+                    if self.hb is not None:
+                        self.hb.send(task.resume_event)
                     task.resume_event.set()
                     self._process_one_message()
         finally:
             self._db.set_statement_gate(None)
         if self._errors:
             raise self._errors[0]
+        if self.hb is not None:
+            self.hb.raise_on_violations()
         return RunOutcome(
             elapsed_seconds=self._now,
             latencies=self._latencies,
@@ -384,10 +404,14 @@ class VirtualScheduler:
             target=self._task_body, args=(task,), daemon=True
         )
         task.thread = thread
+        if self.hb is not None:
+            self.hb.send(task)
         thread.start()
         self._process_one_message()
 
     def _task_body(self, task: _Task) -> None:
+        if self.hb is not None:
+            self.hb.recv(task)
         self.gate.bind(task)
         try:
             self._executors[task.terminal].execute_prepared(task.prepared)  # type: ignore[arg-type]
@@ -398,10 +422,16 @@ class VirtualScheduler:
             task.outcome = "error"
             task.error = error
         finally:
-            self._inbox.put(("done", task, None))
+            message = ("done", task, None)
+            if self.hb is not None:
+                self.hb.send(message)
+            self._inbox.put(message)
 
     def _process_one_message(self) -> None:
-        kind, task, arg = self._inbox.get()
+        message = self._inbox.get()
+        if self.hb is not None:
+            self.hb.recv(message)
+        kind, task, arg = message
         if kind == "stmt":
             cpu_k, misses = arg  # type: ignore[misc]
             cpu_seconds = cpu_k / self.spec.params.k_instructions_per_second

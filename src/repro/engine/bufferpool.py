@@ -21,8 +21,11 @@ from repro.obs import instruments
 class BufferManager:
     """A write-back page cache with replacement and statistics.
 
-    The engine is single-threaded, so pages are not pinned: a frame can
-    be evicted between operations but never during one.
+    Thread contract: every method assumes the caller holds the global
+    statement latch (``Database.latch`` — the declared guard of the
+    frame table and dirty set below); statements, checkpoints, and
+    recovery all run under it.  Pages are not pinned: a frame can be
+    evicted between operations but never during one.
 
     Eviction is best-effort under fault injection: when the write-back
     of a victim fails with an injected fault (eviction error or torn
@@ -50,11 +53,11 @@ class BufferManager:
             self._policy_name = type(policy).__name__.removesuffix("Policy").lower()
         self._policy = policy
         self._file_names: dict[int, str] = {}
-        self._frames: dict[PageId, Page] = {}
-        self._dirty: set[PageId] = set()
+        self._frames: dict[PageId, Page] = {}  # guarded-by: latch
+        self._dirty: set[PageId] = set()  # guarded-by: latch
         self._stats = PoolStatistics()
         self._injector = injector
-        self.deferred_evictions = 0
+        self.deferred_evictions = 0  # guarded-by: latch
 
     def set_injector(self, injector) -> None:
         """Arm (or disarm with None) a fault injector at the eviction seam."""
@@ -94,7 +97,7 @@ class BufferManager:
 
     # -- page access ----------------------------------------------------------------
 
-    def get_page(self, page_id: PageId, for_write: bool = False) -> Page:
+    def get_page(self, page_id: PageId, for_write: bool = False) -> Page:  # requires-lock: latch
         """Return the cached page, faulting it in from the store if needed."""
         page = self._frames.get(page_id)
         if page is not None:
@@ -122,10 +125,10 @@ class BufferManager:
                 outcome="miss",
             )
         if for_write:
-            self._dirty.add(page_id)
+            self.mark_dirty(page_id)
         return page
 
-    def new_page(self, page_id: PageId, page: Page) -> Page:
+    def new_page(self, page_id: PageId, page: Page) -> Page:  # requires-lock: latch
         """Register a freshly allocated page as resident and dirty.
 
         The allocation itself is not counted as a miss: no read I/O
@@ -135,10 +138,10 @@ class BufferManager:
             raise ValueError(f"page {page_id} already exists")
         self._store.allocate(page_id, page)
         self._install(page_id, page)
-        self._dirty.add(page_id)
+        self.mark_dirty(page_id)
         return page
 
-    def mark_dirty(self, page_id: PageId) -> None:
+    def mark_dirty(self, page_id: PageId) -> None:  # requires-lock: latch
         """Flag a resident page as modified."""
         if page_id not in self._frames:
             raise ValueError(f"page {page_id} is not resident")
@@ -146,19 +149,18 @@ class BufferManager:
 
     # -- write-back -------------------------------------------------------------------
 
-    def flush_page(self, page_id: PageId) -> None:
+    def flush_page(self, page_id: PageId) -> None:  # requires-lock: latch
         """Write one dirty resident page back to the store."""
         if page_id in self._dirty:
             self._store.write(page_id, self._frames[page_id])
             self._dirty.discard(page_id)
 
-    def flush_all(self) -> None:
+    def flush_all(self) -> None:  # requires-lock: latch
         """Write back every dirty page (checkpoint)."""
         for page_id in sorted(self._dirty):
-            self._store.write(page_id, self._frames[page_id])
-        self._dirty.clear()
+            self.flush_page(page_id)
 
-    def drop_all(self) -> None:
+    def drop_all(self) -> None:  # requires-lock: latch
         """Flush and empty the cache (used by recovery tests)."""
         self.flush_all()
         for page_id in list(self._frames):

@@ -429,20 +429,20 @@ class Database:
         )
         self.locks.set_wait_scope(self._latch_pause)
         self.wal = WriteAheadLog()
-        #: Crash epoch: bumped by every :meth:`crash`, so transactions
-        #: that began before the crash can tell they were rolled back.
-        self.epoch = 0
         #: Statement-level latch: every SQL-call body (and begin /
         #: commit / abort) runs while holding it, making the engine's
         #: compound structures safe under multi-threaded drivers.
         self.latch = threading.RLock()
+        #: Crash epoch: bumped by every :meth:`crash`, so transactions
+        #: that began before the crash can tell they were rolled back.
+        self.epoch = 0  # guarded-by: latch
         self._statement_gate: Any = None
-        self._tables: dict[str, Table] = {}
-        self._file_ids: dict[str, int] = {}
-        self._next_file_id = 0
-        self._next_txn_id = 1
-        self._census: dict[str, CallCounts] = {}
-        self._finished: dict[str, int] = {}
+        self._tables: dict[str, Table] = {}  # guarded-by: latch
+        self._file_ids: dict[str, int] = {}  # guarded-by: latch
+        self._next_file_id = 0  # guarded-by: latch
+        self._next_txn_id = 1  # guarded-by: latch
+        self._census: dict[str, CallCounts] = {}  # guarded-by: latch
+        self._finished: dict[str, int] = {}  # guarded-by: latch
         self._injector = None
         if injector is not None:
             self.attach_injector(injector)
@@ -597,8 +597,14 @@ class Database:
     # -- durability ----------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Flush all dirty pages to the store."""
-        self.buffers.flush_all()
+        """Flush all dirty pages to the store (atomically vs statements)."""
+        with self.latch:
+            self.buffers.flush_all()
+
+    def drop_buffer_cache(self) -> None:
+        """Flush then empty the buffer cache (cold-cache maintenance)."""
+        with self.latch:
+            self.buffers.drop_all()
 
     def backup(self) -> None:
         """Checkpoint, then snapshot every page image as the base backup.
@@ -606,10 +612,12 @@ class Database:
         Call after the initial load: crash recovery restores torn
         (checksum-failing) pages from this snapshot before rolling the
         log forward, so base rows that predate the WAL survive torn
-        writes too.
+        writes too.  The latch is held across both steps so the
+        snapshot is a statement boundary, not a mid-statement state.
         """
-        self.checkpoint()
-        self.store.snapshot_backup()
+        with self.latch:
+            self.checkpoint()
+            self.store.snapshot_backup()
 
     def crash(self) -> None:
         """Simulate a hard crash: volatile state (buffers, locks) is lost.
@@ -621,28 +629,35 @@ class Database:
         fail their next statement with
         :class:`TransactionAbortedByCrashError` instead of silently
         writing against recovered state.
+
+        The whole swap runs under the statement latch: without it a
+        statement mid-flight in another thread could install pages
+        into the pre-crash buffer pool (or take locks in the pre-crash
+        manager) *while* the replacements are being wired in, leaving
+        the engine half old, half new.
         """
-        self.epoch += 1
-        self.buffers = BufferManager(
-            self.store, self.buffers.capacity, "lru", injector=self._injector
-        )
-        for name, file_id in self._file_ids.items():
-            self.buffers.name_file(file_id, name)
-        for table in self._tables.values():
-            table.heap.rebind(self.buffers)
-        replacement = LockManager(
-            default_timeout=self.locks.default_timeout,
-            poll_interval=self.locks.poll_interval,
-            injector=self._injector,
-            victim_policy=self.locks.victim_policy,
-        )
-        # Lock *state* is volatile, but the run's contention accounting
-        # is not: the replacement carries the predecessor's counters so
-        # driver reports (and the sanitizer's monotonicity check) span
-        # the crash.
-        replacement.adopt_counters(self.locks)
-        replacement.set_wait_scope(self._latch_pause)
-        self.locks = replacement
+        with self.latch:
+            self.epoch += 1
+            self.buffers = BufferManager(
+                self.store, self.buffers.capacity, "lru", injector=self._injector
+            )
+            for name, file_id in self._file_ids.items():
+                self.buffers.name_file(file_id, name)
+            for table in self._tables.values():
+                table.heap.rebind(self.buffers)
+            replacement = LockManager(
+                default_timeout=self.locks.default_timeout,
+                poll_interval=self.locks.poll_interval,
+                injector=self._injector,
+                victim_policy=self.locks.victim_policy,
+            )
+            # Lock *state* is volatile, but the run's contention
+            # accounting is not: the replacement carries the
+            # predecessor's counters so driver reports (and the
+            # sanitizer's monotonicity check) span the crash.
+            replacement.adopt_counters(self.locks)
+            replacement.set_wait_scope(self._latch_pause)
+            self.locks = replacement
 
     def simulate_crash(self) -> None:
         """Backwards-compatible alias for :meth:`crash`."""
@@ -664,8 +679,9 @@ class Database:
         crash replays identically; (4) indexes are rebuilt and a
         checkpoint makes the recovered state durable.
         """
-        with self.fault_exemption():
-            self._recover_locked()
+        with self.latch:
+            with self.fault_exemption():
+                self._recover_locked()
 
     def _repair_torn_pages(self) -> None:
         """Restore checksum-failing pages from backup (or reformat them)."""

@@ -42,17 +42,18 @@ class HeapFile:
         self._buffers = buffers
         self._file_id = file_id
         self._record_size = record_size
-        self._page_count = 0
-        self._free_pages: set[int] = set()  # pages with at least one free slot
+        self._page_count = 0  # guarded-by: latch
+        # Pages with at least one free slot.
+        self._free_pages: set[int] = set()  # guarded-by: latch
         self._records_per_page = Page(
             record_size, buffers.store.page_size
         ).capacity
-        self._live = 0
+        self._live = 0  # guarded-by: latch
         # Slots freed by not-yet-resolved deletes: the page is withheld
         # from allocation so a concurrent insert cannot reuse a slot the
         # deleter's abort may need to restore.  Maps page_no to the
         # reserved slot set plus a count of committed (permanent) frees.
-        self._reservations: dict[int, tuple[set[int], list[int]]] = {}
+        self._reservations: dict[int, tuple[set[int], list[int]]] = {}  # guarded-by: latch
 
     # -- accessors --------------------------------------------------------------
 
@@ -90,7 +91,7 @@ class HeapFile:
 
     # -- operations --------------------------------------------------------------
 
-    def insert(self, record: bytes) -> RecordId:
+    def insert(self, record: bytes) -> RecordId:  # requires-lock: latch
         """Store a record, allocating a page if necessary."""
         if self._free_pages:
             page_no = min(self._free_pages)
@@ -109,7 +110,7 @@ class HeapFile:
         self._live += 1
         return RecordId(page_no, slot)
 
-    def insert_at(self, rid: RecordId, record: bytes) -> None:
+    def insert_at(self, rid: RecordId, record: bytes) -> None:  # requires-lock: latch
         """Store a record in a specific free slot (transaction undo).
 
         The page must already exist and the slot must be free; unlike
@@ -128,17 +129,17 @@ class HeapFile:
             self._free_pages.discard(rid.page_no)
         self._live += 1
 
-    def read(self, rid: RecordId) -> bytes:
+    def read(self, rid: RecordId) -> bytes:  # requires-lock: latch
         """Fetch a record's bytes."""
         page = self._buffers.get_page(PageId(self._file_id, rid.page_no))
         return page.read(rid.slot)
 
-    def update(self, rid: RecordId, record: bytes) -> None:
+    def update(self, rid: RecordId, record: bytes) -> None:  # requires-lock: latch
         """Overwrite a record in place (fixed length, no moves)."""
         page = self._buffers.get_page(PageId(self._file_id, rid.page_no), for_write=True)
         page.update(rid.slot, record)
 
-    def delete(self, rid: RecordId) -> None:
+    def delete(self, rid: RecordId) -> None:  # requires-lock: latch
         """Free a record's slot.
 
         A page with unresolved reservations stays out of the free-page
@@ -151,7 +152,7 @@ class HeapFile:
             self._free_pages.add(rid.page_no)
         self._live -= 1
 
-    def reserve(self, rid: RecordId) -> None:
+    def reserve(self, rid: RecordId) -> None:  # requires-lock: latch
         """Withhold a freed slot from reuse until its delete resolves.
 
         Called by a transaction right after it frees the slot.  The
@@ -164,7 +165,7 @@ class HeapFile:
         slots.add(rid.slot)
         self._free_pages.discard(rid.page_no)
 
-    def release(self, rid: RecordId, freed: bool) -> None:
+    def release(self, rid: RecordId, freed: bool) -> None:  # requires-lock: latch
         """Resolve a reservation: the delete committed (``freed=True``)
         or aborted with the record restored (``freed=False``).
 
@@ -185,7 +186,7 @@ class HeapFile:
                 self._free_pages.add(rid.page_no)
             del self._reservations[rid.page_no]
 
-    def apply_put(self, rid: RecordId, record: bytes) -> None:
+    def apply_put(self, rid: RecordId, record: bytes) -> None:  # requires-lock: latch
         """Recovery hook: force a record into a slot, growing if needed."""
         while rid.page_no >= self._page_count:
             page_no = self._page_count
@@ -197,14 +198,14 @@ class HeapFile:
         page = self._buffers.get_page(PageId(self._file_id, rid.page_no), for_write=True)
         page.put(rid.slot, record)
 
-    def apply_clear(self, rid: RecordId) -> None:
+    def apply_clear(self, rid: RecordId) -> None:  # requires-lock: latch
         """Recovery hook: force a slot free (no-op when already free)."""
         if rid.page_no >= self._page_count:
             return
         page = self._buffers.get_page(PageId(self._file_id, rid.page_no), for_write=True)
         page.clear(rid.slot)
 
-    def rebuild_metadata(self) -> None:
+    def rebuild_metadata(self) -> None:  # requires-lock: latch
         """Recount live records and free pages after recovery."""
         self._live = 0
         self._free_pages.clear()
@@ -215,7 +216,7 @@ class HeapFile:
             if not page.is_full:
                 self._free_pages.add(page_no)
 
-    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:  # requires-lock: latch
         """Iterate every live record in page order (a full table scan)."""
         for page_no in range(self._page_count):
             page = self._buffers.get_page(PageId(self._file_id, page_no))

@@ -90,10 +90,10 @@ class LockManager:
                 f"victim_policy must be one of {VICTIM_POLICIES}, "
                 f"got {victim_policy!r}"
             )
-        self._shared: dict[Resource, set[int]] = defaultdict(set)
-        self._exclusive: dict[Resource, int] = {}
-        self._held: dict[int, set[Resource]] = defaultdict(set)
         self._mutex = threading.RLock()
+        self._shared: dict[Resource, set[int]] = defaultdict(set)  # guarded-by: _mutex
+        self._exclusive: dict[Resource, int] = {}  # guarded-by: _mutex
+        self._held: dict[int, set[Resource]] = defaultdict(set)  # guarded-by: _mutex
         self.default_timeout = default_timeout
         self.poll_interval = poll_interval
         self.victim_policy = victim_policy
@@ -102,17 +102,17 @@ class LockManager:
         self._injector = injector
         self._wait_scope = wait_scope
         #: Resource each blocked transaction currently waits for.
-        self._waiting: dict[int, Resource] = {}
+        self._waiting: dict[int, Resource] = {}  # guarded-by: _mutex
         #: Transactions doomed as deadlock victims -> wait-chain text.
-        self._doomed: dict[int, str] = {}
-        self.acquisitions = 0
-        self.releases = 0
-        self.conflicts = 0
-        self.timeouts = 0
-        self.waits = 0
-        self.deadlocks = 0
-        self.victims = 0
-        self.wait_chain_max = 0
+        self._doomed: dict[int, str] = {}  # guarded-by: _mutex
+        self.acquisitions = 0  # guarded-by: _mutex
+        self.releases = 0  # guarded-by: _mutex
+        self.conflicts = 0  # guarded-by: _mutex
+        self.timeouts = 0  # guarded-by: _mutex
+        self.waits = 0  # guarded-by: _mutex
+        self.deadlocks = 0  # guarded-by: _mutex
+        self.victims = 0  # guarded-by: _mutex
+        self.wait_chain_max = 0  # guarded-by: _mutex
 
     def set_injector(self, injector) -> None:
         """Arm (or disarm with None) a fault injector at the acquire seam."""
@@ -279,12 +279,21 @@ class LockManager:
                 instruments.LOCK_WAIT_DEPTH.dec()
 
     def _wait_one_interval(self) -> None:
-        """Sleep one poll interval inside the installed wait scope."""
+        """Sleep one poll interval inside the installed wait scope.
+
+        REP009 sees a sleep reachable with ``Database.latch`` held (via
+        ``statement_scope`` → ``acquire`` → here).  That is exactly the
+        hazard ``wait_scope`` exists for: the Database installs a scope
+        that *releases* the latch around the sleep and reacquires it
+        after, so the statement latch is never actually held across the
+        blocking call.  The analyzer cannot see through the injected
+        callable, hence the inline justification.
+        """
         scope = (
             self._wait_scope() if self._wait_scope is not None else nullcontext()
         )
         with scope:
-            self._sleep(self.poll_interval)
+            self._sleep(self.poll_interval)  # reprolint: disable=REP009 (wait_scope released the latch)
 
     def _resolve_deadlock(self, txn_id: int) -> int | None:
         """Detect a cycle through ``txn_id``; doom and return its victim.

@@ -82,7 +82,7 @@ class Table:
     def index_names(self) -> tuple[str, ...]:
         return tuple(self._indexes)
 
-    def add_index(self, spec: IndexSpec) -> None:
+    def add_index(self, spec: IndexSpec) -> None:  # requires-lock: latch
         """Declare (and, if rows exist, backfill) a secondary index."""
         if spec.name in self._indexes:
             raise ValueError(f"index {spec.name!r} already exists on {self.name}")
@@ -115,7 +115,7 @@ class Table:
 
     # -- row operations ---------------------------------------------------------------
 
-    def insert(self, row: dict) -> RecordId:
+    def insert(self, row: dict) -> RecordId:  # requires-lock: latch
         """Insert a row, maintaining all indexes; returns its rid."""
         key = self._schema.key_of(row)
         primary: HashIndex = self._indexes[PRIMARY]
@@ -144,7 +144,7 @@ class Table:
         else:
             index.insert(self._secondary_key(spec, row), rid)
 
-    def read(self, rid: RecordId) -> dict:
+    def read(self, rid: RecordId) -> dict:  # requires-lock: latch
         """Fetch a row by rid."""
         return self._schema.unpack(self._heap.read(rid))
 
@@ -152,11 +152,11 @@ class Table:
         """Primary-key lookup; raises if absent."""
         return self._indexes[PRIMARY].search(key)
 
-    def get(self, key: tuple) -> dict:
+    def get(self, key: tuple) -> dict:  # requires-lock: latch
         """Fetch a row by primary key."""
         return self.read(self.rid_of(key))
 
-    def update(self, rid: RecordId, new_row: dict) -> dict:
+    def update(self, rid: RecordId, new_row: dict) -> dict:  # requires-lock: latch
         """Overwrite a row in place; returns the old row.
 
         The primary key must not change (TPC-C never does); secondary
@@ -183,7 +183,7 @@ class Table:
         self._heap.update(rid, self._schema.pack(new_row))
         return old_row
 
-    def restore(self, rid: RecordId, row: dict) -> None:
+    def restore(self, rid: RecordId, row: dict) -> None:  # requires-lock: latch
         """Re-insert a deleted row at its original rid (transaction undo).
 
         Equivalent to :meth:`insert` except the physical location is
@@ -199,7 +199,7 @@ class Table:
         for spec in self._specs.values():
             self._index_insert_one(spec, self._indexes[spec.name], row, rid)
 
-    def delete(self, rid: RecordId) -> dict:
+    def delete(self, rid: RecordId) -> dict:  # requires-lock: latch
         """Remove a row; returns it."""
         row = self.read(rid)
         self._indexes[PRIMARY].delete(self._schema.key_of(row))
@@ -274,12 +274,12 @@ class Table:
         index: BPlusTree = self._indexes[index_name]
         return index.max_in_range(prefix, prefix + (_Infinity(),))
 
-    def scan(self) -> Iterator[tuple[RecordId, dict]]:
+    def scan(self) -> Iterator[tuple[RecordId, dict]]:  # requires-lock: latch
         """Full scan in heap order."""
         for rid, record in self._heap.scan():
             yield rid, self._schema.unpack(record)
 
-    def rebuild_indexes(self) -> None:
+    def rebuild_indexes(self) -> None:  # requires-lock: latch
         """Recreate every index from the heap (after WAL recovery)."""
         self._heap.rebuild_metadata()
         self._indexes[PRIMARY] = HashIndex()

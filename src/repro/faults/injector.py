@@ -40,15 +40,15 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan, armed: bool = True):
         self._plan = plan
-        self._rng = random.Random(plan.seed)
-        self._site_ops: Counter[str] = Counter()
-        self._rule_fires: Counter[int] = Counter()
+        self._lock = threading.Lock()
+        self._rng = random.Random(plan.seed)  # guarded-by: _lock
+        self._site_ops: Counter[str] = Counter()  # guarded-by: _lock
+        self._rule_fires: Counter[int] = Counter()  # guarded-by: _lock
         self._rules_by_site: dict[str, list[tuple[int, object]]] = {}
         for index, rule in enumerate(plan.rules):
             self._rules_by_site.setdefault(rule.site, []).append((index, rule))
-        self.events: list[FaultEvent] = []
+        self.events: list[FaultEvent] = []  # guarded-by: _lock
         self.armed = armed
-        self._lock = threading.Lock()
         self._local = threading.local()
         self._clock: Callable[[], float] | None = None
 

@@ -153,11 +153,11 @@ class CircuitBreaker:
     def __init__(self, policy: BreakerPolicy):
         self.policy = policy
         self._mutex = threading.Lock()
-        self._failures: deque[float] = deque()
-        self._opened_at: float | None = None
-        self._half_open_trial = False
-        self.opens = 0
-        self.short_circuits = 0
+        self._failures: deque[float] = deque()  # guarded-by: _mutex
+        self._opened_at: float | None = None  # guarded-by: _mutex
+        self._half_open_trial = False  # guarded-by: _mutex
+        self.opens = 0  # guarded-by: _mutex
+        self.short_circuits = 0  # guarded-by: _mutex
 
     @property
     def state(self) -> str:

@@ -1,0 +1,18 @@
+"""REP005 fixture: release delegated to a helper the call graph reaches.
+
+Regression for the old per-scope blind spot: ``Delegating`` never calls
+``release_all`` lexically, but ``finish`` reaches it through the
+module-level helper, so the acquire in ``take`` is paired.
+"""
+
+
+def drop_everything(locks, txn_id):
+    locks.release_all(txn_id)
+
+
+class Delegating:
+    def take(self, locks, txn_id, resource, mode):
+        locks.acquire(txn_id, resource, mode)
+
+    def finish(self, locks, txn_id):
+        drop_everything(locks, txn_id)

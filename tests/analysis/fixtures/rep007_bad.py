@@ -1,0 +1,19 @@
+"""REP007 fixture: two methods take the same locks in opposite order."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self.book = threading.Lock()
+        self.audit = threading.Lock()
+
+    def debit(self) -> None:
+        with self.book:
+            with self.audit:
+                pass
+
+    def credit(self) -> None:
+        with self.audit:
+            with self.book:
+                pass

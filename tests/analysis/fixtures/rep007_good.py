@@ -1,0 +1,19 @@
+"""REP007 fixture: one global acquisition order — zero findings."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self.book = threading.Lock()
+        self.audit = threading.Lock()
+
+    def debit(self) -> None:
+        with self.book:
+            with self.audit:
+                pass
+
+    def credit(self) -> None:
+        with self.book:
+            with self.audit:
+                pass

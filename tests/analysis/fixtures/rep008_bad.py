@@ -1,0 +1,18 @@
+"""REP008 fixture: guarded field written bare + unmet requires-lock call."""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.count = 0  # guarded-by: _mutex
+
+    def bump(self) -> None:
+        self.count += 1
+
+    def _reset_locked(self) -> None:  # requires-lock: _mutex
+        self.count = 0
+
+    def reset(self) -> None:
+        self._reset_locked()

@@ -1,0 +1,25 @@
+"""REP009 fixture: blocking calls while a mutex is held — flagged.
+
+``_nap_helper`` has no lock of its own; the may-entry analysis carries
+the caller's held set into it, so the sleep inside is still a finding.
+"""
+
+import threading
+import time
+
+
+class Napper:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.jobs = []
+
+    def nap_holding(self) -> None:
+        with self._mutex:
+            time.sleep(0.1)
+
+    def delegate(self) -> None:
+        with self._mutex:
+            self._nap_helper()
+
+    def _nap_helper(self) -> None:
+        time.sleep(0.1)

@@ -1,0 +1,17 @@
+"""REP009 fixture: sleeps happen outside the critical section — clean."""
+
+import threading
+import time
+
+
+class Polite:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.jobs = []  # guarded-by: _mutex
+
+    def enqueue(self, job: object) -> None:
+        with self._mutex:
+            self.jobs.append(job)
+
+    def backoff(self) -> None:
+        time.sleep(0.1)

@@ -1,0 +1,79 @@
+"""Unit tests for the vector-clock happens-before checker."""
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency.hb import HappensBeforeChecker, HBViolation
+
+
+def _run_in_thread(target) -> None:
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join()
+
+
+class TestStatementAdmission:
+    def test_chained_admissions_pass(self):
+        hb = HappensBeforeChecker()
+        hb.statement_enter("a")
+        hb.statement_exit("a")
+        token = object()
+        hb.send(token)
+
+        def other() -> None:
+            hb.recv(token)
+            hb.statement_enter("b")
+            hb.statement_exit("b")
+
+        _run_in_thread(other)
+        hb.raise_on_violations()  # must not raise
+        assert hb.statements == 2
+
+    def test_gate_overlap_flagged(self):
+        hb = HappensBeforeChecker()
+        hb.statement_enter("a")
+        hb.statement_enter("b")  # admitted while "a" still executing
+        assert any("gate overlap" in v for v in hb.violations)
+        with pytest.raises(HBViolation, match="gate overlap"):
+            hb.raise_on_violations()
+
+    def test_unchained_admission_flagged(self):
+        # Thread B enters without receiving any token from A: its clock
+        # cannot dominate A's exit, so the admission is only ordered by
+        # lucky timing — exactly what the checker must reject.
+        hb = HappensBeforeChecker()
+        hb.statement_enter("a")
+        hb.statement_exit("a")
+
+        def other() -> None:
+            hb.statement_enter("b")
+            hb.statement_exit("b")
+
+        _run_in_thread(other)
+        with pytest.raises(HBViolation, match="happens-before chain"):
+            hb.raise_on_violations()
+
+    def test_mismatched_exit_flagged(self):
+        hb = HappensBeforeChecker()
+        hb.statement_enter("a")
+        hb.statement_exit("b")
+        with pytest.raises(HBViolation, match="does not match"):
+            hb.raise_on_violations()
+
+    def test_send_recv_joins_clocks(self):
+        hb = HappensBeforeChecker()
+        token = object()
+        hb.send(token)
+        seen: dict[str, dict[int, int]] = {}
+
+        def other() -> None:
+            hb.recv(token)
+            seen["clock"] = dict(hb._clocks[threading.get_ident()])
+
+        _run_in_thread(other)
+        # The receiver's clock carries the sender's tick.
+        assert len(seen["clock"]) == 2
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(HBViolation, AssertionError)

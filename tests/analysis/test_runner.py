@@ -96,6 +96,7 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["rules"] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007", "REP008", "REP009",
         ]
         assert {finding["rule"] for finding in payload["findings"]} == {"REP004"}
 
@@ -112,5 +113,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for rule_code in (
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007", "REP008", "REP009",
+        ):
             assert rule_code in out

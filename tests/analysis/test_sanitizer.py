@@ -88,6 +88,24 @@ class TestDeadlockDetection:
         with pytest.raises(SanitizerViolation, match="waits-for cycle"):
             sanitizer.check()
 
+    def test_resolved_cycle_is_withdrawn(self):
+        # Regression: under no-wait a conflicting txn is normally
+        # mid-abort, so a transient mutual-wait window is benign — the
+        # candidate cycle must be withdrawn once a participant releases
+        # (the threads driver hit this as a false deadlock at 64
+        # terminals).
+        locks = LockManager()
+        sanitizer = InvariantSanitizer()
+        with sanitizer:
+            locks.acquire(1, "A", LockMode.EXCLUSIVE)
+            locks.acquire(2, "B", LockMode.EXCLUSIVE)
+            with pytest.raises(LockConflictError):
+                locks.acquire(2, "A", LockMode.EXCLUSIVE)
+            with pytest.raises(LockConflictError):
+                locks.acquire(1, "B", LockMode.EXCLUSIVE)
+            locks.release_all(2)  # txn 2 aborts, as a no-wait client must
+        sanitizer.check()  # must not raise: the cycle resolved
+
     def test_single_conflict_is_not_a_cycle(self):
         locks = LockManager()
         sanitizer = InvariantSanitizer()

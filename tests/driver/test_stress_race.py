@@ -1,0 +1,119 @@
+"""Concurrency stress under the dynamic race detector.
+
+A seeded 64-terminal run on the real-thread worker pool with the
+Eraser lockset detector armed: the run must finish with zero candidate
+races, zero sanitizer violations, and zero lost updates (TPC-C
+consistency condition 1 on the warehouse/district YTD totals).  Scale
+down with ``STRESS_TERMINALS`` for smoke runs (CI uses 16).
+
+This module shadows the suite-wide autouse sanitizer: it installs its
+own race-detecting one, *before* loading so every engine object is
+constructed under instrumentation and its guard locks are tracked.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.sanitizer import InvariantSanitizer
+from repro.driver import BenchmarkSpec, run_benchmark
+from repro.driver.runner import build_executors
+from repro.driver.scheduler import VirtualScheduler
+from repro.tpcc import TpccConfig, load_tpcc
+
+TERMINALS = int(os.environ.get("STRESS_TERMINALS", "64"))
+DISTRICTS_PER_WAREHOUSE = 10
+
+CONFIG = TpccConfig(
+    warehouses=2,
+    customers_per_district=60,
+    items=300,
+    initial_orders_per_district=25,
+    pending_orders_per_district=8,
+    buffer_pages=400,
+    seed=2024,
+)
+
+
+@pytest.fixture(autouse=True)
+def invariant_sanitizer():
+    """Shadow the global autouse sanitizer (see module docstring)."""
+    yield None
+
+
+def _ytd_state(db, warehouses):
+    """Per-warehouse (w_ytd, sum of d_ytd) pairs, read transactionally."""
+    txn = db.begin("ytd-audit")
+    try:
+        state = {}
+        for warehouse in range(1, warehouses + 1):
+            w_ytd = txn.select("warehouse", (warehouse,))["w_ytd"]
+            d_total = sum(
+                txn.select("district", (warehouse, district))["d_ytd"]
+                for district in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+            )
+            state[warehouse] = (w_ytd, d_total)
+    finally:
+        txn.commit()
+    return state
+
+
+def test_threads_stress_is_race_free():
+    """Acceptance: 64 terminals, lockset detector armed, zero races."""
+    spec = BenchmarkSpec(
+        terminals=TERMINALS,
+        transactions=max(2 * TERMINALS, 64),
+        think_time_seconds=0.0,
+        scheduler="threads",
+        workers=8,
+        tpcc=CONFIG,
+    )
+    sanitizer = InvariantSanitizer(race_detection=True)
+    with sanitizer:
+        db = load_tpcc(CONFIG)
+        before = _ytd_state(db, CONFIG.warehouses)
+        report = run_benchmark(spec, db=db)
+        races = list(sanitizer.race_detector.races)
+    assert races == []
+    sanitizer.check()  # lock leaks, deadlocks, monotone counters, races
+
+    # Zero lost updates: every transaction resolved, and each
+    # warehouse's YTD delta equals the sum of its districts' deltas.
+    assert report.committed + report.gave_up == spec.transactions
+    after = _ytd_state(db, CONFIG.warehouses)
+    for warehouse, (w_before, d_before) in before.items():
+        w_after, d_after = after[warehouse]
+        assert w_after - w_before == pytest.approx(d_after - d_before), (
+            f"warehouse {warehouse}: a payment was lost or double-applied"
+        )
+
+
+class TestVerifyAdmission:
+    def test_virtual_run_admission_is_causally_chained(self):
+        """The HB checker endorses the one-statement-at-a-time claim."""
+        spec = BenchmarkSpec(
+            terminals=4,
+            transactions=40,
+            scheduler="virtual",
+            verify_admission=True,
+            tpcc=CONFIG,
+        )
+        db = load_tpcc(CONFIG)
+        scheduler = VirtualScheduler(db, spec)
+        executors = build_executors(
+            db, spec, sleep=scheduler.gate.sleep, clock=lambda: scheduler.now
+        )
+        outcome = scheduler.run(executors)  # raises HBViolation on failure
+        assert outcome.completed == spec.transactions
+        assert scheduler.hb is not None
+        assert scheduler.hb.statements > 0
+        assert scheduler.hb.violations == []
+
+    def test_off_by_default(self):
+        db = load_tpcc(CONFIG)
+        scheduler = VirtualScheduler(db, BenchmarkSpec(transactions=10))
+        assert scheduler.hb is None
+
+    def test_requires_virtual_scheduler(self):
+        with pytest.raises(ValueError, match="verify_admission"):
+            BenchmarkSpec(scheduler="threads", verify_admission=True)
