@@ -25,9 +25,10 @@ def run_backlog_study():
     backlog = {}
     for label, mix in mixes.items():
         trace = TraceGenerator(TraceConfig(warehouses=2, mix=mix, seed=47))
+        stream = trace.stream(format="objects")
         start = trace.state.pending_count()
         for _ in range(4000):
-            trace.transaction()
+            next(stream)
         end = trace.state.pending_count()
         backlog[label] = end - start
         rows.append(

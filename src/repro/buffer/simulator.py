@@ -261,26 +261,16 @@ class _MeasurementState:
         """Run references through the buffer until the warmup is spent."""
         trace = self._trace
         target = self._config.effective_warmup
-        seen = 0
         kernel = self._kernel
         if kernel is not None:
-            transaction = trace.transaction_encoded
-            blocks: list[tuple[list[int], int]] = []
-            append = blocks.append
-            while seen < target:
-                _, refs, _ = transaction()
-                append((refs, 0))
-                seen += len(refs)
-                if len(blocks) >= 8192:
-                    kernel.process_many(blocks, trace.highest_page_id())
-                    blocks.clear()
-            kernel.process_many(blocks, trace.highest_page_id())
+            kernel.process_batch(trace.encoded_batch(min_refs=target))
             kernel.reset_counters()
         else:
             pool = self._require_pool()
             access = pool.access
+            seen = 0
             while seen < target:
-                _, refs = trace.transaction()
+                _, refs = trace._transaction()
                 for relation, page, write in refs:
                     access(relation, page, write)
                 seen += len(refs)
@@ -300,57 +290,38 @@ class _MeasurementState:
 
     def _run_batch_array(self, kernel: ArrayKernel) -> None:
         trace = self._trace
-        batch_size = self._config.batch_size
-        batch_accesses = [0] * self._n_relations
         kernel.begin_batch()
-        transaction = trace.transaction_encoded
-        tx_accesses = self._tx_accesses
-        tx_names = self._tx_names
+        batch = trace.encoded_batch(min_refs=self._config.batch_size)
         sim_transactions = instruments.SIM_TRANSACTIONS
         sim_tx_refs = instruments.SIM_TX_REFS
         # The per-transaction instruments are observe-only; when the
         # registry is disabled the calls are no-ops, so skipping them
         # entirely is output-identical and keeps them off the hot path.
-        observing = sim_transactions.enabled or sim_tx_refs.enabled
-        blocks: list[tuple[list[int], int]] = []
-        append_block = blocks.append
-        # Access counts are folded per distinct counts object, not per
-        # transaction: the fixed-shape transactions return shared cached
-        # tuples, so a batch sees only a handful of distinct objects
-        # plus one short list per variable-shape transaction.  Keeping
-        # each object in the dict also keeps its id stable as a key.
-        count_groups: dict[int, list] = {}
-        get_group = count_groups.get
-        references = 0
-        transactions = 0
-        while references < batch_size:
-            tx_index, refs, counts = transaction()
-            transactions += 1
-            if observing:
+        if sim_transactions.enabled or sim_tx_refs.enabled:
+            tx_names = self._tx_names
+            for tx_index, length in zip(
+                batch.tx_indices.tolist(), batch.tx_lengths.tolist()
+            ):
                 tx_name = tx_names[tx_index]
                 sim_transactions.inc(tx=tx_name)
-                sim_tx_refs.observe(len(refs), tx=tx_name)
+                sim_tx_refs.observe(length, tx=tx_name)
+        kernel.process_batch(batch)
+        # The batch carries its access counts as a (type, relation)
+        # matrix; fold it into the flat stride-16 tallies.
+        accesses = batch.tx_accesses
+        tx_accesses = self._tx_accesses
+        for tx_index in range(accesses.shape[0]):
             base = tx_index << TX_STRIDE_SHIFT
-            append_block((refs, base))
-            key = id(counts)
-            group = get_group(key)
-            if group is None:
-                count_groups[key] = [base, counts, 1]
-            else:
-                group[2] += 1
-            references += len(refs)
-        for base, counts, occurrences in count_groups.values():
-            relation = 0
-            for accessed in counts:
-                if accessed:
-                    total = accessed * occurrences
-                    batch_accesses[relation] += total
-                    tx_accesses[base + relation] += total
-                relation += 1
-        kernel.process_many(blocks, trace.highest_page_id())
-        self._total_references += references
-        self._total_transactions += transactions
-        self._fold_batch(batch_accesses, kernel.batch_misses)
+            row = accesses[tx_index]
+            for relation in range(self._n_relations):
+                value = int(row[relation])
+                if value:
+                    tx_accesses[base + relation] += value
+        self._total_references += batch.references
+        self._total_transactions += batch.transactions
+        self._fold_batch(
+            accesses.sum(axis=0).tolist(), kernel.batch_misses
+        )
 
     def _run_batch_object(self, pool: SimulatedBufferPool) -> None:
         trace = self._trace
@@ -365,7 +336,7 @@ class _MeasurementState:
         references = 0
         transactions = 0
         while references < batch_size:
-            tx_type, refs = trace.transaction()
+            tx_type, refs = trace._transaction()
             transactions += 1
             tx_name = tx_type.value
             instruments.SIM_TRANSACTIONS.inc(tx=tx_name)

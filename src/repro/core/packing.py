@@ -89,14 +89,22 @@ class PackingStrategy(ABC):
     def _slot_of(self, ids: np.ndarray) -> np.ndarray:
         """0-based storage slot of each id; slot // tuples_per_page = page."""
 
+    def local_page_array(self) -> np.ndarray:
+        """Local page of every id as an int64 array (vectorized lookup).
+
+        ``local_page_array()[id - 1]`` equals ``page_of(id)``; batch
+        emitters index it column-wise.
+        """
+        ids = np.arange(1, self._n_tuples + 1, dtype=np.int64)
+        return self._slot_of(ids) // self._tuples_per_page
+
     def local_page_list(self) -> list[int]:
         """Local page of every id as a plain Python list (hot-path lookup).
 
         ``local_page_list()[id - 1]`` equals ``page_of(id)``; trace
         generation uses this to avoid per-reference numpy overhead.
         """
-        ids = np.arange(1, self._n_tuples + 1, dtype=np.int64)
-        return (self._slot_of(ids) // self._tuples_per_page).tolist()
+        return self.local_page_array().tolist()
 
     def __repr__(self) -> str:
         return (

@@ -20,20 +20,20 @@ statistics, so both assumptions can be checked against the formulas.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.buffer.policy import make_policy
 from repro.buffer.pool import SimulatedBufferPool
-from repro.buffer.simulator import pages_for_megabytes
+from repro.buffer.simulator import KERNEL_KINDS, pages_for_megabytes
 from repro.constants import REMOTE_PAYMENT_PROBABILITY
 from repro.distributed.remote import RemoteCallExpectations
-from repro.workload.mix import TransactionType
+from repro.workload.mix import TRANSACTION_ORDER, TransactionType
 from repro.workload.trace import (
     RELATION_INDEX,
     RELATION_NAMES,
-    PageReference,
     TraceConfig,
     TraceGenerator,
 )
@@ -57,6 +57,13 @@ class DistributedSimConfig:
     warmup_transactions_per_node: int = 400
     item_replicated: bool = True
     seed: int = 0
+    #: Per-node trace emission: ``"array"`` feeds each node from the
+    #: vectorized batch emitter (decoded column-wise), ``"object"``
+    #: from the scalar per-transaction path, ``"auto"`` picks the batch
+    #: emitter.  Both emit byte-identical traces, so every report field
+    #: is independent of the choice — it is pure implementation
+    #: selection and therefore excluded from cache fingerprints.
+    kernel: str = field(default="auto", metadata={"cache_fingerprint": False})
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -65,6 +72,15 @@ class DistributedSimConfig:
             raise ValueError("transactions_per_node must be positive")
         if self.trace.remote_stock_probability < 0:
             raise ValueError("remote probability must be non-negative")
+        if self.kernel not in KERNEL_KINDS:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_KINDS}, got {self.kernel!r}"
+            )
+
+    @property
+    def resolved_kernel(self) -> str:
+        """The concrete emission path ``auto`` resolves to."""
+        return "object" if self.kernel == "object" else "array"
 
     def replace(self, **overrides) -> "DistributedSimConfig":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -172,6 +188,9 @@ class DistributedBufferSimulation:
             for _ in range(config.nodes)
         ]
         self._rng = np.random.default_rng(config.seed + 7)
+        self._tx_streams = [
+            self._node_transactions(node) for node in range(config.nodes)
+        ]
         # Per-line probability that the *node* is remote.
         n = config.nodes
         self._p_stock_remote = config.trace.remote_stock_probability * (n - 1) / n
@@ -193,6 +212,36 @@ class DistributedBufferSimulation:
         item = trace._generator.item_id()
         warehouse = trace._generator.uniform_warehouse()
         return trace._stock_page(warehouse, item)
+
+    def _node_transactions(self, node: int):
+        """One node's decoded transaction stream, on the chosen kernel.
+
+        The batch path pulls whole encoded blocks from the vectorized
+        emitter and decodes them column-wise; the object path is the
+        scalar per-transaction stream.  The two are byte-identical per
+        node config, so the routing (which draws from ``self._rng`` in
+        reference order) behaves the same either way.
+        """
+        trace = self._traces[node]
+        if self._config.resolved_kernel == "object":
+            return trace.stream(format="objects")
+        return self._decoded_batches(trace)
+
+    @staticmethod
+    def _decoded_batches(trace: TraceGenerator):
+        space = trace._space
+        while True:
+            batch = trace.encoded_batch(transactions=256)
+            relation, page, write = space.decode_ref_arrays(batch.refs)
+            triples = list(
+                zip(relation.tolist(), page.tolist(), write.tolist())
+            )
+            start = 0
+            for tx_index, length in zip(
+                batch.tx_indices.tolist(), batch.tx_lengths.tolist()
+            ):
+                yield TRANSACTION_ORDER[tx_index], triples[start : start + length]
+                start += length
 
     # -- main loop ------------------------------------------------------------------
 
@@ -232,9 +281,10 @@ class DistributedBufferSimulation:
         payments = 0
         remote_payments = 0
 
+        streams = self._tx_streams
         for _ in range(transactions_per_node):
             for node in range(self._config.nodes):
-                tx_type, refs = self._traces[node].transaction()
+                tx_type, refs = next(streams[node])
                 if tx_type is TransactionType.NEW_ORDER:
                     sites = self._run_new_order(node, refs)
                     if measure:
@@ -260,12 +310,14 @@ class DistributedBufferSimulation:
             remote_payments=remote_payments,
         )
 
-    def _apply(self, node: int, refs: list[PageReference]) -> None:
+    def _apply(self, node: int, refs: Sequence[tuple[int, int, bool]]) -> None:
         pool = self._pools[node]
         for relation, page, write in refs:
             pool.access(relation, page, write)
 
-    def _run_new_order(self, node: int, refs: list[PageReference]) -> dict[int, int]:
+    def _run_new_order(
+        self, node: int, refs: Sequence[tuple[int, int, bool]]
+    ) -> dict[int, int]:
         """Apply a New-Order, rerouting remote stock lines; returns the
         map of remote node -> tuples supplied by it."""
         sites: dict[int, int] = {}
@@ -284,7 +336,9 @@ class DistributedBufferSimulation:
                 pool.access(relation, page, write)
         return sites
 
-    def _run_payment(self, node: int, refs: list[PageReference]) -> bool:
+    def _run_payment(
+        self, node: int, refs: Sequence[tuple[int, int, bool]]
+    ) -> bool:
         """Apply a Payment, rerouting the customer block when remote."""
         remote = (
             self._config.nodes > 1 and self._rng.random() < self._p_payment_remote

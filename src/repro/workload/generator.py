@@ -50,19 +50,38 @@ class _BufferedSampler:
 
     The buffer is converted to a plain list once per refill so ``draw``
     hands out Python ints without per-call numpy scalar boxing.
+    ``lazy`` defers the first refill to the first draw, so a sampler on
+    a dedicated substream costs nothing until used.
     """
 
-    def __init__(self, sampler: NURand, rng: np.random.Generator, block: int = 8192):
+    def __init__(
+        self,
+        sampler: NURand,
+        rng: np.random.Generator,
+        block: int = 8192,
+        lazy: bool = False,
+    ):
         self._sampler = sampler
         self._rng = rng
         self._block = block
-        self._buffer: list[int] = sampler.sample_array(rng, block).tolist()
+        self._buffer_np: np.ndarray = (
+            np.empty(0, dtype=np.int64)
+            if lazy
+            else sampler.sample_array(rng, block)
+        )
+        self._buffer: list[int] = self._buffer_np.tolist()
         self._next = 0
+
+    def _refill(self) -> list[int]:
+        self._buffer_np = self._sampler.sample_array(self._rng, self._block)
+        self._buffer = self._buffer_np.tolist()
+        self._next = 0
+        return self._buffer
 
     def draw(self) -> int:
         index = self._next
         if index >= len(self._buffer):
-            self._buffer = self._sampler.sample_array(self._rng, self._block).tolist()
+            self._refill()
             index = 0
         self._next = index + 1
         return self._buffer[index]
@@ -74,7 +93,38 @@ class _BufferedSampler:
         if index + count <= len(buffer):
             self._next = index + count
             return buffer[index : index + count]
-        return [self.draw() for _ in range(count)]
+        out = buffer[index:]
+        self._next = len(buffer)
+        while len(out) < count:
+            buffer = self._refill()
+            take = min(count - len(out), len(buffer))
+            out += buffer[:take]
+            self._next = take
+        return out
+
+    def draw_many_np(self, count: int) -> "np.ndarray":
+        """``draw_many`` returning an array view of the refill buffer.
+
+        Same stream, same bookkeeping — only the container differs, so
+        columnar consumers skip the list round-trip.  Callers must treat
+        the result as read-only (it may alias the live buffer).
+        """
+        index = self._next
+        buffer_np = self._buffer_np
+        if index + count <= buffer_np.shape[0]:
+            self._next = index + count
+            return buffer_np[index : index + count]
+        parts = [buffer_np[index:]]
+        got = buffer_np.shape[0] - index
+        self._next = buffer_np.shape[0]
+        while got < count:
+            self._refill()
+            buffer_np = self._buffer_np
+            take = min(count - got, buffer_np.shape[0])
+            parts.append(buffer_np[:take])
+            got += take
+            self._next = take
+        return np.concatenate(parts)
 
 
 class _UniformBlock:
@@ -86,42 +136,94 @@ class _UniformBlock:
     fills lazily so a primitive that is never used consumes no draws.
     """
 
-    __slots__ = ("_rng", "_lo", "_hi", "_block", "_buffer", "_next")
+    __slots__ = ("_rng", "_lo", "_hi", "_block", "_buffer", "_buffer_np", "_next")
 
     def __init__(self, rng: np.random.Generator, lo: int, hi: int, block: int = 4096):
         self._rng = rng
         self._lo = lo
         self._hi = hi
         self._block = block
+        self._buffer_np: np.ndarray = np.empty(0, dtype=np.int64)
         self._buffer: list[int] = []
         self._next = 0
+
+    def _refill(self) -> list[int]:
+        self._buffer_np = self._rng.integers(self._lo, self._hi, size=self._block)
+        self._buffer = self._buffer_np.tolist()
+        self._next = 0
+        return self._buffer
 
     def draw(self) -> int:
         index = self._next
         if index >= len(self._buffer):
-            self._buffer = self._rng.integers(
-                self._lo, self._hi, size=self._block
-            ).tolist()
+            self._refill()
             index = 0
         self._next = index + 1
         return self._buffer[index]
+
+    def draw_many(self, count: int) -> list[int]:
+        """``count`` sequential draws (same stream as ``draw`` repeated)."""
+        index = self._next
+        buffer = self._buffer
+        if index + count <= len(buffer):
+            self._next = index + count
+            return buffer[index : index + count]
+        out = buffer[index:]
+        self._next = len(buffer)
+        while len(out) < count:
+            buffer = self._refill()
+            take = min(count - len(out), len(buffer))
+            out += buffer[:take]
+            self._next = take
+        return out
+
+    def draw_many_np(self, count: int) -> "np.ndarray":
+        """``draw_many`` returning an array view of the refill buffer.
+
+        Same stream, same bookkeeping — only the container differs, so
+        columnar consumers skip the list round-trip.  Callers must treat
+        the result as read-only (it may alias the live buffer).
+        """
+        index = self._next
+        buffer_np = self._buffer_np
+        if index + count <= buffer_np.shape[0]:
+            self._next = index + count
+            return buffer_np[index : index + count]
+        parts = [buffer_np[index:]]
+        got = buffer_np.shape[0] - index
+        self._next = buffer_np.shape[0]
+        while got < count:
+            self._refill()
+            buffer_np = self._buffer_np
+            take = min(count - got, buffer_np.shape[0])
+            parts.append(buffer_np[:take])
+            got += take
+            self._next = take
+        return np.concatenate(parts)
 
 
 class _FloatBlock:
     """Buffered uniform ``[0, 1)`` floats from a shared rng (lazy refill)."""
 
-    __slots__ = ("_rng", "_block", "_buffer", "_next")
+    __slots__ = ("_rng", "_block", "_buffer", "_buffer_np", "_next")
 
     def __init__(self, rng: np.random.Generator, block: int = 4096):
         self._rng = rng
         self._block = block
+        self._buffer_np: np.ndarray = np.empty(0, dtype=np.float64)
         self._buffer: list[float] = []
         self._next = 0
+
+    def _refill(self) -> list[float]:
+        self._buffer_np = self._rng.random(self._block)
+        self._buffer = self._buffer_np.tolist()
+        self._next = 0
+        return self._buffer
 
     def draw(self) -> float:
         index = self._next
         if index >= len(self._buffer):
-            self._buffer = self._rng.random(self._block).tolist()
+            self._refill()
             index = 0
         self._next = index + 1
         return self._buffer[index]
@@ -133,7 +235,89 @@ class _FloatBlock:
         if index + count <= len(buffer):
             self._next = index + count
             return buffer[index : index + count]
-        return [self.draw() for _ in range(count)]
+        out = buffer[index:]
+        self._next = len(buffer)
+        while len(out) < count:
+            buffer = self._refill()
+            take = min(count - len(out), len(buffer))
+            out += buffer[:take]
+            self._next = take
+        return out
+
+    def draw_many_np(self, count: int) -> "np.ndarray":
+        """``draw_many`` returning an array view of the refill buffer.
+
+        Same stream, same bookkeeping — only the container differs, so
+        columnar consumers skip the list round-trip.  Callers must treat
+        the result as read-only (it may alias the live buffer).
+        """
+        index = self._next
+        buffer_np = self._buffer_np
+        if index + count <= buffer_np.shape[0]:
+            self._next = index + count
+            return buffer_np[index : index + count]
+        parts = [buffer_np[index:]]
+        got = buffer_np.shape[0] - index
+        self._next = buffer_np.shape[0]
+        while got < count:
+            self._refill()
+            buffer_np = self._buffer_np
+            take = min(count - got, buffer_np.shape[0])
+            parts.append(buffer_np[:take])
+            got += take
+            self._next = take
+        return np.concatenate(parts)
+
+
+#: Substream layout of split-stream mode, in spawn order.  Every draw
+#: primitive gets its own child generator of the config's seed
+#: sequence, so a value depends only on how many draws *its* primitive
+#: has made — never on the interleaving across primitives.  That makes
+#: batched (columnar) consumption byte-identical to scalar consumption,
+#: which is what the vectorized trace emitter relies on.  The ``g_*``
+#: streams back the generic accessors (``uniform_warehouse`` etc.) so
+#: external draws don't perturb the per-transaction streams.
+SPLIT_STREAM_NAMES: tuple[str, ...] = (
+    "no_warehouse",
+    "no_district",
+    "no_customer",
+    "no_item",
+    "no_flags",
+    "no_remote",
+    "p_warehouse",
+    "p_district_home",
+    "p_district_cust",
+    "p_remote_float",
+    "p_remote",
+    "p_select_float",
+    "p_customer",
+    "p_band",
+    "p_name0",
+    "p_name1",
+    "p_name2",
+    "os_select_float",
+    "os_customer",
+    "os_band",
+    "os_name0",
+    "os_name1",
+    "os_name2",
+    "os_warehouse",
+    "os_district",
+    "d_warehouse",
+    "sl_warehouse",
+    "sl_district",
+    "sl_threshold",
+    "g_warehouse",
+    "g_district",
+    "g_customer",
+    "g_item",
+    "g_remote",
+    "g_band",
+    "g_name0",
+    "g_name1",
+    "g_name2",
+    "g_float",
+)
 
 
 class InputGenerator:
@@ -146,6 +330,13 @@ class InputGenerator:
     When no ``rng`` is passed, a generator seeded with 0 is used: every
     draw in the repository must be replayable, so an OS-entropy-seeded
     default would silently break trace determinism (reprolint REP001).
+
+    ``split_streams=True`` switches to the substream layout of
+    :data:`SPLIT_STREAM_NAMES` seeded from ``seed_sequence``: the same
+    marginal distributions, but with each primitive on an independent
+    child generator so draws can be consumed in batches.  The trace
+    generator runs in this mode; the executable engine keeps the
+    shared-``rng`` default.
     """
 
     def __init__(
@@ -157,6 +348,8 @@ class InputGenerator:
         remote_payment_probability: float = REMOTE_PAYMENT_PROBABILITY,
         items: int = ITEMS,
         customers_per_district: int = CUSTOMERS_PER_DISTRICT,
+        split_streams: bool = False,
+        seed_sequence: np.random.SeedSequence | None = None,
     ):
         if warehouses <= 0:
             raise ValueError(f"warehouses must be positive, got {warehouses}")
@@ -178,13 +371,13 @@ class InputGenerator:
                 f"{TUPLES_PER_NAME_SELECT}, got {customers_per_district}"
             )
         self._warehouses = warehouses
-        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._items_per_order = items_per_order
         self._remote_stock_probability = remote_stock_probability
         self._remote_payment_probability = remote_payment_probability
         self._items = items
         self._customers_per_district = customers_per_district
         self._unique_names = customers_per_district // TUPLES_PER_NAME_SELECT
+        self._split = split_streams
 
         a_item = scaled_nurand_a(items, ITEMS, NURAND_A_ITEM)
         a_customer = scaled_nurand_a(
@@ -193,33 +386,149 @@ class InputGenerator:
         a_name = scaled_nurand_a(
             self._unique_names, UNIQUE_CUSTOMER_NAMES, NURAND_A_NAME
         )
-        self._item_sampler = _BufferedSampler(NURand(a_item, 1, items), self._rng)
-        self._customer_sampler = _BufferedSampler(
-            NURand(a_customer, 1, customers_per_district), self._rng
-        )
-        self._name_samplers = [
-            _BufferedSampler(
-                NURand(
-                    a_name,
-                    band * self._unique_names + 1,
-                    (band + 1) * self._unique_names,
-                ),
-                self._rng,
+        item_nurand = NURand(a_item, 1, items)
+        customer_nurand = NURand(a_customer, 1, customers_per_district)
+
+        def name_nurand(band: int) -> NURand:
+            return NURand(
+                a_name,
+                band * self._unique_names + 1,
+                (band + 1) * self._unique_names,
             )
-            for band in range(TUPLES_PER_NAME_SELECT)
-        ]
-        self._warehouse_block = _UniformBlock(self._rng, 1, warehouses + 1)
-        self._district_block = _UniformBlock(
-            self._rng, 1, DISTRICTS_PER_WAREHOUSE + 1
-        )
-        # [1, warehouses) — only meaningful (and only constructible) when
-        # there is more than one warehouse to pick a remote one from.
-        self._remote_block = (
-            _UniformBlock(self._rng, 1, warehouses) if warehouses > 1 else None
-        )
-        self._band_block = _UniformBlock(self._rng, 0, len(self._name_samplers))
-        self._threshold_block = _UniformBlock(self._rng, 10, 21)
-        self._float_block = _FloatBlock(self._rng)
+
+        if not split_streams:
+            self._rng = rng if rng is not None else np.random.default_rng(0)
+            shared = self._rng
+            item_sampler = _BufferedSampler(item_nurand, shared)
+            customer_sampler = _BufferedSampler(customer_nurand, shared)
+            name_samplers = [
+                _BufferedSampler(name_nurand(band), shared)
+                for band in range(TUPLES_PER_NAME_SELECT)
+            ]
+            warehouse_block = _UniformBlock(shared, 1, warehouses + 1)
+            district_block = _UniformBlock(shared, 1, DISTRICTS_PER_WAREHOUSE + 1)
+            # [1, warehouses) — only meaningful (and only constructible)
+            # when there is more than one warehouse to pick from.
+            remote_block = (
+                _UniformBlock(shared, 1, warehouses) if warehouses > 1 else None
+            )
+            band_block = _UniformBlock(shared, 0, len(name_samplers))
+            threshold_block = _UniformBlock(shared, 10, 21)
+            float_block = _FloatBlock(shared)
+            # Every per-transaction primitive aliases the shared one, so
+            # the draw stream is exactly the historical shared-rng order.
+            self._no_warehouse = warehouse_block
+            self._p_warehouse = warehouse_block
+            self._os_warehouse = warehouse_block
+            self._d_warehouse = warehouse_block
+            self._sl_warehouse = warehouse_block
+            self._g_warehouse = warehouse_block
+            self._no_district = district_block
+            self._p_district_home = district_block
+            self._p_district_cust = district_block
+            self._os_district = district_block
+            self._sl_district = district_block
+            self._g_district = district_block
+            self._no_customer = customer_sampler
+            self._p_customer = customer_sampler
+            self._os_customer = customer_sampler
+            self._g_customer = customer_sampler
+            self._no_item = item_sampler
+            self._g_item = item_sampler
+            self._no_flags = float_block
+            self._p_remote_float = float_block
+            self._p_select_float = float_block
+            self._os_select_float = float_block
+            self._g_float = float_block
+            self._no_remote = remote_block
+            self._p_remote = remote_block
+            self._g_remote = remote_block
+            self._p_band = band_block
+            self._os_band = band_block
+            self._g_band = band_block
+            self._p_names = name_samplers
+            self._os_names = name_samplers
+            self._g_names = name_samplers
+            self._sl_threshold = threshold_block
+        else:
+            if seed_sequence is None:
+                raise ValueError("split_streams=True requires a seed_sequence")
+            children = dict(
+                zip(
+                    SPLIT_STREAM_NAMES,
+                    seed_sequence.spawn(len(SPLIT_STREAM_NAMES)),
+                )
+            )
+            self._rng = np.random.default_rng(seed_sequence)
+
+            def uniform(name: str, lo: int, hi: int) -> _UniformBlock:
+                return _UniformBlock(np.random.default_rng(children[name]), lo, hi)
+
+            def floats(name: str) -> _FloatBlock:
+                return _FloatBlock(np.random.default_rng(children[name]))
+
+            def nurand(name: str, dist: NURand) -> _BufferedSampler:
+                return _BufferedSampler(
+                    dist, np.random.default_rng(children[name]), lazy=True
+                )
+
+            def remote(name: str) -> _UniformBlock | None:
+                if warehouses <= 1:
+                    return None
+                return uniform(name, 1, warehouses)
+
+            self._no_warehouse = uniform("no_warehouse", 1, warehouses + 1)
+            self._no_district = uniform(
+                "no_district", 1, DISTRICTS_PER_WAREHOUSE + 1
+            )
+            self._no_customer = nurand("no_customer", customer_nurand)
+            self._no_item = nurand("no_item", item_nurand)
+            self._no_flags = floats("no_flags")
+            self._no_remote = remote("no_remote")
+            self._p_warehouse = uniform("p_warehouse", 1, warehouses + 1)
+            self._p_district_home = uniform(
+                "p_district_home", 1, DISTRICTS_PER_WAREHOUSE + 1
+            )
+            self._p_district_cust = uniform(
+                "p_district_cust", 1, DISTRICTS_PER_WAREHOUSE + 1
+            )
+            self._p_remote_float = floats("p_remote_float")
+            self._p_remote = remote("p_remote")
+            self._p_select_float = floats("p_select_float")
+            self._p_customer = nurand("p_customer", customer_nurand)
+            self._p_band = uniform("p_band", 0, TUPLES_PER_NAME_SELECT)
+            self._p_names = [
+                nurand(f"p_name{band}", name_nurand(band))
+                for band in range(TUPLES_PER_NAME_SELECT)
+            ]
+            self._os_select_float = floats("os_select_float")
+            self._os_customer = nurand("os_customer", customer_nurand)
+            self._os_band = uniform("os_band", 0, TUPLES_PER_NAME_SELECT)
+            self._os_names = [
+                nurand(f"os_name{band}", name_nurand(band))
+                for band in range(TUPLES_PER_NAME_SELECT)
+            ]
+            self._os_warehouse = uniform("os_warehouse", 1, warehouses + 1)
+            self._os_district = uniform(
+                "os_district", 1, DISTRICTS_PER_WAREHOUSE + 1
+            )
+            self._d_warehouse = uniform("d_warehouse", 1, warehouses + 1)
+            self._sl_warehouse = uniform("sl_warehouse", 1, warehouses + 1)
+            self._sl_district = uniform(
+                "sl_district", 1, DISTRICTS_PER_WAREHOUSE + 1
+            )
+            self._sl_threshold = uniform("sl_threshold", 10, 21)
+            self._g_warehouse = uniform("g_warehouse", 1, warehouses + 1)
+            self._g_district = uniform("g_district", 1, DISTRICTS_PER_WAREHOUSE + 1)
+            self._g_customer = nurand("g_customer", customer_nurand)
+            self._g_item = nurand("g_item", item_nurand)
+            self._g_remote = remote("g_remote")
+            self._g_band = uniform("g_band", 0, TUPLES_PER_NAME_SELECT)
+            self._g_names = [
+                nurand(f"g_name{band}", name_nurand(band))
+                for band in range(TUPLES_PER_NAME_SELECT)
+            ]
+            self._g_float = floats("g_float")
 
     # -- shared helpers -----------------------------------------------------
 
@@ -233,26 +542,42 @@ class InputGenerator:
 
     def uniform_warehouse(self) -> int:
         """A warehouse id in ``[1 .. warehouses]``."""
-        return self._warehouse_block.draw()
+        return self._g_warehouse.draw()
 
     def uniform_district(self) -> int:
         """A district id in ``[1 .. 10]``."""
-        return self._district_block.draw()
+        return self._g_district.draw()
+
+    @staticmethod
+    def _remote_from(block: _UniformBlock | None, home: int) -> int:
+        if block is None:
+            return home
+        other = block.draw()
+        return other if other < home else other + 1
 
     def remote_warehouse(self, home: int) -> int:
         """A warehouse id uniform over all warehouses except ``home``."""
-        if self._remote_block is None:
-            return home
-        other = self._remote_block.draw()
-        return other if other < home else other + 1
+        return self._remote_from(self._g_remote, home)
 
     def customer_id(self) -> int:
         """One NURand-distributed customer id."""
-        return self._customer_sampler.draw()
+        return self._g_customer.draw()
 
     def item_id(self) -> int:
         """One NURand-distributed item id."""
-        return self._item_sampler.draw()
+        return self._g_item.draw()
+
+    def _customer_tuples_from(
+        self,
+        select_float: _FloatBlock,
+        customer_sampler: _BufferedSampler,
+        band_block: _UniformBlock,
+        name_samplers: list[_BufferedSampler],
+    ) -> tuple[bool, tuple[int, ...]]:
+        if select_float.draw() >= SELECT_BY_NAME_PROBABILITY:
+            return False, (customer_sampler.draw(),)
+        sampler = name_samplers[band_block.draw()]
+        return True, tuple(sampler.draw_many(TUPLES_PER_NAME_SELECT))
 
     def customer_tuples(self) -> tuple[bool, tuple[int, ...]]:
         """Customer ids touched by a Payment / Order-Status selection.
@@ -265,10 +590,9 @@ class InputGenerator:
         across the 3000 tuples", not adjacent (the executable engine in
         :mod:`repro.tpcc` resolves real last names instead).
         """
-        if self._float_block.draw() >= SELECT_BY_NAME_PROBABILITY:
-            return False, (self._customer_sampler.draw(),)
-        sampler = self._name_samplers[self._band_block.draw()]
-        return True, tuple(sampler.draw_many(TUPLES_PER_NAME_SELECT))
+        return self._customer_tuples_from(
+            self._g_float, self._g_customer, self._g_band, self._g_names
+        )
 
     # -- raw per-transaction emitters ---------------------------------------
     #
@@ -285,21 +609,22 @@ class InputGenerator:
         ``supply`` is ``None`` in the common all-local case; otherwise a
         tuple of per-line supply warehouses.
         """
-        warehouse = self._warehouse_block.draw()
+        warehouse = self._no_warehouse.draw()
         count = self._items_per_order
-        items = self._item_sampler.draw_many(count)
-        remote_flags = self._float_block.draw_many(count)
+        items = self._no_item.draw_many(count)
+        remote_flags = self._no_flags.draw_many(count)
         p_remote = self._remote_stock_probability
         supply: list[int] | None = None
-        for index, flag in enumerate(remote_flags):
-            if flag < p_remote:
-                if supply is None:
-                    supply = [warehouse] * index
-                supply.append(self.remote_warehouse(warehouse))
-            elif supply is not None:
-                supply.append(warehouse)
-        district = self._district_block.draw()
-        customer = self._customer_sampler.draw()
+        if min(remote_flags) < p_remote:
+            for index, flag in enumerate(remote_flags):
+                if flag < p_remote:
+                    if supply is None:
+                        supply = [warehouse] * index
+                    supply.append(self._remote_from(self._no_remote, warehouse))
+                elif supply is not None:
+                    supply.append(warehouse)
+        district = self._no_district.draw()
+        customer = self._no_customer.draw()
         return (
             warehouse,
             district,
@@ -310,15 +635,17 @@ class InputGenerator:
 
     def payment_raw(self) -> tuple[int, int, int, int, bool, tuple[int, ...]]:
         """``(w, d, customer_w, customer_d, by_name, tuples)`` for Payment."""
-        warehouse = self._warehouse_block.draw()
-        district = self._district_block.draw()
-        if self._float_block.draw() < self._remote_payment_probability:
-            customer_warehouse = self.remote_warehouse(warehouse)
-            customer_district = self._district_block.draw()
+        warehouse = self._p_warehouse.draw()
+        district = self._p_district_home.draw()
+        if self._p_remote_float.draw() < self._remote_payment_probability:
+            customer_warehouse = self._remote_from(self._p_remote, warehouse)
+            customer_district = self._p_district_cust.draw()
         else:
             customer_warehouse = warehouse
             customer_district = district
-        by_name, tuples = self.customer_tuples()
+        by_name, tuples = self._customer_tuples_from(
+            self._p_select_float, self._p_customer, self._p_band, self._p_names
+        )
         return (
             warehouse,
             district,
@@ -330,19 +657,21 @@ class InputGenerator:
 
     def order_status_raw(self) -> tuple[int, int, bool, tuple[int, ...]]:
         """``(warehouse, district, by_name, tuples)`` for Order-Status."""
-        by_name, tuples = self.customer_tuples()
-        return self._warehouse_block.draw(), self._district_block.draw(), by_name, tuples
+        by_name, tuples = self._customer_tuples_from(
+            self._os_select_float, self._os_customer, self._os_band, self._os_names
+        )
+        return self._os_warehouse.draw(), self._os_district.draw(), by_name, tuples
 
     def delivery_raw(self) -> int:
         """The carrier's warehouse for a Delivery transaction."""
-        return self._warehouse_block.draw()
+        return self._d_warehouse.draw()
 
     def stock_level_raw(self) -> tuple[int, int, int]:
         """``(warehouse, district, threshold)`` for Stock-Level."""
         return (
-            self._warehouse_block.draw(),
-            self._district_block.draw(),
-            self._threshold_block.draw(),
+            self._sl_warehouse.draw(),
+            self._sl_district.draw(),
+            self._sl_threshold.draw(),
         )
 
     # -- per-transaction generators ----------------------------------------

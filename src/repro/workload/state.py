@@ -50,6 +50,10 @@ class OrderRecord:
     #: reference pairs for this order, fully tagged.  Stable because an
     #: order is only ever scanned by its own district's Stock-Level.
     sl_refs: list[int] | None = field(default=None, repr=False)
+    #: Optional plan-time cache: the fully tagged Customer page
+    #: reference Delivery emits for this order (the batch emitter
+    #: precomputes it column-wise; scalar-path records leave it None).
+    cust_ref: int | None = field(default=None, repr=False)
 
     @property
     def line_count(self) -> int:

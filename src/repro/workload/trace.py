@@ -11,6 +11,7 @@ so the buffer pool can key pages with cheap ``(relation, page)`` tuples.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, NamedTuple, Sequence
 
@@ -43,6 +44,14 @@ from repro.workload.mix import (
 )
 from repro.workload.schema import RELATIONS
 from repro.workload.state import OrderRecord, WorkloadState
+from repro.workload.stream import (
+    DEFAULT_BATCH_SIZE,
+    STREAM_FORMATS,
+    EncodedBatch,
+    ScalarBatchEmitter,
+    VectorBatchEmitter,
+    stream_batches,
+)
 
 #: Relation names in a stable order; positions are the relation indexes.
 RELATION_NAMES: tuple[str, ...] = (
@@ -176,6 +185,25 @@ class PageIdSpace:
             page = (page_id - self.static_total) // N_GROWING_RELATIONS
         return PageReference(relation, page, bool(ref & REF_WRITE_MASK))
 
+    def decode_ref_arrays(
+        self, refs: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Column-wise :meth:`decode_ref` over a whole encoded batch.
+
+        Returns ``(relation, page, write)`` arrays; element ``i`` of
+        each equals the corresponding field of ``decode_ref(refs[i])``.
+        """
+        relation = (refs >> REF_REL_SHIFT) & REF_REL_MASK
+        page_id = refs >> REF_PID_SHIFT
+        bases = np.zeros(REF_REL_MASK + 1, dtype=np.int64)
+        bases[:N_STATIC_RELATIONS] = self.static_bases
+        page = np.where(
+            relation < N_STATIC_RELATIONS,
+            page_id - bases[relation],
+            (page_id - self.static_total) // N_GROWING_RELATIONS,
+        )
+        return relation, page, (refs & REF_WRITE_MASK).astype(bool)
+
 
 #: Valid packing selections for the skewed relations.
 PACKING_KINDS = ("sequential", "optimized", "random")
@@ -254,14 +282,20 @@ class TraceGenerator:
 
     def __init__(self, config: TraceConfig):
         self._config = config
+        # One shared generator covers the mix sampling and the one-shot
+        # priming draw; every per-transaction input primitive runs on
+        # its own substream spawned from the same seed (split-stream
+        # mode), so batched and scalar emission consume identical
+        # per-primitive value sequences.
         self._rng = np.random.default_rng(config.seed)
         self._generator = InputGenerator(
             config.warehouses,
-            rng=self._rng,
             items_per_order=config.items_per_order,
             remote_stock_probability=config.remote_stock_probability,
             items=config.items,
             customers_per_district=config.customers_per_district,
+            split_streams=True,
+            seed_sequence=np.random.SeedSequence(config.seed),
         )
         self._state = WorkloadState(
             config.warehouses,
@@ -331,15 +365,22 @@ class TraceGenerator:
         # numpy overhead (the simulator makes millions of page lookups).
         self._warehouse_tpp = spec["warehouse"].tuples_per_page(page_size)
         self._district_tpp = spec["district"].tuples_per_page(page_size)
-        self._customer_local = self._customer_layout.packing.local_page_list()
+        customer_local_np = self._customer_layout.packing.local_page_array()
+        stock_local_np = self._stock_layout.packing.local_page_array()
+        item_local_np = self._item_layout.packing.local_page_array()
+        self._customer_local = customer_local_np.tolist()
         self._customer_ppb = self._customer_layout.pages_per_block
-        self._stock_local = self._stock_layout.packing.local_page_list()
+        self._stock_local = stock_local_np.tolist()
         self._stock_ppb = self._stock_layout.pages_per_block
-        self._item_local = self._item_layout.packing.local_page_list()
+        self._item_local = item_local_np.tolist()
 
         # Buffered transaction-type sampling (rng.choice is slow per call).
         self._mix_buffer: list[int] = []
         self._mix_next = 0
+
+        # Lazily built batch emitters behind ``stream``/``encoded_batch``.
+        self._vector_emitter: VectorBatchEmitter | None = None
+        self._scalar_emitter: ScalarBatchEmitter | None = None
 
         # Int-encoded reference plumbing.  A reference is
         # ``(page << shift) + tag`` where the tag folds together the
@@ -394,23 +435,19 @@ class TraceGenerator:
         # tuple ``t`` is ``(block_base << 5) + table[t - 1]``, turning
         # the hot emitters' page lookup + shift + tag into one indexed
         # add.  (Item needs no block base; its table holds full refs.)
-        self._item_ref_r = [
-            (page << REF_PID_SHIFT) + self._tag_item_r for page in self._item_local
-        ]
-        self._stock_off_r = [
-            (page << REF_PID_SHIFT) + self._tag_stock_r for page in self._stock_local
-        ]
-        self._stock_off_w = [
-            (page << REF_PID_SHIFT) + self._tag_stock_w for page in self._stock_local
-        ]
-        self._customer_off_r = [
-            (page << REF_PID_SHIFT) + self._tag_customer_r
-            for page in self._customer_local
-        ]
-        self._customer_off_w = [
-            (page << REF_PID_SHIFT) + self._tag_customer_w
-            for page in self._customer_local
-        ]
+        item_pages = item_local_np << REF_PID_SHIFT
+        stock_pages = stock_local_np << REF_PID_SHIFT
+        customer_pages = customer_local_np << REF_PID_SHIFT
+        self._item_ref_r_np = item_pages + self._tag_item_r
+        self._stock_off_r_np = stock_pages + self._tag_stock_r
+        self._stock_off_w_np = stock_pages + self._tag_stock_w
+        self._customer_off_r_np = customer_pages + self._tag_customer_r
+        self._customer_off_w_np = customer_pages + self._tag_customer_w
+        # The scalar emitters index plain-list copies of these tables
+        # (per-reference numpy indexing costs more than a list index);
+        # they are materialised lazily on first scalar use so the
+        # batch path never pays the conversion.
+        self._scalar_tables: tuple[list[int], ...] | None = None
 
         # Per-transaction access counts by relation index; the fixed-shape
         # transactions share cached tuples, the variable ones build lists.
@@ -457,6 +494,41 @@ class TraceGenerator:
             "item": self._item_layout.n_pages,
         }
 
+    # -- scalar-path reference tables ---------------------------------------------
+
+    def _scalar_ref_tables(self) -> tuple[list[int], ...]:
+        tables = self._scalar_tables
+        if tables is None:
+            tables = (
+                self._item_ref_r_np.tolist(),
+                self._stock_off_r_np.tolist(),
+                self._stock_off_w_np.tolist(),
+                self._customer_off_r_np.tolist(),
+                self._customer_off_w_np.tolist(),
+            )
+            self._scalar_tables = tables
+        return tables
+
+    @property
+    def _item_ref_r(self) -> list[int]:
+        return self._scalar_ref_tables()[0]
+
+    @property
+    def _stock_off_r(self) -> list[int]:
+        return self._scalar_ref_tables()[1]
+
+    @property
+    def _stock_off_w(self) -> list[int]:
+        return self._scalar_ref_tables()[2]
+
+    @property
+    def _customer_off_r(self) -> list[int]:
+        return self._scalar_ref_tables()[3]
+
+    @property
+    def _customer_off_w(self) -> list[int]:
+        return self._scalar_ref_tables()[4]
+
     # -- page helpers -----------------------------------------------------------
 
     def _warehouse_page(self, warehouse: int) -> int:
@@ -500,71 +572,218 @@ class TraceGenerator:
         n_primed = (
             config.warehouses * DISTRICTS_PER_WAREHOUSE * config.prime_orders
         )
-        item_draws = self._rng.integers(
-            1, config.items + 1, size=(n_primed, items_per_order)
-        ).tolist()
-        next_draw = 0
+        item_draws = iter(
+            map(
+                tuple,
+                self._rng.integers(
+                    1, config.items + 1, size=(n_primed, items_per_order)
+                ).tolist(),
+            )
+        )
+        # ``register_initial_order`` inlined: the loop visits districts
+        # in order and only synthesizes in-range ids, so the per-call
+        # validation and dict lookups collapse to one slot fetch per
+        # district.
+        pending = self._state._pending
+        recent = self._state._recent
+        last_order = self._state._last_order
+        first = per_district - config.prime_orders + 1
+        first_pending = per_district - config.prime_pending + 1
+        # Delivery's Customer write reference per primed order (see
+        # ``OrderRecord.cust_ref``), computed column-wise: districts
+        # vary the block base, customers the per-tuple offset.
+        n_districts = config.warehouses * DISTRICTS_PER_WAREHOUSE
+        cref_iter = iter(
+            (
+                (
+                    (np.arange(n_districts, dtype=np.int64) * self._customer_ppb)
+                    << 5
+                )[:, None]
+                + self._customer_off_w_np[first - 1 : per_district][None, :]
+            )
+            .ravel()
+            .tolist()
+        )
         for warehouse in range(1, config.warehouses + 1):
             for district in range(1, DISTRICTS_PER_WAREHOUSE + 1):
                 district_index = (warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (
                     district - 1
                 )
-                first = per_district - config.prime_orders + 1
+                district_pending = pending[(warehouse, district)]
+                district_recent = recent[(warehouse, district)]
                 for customer in range(first, per_district + 1):
                     order_seq = district_index * per_district + (customer - 1)
-                    pending_rank = customer - (per_district - config.prime_pending + 1)
+                    pending_rank = customer - first_pending
                     if pending_rank >= 0:
                         new_order_seq = (
                             district_index * config.prime_pending + pending_rank
                         )
                     else:
                         new_order_seq = None
-                    items = tuple(item_draws[next_draw])
-                    next_draw += 1
-                    self._state.register_initial_order(
-                        OrderRecord(
-                            warehouse=warehouse,
-                            district=district,
-                            customer=customer,
-                            order_seq=order_seq,
-                            line_start=order_seq * items_per_order,
-                            item_ids=items,
-                            new_order_seq=new_order_seq,
-                        )
+                    record = OrderRecord(
+                        warehouse,
+                        district,
+                        customer,
+                        order_seq,
+                        order_seq * items_per_order,
+                        next(item_draws),
+                        new_order_seq,
+                        None,
+                        None,
+                        next(cref_iter),
                     )
+                    district_recent.append(record)
+                    last_order[(warehouse, district, customer)] = record
+                    if new_order_seq is not None:
+                        district_pending.append(record)
 
     # -- per-transaction reference generation -------------------------------------
 
+    def stream(
+        self,
+        *,
+        format: str = "encoded",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        vectorized: bool = True,
+    ) -> Iterator:
+        """Unified trace stream (the one public emission API).
+
+        ``format="objects"`` yields ``(TransactionType, [PageReference])``
+        per transaction — the fully decoded reference path.
+        ``format="encoded"`` yields :class:`EncodedBatch` blocks of at
+        least ``batch_size`` int-encoded references, always ending on a
+        transaction boundary; ``vectorized`` selects the column-wise
+        batch assembler (default) or the scalar reference emitters —
+        both produce byte-identical blocks for one config, which the
+        property suite asserts.
+
+        Both formats consume the same underlying random stream, so a
+        given config yields the identical trace whichever is read.
+        """
+        if format not in STREAM_FORMATS:
+            raise ValueError(
+                f"format must be one of {STREAM_FORMATS}, got {format!r}"
+            )
+        if format == "objects":
+            return self._object_stream()
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return stream_batches(self, batch_size=batch_size, vectorized=vectorized)
+
+    def _object_stream(
+        self,
+    ) -> Iterator[tuple[TransactionType, list[PageReference]]]:
+        while True:
+            yield self._transaction()
+
+    def _batch_emitter(self, *, vectorized: bool):
+        """The (cached) batch builder behind ``stream(format="encoded")``."""
+        if vectorized:
+            if self._vector_emitter is None:
+                self._vector_emitter = VectorBatchEmitter(self)
+            return self._vector_emitter
+        if self._scalar_emitter is None:
+            self._scalar_emitter = ScalarBatchEmitter(self)
+        return self._scalar_emitter
+
+    def encoded_batch(
+        self,
+        *,
+        min_refs: int | None = None,
+        transactions: int | None = None,
+        vectorized: bool = True,
+    ) -> EncodedBatch:
+        """One :class:`EncodedBatch`, bounded by references or transactions.
+
+        ``min_refs`` emits whole transactions until the batch holds at
+        least that many references; ``transactions`` emits exactly that
+        many transactions.  Exactly one bound must be given.  This is
+        the building block under :meth:`stream`; the simulator calls it
+        directly to align batches with its measurement windows.
+        """
+        if (min_refs is None) == (transactions is None):
+            raise ValueError("exactly one of min_refs/transactions is required")
+        return self._batch_emitter(vectorized=vectorized).next_batch(
+            min_refs=min_refs, transactions=transactions
+        )
+
     def transaction(self) -> tuple[TransactionType, list[PageReference]]:
+        """Deprecated: use ``stream(format="objects")``."""
+        warnings.warn(
+            "TraceGenerator.transaction() is deprecated; use "
+            "stream(format='objects') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._transaction()
+
+    def transaction_encoded(self) -> tuple[int, list[int], Sequence[int]]:
+        """Deprecated: use ``stream(format="encoded")``."""
+        warnings.warn(
+            "TraceGenerator.transaction_encoded() is deprecated; use "
+            "stream(format='encoded') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._transaction_encoded()
+
+    def _transaction(self) -> tuple[TransactionType, list[PageReference]]:
         """Draw one transaction and return its type and page references."""
-        tx_index, encoded, _ = self.transaction_encoded()
+        tx_index, encoded, _ = self._transaction_encoded()
         decode = self._space.decode_ref
         return _TRANSACTION_BY_INDEX[tx_index], [decode(ref) for ref in encoded]
 
-    def transaction_encoded(self) -> tuple[int, list[int], Sequence[int]]:
-        """Draw one transaction in int-encoded form (the fast path).
-
-        Returns ``(tx_index, refs, counts)``: the transaction's position
-        in :data:`TRANSACTION_ORDER`, its references encoded as
-        ``(page_id << 5) | (relation << 1) | write`` ints, and its
-        access counts indexed by relation — precomputed here so the
-        simulator does nine adds per transaction instead of a dict
-        update per reference.  :meth:`transaction` consumes the same
-        stream, so both forms of one config are the identical trace.
-        """
+    def _next_tx_index(self) -> int:
+        """The next transaction type index from the buffered mix stream."""
         index = self._mix_next
         if index >= len(self._mix_buffer):
             self._mix_buffer = self._mix.sample_array(self._rng, 8192).tolist()
             index = 0
-        tx_index: int = self._mix_buffer[index]
         self._mix_next = index + 1
+        return self._mix_buffer[index]
+
+    def _next_tx_indices(self, count: int) -> list[int]:
+        """``count`` mix draws in bulk, off the same buffered stream.
+
+        Slices the scalar path's refill buffer (refilling in the same
+        8192-draw blocks), so bulk and one-at-a-time consumption read
+        the identical sample sequence.
+        """
+        out: list[int] = []
+        while count:
+            index = self._mix_next
+            buffer = self._mix_buffer
+            available = len(buffer) - index
+            if not available:
+                self._mix_buffer = buffer = self._mix.sample_array(
+                    self._rng, 8192
+                ).tolist()
+                self._mix_next = index = 0
+                available = len(buffer)
+            take = available if available < count else count
+            out += buffer[index : index + take]
+            self._mix_next = index + take
+            count -= take
+        return out
+
+    def _transaction_encoded(self) -> tuple[int, list[int], Sequence[int]]:
+        """Draw one transaction in int-encoded form (the scalar path).
+
+        Returns ``(tx_index, refs, counts)``: the transaction's position
+        in :data:`TRANSACTION_ORDER`, its references encoded as
+        ``(page_id << 5) | (relation << 1) | write`` ints, and its
+        access counts indexed by relation.  :meth:`stream` consumes the
+        same underlying draws, so every form of one config is the
+        identical trace.
+        """
+        tx_index = self._next_tx_index()
         refs, counts = self._encoders[tx_index]()
         return tx_index, refs, counts
 
     def references(self, transactions: int) -> Iterator[PageReference]:
         """Flat stream of references over ``transactions`` transactions."""
         for _ in range(transactions):
-            _, refs = self.transaction()
+            _, refs = self._transaction()
             yield from refs
 
     def highest_page_id(self) -> int:
@@ -736,6 +955,11 @@ class TraceGenerator:
 
     def _order_status_encoded(self) -> tuple[list[int], Sequence[int]]:
         warehouse, district, _by_name, tuples = self._generator.order_status_raw()
+        return self._order_status_refs(warehouse, district, tuples)
+
+    def _order_status_refs(
+        self, warehouse: int, district: int, tuples: Sequence[int]
+    ) -> tuple[list[int], Sequence[int]]:
         customer_base5 = (
             ((warehouse - 1) * DISTRICTS_PER_WAREHOUSE + (district - 1))
             * self._customer_ppb
@@ -759,7 +983,9 @@ class TraceGenerator:
         return refs, counts
 
     def _delivery_encoded(self) -> tuple[list[int], Sequence[int]]:
-        warehouse = self._generator.delivery_raw()
+        return self._delivery_refs(self._generator.delivery_raw())
+
+    def _delivery_refs(self, warehouse: int) -> tuple[list[int], Sequence[int]]:
         refs: list[int] = []
         append = refs.append
         gshift = self._growing_shift
@@ -802,6 +1028,11 @@ class TraceGenerator:
 
     def _stock_level_encoded(self) -> tuple[list[int], Sequence[int]]:
         warehouse, district, _threshold = self._generator.stock_level_raw()
+        return self._stock_level_refs(warehouse, district)
+
+    def _stock_level_refs(
+        self, warehouse: int, district: int
+    ) -> tuple[list[int], Sequence[int]]:
         refs = [
             (
                 (

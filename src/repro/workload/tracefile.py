@@ -65,12 +65,13 @@ class SavedTrace:
         if transactions <= 0:
             raise ValueError(f"transactions must be positive, got {transactions}")
         generator = TraceGenerator(config)
+        stream = generator.stream(format="objects")
         relations: list[int] = []
         pages: list[int] = []
         writes: list[bool] = []
         boundaries: list[int] = []
         for _ in range(transactions):
-            _, refs = generator.transaction()
+            _, refs = next(stream)
             for relation, page, write in refs:
                 relations.append(relation)
                 pages.append(page)

@@ -135,8 +135,9 @@ def validate_trace(
         TransactionType.PAYMENT,
         TransactionType.ORDER_STATUS,
     }
+    stream = trace.stream(format="objects")
     for _ in range(transactions):
-        tx_type, refs = trace.transaction()
+        tx_type, refs = next(stream)
         for relation, page, _ in refs:
             if relation == item_index:
                 counts["item"][page] += 1

@@ -1,0 +1,25 @@
+"""Sampler fixture, bad variant: the vectorized-sampling idiom done
+wrong — a module-level unseeded generator shared by every sampler, a
+legacy global draw in the batch path, and wall-clock timing folded into
+the measurement.  REP001 and REP002 must flag every marked line."""
+
+import time
+
+import numpy as np
+
+_RNG = np.random.default_rng()  # REP001: module-level, unseeded
+
+
+def sample_block(weights, block: int):
+    cumulative = np.cumsum(weights)
+    return np.searchsorted(cumulative, _RNG.random(block))
+
+
+def sample_block_legacy(n_pages: int, block: int):
+    return np.random.randint(n_pages, size=block)  # REP001: legacy global
+
+
+def timed_sample(weights, block: int):
+    start = time.time()  # REP002: wall clock in a measured path
+    draws = sample_block(weights, block)
+    return draws, time.time() - start  # REP002

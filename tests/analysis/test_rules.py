@@ -168,3 +168,24 @@ class TestRuleSelection:
         report = lint_fixture("rep001_bad.py", "REP004")
         assert report.findings == []
         assert report.rules_run == ("REP004",)
+
+
+class TestVectorizedSamplingIdiom:
+    """REP001/REP002 on the batch-sampling idiom the generators use.
+
+    The good fixture mirrors the repo's pattern — a seeded ``Generator``
+    built once from config and threaded into every ``sample_array``-style
+    call; the bad fixture is the same code with a module-level unseeded
+    generator, a legacy global draw, and wall-clock timing."""
+
+    def test_bad_randomness_locations(self):
+        report = lint_fixture("rep_sampling_bad.py", "REP001")
+        assert flagged_lines(report, "REP001") == [10, 19]
+
+    def test_bad_clock_locations(self):
+        report = lint_fixture("rep_sampling_bad.py", "REP002")
+        assert flagged_lines(report, "REP002") == [23, 25]
+
+    def test_good_is_clean_under_both_rules(self):
+        assert lint_fixture("rep_sampling_good.py", "REP001").findings == []
+        assert lint_fixture("rep_sampling_good.py", "REP002").findings == []

@@ -15,7 +15,10 @@ from repro.buffer.kernels import (
     ARRAY_KERNEL_POLICIES,
     ClockArrayKernel,
     FifoArrayKernel,
+    LfuArrayKernel,
     LruArrayKernel,
+    LruKArrayKernel,
+    TwoQArrayKernel,
     make_kernel,
     supports_array_kernel,
 )
@@ -112,20 +115,26 @@ class TestPageIdSpace:
 
 class TestRegistry:
     def test_supported_policies(self):
-        assert ARRAY_KERNEL_POLICIES == ("clock", "fifo", "lru")
+        assert ARRAY_KERNEL_POLICIES == (
+            "2q", "clock", "fifo", "lfu", "lru", "lru2", "lru3"
+        )
         for name in ARRAY_KERNEL_POLICIES:
             assert supports_array_kernel(name)
-        assert not supports_array_kernel("lfu")
+        assert not supports_array_kernel("mru")
 
     def test_make_kernel_types(self):
         space = small_space()
         assert isinstance(make_kernel("lru", 4, space, 5), LruArrayKernel)
         assert isinstance(make_kernel("fifo", 4, space, 5), FifoArrayKernel)
         assert isinstance(make_kernel("clock", 4, space, 5), ClockArrayKernel)
+        assert isinstance(make_kernel("lfu", 4, space, 5), LfuArrayKernel)
+        assert isinstance(make_kernel("2q", 4, space, 5), TwoQArrayKernel)
+        assert isinstance(make_kernel("lru2", 4, space, 5), LruKArrayKernel)
+        assert isinstance(make_kernel("lru3", 4, space, 5), LruKArrayKernel)
 
     def test_make_kernel_unknown_policy(self):
         with pytest.raises(ValueError, match="no array kernel"):
-            make_kernel("2q", 4, small_space(), 5)
+            make_kernel("mru", 4, small_space(), 5)
 
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
@@ -178,12 +187,15 @@ class TestKernelSelection:
 
     def test_array_kernel_requires_supported_policy(self):
         with pytest.raises(ValueError, match="no array kernel"):
-            quick_config(policy="lfu", kernel="array")
+            quick_config(policy="mru", kernel="array")
 
     def test_auto_resolution(self):
         assert quick_config(policy="lru").resolved_kernel == "array"
         assert quick_config(policy="clock").resolved_kernel == "array"
-        assert quick_config(policy="lfu").resolved_kernel == "object"
+        assert quick_config(policy="lfu").resolved_kernel == "array"
+        assert quick_config(policy="2q").resolved_kernel == "array"
+        assert quick_config(policy="lru2").resolved_kernel == "array"
+        assert quick_config(policy="mru").resolved_kernel == "object"
         assert quick_config(policy="lru", kernel="object").resolved_kernel == "object"
 
 
@@ -265,7 +277,7 @@ class TestHighestPageId:
         before = trace.highest_page_id()
         assert before >= space.static_total
         seen = before
-        for _ in range(400):
-            _, refs, _ = trace.transaction_encoded()
-            seen = max(seen, max(refs) >> 5)
-            assert trace.highest_page_id() >= seen
+        batch = trace.encoded_batch(transactions=400)
+        seen = max(seen, int(batch.refs.max()) >> 5)
+        assert trace.highest_page_id() >= seen
+        assert batch.highest_page_id >= seen

@@ -85,7 +85,7 @@ def test_lockstep_parity(policy_name, capacity, stream):
 
 
 @given(
-    st.sampled_from(("lru", "fifo")),
+    st.sampled_from(("lru", "fifo", "lfu", "2q", "lru2", "lru3")),
     st.integers(min_value=1, max_value=8),
     references,
 )
@@ -111,13 +111,46 @@ def test_eviction_order_parity(policy_name, capacity, stream):
 def _policy_residents(policy):
     if hasattr(policy, "_pages"):  # LRU
         return list(policy._pages)
+    if hasattr(policy, "_probation"):  # 2Q
+        return list(policy._probation) + list(policy._main)
+    if hasattr(policy, "_counts"):  # LFU
+        return list(policy._counts)
+    if hasattr(policy, "_history"):  # LRU-K
+        return list(policy._history)
     if hasattr(policy, "_resident"):  # FIFO
         return list(policy._resident)
     return list(policy._frame_of)  # CLOCK
 
 
 def _policy_eviction_order(policy):
-    """Resident keys, next-victim first (LRU/FIFO only)."""
+    """Resident keys, next-victim first (CLOCK has no defined order)."""
     if hasattr(policy, "_pages"):  # LRU: OrderedDict is LRU -> MRU
         return list(policy._pages)
+    if hasattr(policy, "_probation"):  # 2Q: each queue's victim order
+        return list(policy._probation) + list(policy._main)
+    if hasattr(policy, "_counts"):  # LFU: replay the lazy heap
+        import heapq
+
+        heap = list(policy._heap)
+        counts = dict(policy._counts)
+        order = []
+        while heap:
+            count, _, page = heapq.heappop(heap)
+            if counts.get(page) == count:
+                del counts[page]
+                order.append(page)
+        return order
+    if hasattr(policy, "_history"):  # LRU-K: replay the lazy heap
+        import heapq
+
+        heap = list(policy._heap)
+        history = dict(policy._history)
+        order = []
+        while heap:
+            key, _, page = heapq.heappop(heap)
+            entry = history.get(page)
+            if entry is not None and policy._kth_recent(entry) == key:
+                del history[page]
+                order.append(page)
+        return order
     return list(policy._queue)  # FIFO: deque is oldest -> newest

@@ -1,0 +1,195 @@
+"""Equivalence properties of the vectorized trace/kernel fast paths.
+
+Two contracts keep the vectorized implementations honest:
+
+* **Emitter byte-identity** — ``stream(format="encoded")`` produces
+  bit-identical :class:`EncodedBatch` blocks whether the vectorized
+  batch assembler or the scalar per-transaction encoders build them,
+  for any interleaving of batch bounds, and independent of how the
+  stream is partitioned into batches.
+* **Kernel batch parity** — ``process_batch`` over a whole encoded
+  batch leaves every kernel in exactly the state that per-transaction
+  ``process_many`` calls would, including when the two entry points
+  are interleaved on one kernel instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.buffer.kernels import ARRAY_KERNEL_POLICIES, make_kernel
+from repro.workload.stream import EncodedBatch, ScalarBatchEmitter
+from repro.workload.trace import (
+    N_STATIC_RELATIONS,
+    RELATION_NAMES,
+    PageIdSpace,
+    TraceConfig,
+    TraceGenerator,
+)
+
+#: Mixed reference- and transaction-bounded batch requests, sized to
+#: cross planner-chunk boundaries several times.
+BATCH_SPEC = [
+    ("refs", 3_000),
+    ("tx", 17),
+    ("refs", 40_000),
+    ("tx", 1),
+    ("refs", 20_000),
+    ("tx", 4_100),
+    ("refs", 9_999),
+]
+
+
+def emit(emitter_next, spec):
+    batches = []
+    for kind, value in spec:
+        if kind == "refs":
+            batches.append(emitter_next(min_refs=value))
+        else:
+            batches.append(emitter_next(transactions=value))
+    return batches
+
+
+def assert_batches_equal(a: EncodedBatch, b: EncodedBatch, label: str):
+    assert np.array_equal(a.refs, b.refs), f"{label}: refs differ"
+    assert np.array_equal(a.tx_indices, b.tx_indices), f"{label}: tx_indices"
+    assert np.array_equal(a.tx_lengths, b.tx_lengths), f"{label}: tx_lengths"
+    assert np.array_equal(a.tx_accesses, b.tx_accesses), f"{label}: tx_accesses"
+    assert a.highest_page_id == b.highest_page_id, f"{label}: highest_page_id"
+
+
+class TestEmitterByteIdentity:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            TraceConfig(warehouses=4, seed=3),
+            TraceConfig(warehouses=2, seed=11, packing="optimized"),
+            TraceConfig(warehouses=1, seed=29, packing="random"),
+        ],
+        ids=["w4", "w2-optimized", "w1-random"],
+    )
+    def test_vectorized_matches_scalar(self, config):
+        vector = TraceGenerator(config)
+        scalar_emitter = ScalarBatchEmitter(TraceGenerator(config))
+        vector_batches = emit(
+            lambda **kw: vector.encoded_batch(vectorized=True, **kw), BATCH_SPEC
+        )
+        scalar_batches = emit(scalar_emitter.next_batch, BATCH_SPEC)
+        for i, (a, b) in enumerate(zip(vector_batches, scalar_batches)):
+            assert_batches_equal(a, b, f"batch {i}")
+
+    def test_batch_size_independent(self):
+        """One partitioning of the stream is byte-equal to any other."""
+        config = TraceConfig(warehouses=2, seed=7)
+        coarse = TraceGenerator(config)
+        fine = TraceGenerator(config)
+        coarse_refs = np.concatenate(
+            [coarse.encoded_batch(min_refs=30_000).refs for _ in range(2)]
+        )
+        fine_refs = np.concatenate(
+            [fine.encoded_batch(min_refs=1_000).refs for _ in range(70)]
+        )
+        n = min(coarse_refs.size, fine_refs.size)
+        assert np.array_equal(coarse_refs[:n], fine_refs[:n])
+
+    def test_object_stream_matches_encoded(self):
+        """``format="objects"`` is the decoded view of the encoded stream."""
+        config = TraceConfig(warehouses=2, seed=13)
+        objects = TraceGenerator(config).stream(format="objects")
+        encoded_trace = TraceGenerator(config)
+        batch = encoded_trace.encoded_batch(transactions=300)
+        decode = encoded_trace.page_id_space.decode_ref
+        start = 0
+        for length in batch.tx_lengths.tolist():
+            _, refs = next(objects)
+            encoded_tx = batch.refs[start : start + length].tolist()
+            assert [tuple(ref) for ref in refs] == [
+                tuple(decode(ref)) for ref in encoded_tx
+            ]
+            start += length
+
+    def test_decode_ref_arrays_matches_scalar_decode(self):
+        trace = TraceGenerator(TraceConfig(warehouses=1, seed=5))
+        space = trace.page_id_space
+        refs = trace.encoded_batch(min_refs=5_000).refs
+        relation, page, write = space.decode_ref_arrays(refs)
+        for i in (0, 1, 17, len(refs) // 2, len(refs) - 1):
+            assert (
+                int(relation[i]),
+                int(page[i]),
+                bool(write[i]),
+            ) == tuple(space.decode_ref(int(refs[i])))
+
+
+N_REL = len(RELATION_NAMES)
+FUZZ_SPACE = PageIdSpace([40] * N_STATIC_RELATIONS)
+
+
+def _random_batch(rng, n_pages: int, n_refs: int, zipf: bool) -> EncodedBatch:
+    """A synthetic encoded batch with random transaction segmentation."""
+    if zipf:
+        pids = np.minimum(rng.zipf(1.3, size=n_refs) - 1, n_pages - 1)
+    else:
+        pids = rng.integers(0, n_pages, size=n_refs)
+    pids = pids.astype(np.int64)
+    relations = pids % N_REL
+    writes = rng.integers(0, 2, size=n_refs).astype(np.int64)
+    refs = (pids << 5) | (relations << 1) | writes
+    n_tx = max(1, n_refs // 5)
+    cuts = (
+        np.sort(rng.integers(0, n_refs + 1, size=n_tx))
+        if n_refs > 1
+        else np.empty(0, dtype=np.int64)
+    )
+    bounds = np.concatenate([[0], cuts, [n_refs]])
+    lengths = np.diff(bounds).astype(np.int64)
+    tx_indices = rng.integers(0, 4, size=lengths.size).astype(np.int64)
+    return EncodedBatch(refs, tx_indices, lengths, None, int(pids.max()))
+
+
+def _feed_scalar(kernel, batch: EncodedBatch) -> None:
+    pos = 0
+    for tx_index, length in zip(
+        batch.tx_indices.tolist(), batch.tx_lengths.tolist()
+    ):
+        kernel.process_many(
+            ((batch.refs[pos : pos + length].tolist(), tx_index << 4),)
+        )
+        pos += length
+
+
+class TestProcessBatchParity:
+    @pytest.mark.parametrize("policy", ARRAY_KERNEL_POLICIES)
+    def test_batch_equals_scalar_blocks(self, policy):
+        """Whole-batch processing leaves the same state as per-tx blocks,
+        under random streams, capacities, and mixed entry points."""
+        rng = np.random.default_rng(hash(policy) % (2**32))
+        for trial in range(60):
+            n_pages = int(rng.integers(2, 60))
+            capacity = int(rng.integers(1, 20))
+            scalar = make_kernel(policy, capacity, FUZZ_SPACE, 4)
+            batched = make_kernel(policy, capacity, FUZZ_SPACE, 4)
+            for segment in range(int(rng.integers(1, 5))):
+                batch = _random_batch(
+                    rng,
+                    n_pages,
+                    int(rng.integers(1, 300)),
+                    bool(rng.integers(0, 2)),
+                )
+                _feed_scalar(scalar, batch)
+                # Occasionally drive the "batched" kernel through the
+                # scalar entry point too: interleaving the two on one
+                # instance must not desync the internal caches.
+                if segment > 0 and rng.integers(0, 3) == 2:
+                    _feed_scalar(batched, batch)
+                else:
+                    batched.process_batch(batch)
+                context = (policy, trial, segment)
+                assert scalar.batch_misses == batched.batch_misses, context
+                assert scalar.tx_misses == batched.tx_misses, context
+                assert (
+                    scalar.eviction_counts == batched.eviction_counts
+                ), context
+                assert (
+                    scalar.resident_page_ids() == batched.resident_page_ids()
+                ), context
+                assert len(scalar) == len(batched), context

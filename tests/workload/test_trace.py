@@ -79,9 +79,10 @@ class TestPageMapping:
 class TestReferenceStreams:
     def _refs_by_type(self, packing="sequential", transactions=400):
         trace = TraceGenerator(TraceConfig(warehouses=2, packing=packing, seed=9))
+        stream = trace.stream(format="objects")
         by_type = collections.defaultdict(list)
         for _ in range(transactions):
-            tx_type, refs = trace.transaction()
+            tx_type, refs = next(stream)
             by_type[tx_type].append(refs)
         return by_type
 
@@ -177,3 +178,38 @@ class TestAccessShares:
         assert per_tx["stock"] == pytest.approx(12.3, rel=0.15)
         assert per_tx["item"] == pytest.approx(4.3, rel=0.15)
         assert per_tx["order_line"] > per_tx["customer"]
+
+
+class TestDeprecatedShims:
+    """``transaction()``/``transaction_encoded()`` warn but still work."""
+
+    def test_transaction_warns_and_delegates(self):
+        old = TraceGenerator(TraceConfig(warehouses=1, seed=21))
+        new = TraceGenerator(TraceConfig(warehouses=1, seed=21))
+        stream = new.stream(format="objects")
+        with pytest.warns(DeprecationWarning, match="stream"):
+            tx_type, refs = old.transaction()
+        assert (tx_type, refs) == next(stream)
+
+    def test_transaction_encoded_warns_and_delegates(self):
+        old = TraceGenerator(TraceConfig(warehouses=1, seed=22))
+        new = TraceGenerator(TraceConfig(warehouses=1, seed=22))
+        with pytest.warns(DeprecationWarning, match="stream"):
+            tx_index, encoded, accesses = old.transaction_encoded()
+        batch = new.encoded_batch(transactions=1)
+        assert tx_index == int(batch.tx_indices[0])
+        assert encoded == batch.refs.tolist()
+
+    def test_warning_fires_once_per_call_site(self):
+        """Under the default filter the shim nags once, not per call."""
+        import warnings as _warnings
+
+        trace = TraceGenerator(TraceConfig(warehouses=1, seed=23))
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("default")
+            for _ in range(5):
+                trace.transaction()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
