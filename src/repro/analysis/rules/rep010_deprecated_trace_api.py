@@ -1,0 +1,54 @@
+"""REP010 — no calls to the deprecated per-transaction trace API.
+
+``TraceGenerator.transaction()`` and ``.transaction_encoded()`` are
+compatibility shims kept for external callers: they emit one
+transaction per Python call, bypassing the vectorized batch emitters,
+and fire a :class:`DeprecationWarning` at runtime.  In-repo code must
+use ``stream(format=...)`` / ``encoded_batch(...)`` instead — the shims
+are an order of magnitude slower and will eventually be dropped.
+
+The check is name-based (any ``*.transaction()`` /
+``*.transaction_encoded()`` call) because reprolint has no type
+information; the names are specific enough that a collision warrants an
+inline suppression.  Tests that exercise the shims' deprecation
+behaviour suppress with ``# reprolint: disable=REP010``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleSource
+from repro.analysis.rules.base import Rule, register
+
+_DEPRECATED = {
+    "transaction": "stream(format='objects')",
+    "transaction_encoded": "stream(format='encoded') or encoded_batch(...)",
+}
+
+
+@register
+class DeprecatedTraceApiRule(Rule):
+    code = "REP010"
+    summary = "use the stream/batch trace API, not the deprecated shims"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            replacement = _DEPRECATED.get(func.attr)
+            if replacement is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f".{func.attr}() is a deprecated per-transaction shim; "
+                f"use {replacement}",
+            )
+
+
+__all__ = ["DeprecatedTraceApiRule"]

@@ -24,6 +24,9 @@ transactions of int-encoded references — or, for LRU, whole
   invalidated heap as ``LfuPolicy`` (entry-for-entry: both push on
   every touch and validate ``count`` on pop, so even the tie-breaking
   ticks agree).
+* :class:`MruArrayKernel` — most-recently-used: the LRU lazy heap run
+  as a *max*-heap on last-touch position, so the newest resident page
+  is the victim (entry-for-entry with ``MruPolicy``).
 * :class:`TwoQArrayKernel` — FIFO probation queue plus LRU main queue,
   mirroring ``TwoQPolicy`` including the promotion-overflow victim
   that a *hit* can produce.
@@ -883,6 +886,111 @@ class LfuArrayKernel(ArrayKernel):
         self._used = used
 
 
+class MruArrayKernel(ArrayKernel):
+    """Most-recently-used with lazy heap invalidation.
+
+    The dual of the scalar LRU path: every touch and admission records
+    the reference position and pushes ``(-position, page)`` onto a
+    max-heap, so popping yields the *newest* resident page.  Stale
+    entries are skipped when the recorded position no longer matches
+    the page's live last-touch position — exactly the order
+    ``MruPolicy``'s recency stack evicts in.
+    """
+
+    policy_name = "mru"
+
+    def __init__(
+        self, capacity: int, space: PageIdSpace, transaction_types: int
+    ) -> None:
+        super().__init__(capacity, space, transaction_types)
+        size = len(self._slots)
+        self._last_of = [0] * size
+        self._relation_of = bytearray(size)
+        self._heap: list[tuple[int, int]] = []
+        self._tick = 0
+        self._used = 0
+
+    def _grow_slots(self, highest_page_id: int) -> None:
+        old = len(self._slots)
+        super()._grow_slots(highest_page_id)
+        grow = len(self._slots) - old
+        self._last_of.extend([0] * grow)
+        self._relation_of.extend(b"\x00" * grow)
+
+    def __len__(self) -> int:
+        return self._used
+
+    def resident_page_ids(self) -> list[int]:
+        # Replay the lazy heap on copies: victims first — the newest
+        # resident pops first, then the newest of the remainder, which
+        # is the recency stack in reverse.
+        heap = list(self._heap)
+        slots = list(self._slots)
+        last = self._last_of
+        out = []
+        while heap:
+            neg_pos, page = heapq.heappop(heap)
+            if slots[page] >= 0 and last[page] == -neg_pos:
+                slots[page] = -1
+                out.append(page)
+        return out
+
+    def process_many(self, blocks, highest_page_id: int = -1) -> None:
+        if highest_page_id >= 0:
+            self.ensure_page_capacity(highest_page_id)
+        slots = self._slots
+        last = self._last_of
+        relation_of = self._relation_of
+        batch_misses = self.batch_misses
+        tx_misses = self.tx_misses
+        evictions = self.eviction_counts
+        capacity = self._capacity
+        heap = self._heap
+        tick = self._tick
+        used = self._used
+        push = heapq.heappush
+        pop = heapq.heappop
+        presized = highest_page_id >= 0
+        table_size = len(slots)
+        for refs, tx_base in blocks:
+            if not refs:
+                continue
+            if not presized:
+                highest = max(refs) >> REF_PID_SHIFT
+                if highest >= table_size:
+                    self._grow_slots(highest)
+                    slots = self._slots
+                    last = self._last_of
+                    relation_of = self._relation_of
+                    table_size = len(slots)
+            for ref in refs:
+                page_id = ref >> 5
+                if slots[page_id] >= 0:
+                    tick += 1
+                    last[page_id] = tick
+                    push(heap, (-tick, page_id))
+                    continue
+                relation = (ref >> 1) & 15
+                batch_misses[relation] += 1
+                tx_misses[tx_base + relation] += 1
+                if used < capacity:
+                    used += 1
+                else:
+                    while True:
+                        neg_pos, victim = pop(heap)
+                        if slots[victim] >= 0 and last[victim] == -neg_pos:
+                            break
+                    slots[victim] = -1
+                    evictions[relation_of[victim]] += 1
+                tick += 1
+                slots[page_id] = 0
+                relation_of[page_id] = relation
+                last[page_id] = tick
+                push(heap, (-tick, page_id))
+        self._tick = tick
+        self._used = used
+
+
 class TwoQArrayKernel(ArrayKernel):
     """Simplified 2Q: FIFO probation queue plus LRU main queue.
 
@@ -1110,6 +1218,7 @@ KERNEL_FACTORIES: dict[
     str, Callable[[int, PageIdSpace, int], ArrayKernel]
 ] = {
     "lru": LruArrayKernel,
+    "mru": MruArrayKernel,
     "fifo": FifoArrayKernel,
     "clock": ClockArrayKernel,
     "lfu": LfuArrayKernel,
@@ -1158,6 +1267,7 @@ __all__ = [
     "LfuArrayKernel",
     "LruArrayKernel",
     "LruKArrayKernel",
+    "MruArrayKernel",
     "TX_STRIDE_SHIFT",
     "TwoQArrayKernel",
     "make_kernel",

@@ -103,6 +103,47 @@ class LruPolicy(ReplacementPolicy):
         del self._pages[page]
 
 
+class MruPolicy(ReplacementPolicy):
+    """Most-recently-used: evicts the *newest* page.
+
+    The pathological-looking dual of LRU is the classic choice for
+    cyclic scans larger than the pool (each Stock-Level reads ~200
+    order-line/stock tuples): keeping the oldest pages resident
+    preserves the scan prefix across iterations where LRU keeps
+    nothing.  Included so the policy matrix covers both recency
+    extremes.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # Recency stack, oldest first (deliberately *not* named
+        # ``_pages``: parity-test helpers key on the attribute name to
+        # recover each policy's eviction order).
+        self._stack: OrderedDict[PageKey, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def contains(self, page: PageKey) -> bool:
+        return page in self._stack
+
+    def touch(self, page: PageKey) -> PageKey | None:
+        self._stack.move_to_end(page)
+        return None
+
+    def admit(self, page: PageKey) -> PageKey | None:
+        if page in self._stack:
+            raise ValueError(f"page {page!r} is already resident")
+        victim = None
+        if len(self._stack) >= self._capacity:
+            victim, _ = self._stack.popitem(last=True)
+        self._stack[page] = None
+        return victim
+
+    def remove(self, page: PageKey) -> None:
+        del self._stack[page]
+
+
 class FifoPolicy(ReplacementPolicy):
     """First-in-first-out: eviction order ignores hits."""
 
@@ -388,6 +429,7 @@ class LruKPolicy(ReplacementPolicy):
 #: Registry of policy constructors by name.
 POLICY_FACTORIES: dict[str, Callable[[int], ReplacementPolicy]] = {
     "lru": LruPolicy,
+    "mru": MruPolicy,
     "fifo": FifoPolicy,
     "clock": ClockPolicy,
     "lfu": LfuPolicy,

@@ -148,6 +148,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "the reference object pool, or auto (array when the policy "
             "has one); results are bit-identical either way",
         )
+        subparser.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="N",
+            help="split the distributed simulation's node range into N "
+            "work units (default: one per node); pure worker layout — "
+            "reports and cache entries are identical for every value",
+        )
         add_format_argument(subparser)
 
     run = commands.add_parser("run", help="regenerate one table or figure")
@@ -376,7 +385,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_format_argument(bench)
 
     lint = commands.add_parser(
-        "lint", help="run the reprolint static-analysis rules (REP001..REP009)"
+        "lint", help="run the reprolint static-analysis rules (REP001..REP010)"
     )
     lint.add_argument(
         "paths",
@@ -457,6 +466,7 @@ def _request_from_args(args, experiment: str):
         trace_path=args.trace,
         profile=args.profile,
         kernel=args.kernel,
+        shards=args.shards,
     )
 
 

@@ -12,10 +12,13 @@ from repro.distributed.model import (
     distributed_visit_table,
 )
 from repro.distributed.remote import RemoteCallExpectations
+from repro.distributed.sharded import NodeShardUnit, run_shard, run_sharded
 from repro.distributed.simulation import (
     DistributedBufferSimulation,
     DistributedSimConfig,
     DistributedSimReport,
+    NodeResult,
+    simulate_node,
 )
 from repro.distributed.scaleup import (
     ScaleupPoint,
@@ -28,9 +31,14 @@ __all__ = [
     "DistributedSimConfig",
     "DistributedSimReport",
     "DistributedThroughputModel",
+    "NodeResult",
+    "NodeShardUnit",
     "RemoteCallExpectations",
     "ScaleupPoint",
     "distributed_visit_table",
     "remote_probability_sensitivity",
+    "run_shard",
+    "run_sharded",
     "scaleup_curve",
+    "simulate_node",
 ]

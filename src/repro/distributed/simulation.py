@@ -13,14 +13,39 @@ This module simulates an N-node cluster for real: each node runs its
 own TPC-C trace against its own buffer pool, and the benchmark's remote
 behaviour is injected — each New-Order stock access is redirected to a
 uniformly chosen remote node with probability ``p*(N-1)/N``, and each
-Payment's customer accesses with probability ``0.15*(N-1)/N``.  The
-run measures per-node miss rates *and* the empirical remote-call
+Payment's customer accesses with probability ``0.15*(N-1)/N``.  The run
+measures per-node miss rates *and* the empirical remote-call
 statistics, so both assumptions can be checked against the formulas.
+
+**Decomposition.** The simulation is written so every node is fully
+self-contained — :func:`simulate_node` depends only on
+``(config, node)`` — which is what lets :mod:`repro.distributed.sharded`
+fan nodes out across processes and fold results bit-identical to the
+serial run.  Cross-node traffic is modelled from both ends without any
+shared state:
+
+* *Outbound* (sender side): a per-node routing RNG decides which stock
+  lines / Payments go remote; those references are counted in
+  :class:`RemoteStatistics` and skipped locally.  The drawn site label
+  only feeds Theorem 1's distinct-site count, so no receiver is ever
+  contacted.
+* *Inbound* (receiver side): each node draws the number of remote
+  accesses *landing on it* per round from the exact compound-binomial
+  law of the outbound process — ``Binomial(N-1, mix_share)`` senders,
+  thinned by the per-line remote-and-targets-me probability ``p/N``
+  (exact because the New-Order line count is fixed per config) — and
+  synthesises statistically equivalent pages from its own generic
+  input streams.  Those streams are independent of the per-transaction
+  trace streams, so the injected accesses never perturb the trace.
+
+The two ends use independently seeded per-node generators, so the
+cluster-wide totals agree in distribution with a shared-RNG
+implementation while each node stays deterministic in isolation.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -30,6 +55,11 @@ from repro.buffer.pool import SimulatedBufferPool
 from repro.buffer.simulator import KERNEL_KINDS, pages_for_megabytes
 from repro.constants import REMOTE_PAYMENT_PROBABILITY
 from repro.distributed.remote import RemoteCallExpectations
+from repro.obs.instruments import (
+    DIST_NODES,
+    DIST_REMOTE_PAYMENTS,
+    DIST_REMOTE_STOCK_CALLS,
+)
 from repro.workload.mix import TRANSACTION_ORDER, TransactionType
 from repro.workload.trace import (
     RELATION_INDEX,
@@ -64,6 +94,12 @@ class DistributedSimConfig:
     #: is independent of the choice — it is pure implementation
     #: selection and therefore excluded from cache fingerprints.
     kernel: str = field(default="auto", metadata={"cache_fingerprint": False})
+    #: How many work units :mod:`repro.distributed.sharded` splits the
+    #: node range into (``None`` = one unit per node).  Pure worker
+    #: layout: every shard count produces the same report and shares
+    #: the same per-node cache entries, so — like ``kernel`` — it is
+    #: excluded from cache fingerprints.
+    shards: int | None = field(default=None, metadata={"cache_fingerprint": False})
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -76,6 +112,8 @@ class DistributedSimConfig:
             raise ValueError(
                 f"kernel must be one of {KERNEL_KINDS}, got {self.kernel!r}"
             )
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1 when set, got {self.shards}")
 
     @property
     def resolved_kernel(self) -> str:
@@ -89,7 +127,12 @@ class DistributedSimConfig:
 
 @dataclass(frozen=True)
 class RemoteStatistics:
-    """Empirical Appendix-A quantities measured during the run."""
+    """Empirical Appendix-A quantities measured during the run.
+
+    All fields are *outbound*-measured: they count the remote work each
+    node's own transactions generate, which makes them per-node
+    computable and order-independently mergeable (:meth:`merge`).
+    """
 
     new_orders: int
     remote_stock_calls: int
@@ -97,6 +140,18 @@ class RemoteStatistics:
     unique_site_sum: int
     payments: int
     remote_payments: int
+
+    @classmethod
+    def merge(cls, parts: Sequence["RemoteStatistics"]) -> "RemoteStatistics":
+        """Field-wise sum over per-node statistics (any order)."""
+        return cls(
+            new_orders=sum(p.new_orders for p in parts),
+            remote_stock_calls=sum(p.remote_stock_calls for p in parts),
+            all_local_new_orders=sum(p.all_local_new_orders for p in parts),
+            unique_site_sum=sum(p.unique_site_sum for p in parts),
+            payments=sum(p.payments for p in parts),
+            remote_payments=sum(p.remote_payments for p in parts),
+        )
 
     @property
     def rc_stock(self) -> float:
@@ -125,6 +180,15 @@ class RemoteStatistics:
         if self.payments == 0:
             return 0.0
         return self.remote_payments / self.payments
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """One node's share of a distributed run (the shard work product)."""
+
+    node: int
+    miss: dict[str, float]
+    remote: RemoteStatistics
 
 
 @dataclass(frozen=True)
@@ -163,69 +227,81 @@ class DistributedSimReport:
         return rows
 
 
-class DistributedBufferSimulation:
-    """Simulates N nodes, each with a private buffer pool.
+def fold_report(
+    config: DistributedSimConfig, results: Sequence[NodeResult]
+) -> DistributedSimReport:
+    """Assemble a report from one :class:`NodeResult` per node.
 
-    Every node runs an independent (differently seeded) copy of the
-    TPC-C trace over its local warehouses; the simulation interleaves
-    nodes round-robin and reroutes the benchmark-specified fraction of
-    stock and customer accesses to uniformly chosen remote nodes.  A
-    rerouted stock access lands on an equivalently distributed tuple of
-    the remote node (fresh NURand item id, uniform remote warehouse),
-    which is statistically faithful because all nodes are identical.
+    Results may arrive in any order (shards complete out of order);
+    the fold sorts by node id, so the report is identical however the
+    work was partitioned.
     """
+    by_node = sorted(results, key=lambda r: r.node)
+    if [r.node for r in by_node] != list(range(config.nodes)):
+        raise ValueError(
+            f"need exactly one result per node 0..{config.nodes - 1}, "
+            f"got nodes {[r.node for r in by_node]}"
+        )
+    return DistributedSimReport(
+        config=config,
+        per_node_miss=[dict(r.miss) for r in by_node],
+        remote=RemoteStatistics.merge([r.remote for r in by_node]),
+        expectations=RemoteCallExpectations(
+            nodes=config.nodes,
+            remote_stock_probability=config.trace.remote_stock_probability,
+        ),
+    )
 
-    def __init__(self, config: DistributedSimConfig):
+
+def simulate_node(config: DistributedSimConfig, node: int) -> NodeResult:
+    """Run one node of the cluster in isolation (the shard unit body).
+
+    Module-level and picklable, so shard work units can name it.
+    """
+    if not 0 <= node < config.nodes:
+        raise ValueError(f"node must be in [0, {config.nodes}), got {node}")
+    result = _NodeSimulation(config, node).run()
+    DIST_NODES.inc()
+    DIST_REMOTE_STOCK_CALLS.inc(result.remote.remote_stock_calls)
+    DIST_REMOTE_PAYMENTS.inc(result.remote.remote_payments)
+    return result
+
+
+class _NodeSimulation:
+    """One node's pool, trace and both halves of its remote traffic."""
+
+    def __init__(self, config: DistributedSimConfig, node: int):
         self._config = config
-        node_trace = replace(config.trace, remote_stock_probability=0.0)
-        self._traces = [
-            TraceGenerator(replace(node_trace, seed=config.trace.seed + 1000 * node))
-            for node in range(config.nodes)
-        ]
+        self._node = node
+        node_trace = replace(
+            config.trace,
+            remote_stock_probability=0.0,
+            seed=config.trace.seed + 1000 * node,
+        )
+        self._trace = TraceGenerator(node_trace)
         capacity = pages_for_megabytes(config.buffer_mb, config.trace.page_size)
-        self._pools = [
-            SimulatedBufferPool(make_policy(config.policy, capacity))
-            for _ in range(config.nodes)
-        ]
-        self._rng = np.random.default_rng(config.seed + 7)
-        self._tx_streams = [
-            self._node_transactions(node) for node in range(config.nodes)
-        ]
-        # Per-line probability that the *node* is remote.
+        self._pool = SimulatedBufferPool(make_policy(config.policy, capacity))
+        # Independent per-node streams for the two halves of the remote
+        # model; seeding by (seed, salt, node) keeps nodes uncorrelated.
+        self._route_rng = np.random.default_rng((config.seed, 7, node))
+        self._inbound_rng = np.random.default_rng((config.seed, 11, node))
         n = config.nodes
+        # Per-line probability that the *line* goes to some remote node.
         self._p_stock_remote = config.trace.remote_stock_probability * (n - 1) / n
         self._p_payment_remote = REMOTE_PAYMENT_PROBABILITY * (n - 1) / n
+        self._stream = self._transactions()
 
-    @property
-    def config(self) -> DistributedSimConfig:
-        return self._config
-
-    # -- helpers -----------------------------------------------------------------
-
-    def _remote_node(self, home: int) -> int:
-        other = int(self._rng.integers(0, self._config.nodes - 1))
-        return other if other < home else other + 1
-
-    def _remote_stock_page(self, node: int) -> int:
-        """A statistically equivalent stock page at a remote node."""
-        trace = self._traces[node]
-        item = trace._generator.item_id()
-        warehouse = trace._generator.uniform_warehouse()
-        return trace._stock_page(warehouse, item)
-
-    def _node_transactions(self, node: int):
-        """One node's decoded transaction stream, on the chosen kernel.
+    def _transactions(self) -> Iterator[tuple[TransactionType, list]]:
+        """The node's decoded transaction stream, on the chosen kernel.
 
         The batch path pulls whole encoded blocks from the vectorized
         emitter and decodes them column-wise; the object path is the
-        scalar per-transaction stream.  The two are byte-identical per
-        node config, so the routing (which draws from ``self._rng`` in
-        reference order) behaves the same either way.
+        scalar per-transaction stream.  The two are byte-identical, so
+        every report field is independent of the choice.
         """
-        trace = self._traces[node]
         if self._config.resolved_kernel == "object":
-            return trace.stream(format="objects")
-        return self._decoded_batches(trace)
+            return self._trace.stream(format="objects")
+        return self._decoded_batches(self._trace)
 
     @staticmethod
     def _decoded_batches(trace: TraceGenerator):
@@ -243,37 +319,42 @@ class DistributedBufferSimulation:
                 yield TRANSACTION_ORDER[tx_index], triples[start : start + length]
                 start += length
 
-    # -- main loop ------------------------------------------------------------------
+    def _inbound_volumes(self, rounds: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remote accesses landing on this node, per round.
 
-    def run(self) -> DistributedSimReport:
-        config = self._config
-        self._advance(config.warmup_transactions_per_node, measure=False)
-        remote = self._advance(config.transactions_per_node, measure=True)
-
-        per_node = []
-        for node in range(config.nodes):
-            stats = self._pools[node].stats
-            per_node.append(
-                {
-                    name: stats.miss_rate(index)
-                    for index, name in enumerate(RELATION_NAMES)
-                    if stats.accesses(index)
-                }
-            )
-        return DistributedSimReport(
-            config=config,
-            per_node_miss=per_node,
-            remote=remote,
-            expectations=RemoteCallExpectations(
-                nodes=config.nodes,
-                remote_stock_probability=config.trace.remote_stock_probability,
-            ),
+        Exact distribution of the outbound process summed over the
+        other ``N-1`` nodes: a sender runs a New-Order (Payment) with
+        its mix share, each of its ``items_per_order`` stock lines (its
+        one customer block) goes remote with probability ``p*(N-1)/N``
+        and targets this node uniformly among ``N-1`` peers — a
+        per-line hit probability of ``p/N``.  Drawing the sender count
+        first and thinning the pooled lines preserves the compound
+        structure (binomial thinning keeps the law exact because the
+        line count per New-Order is fixed).
+        """
+        n = self._config.nodes
+        if n == 1:
+            zero = np.zeros(rounds, dtype=np.int64)
+            return zero, zero
+        mix = self._config.trace.mix
+        rng = self._inbound_rng
+        senders_no = rng.binomial(n - 1, mix.new_order, size=rounds)
+        inbound_stock = rng.binomial(
+            senders_no * self._config.trace.items_per_order,
+            self._config.trace.remote_stock_probability / n,
         )
+        senders_pay = rng.binomial(n - 1, mix.payment, size=rounds)
+        inbound_payments = rng.binomial(
+            senders_pay, REMOTE_PAYMENT_PROBABILITY / n
+        )
+        return inbound_stock, inbound_payments
 
-    def _advance(self, transactions_per_node: int, measure: bool) -> RemoteStatistics:
-        if measure:
-            for pool in self._pools:
-                pool.reset_stats()
+    def run(self) -> NodeResult:
+        config = self._config
+        warmup = config.warmup_transactions_per_node
+        rounds = warmup + config.transactions_per_node
+        inbound_stock, inbound_payments = self._inbound_volumes(rounds)
+
         new_orders = 0
         remote_stock_calls = 0
         all_local = 0
@@ -281,74 +362,152 @@ class DistributedBufferSimulation:
         payments = 0
         remote_payments = 0
 
-        streams = self._tx_streams
-        for _ in range(transactions_per_node):
-            for node in range(self._config.nodes):
-                tx_type, refs = next(streams[node])
-                if tx_type is TransactionType.NEW_ORDER:
-                    sites = self._run_new_order(node, refs)
-                    if measure:
-                        new_orders += 1
-                        remote_stock_calls += sum(
-                            count for _, count in sites.items()
-                        )
-                        unique_site_sum += len(sites)
-                        all_local += not sites
-                elif tx_type is TransactionType.PAYMENT:
-                    was_remote = self._run_payment(node, refs)
-                    if measure:
-                        payments += 1
-                        remote_payments += was_remote
-                else:
-                    self._apply(node, refs)
-        return RemoteStatistics(
-            new_orders=new_orders,
-            remote_stock_calls=remote_stock_calls,
-            all_local_new_orders=all_local,
-            unique_site_sum=unique_site_sum,
-            payments=payments,
-            remote_payments=remote_payments,
+        stream = self._stream
+        for index in range(rounds):
+            if index == warmup:
+                self._pool.reset_stats()
+            measure = index >= warmup
+            tx_type, refs = next(stream)
+            if tx_type is TransactionType.NEW_ORDER:
+                sites = self._run_new_order(refs)
+                if measure:
+                    new_orders += 1
+                    remote_stock_calls += sum(sites.values())
+                    unique_site_sum += len(sites)
+                    all_local += not sites
+            elif tx_type is TransactionType.PAYMENT:
+                was_remote = self._run_payment(refs)
+                if measure:
+                    payments += 1
+                    remote_payments += was_remote
+            else:
+                self._apply(refs)
+            for _ in range(int(inbound_stock[index])):
+                self._inbound_stock_access()
+            for _ in range(int(inbound_payments[index])):
+                self._inbound_payment_access()
+
+        stats = self._pool.stats
+        miss = {
+            name: stats.miss_rate(index)
+            for index, name in enumerate(RELATION_NAMES)
+            if stats.accesses(index)
+        }
+        return NodeResult(
+            node=self._node,
+            miss=miss,
+            remote=RemoteStatistics(
+                new_orders=new_orders,
+                remote_stock_calls=remote_stock_calls,
+                all_local_new_orders=all_local,
+                unique_site_sum=unique_site_sum,
+                payments=payments,
+                remote_payments=remote_payments,
+            ),
         )
 
-    def _apply(self, node: int, refs: Sequence[tuple[int, int, bool]]) -> None:
-        pool = self._pools[node]
+    # -- outbound (sender side) ----------------------------------------------
+
+    def _apply(self, refs: Sequence[tuple[int, int, bool]]) -> None:
+        pool = self._pool
         for relation, page, write in refs:
             pool.access(relation, page, write)
 
     def _run_new_order(
-        self, node: int, refs: Sequence[tuple[int, int, bool]]
+        self, refs: Sequence[tuple[int, int, bool]]
     ) -> dict[int, int]:
-        """Apply a New-Order, rerouting remote stock lines; returns the
-        map of remote node -> tuples supplied by it."""
+        """Apply a New-Order, shipping remote stock lines off-node.
+
+        Returns the map of remote-site label -> lines supplied by it;
+        the labels index the N-1 peers, which is all Theorem 1's
+        distinct-site count needs.
+        """
         sites: dict[int, int] = {}
-        pool = self._pools[node]
+        pool = self._pool
+        rng = self._route_rng
+        many = self._config.nodes > 1
+        p_remote = self._p_stock_remote
         for relation, page, write in refs:
-            if (
-                relation == _STOCK
-                and self._config.nodes > 1
-                and self._rng.random() < self._p_stock_remote
-            ):
-                target = self._remote_node(node)
-                remote_page = self._remote_stock_page(target)
-                self._pools[target].access(relation, remote_page, write)
-                sites[target] = sites.get(target, 0) + 1
+            if relation == _STOCK and many and rng.random() < p_remote:
+                site = int(rng.integers(0, self._config.nodes - 1))
+                sites[site] = sites.get(site, 0) + 1
             else:
                 pool.access(relation, page, write)
         return sites
 
-    def _run_payment(
-        self, node: int, refs: Sequence[tuple[int, int, bool]]
-    ) -> bool:
-        """Apply a Payment, rerouting the customer block when remote."""
+    def _run_payment(self, refs: Sequence[tuple[int, int, bool]]) -> bool:
+        """Apply a Payment, shipping the customer block when remote."""
         remote = (
-            self._config.nodes > 1 and self._rng.random() < self._p_payment_remote
+            self._config.nodes > 1
+            and self._route_rng.random() < self._p_payment_remote
         )
-        target = self._remote_node(node) if remote else node
-        pool = self._pools[node]
-        target_pool = self._pools[target]
+        pool = self._pool
         for relation, page, write in refs:
-            if relation == _CUSTOMER:
-                target_pool.access(relation, page, write)
-            else:
-                pool.access(relation, page, write)
+            if remote and relation == _CUSTOMER:
+                continue
+            pool.access(relation, page, write)
         return remote
+
+    # -- inbound (receiver side) ---------------------------------------------
+
+    def _inbound_stock_access(self) -> None:
+        """One remote New-Order stock line landing on this node.
+
+        A fresh NURand item at a uniform local warehouse is
+        statistically equivalent to the sender's line because all nodes
+        are identically configured; New-Order stock lines are writes.
+        The draws come from the generator's generic streams, which are
+        independent of the per-transaction trace streams.
+        """
+        gen = self._trace._generator
+        page = self._trace._stock_page(gen.uniform_warehouse(), gen.item_id())
+        self._pool.access(_STOCK, page, True)
+
+    def _inbound_payment_access(self) -> None:
+        """One remote Payment's customer block landing on this node.
+
+        Mirrors the trace's Payment customer selection: one NURand id
+        written, or three same-named candidates where the sorted-middle
+        id takes the write on its first occurrence.
+        """
+        gen = self._trace._generator
+        warehouse = gen.uniform_warehouse()
+        district = gen.uniform_district()
+        _, ids = gen.customer_tuples()
+        pool = self._pool
+        if len(ids) == 1:
+            page = self._trace._customer_page(warehouse, district, ids[0])
+            pool.access(_CUSTOMER, page, True)
+            return
+        selected = sorted(ids)[len(ids) // 2]
+        written = False
+        for customer in ids:
+            write = customer == selected and not written
+            written = written or write
+            page = self._trace._customer_page(warehouse, district, customer)
+            pool.access(_CUSTOMER, page, write)
+
+
+class DistributedBufferSimulation:
+    """Simulates N nodes, each with a private buffer pool.
+
+    Every node runs an independent (differently seeded) copy of the
+    TPC-C trace over its local warehouses, with remote traffic modelled
+    per node from both ends (see the module docstring).  This serial
+    runner folds the very same :func:`simulate_node` results that
+    :mod:`repro.distributed.sharded` computes in worker processes, so
+    the two are bit-identical by construction.
+    """
+
+    def __init__(self, config: DistributedSimConfig):
+        self._config = config
+
+    @property
+    def config(self) -> DistributedSimConfig:
+        return self._config
+
+    def run(self) -> DistributedSimReport:
+        config = self._config
+        return fold_report(
+            config, [simulate_node(config, node) for node in range(config.nodes)]
+        )

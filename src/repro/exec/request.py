@@ -53,6 +53,11 @@ class RunRequest:
     see :class:`repro.buffer.simulator.SimulationConfig`).  Both
     implementations are bit-identical, so the choice does not affect
     cache keys either.
+
+    ``shards`` controls how the distributed simulation's node range is
+    partitioned into work units (``None`` = one unit per node; see
+    :mod:`repro.distributed.sharded`).  Pure worker layout — reports
+    and cache keys are identical for every value.
     """
 
     experiment: str
@@ -69,6 +74,7 @@ class RunRequest:
     trace_path: str | Path | None = None
     profile: bool = False
     kernel: str = "auto"
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.preset, str):
@@ -86,6 +92,8 @@ class RunRequest:
             raise ValueError(
                 f"unit_timeout must be positive, got {self.unit_timeout}"
             )
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1 when set, got {self.shards}")
 
     def replace(self, **overrides: Any) -> "RunRequest":
         """A copy with the given fields replaced."""

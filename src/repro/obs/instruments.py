@@ -150,6 +150,21 @@ DRIVER_RECOVERIES = _REGISTRY.counter(
     help="mid-benchmark crash/recover cycles completed by the driver",
 )
 
+# -- distributed multi-node buffer simulation (Appendix A) --------------------
+
+DIST_NODES = _REGISTRY.counter(
+    "dist.nodes_total",
+    help="node simulations folded into a distributed report",
+)
+DIST_REMOTE_STOCK_CALLS = _REGISTRY.counter(
+    "dist.remote.stock_calls_total",
+    help="outbound remote stock lines measured, summed over nodes",
+)
+DIST_REMOTE_PAYMENTS = _REGISTRY.counter(
+    "dist.remote.payments_total",
+    help="outbound remote Payments measured, summed over nodes",
+)
+
 # -- execution engine (process fan-out) ---------------------------------------
 
 EXEC_CACHE_LOOKUPS = _REGISTRY.counter(
@@ -168,6 +183,9 @@ EXEC_UNIT_SECONDS = _REGISTRY.histogram(
 )
 
 __all__ = [
+    "DIST_NODES",
+    "DIST_REMOTE_PAYMENTS",
+    "DIST_REMOTE_STOCK_CALLS",
     "DRIVER_RECOVERIES",
     "DRIVER_SHED",
     "DRIVER_STATEMENTS",

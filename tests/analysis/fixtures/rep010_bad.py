@@ -1,0 +1,18 @@
+"""REP010 fixture: every deprecated-shim call below must be flagged."""
+
+
+def one_object_transaction(trace):
+    return trace.transaction()
+
+
+def one_encoded_transaction(trace):
+    tx_index, encoded, accesses = trace.transaction_encoded()
+    return tx_index, encoded, accesses
+
+
+def nested_call(make_trace):
+    return make_trace().transaction()
+
+
+def suppressed_call(trace):
+    return trace.transaction()  # reprolint: disable=REP010

@@ -1,0 +1,17 @@
+"""REP010 fixture: the stream/batch API and mere name echoes — clean."""
+
+
+def object_stream(trace):
+    return next(trace.stream(format="objects"))
+
+
+def encoded_batch(trace):
+    return trace.encoded_batch(transactions=256)
+
+
+def attribute_read_not_call(trace):
+    return trace.transaction  # bound method reference, not a call
+
+
+def unrelated_name(db):
+    return db.begin_transaction()

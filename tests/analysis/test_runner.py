@@ -96,7 +96,7 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["rules"] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007", "REP008", "REP009",
+            "REP007", "REP008", "REP009", "REP010",
         ]
         assert {finding["rule"] for finding in payload["findings"]} == {"REP004"}
 
@@ -115,6 +115,6 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_code in (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007", "REP008", "REP009",
+            "REP007", "REP008", "REP009", "REP010",
         ):
             assert rule_code in out

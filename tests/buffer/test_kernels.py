@@ -18,6 +18,7 @@ from repro.buffer.kernels import (
     LfuArrayKernel,
     LruArrayKernel,
     LruKArrayKernel,
+    MruArrayKernel,
     TwoQArrayKernel,
     make_kernel,
     supports_array_kernel,
@@ -116,11 +117,11 @@ class TestPageIdSpace:
 class TestRegistry:
     def test_supported_policies(self):
         assert ARRAY_KERNEL_POLICIES == (
-            "2q", "clock", "fifo", "lfu", "lru", "lru2", "lru3"
+            "2q", "clock", "fifo", "lfu", "lru", "lru2", "lru3", "mru"
         )
         for name in ARRAY_KERNEL_POLICIES:
             assert supports_array_kernel(name)
-        assert not supports_array_kernel("mru")
+        assert not supports_array_kernel("arc")
 
     def test_make_kernel_types(self):
         space = small_space()
@@ -131,10 +132,11 @@ class TestRegistry:
         assert isinstance(make_kernel("2q", 4, space, 5), TwoQArrayKernel)
         assert isinstance(make_kernel("lru2", 4, space, 5), LruKArrayKernel)
         assert isinstance(make_kernel("lru3", 4, space, 5), LruKArrayKernel)
+        assert isinstance(make_kernel("mru", 4, space, 5), MruArrayKernel)
 
     def test_make_kernel_unknown_policy(self):
         with pytest.raises(ValueError, match="no array kernel"):
-            make_kernel("mru", 4, small_space(), 5)
+            make_kernel("arc", 4, small_space(), 5)
 
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
@@ -187,7 +189,7 @@ class TestKernelSelection:
 
     def test_array_kernel_requires_supported_policy(self):
         with pytest.raises(ValueError, match="no array kernel"):
-            quick_config(policy="mru", kernel="array")
+            quick_config(policy="arc", kernel="array")
 
     def test_auto_resolution(self):
         assert quick_config(policy="lru").resolved_kernel == "array"
@@ -195,7 +197,7 @@ class TestKernelSelection:
         assert quick_config(policy="lfu").resolved_kernel == "array"
         assert quick_config(policy="2q").resolved_kernel == "array"
         assert quick_config(policy="lru2").resolved_kernel == "array"
-        assert quick_config(policy="mru").resolved_kernel == "object"
+        assert quick_config(policy="mru").resolved_kernel == "array"
         assert quick_config(policy="lru", kernel="object").resolved_kernel == "object"
 
 

@@ -109,6 +109,32 @@ class TestCacheKey:
         }
         assert len(keys) == 1
 
+    def test_shard_layout_shares_cache_entries(self):
+        """``DistributedSimConfig.shards`` (and ``kernel``) are worker
+        layout, not inputs: every layout of one config must map to the
+        same shard-unit cache key, so a 4-shard and a 16-shard sweep
+        share per-node entries."""
+        from repro.distributed.sharded import NodeShardUnit, run_shard
+        from repro.distributed.simulation import DistributedSimConfig
+
+        base = DistributedSimConfig(nodes=4)
+        keys = {
+            cache_key(
+                run_shard,
+                NodeShardUnit(
+                    config=base.replace(shards=shards, kernel=kernel),
+                    nodes=(2,),
+                ),
+            )
+            for shards in (None, 4, 16)
+            for kernel in ("auto", "object")
+        }
+        assert len(keys) == 1
+        other_node = cache_key(
+            run_shard, NodeShardUnit(config=base, nodes=(3,))
+        )
+        assert other_node not in keys
+
     def test_fingerprint_skips_opted_out_fields(self):
         import dataclasses
 

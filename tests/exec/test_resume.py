@@ -173,6 +173,7 @@ class TestCliResume:
             trace=None,
             profile=False,
             kernel="auto",
+            shards=None,
         )
         request = _request_from_args(args, "fig8")
         assert request.resume_from == "m.json"

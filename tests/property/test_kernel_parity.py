@@ -85,7 +85,7 @@ def test_lockstep_parity(policy_name, capacity, stream):
 
 
 @given(
-    st.sampled_from(("lru", "fifo", "lfu", "2q", "lru2", "lru3")),
+    st.sampled_from(("lru", "mru", "fifo", "lfu", "2q", "lru2", "lru3")),
     st.integers(min_value=1, max_value=8),
     references,
 )
@@ -111,6 +111,8 @@ def test_eviction_order_parity(policy_name, capacity, stream):
 def _policy_residents(policy):
     if hasattr(policy, "_pages"):  # LRU
         return list(policy._pages)
+    if hasattr(policy, "_stack"):  # MRU
+        return list(policy._stack)
     if hasattr(policy, "_probation"):  # 2Q
         return list(policy._probation) + list(policy._main)
     if hasattr(policy, "_counts"):  # LFU
@@ -126,6 +128,8 @@ def _policy_eviction_order(policy):
     """Resident keys, next-victim first (CLOCK has no defined order)."""
     if hasattr(policy, "_pages"):  # LRU: OrderedDict is LRU -> MRU
         return list(policy._pages)
+    if hasattr(policy, "_stack"):  # MRU: newest evicts first
+        return list(reversed(policy._stack))
     if hasattr(policy, "_probation"):  # 2Q: each queue's victim order
         return list(policy._probation) + list(policy._main)
     if hasattr(policy, "_counts"):  # LFU: replay the lazy heap

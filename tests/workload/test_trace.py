@@ -188,14 +188,16 @@ class TestDeprecatedShims:
         new = TraceGenerator(TraceConfig(warehouses=1, seed=21))
         stream = new.stream(format="objects")
         with pytest.warns(DeprecationWarning, match="stream"):
-            tx_type, refs = old.transaction()
+            tx_type, refs = old.transaction()  # reprolint: disable=REP010
         assert (tx_type, refs) == next(stream)
 
     def test_transaction_encoded_warns_and_delegates(self):
         old = TraceGenerator(TraceConfig(warehouses=1, seed=22))
         new = TraceGenerator(TraceConfig(warehouses=1, seed=22))
         with pytest.warns(DeprecationWarning, match="stream"):
-            tx_index, encoded, accesses = old.transaction_encoded()
+            tx_index, encoded, accesses = (
+                old.transaction_encoded()  # reprolint: disable=REP010
+            )
         batch = new.encoded_batch(transactions=1)
         assert tx_index == int(batch.tx_indices[0])
         assert encoded == batch.refs.tolist()
@@ -208,7 +210,7 @@ class TestDeprecatedShims:
         with _warnings.catch_warnings(record=True) as caught:
             _warnings.simplefilter("default")
             for _ in range(5):
-                trace.transaction()
+                trace.transaction()  # reprolint: disable=REP010
         deprecations = [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
